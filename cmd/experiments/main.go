@@ -1,0 +1,85 @@
+// Command experiments regenerates the paper-reproduction experiments: the
+// empirical Tables 1–3 and the per-lemma measurements indexed in DESIGN.md
+// §4. Reports are written as Markdown to stdout (and optionally a file),
+// each ending in PASS/FAIL verdicts against the paper's claims.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments [-quick] [-seed N] [-out FILE] [ids...]
+//
+// With no ids, every experiment runs in registry order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"popproto/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	quick := fs.Bool("quick", false, "smoke-test scale (small n, few repetitions)")
+	seed := fs.Uint64("seed", harness.DefaultConfig().Seed, "master seed")
+	workers := fs.Int("workers", 0, "simulation workers (0 = NumCPU)")
+	out := fs.String("out", "", "also write the combined report to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range harness.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return nil
+	}
+
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	selected := harness.All()
+	if fs.NArg() > 0 {
+		selected = selected[:0]
+		for _, id := range fs.Args() {
+			e, ok := harness.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	var combined strings.Builder
+	failures := 0
+	for _, e := range selected {
+		start := time.Now()
+		res := e.Run(cfg)
+		elapsed := time.Since(start).Round(10 * time.Millisecond)
+		fmt.Fprintf(os.Stderr, "[%s] finished in %v\n", e.ID, elapsed)
+		fmt.Println(res.Markdown)
+		combined.WriteString(res.Markdown)
+		combined.WriteString("\n")
+		if !res.Passed() {
+			failures++
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(combined.String()), 0o644); err != nil {
+			return fmt.Errorf("writing report: %w", err)
+		}
+	}
+	if failures > 0 {
+		return fmt.Errorf("%d experiment(s) had failing verdicts", failures)
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListFlag(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	err := run([]string{"nope"})
+	if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+		t.Fatalf("want unknown-experiment error, got %v", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestQuickSingleExperimentWithOutput runs the cheapest experiment end to
+// end and checks the report file.
+func TestQuickSingleExperimentWithOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "report.md")
+	if err := run([]string{"-quick", "-out", out, "table3"}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "Experiment `table3`") {
+		t.Fatalf("report missing experiment header:\n%s", data)
+	}
+	if !strings.Contains(string(data), "[PASS]") {
+		t.Fatalf("report has no passing verdicts:\n%s", data)
+	}
+}

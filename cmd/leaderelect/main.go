@@ -1,0 +1,129 @@
+// Command leaderelect runs a single leader election and reports its
+// progress and outcome. It exposes every protocol in the repository: the
+// paper's PLL (asymmetric and symmetric) and the Table 1 baselines.
+//
+// Usage:
+//
+//	leaderelect -protocol pll -n 100000 -seed 7 -trace 5
+//
+// With -trace k the leader count is printed every k units of parallel
+// time until stabilization.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"popproto/internal/asciichart"
+	"popproto/internal/baseline"
+	"popproto/internal/core"
+	"popproto/internal/pp"
+	"popproto/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "leaderelect:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("leaderelect", flag.ContinueOnError)
+	protocol := fs.String("protocol", "pll", "pll | pll-sym | angluin | lottery | maxid")
+	n := fs.Int("n", 10000, "population size")
+	seed := fs.Uint64("seed", 1, "scheduler seed")
+	m := fs.Int("m", 0, "knowledge parameter m for PLL (0 = ⌈lg n⌉)")
+	budget := fs.Float64("max-parallel", 1e6, "give up after this much parallel time")
+	traceEvery := fs.Float64("trace", 0, "print the leader count every this many parallel time units (0 = off)")
+	chart := fs.Bool("chart", false, "render an ASCII chart of the leader count trajectory")
+	verify := fs.Uint64("verify", 0, "extra interactions to verify stability after election")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *n < 1 {
+		return fmt.Errorf("population size %d < 1", *n)
+	}
+
+	maxSteps := uint64(*budget * float64(*n))
+	switch *protocol {
+	case "pll":
+		params, err := pllParams(*n, *m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("PLL with n=%d m=%d (lmax=%d cmax=%d Φ=%d), %d states/agent\n",
+			*n, params.M, params.LMax, params.CMax, params.Phi, params.StateSpaceSize())
+		return elect[core.State](core.New(params), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
+	case "pll-sym":
+		params, err := pllParams(*n, *m)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("symmetric PLL with n=%d m=%d\n", *n, params.M)
+		return elect[core.SymState](core.NewSymmetric(params), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
+	case "angluin":
+		return elect[baseline.AngluinState](baseline.Angluin{}, *n, *seed, maxSteps, *traceEvery, *chart, *verify)
+	case "lottery":
+		return elect[baseline.LotteryState](baseline.NewLottery(*n), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
+	case "maxid":
+		return elect[baseline.MaxIDState](baseline.NewMaxID(*n), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+}
+
+func pllParams(n, m int) (core.Params, error) {
+	if m == 0 {
+		return core.NewParams(n), nil
+	}
+	return core.NewParamsWithM(n, m)
+}
+
+func elect[S comparable](proto pp.Protocol[S], n int, seed, maxSteps uint64, traceEvery float64, chart bool, verify uint64) error {
+	sim := pp.NewSimulator[S](proto, n, seed)
+	fmt.Printf("protocol %s, %d agents, seed %d\n", proto.Name(), n, seed)
+
+	switch {
+	case chart:
+		rec := trace.NewRecorder(sim, 1.0, trace.LeaderProbe[S]())
+		rec.RunUntil(float64(maxSteps)/float64(n), func(s *pp.Simulator[S]) bool {
+			return s.Leaders() <= 1
+		})
+		fmt.Print(rec.Chart(asciichart.Options{Width: 64, Height: 14, YLabel: "leaders"}))
+	case traceEvery > 0:
+		chunk := uint64(traceEvery * float64(n))
+		if chunk == 0 {
+			chunk = 1
+		}
+		for sim.Leaders() > 1 && sim.Steps() < maxSteps {
+			sim.RunSteps(chunk)
+			fmt.Printf("t = %8.1f  leaders = %d\n", sim.ParallelTime(), sim.Leaders())
+		}
+	default:
+		sim.RunUntilLeaders(1, maxSteps)
+	}
+
+	if sim.Leaders() != 1 {
+		return fmt.Errorf("no stabilization within %d steps (%d leaders remain)",
+			maxSteps, sim.Leaders())
+	}
+	leaderID := -1
+	sim.ForEach(func(id int, s S) {
+		if proto.Output(s) == pp.Leader {
+			leaderID = id
+		}
+	})
+	fmt.Printf("elected agent %d after %.2f parallel time (%d interactions)\n",
+		leaderID, sim.ParallelTime(), sim.Steps())
+
+	if verify > 0 {
+		if sim.VerifyStable(verify) {
+			fmt.Printf("stable: no output changed over %d further interactions\n", verify)
+		} else {
+			return fmt.Errorf("output changed during the %d-interaction stability check", verify)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunAllProtocols(t *testing.T) {
+	for _, proto := range []string{"pll", "pll-sym", "angluin", "lottery", "maxid"} {
+		args := []string{"-protocol", proto, "-n", "64", "-seed", "3", "-verify", "2000"}
+		if err := run(args); err != nil {
+			t.Errorf("%s: %v", proto, err)
+		}
+	}
+}
+
+func TestRunWithTraceAndChart(t *testing.T) {
+	if err := run([]string{"-protocol", "pll", "-n", "64", "-trace", "2"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-protocol", "pll", "-n", "64", "-chart"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExplicitM(t *testing.T) {
+	if err := run([]string{"-protocol", "pll", "-n", "64", "-m", "10"}); err != nil {
+		t.Fatal(err)
+	}
+	// m below lg n is rejected by NewParamsWithM.
+	err := run([]string{"-protocol", "pll", "-n", "1024", "-m", "5"})
+	if err == nil || !strings.Contains(err.Error(), "m ≥ log₂ n") {
+		t.Fatalf("undersized m accepted: %v", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run([]string{"-protocol", "nope", "-n", "8"}); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := run([]string{"-n", "0"}); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunBudgetExhaustion(t *testing.T) {
+	// An absurdly small budget cannot elect among 512 agents.
+	err := run([]string{"-protocol", "angluin", "-n", "512", "-max-parallel", "0.05"})
+	if err == nil || !strings.Contains(err.Error(), "no stabilization") {
+		t.Fatalf("want stabilization failure, got %v", err)
+	}
+}

@@ -1,0 +1,122 @@
+// Package asciichart renders small multi-series line charts as text, used
+// by the experiment harness to regenerate the paper's "figures" (time
+// versus n curves, survivor distributions, epidemic tails) in terminals
+// and Markdown code blocks.
+package asciichart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Options controls chart geometry and axes.
+type Options struct {
+	// Width and Height are the plot area in characters; defaults 64×16.
+	Width, Height int
+	// XLabel and YLabel caption the axes.
+	XLabel, YLabel string
+	// LogX plots x on a log₂ scale (the natural axis for n sweeps).
+	LogX bool
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Plot renders the series onto one chart. Series with mismatched X/Y
+// lengths or no points panic; at least one series is required.
+func Plot(series []Series, opt Options) string {
+	if len(series) == 0 {
+		panic("asciichart: no series")
+	}
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	tx := func(x float64) float64 {
+		if opt.LogX {
+			return math.Log2(x)
+		}
+		return x
+	}
+	for _, s := range series {
+		if len(s.X) != len(s.Y) || len(s.X) == 0 {
+			panic(fmt.Sprintf("asciichart: series %q has %d x and %d y points",
+				s.Name, len(s.X), len(s.Y)))
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, tx(s.X[i]))
+			xmax = math.Max(xmax, tx(s.X[i]))
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			cx := int(math.Round((tx(s.X[i]) - xmin) / (xmax - xmin) * float64(opt.Width-1)))
+			cy := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(opt.Height-1)))
+			row := opt.Height - 1 - cy
+			grid[row][cx] = mark
+		}
+	}
+
+	var b strings.Builder
+	if opt.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", opt.YLabel)
+	}
+	yTop := fmt.Sprintf("%.4g", ymax)
+	yBot := fmt.Sprintf("%.4g", ymin)
+	labelWidth := max(len(yTop), len(yBot))
+	for r, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelWidth, yTop)
+		case opt.Height - 1:
+			label = fmt.Sprintf("%*s", labelWidth, yBot)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", opt.Width))
+	xAxis := fmt.Sprintf("%.4g%s%.4g", unTx(xmin, opt.LogX),
+		strings.Repeat(" ", max(1, opt.Width-12)), unTx(xmax, opt.LogX))
+	fmt.Fprintf(&b, "%s  %s", strings.Repeat(" ", labelWidth), xAxis)
+	if opt.XLabel != "" {
+		fmt.Fprintf(&b, "  (%s)", opt.XLabel)
+	}
+	b.WriteString("\n")
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func unTx(v float64, logX bool) float64 {
+	if logX {
+		return math.Pow(2, v)
+	}
+	return v
+}

@@ -1,0 +1,67 @@
+package asciichart
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	out := Plot([]Series{
+		{Name: "linear", X: []float64{1, 2, 3, 4}, Y: []float64{1, 2, 3, 4}},
+		{Name: "flat", X: []float64{1, 2, 3, 4}, Y: []float64{2, 2, 2, 2}},
+	}, Options{Width: 40, Height: 10, XLabel: "n", YLabel: "time"})
+
+	if !strings.Contains(out, "time") || !strings.Contains(out, "(n)") {
+		t.Fatalf("axis labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* linear") || !strings.Contains(out, "o flat") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("markers missing:\n%s", out)
+	}
+	// Plot area must honor the requested height: height rows + axis +
+	// x labels + legend + y label.
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 1+10+1+1+2 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestPlotLogX(t *testing.T) {
+	out := Plot([]Series{
+		{Name: "sweep", X: []float64{256, 1024, 4096}, Y: []float64{8, 10, 12}},
+	}, Options{LogX: true})
+	if !strings.Contains(out, "256") || !strings.Contains(out, "4096") {
+		t.Fatalf("log-x endpoints missing:\n%s", out)
+	}
+}
+
+func TestPlotDegenerateRanges(t *testing.T) {
+	// A single point must not divide by zero.
+	out := Plot([]Series{{Name: "pt", X: []float64{5}, Y: []float64{7}}}, Options{})
+	if !strings.Contains(out, "*") {
+		t.Fatalf("single point not plotted:\n%s", out)
+	}
+}
+
+func TestPlotPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"no series": func() { Plot(nil, Options{}) },
+		"mismatch": func() {
+			Plot([]Series{{Name: "bad", X: []float64{1}, Y: []float64{1, 2}}}, Options{})
+		},
+		"empty series": func() {
+			Plot([]Series{{Name: "empty"}}, Options{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

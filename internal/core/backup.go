@@ -1,0 +1,45 @@
+package core
+
+// backUp implements Algorithm 5 (run while both agents are in epoch 4),
+// the safety net that elects a unique leader with probability 1 from any
+// reachable configuration, in O(log² n) expected parallel time when
+// synchronization succeeded and O(n) otherwise (Lemmas 10–12).
+//
+// Each leader increments its levelB with probability 1/2 once per tick
+// window (a fresh tick raised in this very interaction, partner a
+// follower, initiator side = heads). Ties between surviving equal-level
+// leaders are broken by the classic direct duel of Angluin et al.
+// (line 58: the responder yields).
+func (p *PLL) backUp(a0, a1 *State) {
+	// Lines 51–53: the level race coin flip. Only the initiator can flip
+	// (heads); a tick spent as responder is a tail and does nothing.
+	if a0.Tick && a0.Leader && !a1.Leader {
+		a0.LevelB = min(a0.LevelB+1, uint16(p.params.LMax))
+	}
+
+	backupEpidemic(a0, a1)
+
+	// Line 58: direct duel between equal-level leaders.
+	if a0.Leader && a1.Leader {
+		a1.Leader = false
+	}
+}
+
+// backupEpidemic is lines 54–57, shared by both protocol variants: a
+// one-way epidemic of the maximum levelB through V_A; anyone behind adopts
+// the value, losing leadership if it had any. The leader holding the global
+// maximum levelB can never be eliminated here, so at least one leader
+// always survives.
+func backupEpidemic(a0, a1 *State) {
+	if a0.Status != StatusA || a1.Status != StatusA {
+		return
+	}
+	switch {
+	case a0.LevelB < a1.LevelB:
+		a0.LevelB = a1.LevelB
+		a0.Leader = false
+	case a1.LevelB < a0.LevelB:
+		a1.LevelB = a0.LevelB
+		a1.Leader = false
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"popproto/internal/pp"
+)
+
+// TestCountUpIncrement: timers advance exactly one count per interaction
+// they participate in.
+func TestCountUpIncrement(t *testing.T) {
+	p := testPLL()
+	timer := bAgent(1, 0, 7)
+	other := a1Follower(0)
+	got, _ := p.Transition(timer, other)
+	if got.Count != 8 {
+		t.Fatalf("count = %d, want 8", got.Count)
+	}
+	_, got = p.Transition(other, timer)
+	if got.Count != 8 {
+		t.Fatalf("responder count = %d, want 8", got.Count)
+	}
+}
+
+// TestCountUpBothTimers: two timers advance independently, and both can
+// wrap in the same interaction (then neither adopts: equal new colors).
+func TestCountUpBothTimers(t *testing.T) {
+	p := testPLL()
+	cmax := uint16(testParams.CMax)
+	a, b := p.Transition(bAgent(1, 0, cmax-1), bAgent(1, 0, cmax-1))
+	if a.Color != 1 || b.Color != 1 {
+		t.Fatalf("colors = %d, %d, want 1, 1", a.Color, b.Color)
+	}
+	if a.Count != 0 || b.Count != 0 {
+		t.Fatalf("counts = %d, %d, want 0, 0", a.Count, b.Count)
+	}
+	if a.Epoch != 2 || b.Epoch != 2 {
+		t.Fatalf("epochs = %d, %d, want 2, 2", a.Epoch, b.Epoch)
+	}
+}
+
+// TestCountUpNoAdoptionAcrossTwoColors: colors two apart (0 vs 2) mean the
+// *other* agent is one ahead mod 3 (2+1 = 0), so adoption flows 2 → 0.
+func TestCountUpNoAdoptionAcrossTwoColors(t *testing.T) {
+	p := testPLL()
+	zero := bAgent(4, 0, 3)
+	two := bAgent(4, 2, 3)
+	a, b := p.Transition(zero, two)
+	// 0 = 2+1 (mod 3): the color-2 agent adopts color 0.
+	if b.Color != 0 {
+		t.Fatalf("color-2 agent ended with color %d, want 0", b.Color)
+	}
+	if a.Color != 0 {
+		t.Fatalf("color-0 agent changed to %d", a.Color)
+	}
+	if b.Count != 0 {
+		t.Fatalf("adopting timer kept count %d", b.Count)
+	}
+}
+
+// TestCountUpAdoptionResetsTimerOnly: a non-timer adopter keeps no count.
+func TestCountUpAdoptionResetsTimerOnly(t *testing.T) {
+	p := testPLL()
+	behind := a1Follower(2)
+	ahead := bAgent(2, 1, 9)
+	got, _ := p.Transition(behind, ahead)
+	if got.Color != 1 {
+		t.Fatalf("candidate did not adopt: %v", got)
+	}
+	if got.Count != 0 {
+		t.Fatalf("candidate acquired a count: %v", got)
+	}
+}
+
+// TestEpochSaturatesAtFour: ticks past epoch 4 do not advance further.
+func TestEpochSaturatesAtFour(t *testing.T) {
+	p := testPLL()
+	timer := bAgent(4, 0, uint16(testParams.CMax-1))
+	cand := a4Leader(3)
+	c, b := p.Transition(cand, timer)
+	if b.Epoch != 4 || c.Epoch != 4 {
+		t.Fatalf("epochs = %d, %d, want 4, 4", c.Epoch, b.Epoch)
+	}
+	if b.Color != 1 || c.Color != 1 {
+		t.Fatalf("colors = %d, %d, want 1, 1 (clock keeps cycling)", c.Color, b.Color)
+	}
+	// The candidate's levelB must survive (no re-initialization at the
+	// epoch cap: epoch did not change).
+	if c.LevelB == 0 && !c.Leader {
+		t.Fatalf("epoch-4 candidate was wrongly refreshed: %v", c)
+	}
+}
+
+// TestColorCycleContinuesAfterEpochFour: the synchronization clock keeps
+// producing color waves forever, which the BackUp module's tick-gated
+// flips depend on. Verified over a real run.
+func TestColorCycleContinuesAfterEpochFour(t *testing.T) {
+	const n = 64
+	p := NewForN(n)
+	sim := pp.NewSimulator[State](p, n, 5)
+
+	// Drive everyone to epoch 4.
+	budget := 4 * stabilizationBudget(n)
+	for {
+		sim.RunSteps(uint64(n))
+		counts := pp.CensusBy(sim, func(s State) uint8 { return s.Epoch })
+		if counts[4] == n {
+			break
+		}
+		if sim.Steps() > budget {
+			t.Fatal("population never reached epoch 4")
+		}
+	}
+
+	// Observe at least two further color changes.
+	seen := map[uint8]bool{}
+	start := sim.Steps()
+	for len(seen) < 3 {
+		sim.RunSteps(uint64(n))
+		sim.ForEach(func(_ int, s State) { seen[s.Color] = true })
+		if sim.Steps()-start > budget {
+			t.Fatalf("clock stalled after epoch 4: colors seen %v", seen)
+		}
+	}
+}
+
+// TestTickClearedAtNextInteraction: a raised tick must not leak into the
+// agent's next interaction (line 7).
+func TestTickClearedAtNextInteraction(t *testing.T) {
+	p := testPLL()
+	// Produce a ticked agent.
+	follower := a4Follower(0)
+	follower.Color = 1
+	leader := a4Leader(0)
+	ticked, _ := p.Transition(leader, follower)
+	if !ticked.Tick {
+		t.Fatalf("no tick raised: %v", ticked)
+	}
+	// Its next interaction resets the flag before any module reads it, so
+	// a second levelB gain requires a fresh color change.
+	again, _ := p.Transition(ticked, a4Follower(1))
+	if again.LevelB != 1 {
+		t.Fatalf("levelB = %d, want 1 (no double-count from a stale tick)", again.LevelB)
+	}
+	if again.Tick {
+		t.Fatalf("tick still raised after reset interaction: %v", again)
+	}
+}
+
+// TestStatusStringAndGroupString: exercise the diagnostic stringers.
+func TestStatusStringAndGroupString(t *testing.T) {
+	cases := map[string]string{
+		StatusX.String():  "X",
+		StatusA.String():  "A",
+		StatusB.String():  "B",
+		StatusY.String():  "Y",
+		GroupX.String():   "V_X",
+		GroupB.String():   "V_B",
+		GroupA1.String():  "V_A∩V_1",
+		GroupA23.String(): "V_A∩(V_2∪V_3)",
+		GroupA4.String():  "V_A∩V_4",
+		GroupY.String():   "V_Y",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("stringer: got %q want %q", got, want)
+		}
+	}
+	if s := Status(99).String(); s != "Status(99)" {
+		t.Errorf("unknown status renders as %q", s)
+	}
+	if g := Group(99).String(); g != "Group(99)" {
+		t.Errorf("unknown group renders as %q", g)
+	}
+}
+
+// TestStateString covers the per-group renderings.
+func TestStateString(t *testing.T) {
+	p := testPLL()
+	for _, s := range []State{
+		p.InitialState(),
+		bAgent(2, 1, 17),
+		a1Leader(3, false),
+		a23Follower(2, 5),
+		a4Leader(9),
+	} {
+		out := s.String()
+		if out == "" {
+			t.Fatalf("empty rendering for %#v", s)
+		}
+	}
+	ticked := a4Leader(1)
+	ticked.Tick = true
+	if got := ticked.String(); !strings.Contains(got, "tick") {
+		t.Errorf("tick missing from %q", got)
+	}
+	if got := bAgent(1, 0, 7).String(); !strings.Contains(got, "count=7") {
+		t.Errorf("count missing from %q", got)
+	}
+	if got := a23Leader(2, 3, 1).String(); !strings.Contains(got, "rand=3") {
+		t.Errorf("rand missing from %q", got)
+	}
+}
+
+// TestGroupClassification maps states to Table 3 groups.
+func TestGroupClassification(t *testing.T) {
+	p := testPLL()
+	cases := []struct {
+		s    State
+		want Group
+	}{
+		{p.InitialState(), GroupX},
+		{bAgent(1, 0, 0), GroupB},
+		{bAgent(4, 2, 10), GroupB},
+		{a1Leader(0, false), GroupA1},
+		{a23Leader(2, 0, 0), GroupA23},
+		{a23Follower(3, 1), GroupA23},
+		{a4Follower(5), GroupA4},
+	}
+	for _, c := range cases {
+		if got := c.s.Group(); got != c.want {
+			t.Errorf("%v classified as %v, want %v", c.s, got, c.want)
+		}
+	}
+}

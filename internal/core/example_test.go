@@ -1,0 +1,62 @@
+package core_test
+
+import (
+	"fmt"
+
+	"popproto/internal/core"
+	"popproto/internal/pp"
+)
+
+// ExampleNewParams shows the derived protocol constants for n = 1024.
+func ExampleNewParams() {
+	p := core.NewParams(1024)
+	fmt.Printf("m=%d lmax=%d cmax=%d Φ=%d\n", p.M, p.LMax, p.CMax, p.Phi)
+	fmt.Printf("Table 3 state count: %d\n", p.StateSpaceSize())
+
+	// Output:
+	// m=10 lmax=50 cmax=410 Φ=3
+	// Table 3 state count: 89184
+}
+
+// ExamplePLL_Transition replays the very first interaction of an
+// execution: lines 1–3 of Algorithm 1 assign the statuses, and — because
+// the QuickElimination module runs in the same interaction — the new
+// candidate immediately scores its first lottery head.
+func ExamplePLL_Transition() {
+	p := core.NewForN(1024)
+	init := p.InitialState()
+	candidate, timer := p.Transition(init, init)
+	fmt.Println("initiator:", candidate)
+	fmt.Println("responder:", timer)
+
+	// Output:
+	// initiator: A/L e1 c0 levelQ=1 done=false
+	// responder: B/F e1 c0 count=1
+}
+
+// ExamplePLL_CheckCanonical demonstrates the reachable-state contract.
+func ExamplePLL_CheckCanonical() {
+	p := core.NewForN(1024)
+	good := p.InitialState()
+	fmt.Println("initial state canonical:", p.CheckCanonical(good) == nil)
+
+	bad := good
+	bad.Count = 7 // a pristine agent cannot own a timer count
+	fmt.Println("corrupted state canonical:", p.CheckCanonical(bad) == nil)
+
+	// Output:
+	// initial state canonical: true
+	// corrupted state canonical: false
+}
+
+// ExampleNewSymmetric elects with the Section 4 symmetric variant.
+func ExampleNewSymmetric() {
+	const n = 64
+	p := core.NewSymmetricForN(n)
+	sim := pp.NewSimulator[core.SymState](p, n, 11)
+	_, ok := sim.RunUntilLeaders(1, 1<<30)
+	fmt.Println("stabilized:", ok, "leaders:", sim.Leaders())
+
+	// Output:
+	// stabilized: true leaders: 1
+}

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"popproto/internal/pp"
+)
+
+// FuzzTransitionClosure fuzzes the asymmetric transition with arbitrary
+// canonical state pairs (derived from the fuzzed seeds through the same
+// generator the property tests use) and checks the full contract on the
+// outputs: canonical form, no leader minting, epoch monotonicity and
+// agreement, and determinism.
+func FuzzTransitionClosure(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(12345), uint64(67890))
+	f.Add(^uint64(0), uint64(42))
+
+	p := testPLL()
+	gen := newStateGen(testParams)
+	f.Fuzz(func(t *testing.T, seedA, seedB uint64) {
+		a, b := gen.state(seedA), gen.state(seedB)
+		x1, y1 := p.Transition(a, b)
+		x2, y2 := p.Transition(a, b)
+		if x1 != x2 || y1 != y2 {
+			t.Fatalf("nondeterministic transition for (%v, %v)", a, b)
+		}
+		if err := p.CheckCanonical(x1); err != nil {
+			t.Fatalf("initiator output not canonical: %v", err)
+		}
+		if err := p.CheckCanonical(y1); err != nil {
+			t.Fatalf("responder output not canonical: %v", err)
+		}
+		before := btoi(a.Leader) + btoi(b.Leader)
+		after := btoi(x1.Leader) + btoi(y1.Leader)
+		if after > before {
+			t.Fatalf("leader minted: (%v, %v) -> (%v, %v)", a, b, x1, y1)
+		}
+		if x1.Epoch != y1.Epoch {
+			t.Fatalf("epochs disagree after merge: %v vs %v", x1, y1)
+		}
+		if x1.Epoch < a.Epoch || y1.Epoch < b.Epoch {
+			t.Fatalf("epoch decreased: (%v, %v) -> (%v, %v)", a, b, x1, y1)
+		}
+	})
+}
+
+// FuzzSymmetricTransition fuzzes the symmetric variant, adding the
+// symmetry and order-equivariance obligations on top of the asymmetric
+// contract.
+func FuzzSymmetricTransition(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(uint64(3), uint64(3))
+	f.Add(uint64(99), uint64(100))
+
+	p := NewSymmetric(testSymParams)
+	gen := newStateGen(testSymParams)
+	f.Fuzz(func(t *testing.T, seedA, seedB uint64) {
+		a, b := gen.symState(seedA), gen.symState(seedB)
+		if p.CheckCanonical(a) != nil || p.CheckCanonical(b) != nil {
+			t.Skip("generator produced a non-canonical state")
+		}
+		x, y := p.Transition(a, b)
+		if err := p.CheckCanonical(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.CheckCanonical(y); err != nil {
+			t.Fatal(err)
+		}
+		// Symmetry: equal inputs, equal outputs.
+		if a == b && x != y {
+			t.Fatalf("p = q but p' != q': %v vs %v", x, y)
+		}
+		// Order equivariance: roles must not matter.
+		y2, x2 := p.Transition(b, a)
+		if x != x2 || y != y2 {
+			t.Fatalf("order dependence: (%v,%v) vs swapped (%v,%v)", x, y, x2, y2)
+		}
+	})
+}
+
+// FuzzSimulatorConsistency fuzzes short executions: the incremental leader
+// census must match a recount, and safety must hold.
+func FuzzSimulatorConsistency(f *testing.F) {
+	f.Add(uint64(1), uint16(100))
+	f.Add(uint64(7), uint16(5000))
+
+	f.Fuzz(func(t *testing.T, seed uint64, steps uint16) {
+		const n = 24
+		p := NewForN(n)
+		sim := pp.NewSimulator[State](p, n, seed)
+		sim.RunSteps(uint64(steps))
+		recount := 0
+		sim.ForEach(func(_ int, s State) {
+			if s.Leader {
+				recount++
+			}
+		})
+		if recount != sim.Leaders() {
+			t.Fatalf("census drift: recount %d vs incremental %d", recount, sim.Leaders())
+		}
+		if recount < 1 {
+			t.Fatal("all leaders eliminated")
+		}
+	})
+}
+
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}

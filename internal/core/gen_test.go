@@ -1,0 +1,92 @@
+package core
+
+import (
+	"popproto/internal/rng"
+)
+
+// stateGen produces random states that satisfy CheckCanonical, used to
+// drive property tests over a far larger slice of the state space than
+// simulation prefixes alone would visit.
+type stateGen struct {
+	params Params
+}
+
+func newStateGen(p Params) *stateGen { return &stateGen{params: p} }
+
+// state derives a canonical asymmetric state deterministically from seed.
+func (g *stateGen) state(seed uint64) State {
+	r := rng.New(seed)
+	switch r.Intn(5) {
+	case 0:
+		return State{Leader: true, Status: StatusX, Epoch: 1, Init: 1}
+	case 1:
+		e := uint8(1 + r.Intn(4))
+		return State{
+			Status: StatusB, Epoch: e, Init: e,
+			Color: uint8(r.Intn(3)), Tick: r.Bool(),
+			Count: uint16(r.Intn(g.params.CMax)),
+		}
+	case 2:
+		s := State{
+			Status: StatusA, Epoch: 1, Init: 1,
+			Color: uint8(r.Intn(3)), Tick: r.Bool(),
+			LevelQ: uint16(r.Intn(g.params.LMax + 1)),
+		}
+		if r.Bool() {
+			s.Leader = true
+			s.Done = r.Bool()
+		} else {
+			s.Done = true // followers in V_A∩V_1 are always done
+		}
+		return s
+	case 3:
+		e := uint8(2 + r.Intn(2))
+		s := State{
+			Status: StatusA, Epoch: e, Init: e,
+			Color: uint8(r.Intn(3)), Tick: r.Bool(),
+		}
+		if r.Bool() && g.params.Phi > 0 {
+			s.Leader = true
+			s.Index = uint8(r.Intn(g.params.Phi + 1))
+			// A flipping leader's nonce has exactly Index bits so far.
+			s.Rand = uint16(r.Uint64n(uint64(1) << s.Index))
+		} else {
+			s.Leader = r.Bool() && g.params.Phi == 0
+			if !s.Leader {
+				s.Index = uint8(g.params.Phi)
+			}
+			s.Rand = uint16(r.Intn(g.params.RandSpace()))
+		}
+		return s
+	default:
+		return State{
+			Leader: r.Bool(), Status: StatusA, Epoch: 4, Init: 4,
+			Color: uint8(r.Intn(3)), Tick: r.Bool(),
+			LevelB: uint16(r.Intn(g.params.LMax + 1)),
+		}
+	}
+}
+
+// symState derives a canonical symmetric state deterministically from seed.
+func (g *stateGen) symState(seed uint64) SymState {
+	r := rng.New(seed)
+	if r.Intn(8) == 0 {
+		status := StatusX
+		if r.Bool() {
+			status = StatusY
+		}
+		return SymState{State: State{Leader: true, Status: status, Epoch: 1, Init: 1}}
+	}
+	s := SymState{State: g.state(seed ^ 0x9e3779b97f4a7c15)}
+	for s.Status == StatusX { // re-roll pristine bases: handled above
+		s.State = g.state(r.Uint64())
+	}
+	if s.Leader {
+		if s.Epoch == 4 {
+			s.Duel = DuelStatus(r.Intn(4))
+		}
+	} else {
+		s.Coin = CoinStatus(1 + r.Intn(4))
+	}
+	return s
+}

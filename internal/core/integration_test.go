@@ -1,0 +1,255 @@
+package core
+
+import (
+	"testing"
+
+	"popproto/internal/pp"
+)
+
+// stabilizationBudget is a deliberately generous step cap: expected
+// stabilization is Θ(n log n) interactions, and the fixed seeds make every
+// run deterministic, so a pass is reproducible.
+func stabilizationBudget(n int) uint64 {
+	m := CeilLog2(n) + 1
+	return uint64(4000) * uint64(n) * uint64(m)
+}
+
+// TestStabilizesAcrossSizes is the headline integration test: PLL elects
+// exactly one leader, from n = 1 up through n = 1024, across seeds, and the
+// resulting configuration is stable.
+func TestStabilizesAcrossSizes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 8, 16, 33, 64, 100, 128, 256, 1024} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			sim := pp.NewSimulator[State](NewForN(n), n, seed)
+			steps, ok := sim.RunUntilLeaders(1, stabilizationBudget(n))
+			if !ok {
+				t.Fatalf("n=%d seed=%d: not stabilized after %d steps (%d leaders)",
+					n, seed, steps, sim.Leaders())
+			}
+			if sim.Leaders() != 1 {
+				t.Fatalf("n=%d seed=%d: %d leaders", n, seed, sim.Leaders())
+			}
+			if !sim.VerifyStable(uint64(200 * n)) {
+				t.Fatalf("n=%d seed=%d: configuration not stable after election", n, seed)
+			}
+		}
+	}
+}
+
+// TestStabilizesWithExplicitM exercises legal non-canonical m choices
+// (the paper only requires m ≥ log₂ n, m = Θ(log n)).
+func TestStabilizesWithExplicitM(t *testing.T) {
+	const n = 128
+	for _, m := range []int{7, 10, 14, 21} {
+		params, err := NewParamsWithM(n, m)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		sim := pp.NewSimulator[State](New(params), n, 42)
+		if _, ok := sim.RunUntilLeaders(1, 20*stabilizationBudget(n)); !ok {
+			t.Fatalf("m=%d: not stabilized", m)
+		}
+	}
+}
+
+// TestInvariantsHoldThroughoutExecution checks, along a full random run,
+// that every agent state stays canonical, the leader count is monotone
+// non-increasing, and at least one leader always exists.
+func TestInvariantsHoldThroughoutExecution(t *testing.T) {
+	const n = 256
+	p := NewForN(n)
+	sim := pp.NewSimulator[State](p, n, 7)
+	prevLeaders := sim.Leaders()
+	budget := stabilizationBudget(n)
+	for sim.Steps() < budget {
+		sim.RunSteps(1000)
+		if l := sim.Leaders(); l > prevLeaders {
+			t.Fatalf("leader count increased: %d -> %d at step %d", prevLeaders, l, sim.Steps())
+		} else {
+			prevLeaders = l
+		}
+		if sim.Leaders() < 1 {
+			t.Fatalf("all leaders eliminated at step %d", sim.Steps())
+		}
+		sim.ForEach(func(id int, s State) {
+			if err := p.CheckCanonical(s); err != nil {
+				t.Fatalf("agent %d at step %d: %v", id, sim.Steps(), err)
+			}
+		})
+		if sim.Leaders() == 1 && sim.Steps() > budget/4 {
+			break
+		}
+	}
+}
+
+// TestLemma4StatusCensus: once every agent has a status, |V_A| ≥ n/2,
+// |V_F| ≥ n/2 and |V_B| ≥ 1 (Lemma 4).
+func TestLemma4StatusCensus(t *testing.T) {
+	const n = 200
+	p := NewForN(n)
+	for seed := uint64(1); seed <= 5; seed++ {
+		sim := pp.NewSimulator[State](p, n, seed)
+		// Run until no agent has status X (every agent interacted).
+		for {
+			sim.RunSteps(uint64(n))
+			counts := pp.CensusBy(sim, func(s State) Status { return s.Status })
+			if counts[StatusX] == 0 {
+				if counts[StatusA] < n/2 {
+					t.Fatalf("seed=%d: |V_A| = %d < n/2", seed, counts[StatusA])
+				}
+				if counts[StatusB] < 1 {
+					t.Fatalf("seed=%d: |V_B| = %d < 1", seed, counts[StatusB])
+				}
+				if followers := n - sim.Leaders(); followers < n/2 {
+					t.Fatalf("seed=%d: |V_F| = %d < n/2", seed, followers)
+				}
+				break
+			}
+			if sim.Steps() > stabilizationBudget(n) {
+				t.Fatalf("seed=%d: agents still unassigned after %d steps", seed, sim.Steps())
+			}
+		}
+	}
+}
+
+// TestAdversarialRoundRobinSafety: under a deterministic round-robin
+// schedule (not the random scheduler at all), safety must still hold:
+// canonical states, at least one leader, monotone leader count.
+func TestAdversarialRoundRobinSafety(t *testing.T) {
+	const n = 64
+	p := NewForN(n)
+	sim := pp.NewSimulator[State](p, n, 1)
+	var rr pp.RoundRobin
+	prev := sim.Leaders()
+	for k := 0; k < 200; k++ {
+		sim.RunSchedule(&rr, 1000)
+		if sim.Leaders() < 1 {
+			t.Fatalf("all leaders eliminated under round-robin at step %d", sim.Steps())
+		}
+		if sim.Leaders() > prev {
+			t.Fatalf("leader count increased under round-robin")
+		}
+		prev = sim.Leaders()
+		sim.ForEach(func(id int, s State) {
+			if err := p.CheckCanonical(s); err != nil {
+				t.Fatalf("agent %d: %v", id, err)
+			}
+		})
+	}
+}
+
+// TestAdversarialStarvationSafety: starving most of the population must
+// not break safety, and the starved agents must remain untouched.
+func TestAdversarialStarvationSafety(t *testing.T) {
+	const n = 50
+	p := NewForN(n)
+	sim := pp.NewSimulator[State](p, n, 1)
+	sched := &pp.Starve{Active: 5}
+	sim.RunSchedule(sched, 100_000)
+	if sim.Leaders() < 1 {
+		t.Fatal("all leaders eliminated under starvation schedule")
+	}
+	init := p.InitialState()
+	for i := 5; i < n; i++ {
+		if sim.State(i) != init {
+			t.Fatalf("starved agent %d changed state: %v", i, sim.State(i))
+		}
+	}
+}
+
+// TestMixedAdversarialThenRandom injects an adversarial prefix and then
+// verifies the protocol still stabilizes under the random scheduler — the
+// paper's probability-1 guarantee from any reachable configuration.
+func TestMixedAdversarialThenRandom(t *testing.T) {
+	const n = 64
+	p := NewForN(n)
+	for _, prefix := range []uint64{100, 5_000, 50_000} {
+		sim := pp.NewSimulator[State](p, n, 3)
+		var rr pp.RoundRobin
+		sim.RunSchedule(&rr, prefix)
+		if _, ok := sim.RunUntilLeaders(1, sim.Steps()+4*stabilizationBudget(n)); !ok {
+			t.Fatalf("prefix=%d: no recovery to a unique leader", prefix)
+		}
+		if !sim.VerifyStable(uint64(100 * n)) {
+			t.Fatalf("prefix=%d: unstable after recovery", prefix)
+		}
+	}
+}
+
+// TestRecoveryFromForcedDesync uses a deliberately undersized m (violating
+// m ≥ log₂ n) so the count-up clock ticks far too fast, synchronization
+// fails and the run is forced through the BackUp fallback. The protocol
+// must still elect exactly one leader (Lemmas 9–10).
+func TestRecoveryFromForcedDesync(t *testing.T) {
+	const n = 64
+	params := NewParamsUnchecked(n, 1) // cmax = 41, lmax = 5, Φ = 0
+	p := New(params)
+	for seed := uint64(1); seed <= 3; seed++ {
+		sim := pp.NewSimulator[State](p, n, seed)
+		// BackUp alone may need O(n) parallel time: budget n² parallel.
+		budget := uint64(n) * uint64(n) * uint64(n) * 4
+		if _, ok := sim.RunUntilLeaders(1, budget); !ok {
+			t.Fatalf("seed=%d: desynchronized run did not stabilize (%d leaders)",
+				seed, sim.Leaders())
+		}
+		if !sim.VerifyStable(uint64(100 * n)) {
+			t.Fatalf("seed=%d: unstable after desynchronized election", seed)
+		}
+	}
+}
+
+// TestAllAgentsReachEpochFour verifies Lemma 9's qualitative content: every
+// agent eventually enters the fourth epoch.
+func TestAllAgentsReachEpochFour(t *testing.T) {
+	const n = 128
+	p := NewForN(n)
+	sim := pp.NewSimulator[State](p, n, 11)
+	budget := 4 * stabilizationBudget(n)
+	for {
+		sim.RunSteps(uint64(n))
+		counts := pp.CensusBy(sim, func(s State) uint8 { return s.Epoch })
+		if counts[4] == n {
+			return
+		}
+		if sim.Steps() > budget {
+			t.Fatalf("epoch census after %d steps: %v", sim.Steps(), counts)
+		}
+	}
+}
+
+// TestDistinctStatesWithinLemma3Bound: the number of distinct states ever
+// observed in a long execution must stay within the Table 3 state count.
+func TestDistinctStatesWithinLemma3Bound(t *testing.T) {
+	const n = 512
+	p := NewForN(n)
+	sim := pp.NewSimulator[State](p, n, 13)
+	sim.TrackStates()
+	sim.RunUntilLeaders(1, stabilizationBudget(n))
+	sim.RunSteps(200_000) // keep exploring the stable regime
+	bound := p.Params().StateSpaceSize()
+	if got := sim.DistinctStates(); got > bound {
+		t.Fatalf("observed %d distinct states, Table 3 bound is %d", got, bound)
+	}
+	if got := sim.DistinctStates(); got < 10 {
+		t.Fatalf("implausibly few distinct states observed: %d", got)
+	}
+}
+
+// TestDeterministicElection: the full election is reproducible from the
+// seed.
+func TestDeterministicElection(t *testing.T) {
+	const n = 128
+	p := NewForN(n)
+	a := pp.NewSimulator[State](p, n, 99)
+	b := pp.NewSimulator[State](p, n, 99)
+	sa, _ := a.RunUntilLeaders(1, stabilizationBudget(n))
+	sb, _ := b.RunUntilLeaders(1, stabilizationBudget(n))
+	if sa != sb {
+		t.Fatalf("stabilization steps differ: %d vs %d", sa, sb)
+	}
+	for i := 0; i < n; i++ {
+		if a.State(i) != b.State(i) {
+			t.Fatalf("agent %d differs across replays", i)
+		}
+	}
+}

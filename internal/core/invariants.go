@@ -1,0 +1,142 @@
+package core
+
+import "fmt"
+
+// CheckCanonical verifies that s is a well-formed canonical state of the
+// asymmetric protocol: every variable inside its Table 3 domain, the
+// invariants that hold at interaction boundaries (Init = Epoch, pristine
+// X agents, follower flags), and the canonical-zero convention for
+// additional variables outside the agent's group. Every state reachable
+// from the initial configuration satisfies these; the property tests drive
+// millions of random and adversarial interactions through this check.
+func (p *PLL) CheckCanonical(s State) error {
+	if s.Status == StatusY {
+		return fmt.Errorf("core: status Y is reserved for the symmetric variant: %v", s)
+	}
+	return checkCanonicalState(p.params, s)
+}
+
+func checkCanonicalState(params Params, s State) error {
+	if s.Epoch < 1 || s.Epoch > 4 {
+		return fmt.Errorf("core: epoch %d out of {1..4}: %v", s.Epoch, s)
+	}
+	if s.Init != s.Epoch {
+		return fmt.Errorf("core: init %d != epoch %d at interaction boundary: %v", s.Init, s.Epoch, s)
+	}
+	if s.Color > 2 {
+		return fmt.Errorf("core: color %d out of {0..2}: %v", s.Color, s)
+	}
+	if int(s.Count) >= params.CMax {
+		return fmt.Errorf("core: count %d out of {0..cmax-1}: %v", s.Count, s)
+	}
+	if int(s.LevelQ) > params.LMax {
+		return fmt.Errorf("core: levelQ %d exceeds lmax %d: %v", s.LevelQ, params.LMax, s)
+	}
+	if int(s.LevelB) > params.LMax {
+		return fmt.Errorf("core: levelB %d exceeds lmax %d: %v", s.LevelB, params.LMax, s)
+	}
+	if int(s.Rand) >= params.RandSpace() {
+		return fmt.Errorf("core: rand %d out of {0..2^Φ-1}: %v", s.Rand, s)
+	}
+	if int(s.Index) > params.Phi {
+		return fmt.Errorf("core: index %d exceeds Φ %d: %v", s.Index, params.Phi, s)
+	}
+
+	zeroQE := func() error {
+		if s.LevelQ != 0 || s.Done {
+			return fmt.Errorf("core: stale QuickElimination variables outside V_A∩V_1: %v", s)
+		}
+		return nil
+	}
+	zeroTournament := func() error {
+		if s.Rand != 0 || s.Index != 0 {
+			return fmt.Errorf("core: stale Tournament variables outside V_A∩(V_2∪V_3): %v", s)
+		}
+		return nil
+	}
+	zeroBackup := func() error {
+		if s.LevelB != 0 {
+			return fmt.Errorf("core: stale BackUp variable outside V_A∩V_4: %v", s)
+		}
+		return nil
+	}
+	zeroCount := func() error {
+		if s.Count != 0 {
+			return fmt.Errorf("core: stale count outside V_B: %v", s)
+		}
+		return nil
+	}
+
+	switch s.Group() {
+	case GroupX, GroupY:
+		pristine := State{Leader: true, Status: s.Status, Epoch: 1, Init: 1}
+		if s != pristine {
+			return fmt.Errorf("core: non-pristine %v agent: %v", s.Status, s)
+		}
+	case GroupB:
+		if s.Leader {
+			return fmt.Errorf("core: leader with timer status B: %v", s)
+		}
+		for _, f := range []func() error{zeroQE, zeroTournament, zeroBackup} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+	case GroupA1:
+		if !s.Leader && !s.Done {
+			return fmt.Errorf("core: follower in V_A∩V_1 with done=false: %v", s)
+		}
+		for _, f := range []func() error{zeroCount, zeroTournament, zeroBackup} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+	case GroupA23:
+		if !s.Leader && int(s.Index) != params.Phi {
+			return fmt.Errorf("core: follower in V_A∩(V_2∪V_3) with index %d != Φ: %v", s.Index, s)
+		}
+		for _, f := range []func() error{zeroCount, zeroQE, zeroBackup} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+	case GroupA4:
+		for _, f := range []func() error{zeroCount, zeroQE, zeroTournament} {
+			if err := f(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CheckCanonical verifies that s is a well-formed canonical state of the
+// symmetric variant: all asymmetric invariants plus the Section 4 coin and
+// duel conventions — exactly the followers carry coins, exactly the
+// epoch-4 leaders may carry duel sub-states.
+func (p *SymPLL) CheckCanonical(s SymState) error {
+	if err := checkCanonicalState(p.params, s.State); err != nil {
+		return err
+	}
+	switch {
+	case s.Status == StatusX || s.Status == StatusY:
+		if s.Coin != CoinNone || s.Duel != DuelNone {
+			return fmt.Errorf("core: pristine agent carries coin/duel state: %v", s)
+		}
+	case s.Leader:
+		if s.Coin != CoinNone {
+			return fmt.Errorf("core: leader carries a coin: %v", s)
+		}
+		if s.Duel != DuelNone && s.Epoch != 4 {
+			return fmt.Errorf("core: duel state outside epoch 4: %v", s)
+		}
+	default: // assigned follower
+		if s.Coin == CoinNone {
+			return fmt.Errorf("core: follower without coin status: %v", s)
+		}
+		if s.Duel != DuelNone {
+			return fmt.Errorf("core: follower carries duel state: %v", s)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := []struct {
+		n, want int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1023, 10}, {1024, 10}, {1025, 11}, {1 << 20, 20},
+	}
+	for _, c := range cases {
+		if got := CeilLog2(c.n); got != c.want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestNewParamsDerivedConstants(t *testing.T) {
+	cases := []struct {
+		n, m, lmax, cmax, phi int
+	}{
+		// Φ = ⌈(2/3)·lg m⌉.
+		{2, 1, 5, 41, 0},
+		{4, 2, 10, 82, 1},    // lg 2 = 1 → ⌈2/3⌉ = 1
+		{256, 8, 40, 328, 2}, // lg 8 = 3 → ⌈2⌉ = 2
+		{1024, 10, 50, 410, 3},
+		{1 << 16, 16, 80, 656, 3},   // lg 16 = 4 → ⌈8/3⌉ = 3
+		{1 << 20, 20, 100, 820, 3},  // lg 20 ≈ 4.32 → ⌈2.88⌉ = 3
+		{1 << 30, 30, 150, 1230, 4}, // lg 30 ≈ 4.91 → ⌈3.27⌉ = 4
+	}
+	for _, c := range cases {
+		p := NewParams(c.n)
+		if p.N != c.n || p.M != c.m || p.LMax != c.lmax || p.CMax != c.cmax || p.Phi != c.phi {
+			t.Errorf("NewParams(%d) = %+v, want m=%d lmax=%d cmax=%d phi=%d",
+				c.n, p, c.m, c.lmax, c.cmax, c.phi)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("NewParams(%d).Validate() = %v", c.n, err)
+		}
+	}
+}
+
+func TestNewParamsSatisfiesPaperRequirement(t *testing.T) {
+	// m ≥ log₂ n must hold for every n.
+	for _, n := range []int{1, 2, 3, 5, 7, 100, 1000, 1 << 15} {
+		p := NewParams(n)
+		if p.M < CeilLog2(n) {
+			t.Errorf("NewParams(%d): m = %d < ⌈lg n⌉ = %d", n, p.M, CeilLog2(n))
+		}
+		if p.M < 1 {
+			t.Errorf("NewParams(%d): m = %d < 1", n, p.M)
+		}
+	}
+}
+
+func TestNewParamsPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewParams(0) did not panic")
+		}
+	}()
+	NewParams(0)
+}
+
+func TestNewParamsWithM(t *testing.T) {
+	p, err := NewParamsWithM(1024, 12)
+	if err != nil {
+		t.Fatalf("NewParamsWithM(1024, 12) error: %v", err)
+	}
+	if p.M != 12 || p.LMax != 60 || p.CMax != 492 {
+		t.Fatalf("NewParamsWithM(1024, 12) = %+v", p)
+	}
+
+	if _, err := NewParamsWithM(1024, 9); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("undersized m accepted: err = %v", err)
+	}
+	if _, err := NewParamsWithM(0, 5); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("n = 0 accepted: err = %v", err)
+	}
+	if _, err := NewParamsWithM(4, 0); !errors.Is(err, ErrInvalidParams) {
+		t.Fatalf("m = 0 accepted: err = %v", err)
+	}
+}
+
+func TestNewParamsUnchecked(t *testing.T) {
+	// Deliberately undersized m is the failure-injection path.
+	p := NewParamsUnchecked(1024, 1)
+	if p.M != 1 || p.CMax != 41 || p.LMax != 5 || p.Phi != 0 {
+		t.Fatalf("NewParamsUnchecked(1024, 1) = %+v", p)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewParamsUnchecked(1, 0) did not panic")
+		}
+	}()
+	NewParamsUnchecked(1, 0)
+}
+
+func TestValidateRejectsCorruptParams(t *testing.T) {
+	good := NewParams(256)
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"negative n", func(p *Params) { p.N = -1 }},
+		{"zero m", func(p *Params) { p.M = 0 }},
+		{"wrong lmax", func(p *Params) { p.LMax++ }},
+		{"wrong cmax", func(p *Params) { p.CMax-- }},
+		{"negative phi", func(p *Params) { p.Phi = -1 }},
+	}
+	for _, c := range cases {
+		p := good
+		c.mutate(&p)
+		if err := p.Validate(); !errors.Is(err, ErrInvalidParams) {
+			t.Errorf("%s: Validate() = %v, want ErrInvalidParams", c.name, err)
+		}
+	}
+}
+
+func TestRandSpace(t *testing.T) {
+	for _, c := range []struct{ n, want int }{
+		{2, 1},        // Φ = 0
+		{4, 2},        // Φ = 1
+		{256, 4},      // Φ = 2
+		{1024, 8},     // Φ = 3
+		{1 << 30, 16}, // Φ = 4
+	} {
+		if got := NewParams(c.n).RandSpace(); got != c.want {
+			t.Errorf("RandSpace(n=%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+// TestStateSpaceSizeIsLogarithmic verifies Lemma 3's shape: the Table 3
+// state count grows linearly in m (hence logarithmically in n). Doubling m
+// must grow the count by a factor well under, say, 3 once m is nontrivial.
+func TestStateSpaceSizeIsLogarithmic(t *testing.T) {
+	prev := 0
+	for m := 4; m <= 4096; m *= 2 {
+		p := NewParamsUnchecked(1<<uint(min(m, 30)), m)
+		size := p.StateSpaceSize()
+		if size <= 0 {
+			t.Fatalf("m=%d: non-positive state count %d", m, size)
+		}
+		if prev > 0 {
+			ratio := float64(size) / float64(prev)
+			if ratio > 3.0 {
+				t.Fatalf("m=%d: state count ratio %.2f suggests super-linear growth", m, ratio)
+			}
+			if ratio < 1.0 {
+				t.Fatalf("m=%d: state count not monotone (ratio %.2f)", m, ratio)
+			}
+		}
+		prev = size
+	}
+}
+
+func TestStateSpaceSizeDominatedByLinearTerms(t *testing.T) {
+	// For the canonical m = ⌈lg n⌉ the count must stay within a modest
+	// constant times m, as Lemma 3 promises O(log n) states.
+	for _, n := range []int{16, 256, 4096, 1 << 16, 1 << 20} {
+		p := NewParams(n)
+		perM := float64(p.StateSpaceSize()) / float64(p.M)
+		if perM > 100000 {
+			t.Errorf("n=%d: states/m = %.0f is implausibly large", n, perM)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"popproto/internal/pp"
+)
+
+// PLL is the asymmetric protocol of Algorithm 1. The zero value is not
+// usable; construct with New. A PLL value is immutable after construction
+// and therefore safe to share across concurrent simulators.
+type PLL struct {
+	params Params
+}
+
+// New returns the protocol for the given parameters. It panics if the
+// parameters are internally inconsistent (see Params.Validate); use the
+// Params constructors to build legal values.
+func New(params Params) *PLL {
+	if err := params.Validate(); err != nil {
+		panic(err)
+	}
+	return &PLL{params: params}
+}
+
+// NewForN is shorthand for New(NewParams(n)).
+func NewForN(n int) *PLL { return New(NewParams(n)) }
+
+// Params returns the protocol's parameters.
+func (p *PLL) Params() Params { return p.params }
+
+// Name implements pp.Protocol.
+func (p *PLL) Name() string { return "PLL" }
+
+// InitialState implements pp.Protocol: every agent starts as a leader with
+// status X in epoch 1 and color 0 (Table 3, "Initial values").
+func (p *PLL) InitialState() State {
+	return State{Leader: true, Status: StatusX, Epoch: 1, Init: 1}
+}
+
+// Output implements pp.Protocol.
+func (p *PLL) Output(s State) pp.Role {
+	if s.Leader {
+		return pp.Leader
+	}
+	return pp.Follower
+}
+
+// Transition implements pp.Protocol following Algorithm 1 line by line:
+// status assignment (lines 1–6), tick reset (7), CountUp (8), tick-driven
+// epoch advance (9), epoch max-merge (10), per-group initialization on
+// epoch entry (11–15), and module dispatch on the shared epoch (16–22).
+func (p *PLL) Transition(a0, a1 State) (State, State) {
+	// Lines 1–6: status assignment.
+	switch {
+	case a0.Status == StatusX && a1.Status == StatusX:
+		// Initiator becomes leader candidate, responder becomes timer.
+		a0.Status, a0.LevelQ, a0.Done, a0.Leader = StatusA, 0, false, true
+		a1.Status, a1.Count, a1.Leader = StatusB, 0, false
+	case a0.Status == StatusX:
+		// Late joiner: candidate, but excluded from the lottery.
+		a0.Status, a0.LevelQ, a0.Done, a0.Leader = StatusA, 0, true, false
+	case a1.Status == StatusX:
+		a1.Status, a1.LevelQ, a1.Done, a1.Leader = StatusA, 0, true, false
+	}
+
+	// Line 7: ticks are per-interaction flags.
+	a0.Tick, a1.Tick = false, false
+
+	// Line 8: CountUp advances timers and spreads new colors.
+	countUp(&a0, &a1, uint16(p.params.CMax))
+
+	// Line 9: a new color advances the epoch (saturating at 4).
+	if a0.Tick {
+		a0.Epoch = min(a0.Epoch+1, 4)
+	}
+	if a1.Tick {
+		a1.Epoch = min(a1.Epoch+1, 4)
+	}
+
+	// Line 10: epochs synchronize to the maximum.
+	e := max(a0.Epoch, a1.Epoch)
+	a0.Epoch, a1.Epoch = e, e
+
+	// Lines 11–15: initialize the new group's variables on epoch entry.
+	refreshOnEpochEntry(&a0, uint8(p.params.Phi))
+	refreshOnEpochEntry(&a1, uint8(p.params.Phi))
+
+	// Lines 16–22: after line 10 both agents share the same epoch, so the
+	// dispatch of the pseudo code reduces to a switch on e.
+	switch e {
+	case 1:
+		p.quickElimination(&a0, &a1)
+	case 2, 3:
+		p.tournament(&a0, &a1)
+	default:
+		p.backUp(&a0, &a1)
+	}
+	return a0, a1
+}

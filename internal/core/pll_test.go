@@ -1,0 +1,507 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"popproto/internal/pp"
+)
+
+// Test fixtures: canonical states for a medium population. n = 1024 gives
+// m = 10, lmax = 50, cmax = 410, Φ = 3.
+var testParams = NewParams(1024)
+
+func testPLL() *PLL { return New(testParams) }
+
+func a1Leader(levelQ uint16, done bool) State {
+	return State{Leader: true, Status: StatusA, Epoch: 1, Init: 1, LevelQ: levelQ, Done: done}
+}
+
+func a1Follower(levelQ uint16) State {
+	return State{Status: StatusA, Epoch: 1, Init: 1, LevelQ: levelQ, Done: true}
+}
+
+func bAgent(epoch uint8, color uint8, count uint16) State {
+	return State{Status: StatusB, Epoch: epoch, Init: epoch, Color: color, Count: count}
+}
+
+func a23Leader(epoch uint8, rand uint16, index uint8) State {
+	return State{Leader: true, Status: StatusA, Epoch: epoch, Init: epoch, Rand: rand, Index: index}
+}
+
+func a23Follower(epoch uint8, rand uint16) State {
+	return State{Status: StatusA, Epoch: epoch, Init: epoch, Rand: rand, Index: uint8(testParams.Phi)}
+}
+
+func a4Leader(levelB uint16) State {
+	return State{Leader: true, Status: StatusA, Epoch: 4, Init: 4, LevelB: levelB}
+}
+
+func a4Follower(levelB uint16) State {
+	return State{Status: StatusA, Epoch: 4, Init: 4, LevelB: levelB}
+}
+
+func TestInitialState(t *testing.T) {
+	p := testPLL()
+	s := p.InitialState()
+	want := State{Leader: true, Status: StatusX, Epoch: 1, Init: 1}
+	if s != want {
+		t.Fatalf("InitialState = %v, want %v", s, want)
+	}
+	if p.Output(s) != pp.Leader {
+		t.Fatal("initial state must output L")
+	}
+	if err := p.CheckCanonical(s); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFirstContact verifies lines 1–3 plus the same-interaction effects:
+// the initiator becomes a candidate leader and — because the module runs in
+// the same interaction — immediately scores one lottery head; the responder
+// becomes a timer follower whose count has already advanced once.
+func TestFirstContact(t *testing.T) {
+	p := testPLL()
+	init := p.InitialState()
+	a0, a1 := p.Transition(init, init)
+
+	if a0.Status != StatusA || !a0.Leader || a0.Done {
+		t.Fatalf("initiator after first contact: %v", a0)
+	}
+	if a0.LevelQ != 1 {
+		t.Fatalf("initiator levelQ = %d, want 1 (heads in the same interaction)", a0.LevelQ)
+	}
+	if a1.Status != StatusB || a1.Leader {
+		t.Fatalf("responder after first contact: %v", a1)
+	}
+	if a1.Count != 1 {
+		t.Fatalf("responder count = %d, want 1 (CountUp ran in the same interaction)", a1.Count)
+	}
+	for _, s := range []State{a0, a1} {
+		if err := p.CheckCanonical(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLateJoiner verifies line 5: an X agent meeting an assigned agent
+// becomes a non-lottery candidate follower.
+func TestLateJoiner(t *testing.T) {
+	p := testPLL()
+	init := p.InitialState()
+
+	for _, partner := range []State{a1Leader(3, false), bAgent(1, 0, 7)} {
+		// The joiner may immediately copy levelQ knowledge through the
+		// same-interaction epidemic, so only status/role/done are fixed.
+		x, q := p.Transition(init, partner)
+		if x.Status != StatusA || x.Leader || !x.Done {
+			t.Fatalf("late joiner (initiator side) = %v", x)
+		}
+		_ = q
+
+		q2, x2 := p.Transition(partner, init)
+		if x2.Status != StatusA || x2.Leader || !x2.Done {
+			t.Fatalf("late joiner (responder side) = %v", x2)
+		}
+		_ = q2
+	}
+}
+
+// TestCountUpWrap verifies lines 23–29 and the epoch machinery: a timer at
+// count = cmax−1 wraps, gets a new color, ticks, and advances its epoch;
+// its partner adopts the new color through lines 30–34 and advances too.
+func TestCountUpWrap(t *testing.T) {
+	p := testPLL()
+	timer := bAgent(1, 0, uint16(testParams.CMax-1))
+	cand := a1Leader(2, true)
+
+	c, b := p.Transition(cand, timer)
+
+	if b.Count != 0 {
+		t.Fatalf("timer count = %d, want 0 after wrap", b.Count)
+	}
+	if b.Color != 1 {
+		t.Fatalf("timer color = %d, want 1", b.Color)
+	}
+	if b.Epoch != 2 {
+		t.Fatalf("timer epoch = %d, want 2", b.Epoch)
+	}
+	if c.Color != 1 {
+		t.Fatalf("partner color = %d, want 1 (adopted)", c.Color)
+	}
+	if c.Epoch != 2 {
+		t.Fatalf("partner epoch = %d, want 2", c.Epoch)
+	}
+	// The candidate entered V_A∩V_2: QuickElimination variables cleared,
+	// Tournament variables initialized.
+	if c.LevelQ != 0 || c.Done {
+		t.Fatalf("partner kept stale QE variables: %v", c)
+	}
+	// The leader entered V_A∩V_2 and, in this same interaction, already
+	// flipped its first Tournament coin against the timer follower
+	// (initiator side ⇒ bit 0).
+	if c.Rand != 0 || c.Index != 1 {
+		t.Fatalf("partner Tournament variables = rand %d index %d, want 0,1", c.Rand, c.Index)
+	}
+	for _, s := range []State{c, b} {
+		if err := p.CheckCanonical(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestColorAdoption verifies lines 30–34 in isolation: the agent one color
+// behind adopts, ticks, advances its epoch; the ahead agent follows via the
+// epoch max-merge of line 10.
+func TestColorAdoption(t *testing.T) {
+	p := testPLL()
+	behind := a1Follower(0)
+	var ahead State
+	ahead = a1Follower(0)
+	ahead.Color = 1
+	ahead.Epoch, ahead.Init = 2, 2
+	ahead.Done, ahead.LevelQ = false, 0
+	ahead.Index = uint8(testParams.Phi) // follower in V_A∩V_2
+
+	got, gotAhead := p.Transition(behind, ahead)
+	if got.Color != 1 {
+		t.Fatalf("behind agent color = %d, want 1", got.Color)
+	}
+	if got.Epoch != 2 || gotAhead.Epoch != 2 {
+		t.Fatalf("epochs = %d, %d, want 2, 2", got.Epoch, gotAhead.Epoch)
+	}
+	if got.Index != uint8(testParams.Phi) {
+		t.Fatalf("follower entered V_A∩V_2 with index %d, want Φ=%d", got.Index, testParams.Phi)
+	}
+}
+
+// TestColorAdoptionWrapsModulo verifies color 2 → 0 adoption.
+func TestColorAdoptionWrapsModulo(t *testing.T) {
+	p := testPLL()
+	behind := bAgent(4, 2, 5)
+	ahead := bAgent(4, 0, 5)
+	got, _ := p.Transition(behind, ahead)
+	if got.Color != 0 {
+		t.Fatalf("color = %d, want 0 (2+1 mod 3)", got.Color)
+	}
+	if got.Count != 0 {
+		t.Fatalf("timer count = %d, want 0 after adoption", got.Count)
+	}
+}
+
+// TestQuickEliminationHeads: a not-done leader initiating against a
+// follower scores a head.
+func TestQuickEliminationHeads(t *testing.T) {
+	p := testPLL()
+	l, f := p.Transition(a1Leader(3, false), a1Follower(0))
+	if l.LevelQ != 4 || l.Done {
+		t.Fatalf("leader after heads: %v", l)
+	}
+	if !f.Done || f.Leader {
+		t.Fatalf("follower changed unexpectedly: %v", f)
+	}
+}
+
+// TestQuickEliminationTails: a not-done leader responding to a follower
+// stops flipping.
+func TestQuickEliminationTails(t *testing.T) {
+	p := testPLL()
+	_, l := p.Transition(a1Follower(0), a1Leader(3, false))
+	if !l.Done {
+		t.Fatalf("leader after tails: %v", l)
+	}
+	if l.LevelQ != 3 {
+		t.Fatalf("tails changed levelQ to %d", l.LevelQ)
+	}
+}
+
+// TestQuickEliminationDoneLeaderDoesNotFlip.
+func TestQuickEliminationDoneLeaderDoesNotFlip(t *testing.T) {
+	p := testPLL()
+	l, _ := p.Transition(a1Leader(3, true), a1Follower(0))
+	if l.LevelQ != 3 {
+		t.Fatalf("done leader flipped: %v", l)
+	}
+	// But the epidemic now applies: follower copies nothing (3 > 0 means
+	// the *follower* copies and stays follower).
+}
+
+// TestQuickEliminationEpidemic verifies lines 39–42: among done agents, the
+// smaller levelQ yields and copies.
+func TestQuickEliminationEpidemic(t *testing.T) {
+	p := testPLL()
+
+	// Leader behind a follower's knowledge: leader is eliminated.
+	l, f := p.Transition(a1Leader(2, true), a1Follower(7))
+	if l.Leader || l.LevelQ != 7 {
+		t.Fatalf("lagging leader survived: %v", l)
+	}
+	if f.Leader || f.LevelQ != 7 {
+		t.Fatalf("follower changed: %v", f)
+	}
+
+	// Follower behind: copies the level, stays follower; leader survives.
+	l2, f2 := p.Transition(a1Leader(9, true), a1Follower(1))
+	if !l2.Leader || l2.LevelQ != 9 {
+		t.Fatalf("max leader eliminated: %v", l2)
+	}
+	if f2.LevelQ != 9 || f2.Leader {
+		t.Fatalf("follower did not copy: %v", f2)
+	}
+
+	// Two leaders with different levels: both done ⇒ smaller yields.
+	w, loser := p.Transition(a1Leader(5, true), a1Leader(3, true))
+	if !w.Leader || w.LevelQ != 5 {
+		t.Fatalf("winner: %v", w)
+	}
+	if loser.Leader || loser.LevelQ != 5 {
+		t.Fatalf("loser: %v", loser)
+	}
+
+	// Flipping leaders (not done) do not participate in the epidemic.
+	a, b := p.Transition(a1Leader(5, false), a1Leader(3, false))
+	if !a.Leader || !b.Leader || a.LevelQ != 5 || b.LevelQ != 3 {
+		t.Fatalf("flipping leaders were touched: %v, %v", a, b)
+	}
+}
+
+// TestQuickEliminationSaturates: levelQ caps at lmax (erratum: the paper's
+// line 36 writes max for min).
+func TestQuickEliminationSaturates(t *testing.T) {
+	p := testPLL()
+	lmax := uint16(testParams.LMax)
+	l, _ := p.Transition(a1Leader(lmax, false), a1Follower(0))
+	if l.LevelQ != lmax {
+		t.Fatalf("levelQ overflowed lmax: %d", l.LevelQ)
+	}
+}
+
+// TestTournamentBits verifies lines 43–46: initiator side appends 0,
+// responder side appends 1, index advances and stops at Φ.
+func TestTournamentBits(t *testing.T) {
+	p := testPLL()
+
+	l, _ := p.Transition(a23Leader(2, 0b1, 1), a23Follower(2, 0))
+	if l.Rand != 0b10 || l.Index != 2 {
+		t.Fatalf("initiator flip: rand=%b index=%d, want 10, 2", l.Rand, l.Index)
+	}
+
+	_, l2 := p.Transition(a23Follower(2, 0), a23Leader(2, 0b1, 1))
+	if l2.Rand != 0b11 || l2.Index != 2 {
+		t.Fatalf("responder flip: rand=%b index=%d, want 11, 2", l2.Rand, l2.Index)
+	}
+}
+
+// TestTournamentStopsAtPhi: a leader with a finished nonce does not flip.
+func TestTournamentStopsAtPhi(t *testing.T) {
+	p := testPLL()
+	phi := uint8(testParams.Phi)
+	l, _ := p.Transition(a23Leader(2, 5, phi), a23Follower(2, 0))
+	if l.Rand != 5 || l.Index != phi {
+		t.Fatalf("finished leader flipped: %v", l)
+	}
+}
+
+// TestTournamentEpidemic verifies lines 47–50 among finished agents.
+func TestTournamentEpidemic(t *testing.T) {
+	p := testPLL()
+	phi := uint8(testParams.Phi)
+
+	l, f := p.Transition(a23Leader(2, 2, phi), a23Follower(2, 6))
+	if l.Leader || l.Rand != 6 {
+		t.Fatalf("lagging leader survived the nonce epidemic: %v", l)
+	}
+	if f.Rand != 6 {
+		t.Fatalf("follower rand = %d", f.Rand)
+	}
+
+	// A still-flipping leader is shielded from the epidemic.
+	l2, _ := p.Transition(a23Leader(2, 0, 1), a23Follower(2, 6))
+	if !l2.Leader {
+		t.Fatalf("flipping leader eliminated prematurely: %v", l2)
+	}
+
+	// Epoch-2 and epoch-3 agents do not interact within the module (the
+	// epoch merge promotes the laggard first and resets its nonce).
+	l3, _ := p.Transition(a23Leader(2, 3, phi), a23Follower(3, 6))
+	if l3.Epoch != 3 {
+		t.Fatalf("laggard not promoted: %v", l3)
+	}
+	if !l3.Leader {
+		t.Fatalf("promoted leader eliminated in the same interaction: %v", l3)
+	}
+	// The promoted leader's nonce was reset and it immediately flipped its
+	// first epoch-3 coin against the follower (initiator side ⇒ bit 0).
+	if l3.Rand != 0 || l3.Index != 1 {
+		t.Fatalf("promoted leader kept a stale nonce: %v", l3)
+	}
+}
+
+// TestBackupTickFlip verifies lines 51–53: a leader whose tick was raised
+// in this very interaction and who initiated against a follower gains a
+// level; as responder it does not.
+func TestBackupTickFlip(t *testing.T) {
+	p := testPLL()
+
+	// The leader adopts a newer color from the follower, raising its tick.
+	leader := a4Leader(0)
+	follower := a4Follower(0)
+	follower.Color = 1
+
+	l, _ := p.Transition(leader, follower)
+	if l.LevelB != 1 {
+		t.Fatalf("initiator with fresh tick did not level up: %v", l)
+	}
+	if l.Color != 1 {
+		t.Fatalf("leader did not adopt color: %v", l)
+	}
+
+	// Same configuration but the leader responds: tail, no level.
+	_, l2 := p.Transition(follower, leader)
+	if l2.LevelB != 0 {
+		t.Fatalf("responder leveled up: %v", l2)
+	}
+
+	// No tick, no flip, even as initiator.
+	l3, _ := p.Transition(a4Leader(0), a4Follower(0))
+	if l3.LevelB != 0 {
+		t.Fatalf("tickless leader leveled up: %v", l3)
+	}
+}
+
+// TestBackupEpidemic verifies lines 54–57.
+func TestBackupEpidemic(t *testing.T) {
+	p := testPLL()
+
+	l, f := p.Transition(a4Leader(1), a4Follower(4))
+	if l.Leader || l.LevelB != 4 {
+		t.Fatalf("lagging leader survived: %v", l)
+	}
+	if f.LevelB != 4 {
+		t.Fatalf("follower level changed: %v", f)
+	}
+
+	f2, l2 := p.Transition(a4Follower(1), a4Leader(4))
+	if !l2.Leader {
+		t.Fatalf("max leader eliminated: %v", l2)
+	}
+	if f2.LevelB != 4 {
+		t.Fatalf("follower did not adopt: %v", f2)
+	}
+}
+
+// TestBackupDuel verifies line 58: equal-level leaders duel, the responder
+// yields.
+func TestBackupDuel(t *testing.T) {
+	p := testPLL()
+	w, loser := p.Transition(a4Leader(2), a4Leader(2))
+	if !w.Leader {
+		t.Fatalf("initiator lost the duel: %v", w)
+	}
+	if loser.Leader {
+		t.Fatalf("responder survived the duel: %v", loser)
+	}
+	// Different levels resolve through the epidemic, not the duel.
+	w2, l2 := p.Transition(a4Leader(3), a4Leader(1))
+	if !w2.Leader || l2.Leader || l2.LevelB != 3 {
+		t.Fatalf("unequal duel: %v, %v", w2, l2)
+	}
+}
+
+// TestEpochMergeJump: an epoch-1 candidate meeting an epoch-4 agent jumps
+// straight to epoch 4 with cleanly initialized group variables.
+func TestEpochMergeJump(t *testing.T) {
+	p := testPLL()
+	l, f := p.Transition(a1Leader(7, false), a4Follower(2))
+	if l.Epoch != 4 || l.Init != 4 {
+		t.Fatalf("laggard epoch/init = %d/%d, want 4/4", l.Epoch, l.Init)
+	}
+	if l.LevelQ != 0 || l.Done || l.Rand != 0 || l.Index != 0 {
+		t.Fatalf("stale variables survived the jump: %v", l)
+	}
+	// The jumping leader starts at levelB 0 and immediately meets level 2:
+	// it is eliminated by the BackUp epidemic in the same interaction.
+	if l.Leader {
+		t.Fatalf("jumped leader should have been absorbed by levelB epidemic: %v", l)
+	}
+	if l.LevelB != 2 || f.LevelB != 2 {
+		t.Fatalf("levelB after merge: %v / %v", l, f)
+	}
+	if err := p.CheckCanonical(l); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTransitionIsDeterministic is the model sanity property: transitions
+// are pure functions of the ordered state pair.
+func TestTransitionIsDeterministic(t *testing.T) {
+	p := testPLL()
+	states := []State{
+		p.InitialState(), a1Leader(0, false), a1Leader(3, true), a1Follower(2),
+		bAgent(1, 0, 5), bAgent(3, 2, 100), a23Leader(2, 1, 1), a23Follower(3, 4),
+		a4Leader(0), a4Leader(5), a4Follower(9),
+	}
+	for _, a := range states {
+		for _, b := range states {
+			x1, y1 := p.Transition(a, b)
+			x2, y2 := p.Transition(a, b)
+			if x1 != x2 || y1 != y2 {
+				t.Fatalf("nondeterministic transition for (%v, %v)", a, b)
+			}
+		}
+	}
+}
+
+// TestQuickTransitionPreservesCanonical drives random canonical state pairs
+// through one transition and requires canonical outputs. This is the
+// closure property backing Lemma 3's state count.
+func TestQuickTransitionPreservesCanonical(t *testing.T) {
+	p := testPLL()
+	gen := newStateGen(testParams)
+	f := func(seedA, seedB uint64) bool {
+		a, b := gen.state(seedA), gen.state(seedB)
+		x, y := p.Transition(a, b)
+		return p.CheckCanonical(x) == nil && p.CheckCanonical(y) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNoLeaderSpawning: a transition never turns a follower pair into
+// any leader, and never increases the number of leaders.
+func TestQuickNoLeaderSpawning(t *testing.T) {
+	p := testPLL()
+	gen := newStateGen(testParams)
+	count := func(ss ...State) int {
+		n := 0
+		for _, s := range ss {
+			if s.Leader {
+				n++
+			}
+		}
+		return n
+	}
+	f := func(seedA, seedB uint64) bool {
+		a, b := gen.state(seedA), gen.state(seedB)
+		x, y := p.Transition(a, b)
+		return count(x, y) <= count(a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickEpochMonotone: epochs never decrease.
+func TestQuickEpochMonotone(t *testing.T) {
+	p := testPLL()
+	gen := newStateGen(testParams)
+	f := func(seedA, seedB uint64) bool {
+		a, b := gen.state(seedA), gen.state(seedB)
+		x, y := p.Transition(a, b)
+		return x.Epoch >= a.Epoch && y.Epoch >= b.Epoch && x.Epoch == y.Epoch
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package core
+
+// quickElimination implements Algorithm 3 (run while both agents are in
+// epoch 1). Each leader plays the geometric lottery of Section 3.1.1: an
+// interaction with a follower is a fair coin flip — heads (the leader is
+// the initiator) increments levelQ, tails (the leader is the responder)
+// stops the flipping via done. Because a flip happens only when a leader
+// meets a follower, at most one agent flips per interaction and the flips
+// of distinct leaders are fully independent (Lemma 7's argument).
+func (p *PLL) quickElimination(a0, a1 *State) {
+	// Lines 35–38: the lottery flips. The two branches are mutually
+	// exclusive (the partner must be a follower).
+	if a0.Leader && !a1.Leader && !a0.Done {
+		// Heads: the leader initiated the interaction.
+		a0.LevelQ = min(a0.LevelQ+1, uint16(p.params.LMax))
+	}
+	if a1.Leader && !a0.Leader && !a1.Done {
+		// Tails: the leader responded.
+		a1.Done = true
+	}
+
+	qeEpidemic(a0, a1)
+}
+
+// qeEpidemic is lines 39–42, shared by both protocol variants: a one-way
+// epidemic of the maximum levelQ among stopped members of V_A; a candidate
+// that learns of a strictly larger level leaves the leader race. A leader
+// holding the global maximum can never be eliminated, so the module never
+// eliminates all leaders.
+func qeEpidemic(a0, a1 *State) {
+	if a0.Status != StatusA || a1.Status != StatusA || !a0.Done || !a1.Done {
+		return
+	}
+	switch {
+	case a0.LevelQ < a1.LevelQ:
+		a0.Leader = false
+		a0.LevelQ = a1.LevelQ
+	case a1.LevelQ < a0.LevelQ:
+		a1.Leader = false
+		a1.LevelQ = a0.LevelQ
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import "fmt"
+
+// Status is the common variable status ∈ {X, A, B} of Table 3: X is the
+// pristine initial status, A marks leader candidates, B marks timer agents.
+type Status uint8
+
+const (
+	// StatusX is the initial status of every agent.
+	StatusX Status = iota
+	// StatusA marks leader candidates (the sub-population V_A).
+	StatusA
+	// StatusB marks count-up timer agents (the sub-population V_B).
+	StatusB
+	// StatusY is the intermediate status of the symmetric variant's
+	// pairing dance (Section 4); the asymmetric protocol never uses it.
+	StatusY
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusX:
+		return "X"
+	case StatusA:
+		return "A"
+	case StatusB:
+		return "B"
+	case StatusY:
+		return "Y"
+	default:
+		return fmt.Sprintf("Status(%d)", uint8(s))
+	}
+}
+
+// Group identifies the five sub-populations of Table 3 that partition the
+// agents and determine which additional variables are live.
+type Group uint8
+
+const (
+	// GroupX is V_X: agents that have not interacted yet.
+	GroupX Group = iota
+	// GroupB is V_B: timer agents (additional variable count).
+	GroupB
+	// GroupA1 is V_A ∩ V_1: candidates in epoch 1 (levelQ, done).
+	GroupA1
+	// GroupA23 is V_A ∩ (V_2 ∪ V_3): candidates in epochs 2–3 (rand, index).
+	GroupA23
+	// GroupA4 is V_A ∩ V_4: candidates in epoch 4 (levelB).
+	GroupA4
+	// GroupY is V_Y, the symmetric variant's intermediate pairing group;
+	// like V_X it carries no additional variables.
+	GroupY
+)
+
+// String implements fmt.Stringer.
+func (g Group) String() string {
+	switch g {
+	case GroupX:
+		return "V_X"
+	case GroupB:
+		return "V_B"
+	case GroupA1:
+		return "V_A∩V_1"
+	case GroupA23:
+		return "V_A∩(V_2∪V_3)"
+	case GroupA4:
+		return "V_A∩V_4"
+	case GroupY:
+		return "V_Y"
+	default:
+		return fmt.Sprintf("Group(%d)", uint8(g))
+	}
+}
+
+// State is one agent's full state: the six common variables of Table 3 plus
+// the additional variables of every group. An agent's group determines
+// which additional variables are live; all others are kept at their zero
+// values ("canonical form") so that the comparable State type enumerates
+// exactly the state space Lemma 3 counts. CheckCanonical verifies the
+// convention.
+type State struct {
+	// Leader is the output variable: true ⇒ output L, false ⇒ output F.
+	Leader bool
+	// Tick is the intra-interaction flag raised when the agent gets a new
+	// color; it is reset at the start of the agent's next interaction.
+	Tick bool
+	// Status is the agent's status X, A or B.
+	Status Status
+	// Epoch ∈ {1,2,3,4} selects the active module.
+	Epoch uint8
+	// Init ∈ {1,2,3,4} tracks the last epoch whose additional variables
+	// were initialized; Init == Epoch at every interaction boundary.
+	Init uint8
+	// Color ∈ {0,1,2} is the synchronization color of CountUp.
+	Color uint8
+
+	// Count ∈ {0,…,cmax−1} is V_B's count-up timer.
+	Count uint16
+	// LevelQ ∈ {0,…,lmax} is the QuickElimination lottery level (V_A∩V_1).
+	LevelQ uint16
+	// Done reports that the agent's QuickElimination coin flipping stopped
+	// (V_A∩V_1).
+	Done bool
+	// Rand ∈ {0,…,2^Φ−1} is the Tournament nonce (V_A∩(V_2∪V_3)).
+	Rand uint16
+	// Index ∈ {0,…,Φ} counts Tournament coin flips; Φ means finished
+	// (V_A∩(V_2∪V_3)).
+	Index uint8
+	// LevelB ∈ {0,…,lmax} is the BackUp race level (V_A∩V_4).
+	LevelB uint16
+}
+
+// Group classifies the state into one of the five sub-populations.
+func (s State) Group() Group {
+	switch s.Status {
+	case StatusX:
+		return GroupX
+	case StatusY:
+		return GroupY
+	case StatusB:
+		return GroupB
+	default:
+		switch s.Epoch {
+		case 1:
+			return GroupA1
+		case 2, 3:
+			return GroupA23
+		default:
+			return GroupA4
+		}
+	}
+}
+
+// String renders the state compactly for traces and test failures.
+func (s State) String() string {
+	role := "F"
+	if s.Leader {
+		role = "L"
+	}
+	base := fmt.Sprintf("%s/%s e%d c%d", s.Status, role, s.Epoch, s.Color)
+	if s.Tick {
+		base += " tick"
+	}
+	switch s.Group() {
+	case GroupB:
+		return fmt.Sprintf("%s count=%d", base, s.Count)
+	case GroupA1:
+		return fmt.Sprintf("%s levelQ=%d done=%t", base, s.LevelQ, s.Done)
+	case GroupA23:
+		return fmt.Sprintf("%s rand=%d index=%d", base, s.Rand, s.Index)
+	case GroupA4:
+		return fmt.Sprintf("%s levelB=%d", base, s.LevelB)
+	default:
+		return base
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+	"unsafe"
+
+	"popproto/internal/pp"
+	"popproto/internal/rng"
+)
+
+// TestObservedStatesRespectGroupDomains runs a full election and verifies
+// that every distinct state observed falls into exactly one Table 3 group
+// with all foreign additional variables zero — the partition that makes
+// Lemma 3's count valid.
+func TestObservedStatesRespectGroupDomains(t *testing.T) {
+	const n = 256
+	p := NewForN(n)
+	sim := pp.NewSimulator[State](p, n, 3)
+	sim.TrackStates()
+	sim.RunUntilLeaders(1, stabilizationBudget(n))
+	sim.RunSteps(50_000)
+
+	groups := map[Group]int{}
+	sim.ForEach(func(_ int, s State) {
+		groups[s.Group()]++
+	})
+	if groups[GroupX] != 0 {
+		t.Fatalf("agents still pristine after a full run: %d", groups[GroupX])
+	}
+	if groups[GroupB] == 0 {
+		t.Fatal("no timers after a full run")
+	}
+}
+
+// TestStateFootprint guards the memory layout of the hot simulation loop:
+// State must stay a small value type (the agent vector for n = 2²⁰ should
+// be tens of megabytes, not hundreds).
+func TestStateFootprint(t *testing.T) {
+	var s State
+	const maxBytes = 24
+	if size := int(unsafe.Sizeof(s)); size > maxBytes {
+		t.Fatalf("State is %d bytes, budget %d", size, maxBytes)
+	}
+	var sym SymState
+	if size := int(unsafe.Sizeof(sym)); size > maxBytes+8 {
+		t.Fatalf("SymState is %d bytes, budget %d", size, maxBytes+8)
+	}
+}
+
+// TestWithPhi verifies the ablation override.
+func TestWithPhi(t *testing.T) {
+	p := NewParams(1024)
+	q := p.WithPhi(7)
+	if q.Phi != 7 || q.RandSpace() != 128 {
+		t.Fatalf("WithPhi(7) = %+v", q)
+	}
+	if p.Phi == 7 {
+		t.Fatal("WithPhi mutated the receiver")
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatalf("overridden params invalid: %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WithPhi(17) did not panic")
+		}
+	}()
+	p.WithPhi(17)
+}
+
+// TestPhiZeroElection: with Φ = 0 the Tournament is a no-op and elections
+// still complete via QuickElimination and BackUp.
+func TestPhiZeroElection(t *testing.T) {
+	const n = 64
+	proto := New(NewParams(n).WithPhi(0))
+	sim := pp.NewSimulator[State](proto, n, 9)
+	if _, ok := sim.RunUntilLeaders(1, 100*stabilizationBudget(n)); !ok {
+		t.Fatal("Φ=0 election did not stabilize")
+	}
+	if !sim.VerifyStable(uint64(100 * n)) {
+		t.Fatal("Φ=0 configuration unstable")
+	}
+}
+
+// TestDistinctStatesGrowWithM: over the same number of clock periods,
+// larger m must expose more distinct states (the count domain scales with
+// cmax = 41m). The observation window is measured in clock periods, not
+// raw steps — otherwise a larger m simply cycles the clock fewer times
+// and sees *less* of its space.
+func TestDistinctStatesGrowWithM(t *testing.T) {
+	const n = 128
+	observe := func(m int) int {
+		params, err := NewParamsWithM(n, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := pp.NewSimulator[State](New(params), n, 11)
+		sim.TrackStates()
+		sim.RunUntilLeaders(1, 100*stabilizationBudget(n))
+		// Three full count-up periods: cmax counts per timer, each timer
+		// participating in ~2 interactions per parallel time unit.
+		sim.RunSteps(uint64(3 * params.CMax * n))
+		return sim.DistinctStates()
+	}
+	small := observe(7)
+	large := observe(28)
+	if large <= small {
+		t.Fatalf("distinct states did not grow with m: %d (m=7) vs %d (m=28)", small, large)
+	}
+}
+
+// TestSeededRunsVisitManyStates: the distinct-state tracker must observe a
+// nontrivial slice of the space, across seeds.
+func TestSeededRunsVisitManyStates(t *testing.T) {
+	const n = 256
+	p := NewForN(n)
+	r := rng.New(1)
+	for i := 0; i < 3; i++ {
+		sim := pp.NewSimulator[State](p, n, r.Uint64())
+		sim.TrackStates()
+		sim.RunSteps(uint64(50 * n))
+		if sim.DistinctStates() < 50 {
+			t.Fatalf("seed %d: only %d distinct states in 50 parallel time", i, sim.DistinctStates())
+		}
+	}
+}

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"popproto/internal/pp"
+)
+
+var testSymParams = NewParams(256) // m = 8, lmax = 40, cmax = 328, Φ = 2
+
+func testSym() *SymPLL { return NewSymmetric(testSymParams) }
+
+func symA4Leader(levelB uint16, duel DuelStatus) SymState {
+	return SymState{
+		State: State{Leader: true, Status: StatusA, Epoch: 4, Init: 4, LevelB: levelB},
+		Duel:  duel,
+	}
+}
+
+func symA4Follower(levelB uint16, coin CoinStatus) SymState {
+	return SymState{
+		State: State{Status: StatusA, Epoch: 4, Init: 4, LevelB: levelB},
+		Coin:  coin,
+	}
+}
+
+func symA1Leader(levelQ uint16, done bool) SymState {
+	return SymState{State: State{Leader: true, Status: StatusA, Epoch: 1, Init: 1, LevelQ: levelQ, Done: done}}
+}
+
+func symA1Follower(levelQ uint16, coin CoinStatus) SymState {
+	return SymState{
+		State: State{Status: StatusA, Epoch: 1, Init: 1, LevelQ: levelQ, Done: true},
+		Coin:  coin,
+	}
+}
+
+func TestSymmetricRejectsTwoAgents(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSymmetric(n=2) did not panic")
+		}
+	}()
+	NewSymmetric(NewParams(2))
+}
+
+// TestStatusDance verifies the Section 4 pairing rules.
+func TestStatusDance(t *testing.T) {
+	p := testSym()
+	x := p.InitialState()
+	y := x
+	y.Status = StatusY
+
+	a, b := p.Transition(x, x)
+	if a.Status != StatusY || b.Status != StatusY || !a.Leader || !b.Leader {
+		t.Fatalf("X×X = %v, %v; want Y×Y leaders", a, b)
+	}
+
+	a, b = p.Transition(y, y)
+	if a.Status != StatusX || b.Status != StatusX {
+		t.Fatalf("Y×Y = %v, %v; want X×X", a, b)
+	}
+
+	// X×Y → A×B with the X side as candidate, in both orders.
+	a, b = p.Transition(x, y)
+	if a.Status != StatusA || !a.Leader || a.Done {
+		t.Fatalf("X×Y candidate = %v", a)
+	}
+	if b.Status != StatusB || b.Leader || b.Coin != CoinJ {
+		t.Fatalf("X×Y timer = %v", b)
+	}
+
+	a, b = p.Transition(y, x)
+	if a.Status != StatusB || b.Status != StatusA || !b.Leader {
+		t.Fatalf("Y×X = %v, %v; want B×A", a, b)
+	}
+
+	// X or Y meeting an assigned agent joins late as a coin-carrying
+	// follower candidate.
+	for _, fresh := range []SymState{x, y} {
+		got, _ := p.Transition(fresh, symA1Leader(0, false))
+		if got.Status != StatusA || got.Leader || !got.Done || got.Coin != CoinJ {
+			t.Fatalf("late joiner from %v = %v", fresh.Status, got)
+		}
+	}
+}
+
+// TestCoinDance verifies J×J→K×K, K×K→J×J, J×K→F0×F1 in both orders, and
+// that F0/F1 are absorbing.
+func TestCoinDance(t *testing.T) {
+	p := testSym()
+	mk := func(c CoinStatus) SymState { return symA1Follower(0, c) }
+
+	a, b := p.Transition(mk(CoinJ), mk(CoinJ))
+	if a.Coin != CoinK || b.Coin != CoinK {
+		t.Fatalf("J×J = %v×%v", a.Coin, b.Coin)
+	}
+	a, b = p.Transition(mk(CoinK), mk(CoinK))
+	if a.Coin != CoinJ || b.Coin != CoinJ {
+		t.Fatalf("K×K = %v×%v", a.Coin, b.Coin)
+	}
+	a, b = p.Transition(mk(CoinJ), mk(CoinK))
+	if a.Coin != CoinF0 || b.Coin != CoinF1 {
+		t.Fatalf("J×K = %v×%v", a.Coin, b.Coin)
+	}
+	a, b = p.Transition(mk(CoinK), mk(CoinJ))
+	if a.Coin != CoinF1 || b.Coin != CoinF0 {
+		t.Fatalf("K×J = %v×%v", a.Coin, b.Coin)
+	}
+	a, b = p.Transition(mk(CoinF0), mk(CoinF1))
+	if a.Coin != CoinF0 || b.Coin != CoinF1 {
+		t.Fatalf("F0×F1 should be absorbing, got %v×%v", a.Coin, b.Coin)
+	}
+	a, b = p.Transition(mk(CoinF0), mk(CoinJ))
+	if a.Coin != CoinF0 || b.Coin != CoinJ {
+		t.Fatalf("F0×J should be a no-op, got %v×%v", a.Coin, b.Coin)
+	}
+}
+
+// TestSymmetricQuickEliminationFlips: heads from F0, tails from F1,
+// nothing from J/K.
+func TestSymmetricQuickEliminationFlips(t *testing.T) {
+	p := testSym()
+
+	l, _ := p.Transition(symA1Leader(2, false), symA1Follower(0, CoinF0))
+	if l.LevelQ != 3 || l.Done {
+		t.Fatalf("F0 flip: %v", l)
+	}
+
+	l, _ = p.Transition(symA1Leader(2, false), symA1Follower(0, CoinF1))
+	if !l.Done || l.LevelQ != 2 {
+		t.Fatalf("F1 flip: %v", l)
+	}
+
+	// Coin order must not matter: the leader can be the responder.
+	_, l = p.Transition(symA1Follower(0, CoinF0), symA1Leader(2, false))
+	if l.LevelQ != 3 {
+		t.Fatalf("F0 flip with leader responding: %v", l)
+	}
+
+	l, _ = p.Transition(symA1Leader(2, false), symA1Follower(0, CoinJ))
+	if l.LevelQ != 2 || l.Done {
+		t.Fatalf("J partner must not flip: %v", l)
+	}
+}
+
+// TestSymmetricBackupDuel exercises the symmetric replacement of line 58.
+func TestSymmetricBackupDuel(t *testing.T) {
+	p := testSym()
+
+	// Identical leaders: both become pending.
+	a, b := p.Transition(symA4Leader(3, DuelNone), symA4Leader(3, DuelNone))
+	if !a.Leader || !b.Leader {
+		t.Fatalf("identical leaders must both survive: %v, %v", a, b)
+	}
+	if a.Duel != DuelPending || b.Duel != DuelPending {
+		t.Fatalf("identical leaders must both go pending: %v, %v", a, b)
+	}
+
+	// A pending leader converts a coin observation into a duel bit.
+	a, _ = p.Transition(symA4Leader(3, DuelPending), symA4Follower(3, CoinF0))
+	if a.Duel != DuelZero {
+		t.Fatalf("pending leader with F0: %v", a)
+	}
+	a, _ = p.Transition(symA4Leader(3, DuelPending), symA4Follower(3, CoinF1))
+	if a.Duel != DuelOne {
+		t.Fatalf("pending leader with F1: %v", a)
+	}
+
+	// Leaders differing only in duel bits: exactly one survives, winner
+	// resets its duel state, loser is minted a J coin.
+	a, b = p.Transition(symA4Leader(3, DuelZero), symA4Leader(3, DuelOne))
+	alive := 0
+	for _, s := range []SymState{a, b} {
+		if s.Leader {
+			alive++
+			if s.Duel != DuelNone {
+				t.Fatalf("winner kept duel state: %v", s)
+			}
+		} else {
+			if s.Coin != CoinJ {
+				t.Fatalf("loser has no fresh coin: %v", s)
+			}
+		}
+	}
+	if alive != 1 {
+		t.Fatalf("duel left %d leaders", alive)
+	}
+
+	// Equal bits re-flip: both pending again.
+	a, b = p.Transition(symA4Leader(3, DuelOne), symA4Leader(3, DuelOne))
+	if a.Duel != DuelPending || b.Duel != DuelPending || !a.Leader || !b.Leader {
+		t.Fatalf("equal-bit duel: %v, %v", a, b)
+	}
+}
+
+// TestSymmetryProperty is the defining property of Section 4: p = q implies
+// both successors are equal, checked over random canonical states.
+func TestSymmetryProperty(t *testing.T) {
+	p := testSym()
+	gen := newStateGen(testSymParams)
+	f := func(seed uint64) bool {
+		s := gen.symState(seed)
+		x, y := p.Transition(s, s)
+		return x == y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOrderEquivariance: a symmetric protocol must not read roles at all,
+// i.e. Transition(q, p) is the mirror image of Transition(p, q) for ALL
+// state pairs, not only equal ones.
+func TestOrderEquivariance(t *testing.T) {
+	p := testSym()
+	gen := newStateGen(testSymParams)
+	f := func(seedA, seedB uint64) bool {
+		a, b := gen.symState(seedA), gen.symState(seedB)
+		x1, y1 := p.Transition(a, b)
+		y2, x2 := p.Transition(b, a)
+		return x1 == x2 && y1 == y2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSymmetricCanonicalClosure mirrors the asymmetric closure property.
+func TestSymmetricCanonicalClosure(t *testing.T) {
+	p := testSym()
+	gen := newStateGen(testSymParams)
+	f := func(seedA, seedB uint64) bool {
+		a, b := gen.symState(seedA), gen.symState(seedB)
+		if p.CheckCanonical(a) != nil || p.CheckCanonical(b) != nil {
+			return true // generator glitch; irrelevant pairs are skipped
+		}
+		x, y := p.Transition(a, b)
+		return p.CheckCanonical(x) == nil && p.CheckCanonical(y) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCoinBalanceInvariant: |F0| = |F1| in every configuration of a run —
+// the invariant that makes Section 4's coin flips exactly fair.
+func TestCoinBalanceInvariant(t *testing.T) {
+	const n = 128
+	p := NewSymmetric(NewParams(n))
+	sim := pp.NewSimulator[SymState](p, n, 5)
+	for k := 0; k < 300; k++ {
+		sim.RunSteps(500)
+		census := pp.CensusBy(sim, func(s SymState) CoinStatus { return s.Coin })
+		if census[CoinF0] != census[CoinF1] {
+			t.Fatalf("step %d: |F0| = %d, |F1| = %d", sim.Steps(), census[CoinF0], census[CoinF1])
+		}
+	}
+}
+
+// TestSymmetricStabilizes: the symmetric variant elects exactly one leader
+// for all n ≥ 3 (and trivially for n = 1).
+func TestSymmetricStabilizes(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 5, 8, 16, 64, 128, 256} {
+		for seed := uint64(1); seed <= 2; seed++ {
+			p := NewSymmetric(NewParams(n))
+			sim := pp.NewSimulator[SymState](p, n, seed)
+			// The coin machinery costs a constant factor over the
+			// asymmetric protocol; give it a wider budget.
+			if _, ok := sim.RunUntilLeaders(1, 40*stabilizationBudget(n)); !ok {
+				t.Fatalf("n=%d seed=%d: symmetric variant did not stabilize (%d leaders)",
+					n, seed, sim.Leaders())
+			}
+			if !sim.VerifyStable(uint64(200 * n)) {
+				t.Fatalf("n=%d seed=%d: unstable", n, seed)
+			}
+		}
+	}
+}
+
+// TestSymmetricInvariantsThroughoutExecution drives a full run and checks
+// canonical states, coin balance and leader safety along the way.
+func TestSymmetricInvariantsThroughoutExecution(t *testing.T) {
+	const n = 64
+	p := NewSymmetric(NewParams(n))
+	sim := pp.NewSimulator[SymState](p, n, 9)
+	prev := sim.Leaders()
+	for k := 0; k < 200; k++ {
+		sim.RunSteps(500)
+		if sim.Leaders() < 1 || sim.Leaders() > prev {
+			t.Fatalf("leader census broken: %d -> %d", prev, sim.Leaders())
+		}
+		prev = sim.Leaders()
+		sim.ForEach(func(id int, s SymState) {
+			if err := p.CheckCanonical(s); err != nil {
+				t.Fatalf("agent %d at step %d: %v", id, sim.Steps(), err)
+			}
+		})
+	}
+}
+
+// TestSymmetricAdversarialSafety: round-robin scheduling preserves safety.
+func TestSymmetricAdversarialSafety(t *testing.T) {
+	const n = 32
+	p := NewSymmetric(NewParams(n))
+	sim := pp.NewSimulator[SymState](p, n, 1)
+	var rr pp.RoundRobin
+	for k := 0; k < 100; k++ {
+		sim.RunSchedule(&rr, 500)
+		if sim.Leaders() < 1 {
+			t.Fatalf("all leaders eliminated under round-robin at step %d", sim.Steps())
+		}
+	}
+}

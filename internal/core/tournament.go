@@ -1,0 +1,44 @@
+package core
+
+// tournament implements Algorithm 4 (run while both agents are in epoch 2
+// or both in epoch 3; the module executes once per epoch, i.e. twice in
+// total, each time with a fresh nonce — that is why Φ is only ⌈(2/3)·lg m⌉
+// bits: two rounds achieve the discriminating power of ⌈lg m⌉ bits with
+// strictly fewer states, the trick of Section 3.2.4).
+//
+// Every leader assembles a uniform Φ-bit nonce in rand, one fair coin flip
+// per interaction with a follower (initiator ⇒ bit 0, responder ⇒ bit 1).
+func (p *PLL) tournament(a0, a1 *State) {
+	phi := uint8(p.params.Phi)
+
+	// Lines 43–46: nonce assembly. Mutually exclusive branches.
+	if a0.Leader && !a1.Leader && a0.Index < phi {
+		a0.Rand = 2 * a0.Rand // appended bit 0: initiator side
+		a0.Index = min(a0.Index+1, phi)
+	}
+	if a1.Leader && !a0.Leader && a1.Index < phi {
+		a1.Rand = 2*a1.Rand + 1 // appended bit 1: responder side
+		a1.Index = min(a1.Index+1, phi)
+	}
+
+	tournamentEpidemic(a0, a1, phi)
+}
+
+// tournamentEpidemic is lines 47–50, shared by both protocol variants: a
+// one-way epidemic of the maximum nonce among finished members of V_A
+// (index = Φ); a leader that learns of a strictly larger nonce becomes a
+// follower. The leader holding the maximum nonce survives, so the module
+// never eliminates all leaders.
+func tournamentEpidemic(a0, a1 *State, phi uint8) {
+	if a0.Status != StatusA || a1.Status != StatusA || a0.Index != phi || a1.Index != phi {
+		return
+	}
+	switch {
+	case a0.Rand < a1.Rand:
+		a0.Leader = false
+		a0.Rand = a1.Rand
+	case a1.Rand < a0.Rand:
+		a1.Leader = false
+		a1.Rand = a0.Rand
+	}
+}

@@ -1,0 +1,129 @@
+// Package epidemic implements the one-way epidemic process of Angluin,
+// Aspnes and Eisenstat 2008, the workhorse of every module in the
+// reproduced paper, together with the tail bound of its Lemma 2.
+//
+// An epidemic runs in a sub-population V' ⊆ V of size n' inside a
+// population of size n: one agent starts infected, and an interaction
+// infects its V'-member participant if the other participant is already
+// infected. Lemma 2 bounds the probability that the epidemic is unfinished
+// after 2⌈n/n'⌉·t interactions by n·e^{−t/n}.
+//
+// Two simulators are provided. SimulatePairs samples the scheduler
+// step-by-step and is the literal process. SimulateJump observes that with
+// k infected agents every step is an independent Bernoulli trial with
+// success probability p_k = 2k(n'−k)/(n(n−1)), so the waiting time between
+// infections is geometric; it samples those waits directly in O(n') time
+// per run, exactly preserving the distribution of infection times. The
+// tests cross-validate the two with a Kolmogorov–Smirnov check.
+package epidemic
+
+import (
+	"fmt"
+	"math"
+
+	"popproto/internal/rng"
+)
+
+// Run records one epidemic execution: InfectionSteps[k] is the interaction
+// count at which the (k+1)-th member of V' became infected
+// (InfectionSteps[0] = 0, the seed).
+type Run struct {
+	// N is the population size.
+	N int
+	// Sub is the sub-population size n' = |V'|.
+	Sub int
+	// InfectionSteps has length Sub; entry k is the step at which k+1
+	// members were infected.
+	InfectionSteps []uint64
+}
+
+// CompletionStep returns the step at which the whole sub-population was
+// infected.
+func (r Run) CompletionStep() uint64 {
+	return r.InfectionSteps[len(r.InfectionSteps)-1]
+}
+
+// CompletionParallelTime returns CompletionStep divided by n.
+func (r Run) CompletionParallelTime() float64 {
+	return float64(r.CompletionStep()) / float64(r.N)
+}
+
+func validate(n, sub int) {
+	if n < 2 {
+		panic(fmt.Sprintf("epidemic: population size %d < 2", n))
+	}
+	if sub < 1 || sub > n {
+		panic(fmt.Sprintf("epidemic: sub-population size %d outside [1, %d]", sub, n))
+	}
+}
+
+// SimulatePairs runs the literal epidemic: V' is agents 0..sub−1, agent 0
+// is the seed, and each step draws a uniform ordered pair of distinct
+// agents. It is O(steps) and intended for cross-validation and small runs.
+func SimulatePairs(n, sub int, r *rng.Source) Run {
+	validate(n, sub)
+	infected := make([]bool, n)
+	infected[0] = true
+	steps := make([]uint64, 1, sub)
+	count := 1
+	var step uint64
+	for count < sub {
+		step++
+		i, j := r.Pair(n)
+		// One-way epidemic in V': an agent in V' becomes infected when its
+		// partner is infected. Both directions of the unordered pair count
+		// (the formal definition uses γ_t ∩ V' with set semantics).
+		if infected[i] && !infected[j] && j < sub {
+			infected[j] = true
+			count++
+			steps = append(steps, step)
+		} else if infected[j] && !infected[i] && i < sub {
+			infected[i] = true
+			count++
+			steps = append(steps, step)
+		}
+	}
+	return Run{N: n, Sub: sub, InfectionSteps: steps}
+}
+
+// SimulateJump runs the epidemic by sampling the geometric waiting time
+// between infections: with k infected members the per-step infection
+// probability is p_k = 2k(n'−k)/(n(n−1)). The returned Run has exactly the
+// distribution of SimulatePairs but costs O(n') independent of n.
+func SimulateJump(n, sub int, r *rng.Source) Run {
+	validate(n, sub)
+	steps := make([]uint64, 1, sub)
+	pairs := float64(n) * float64(n-1)
+	var step uint64
+	for k := 1; k < sub; k++ {
+		p := 2 * float64(k) * float64(sub-k) / pairs
+		step += r.Geometric(p) + 1
+		steps = append(steps, step)
+	}
+	return Run{N: n, Sub: sub, InfectionSteps: steps}
+}
+
+// Lemma2Bound returns the paper's tail bound n·e^{−t/n} on the probability
+// that the epidemic in a sub-population of any size has not finished after
+// 2⌈n/n'⌉·t interactions.
+func Lemma2Bound(n int, t float64) float64 {
+	return math.Min(1, float64(n)*math.Exp(-t/float64(n)))
+}
+
+// Lemma2Steps returns the interaction budget 2⌈n/n'⌉·t that Lemma2Bound
+// refers to.
+func Lemma2Steps(n, sub int, t float64) uint64 {
+	ceil := (n + sub - 1) / sub
+	return uint64(2 * float64(ceil) * t)
+}
+
+// CompletionTimes runs reps independent jump-simulated epidemics and
+// returns their completion steps, for use by the Lemma 2 experiment.
+func CompletionTimes(n, sub, reps int, seed uint64) []uint64 {
+	r := rng.New(seed)
+	out := make([]uint64, reps)
+	for i := range out {
+		out[i] = SimulateJump(n, sub, r.Split()).CompletionStep()
+	}
+	return out
+}

@@ -1,0 +1,172 @@
+package epidemic
+
+import (
+	"math"
+	"testing"
+
+	"popproto/internal/rng"
+	"popproto/internal/stats"
+)
+
+func TestRunShapeInvariants(t *testing.T) {
+	r := rng.New(1)
+	for _, sim := range []func(int, int, *rng.Source) Run{SimulatePairs, SimulateJump} {
+		for _, c := range []struct{ n, sub int }{{2, 2}, {10, 10}, {50, 25}, {100, 1}} {
+			run := sim(c.n, c.sub, r)
+			if len(run.InfectionSteps) != c.sub {
+				t.Fatalf("n=%d sub=%d: %d infection steps", c.n, c.sub, len(run.InfectionSteps))
+			}
+			if run.InfectionSteps[0] != 0 {
+				t.Fatalf("seed not at step 0: %v", run.InfectionSteps[0])
+			}
+			for k := 1; k < len(run.InfectionSteps); k++ {
+				if run.InfectionSteps[k] <= run.InfectionSteps[k-1] {
+					t.Fatalf("infection steps not strictly increasing: %v", run.InfectionSteps)
+				}
+			}
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	r := rng.New(1)
+	for name, f := range map[string]func(){
+		"n too small":    func() { SimulatePairs(1, 1, r) },
+		"sub zero":       func() { SimulateJump(10, 0, r) },
+		"sub over n":     func() { SimulateJump(10, 11, r) },
+		"pairs sub over": func() { SimulatePairs(10, 11, r) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestJumpMatchesPairs cross-validates the geometric-jump simulator against
+// the literal pair-sampled process with a two-sample KS test on completion
+// times. They implement the same distribution, so the test must accept.
+func TestJumpMatchesPairs(t *testing.T) {
+	const n, sub, reps = 60, 30, 400
+	r := rng.New(42)
+	a := make([]float64, reps)
+	b := make([]float64, reps)
+	for i := 0; i < reps; i++ {
+		a[i] = float64(SimulatePairs(n, sub, r.Split()).CompletionStep())
+		b[i] = float64(SimulateJump(n, sub, r.Split()).CompletionStep())
+	}
+	ks := stats.KSTwoSample(a, b)
+	if ks.P < 0.001 {
+		t.Fatalf("jump and pair simulators disagree: %+v", ks)
+	}
+}
+
+// TestCompletionScalesAsNLogN: the full-population epidemic finishes in
+// Θ(n log n) interactions (Angluin et al. 2008). The per-(n·ln n) constant
+// must be stable across n — between 1 and 4 for all sizes.
+func TestCompletionScalesAsNLogN(t *testing.T) {
+	r := rng.New(7)
+	for _, n := range []int{1 << 8, 1 << 10, 1 << 12, 1 << 14} {
+		const reps = 50
+		var sum float64
+		for i := 0; i < reps; i++ {
+			sum += float64(SimulateJump(n, n, r.Split()).CompletionStep())
+		}
+		mean := sum / reps
+		c := mean / (float64(n) * math.Log(float64(n)))
+		if c < 1 || c > 4 {
+			t.Fatalf("n=%d: completion/(n ln n) = %.2f outside [1, 4]", n, c)
+		}
+	}
+}
+
+// TestLemma2BoundHolds: the empirical violation probability must stay below
+// the paper's bound n·e^{−t/n} wherever that bound is nontrivial (< 1).
+func TestLemma2BoundHolds(t *testing.T) {
+	const reps = 300
+	for _, c := range []struct {
+		n, sub int
+	}{{256, 256}, {256, 128}, {512, 128}} {
+		times := CompletionTimes(c.n, c.sub, reps, uint64(c.n*31+c.sub))
+		// Pick t so the bound is a small but testable probability.
+		for _, tPar := range []float64{3, 5, 8} {
+			tSteps := tPar * float64(c.n) * math.Log(float64(c.n)) / math.Log(2)
+			bound := Lemma2Bound(c.n, tSteps)
+			if bound >= 1 {
+				continue
+			}
+			budget := Lemma2Steps(c.n, c.sub, tSteps)
+			violations := 0
+			for _, ct := range times {
+				if ct > budget {
+					violations++
+				}
+			}
+			frac := float64(violations) / reps
+			if frac > bound+0.02 { // slack for Monte Carlo noise
+				t.Fatalf("n=%d sub=%d t=%v: violation rate %.4f exceeds bound %.4f",
+					c.n, c.sub, tPar, frac, bound)
+			}
+		}
+	}
+}
+
+func TestLemma2Helpers(t *testing.T) {
+	if b := Lemma2Bound(100, 0); b != 1 {
+		t.Fatalf("bound at t=0 should clamp to 1, got %v", b)
+	}
+	if b := Lemma2Bound(100, 100*math.Log(10000)); !almostEq(b, 0.01, 1e-9) {
+		t.Fatalf("bound = %v, want 0.01", b)
+	}
+	// 2⌈n/n'⌉t with n=10, n'=3 → ⌈10/3⌉ = 4 → 8t.
+	if s := Lemma2Steps(10, 3, 5); s != 40 {
+		t.Fatalf("steps = %d, want 40", s)
+	}
+}
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+// TestSubPopulationSlowdown: infecting a sub-population of half the size
+// takes roughly the 2⌈n/n'⌉ factor longer per unit t, i.e. completion
+// times grow as the sub-population shrinks relative to n.
+func TestSubPopulationSlowdown(t *testing.T) {
+	const n = 1024
+	r := rng.New(9)
+	mean := func(sub int) float64 {
+		const reps = 60
+		var sum float64
+		for i := 0; i < reps; i++ {
+			sum += float64(SimulateJump(n, sub, r.Split()).CompletionStep())
+		}
+		return sum / reps
+	}
+	full := mean(n)
+	half := mean(n / 2)
+	quarter := mean(n / 4)
+	if half <= full*0.9 {
+		t.Fatalf("half-population epidemic faster than full: %v vs %v", half, full)
+	}
+	if quarter <= half*0.9 {
+		t.Fatalf("quarter-population epidemic faster than half: %v vs %v", quarter, half)
+	}
+}
+
+func BenchmarkSimulateJump(b *testing.B) {
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulateJump(1<<16, 1<<16, r)
+	}
+}
+
+func BenchmarkSimulatePairs(b *testing.B) {
+	r := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SimulatePairs(1<<10, 1<<10, r)
+	}
+}

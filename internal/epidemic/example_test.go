@@ -1,0 +1,42 @@
+package epidemic_test
+
+import (
+	"fmt"
+	"math"
+
+	"popproto/internal/epidemic"
+	"popproto/internal/rng"
+)
+
+// ExampleSimulateJump runs a one-way epidemic in a population of 4096 and
+// relates its completion time to the Θ(n log n) expectation.
+func ExampleSimulateJump() {
+	const n = 4096
+	run := epidemic.SimulateJump(n, n, rng.New(7))
+	c := float64(run.CompletionStep()) / (float64(n) * math.Log(n))
+	fmt.Println("monotone infection times:", sortedStrictly(run.InfectionSteps))
+	fmt.Println("completion within [1,4]·n·ln n:", c > 1 && c < 4)
+
+	// Output:
+	// monotone infection times: true
+	// completion within [1,4]·n·ln n: true
+}
+
+// ExampleLemma2Bound evaluates the paper's epidemic tail bound.
+func ExampleLemma2Bound() {
+	n := 1024
+	t := 3 * float64(n) * math.Log(float64(n))
+	fmt.Printf("bound at t = 3·n·ln n: %.6f\n", epidemic.Lemma2Bound(n, t))
+
+	// Output:
+	// bound at t = 3·n·ln n: 0.000001
+}
+
+func sortedStrictly(xs []uint64) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] <= xs[i-1] {
+			return false
+		}
+	}
+	return true
+}

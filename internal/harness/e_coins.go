@@ -1,0 +1,237 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"popproto/internal/core"
+	"popproto/internal/pp"
+	"popproto/internal/rng"
+	"popproto/internal/stats"
+	"popproto/internal/table"
+)
+
+// flipTrace is a recorded stream of QuickElimination coin flips: +1 heads,
+// 0 tails, in observation order, plus the per-leader level reached when
+// the leader stopped flipping (its s_v of the lottery game).
+type flipTrace struct {
+	bits   []int
+	levels []int
+}
+
+// traceAsymmetricFlips drives the asymmetric protocol with an external
+// pair sampler so each interaction's participants are known, and records
+// every QuickElimination flip: a not-done epoch-1 leader meeting a
+// follower flips heads as initiator and tails as responder (§3.2.3).
+// A pristine X partner counts as a follower: lines 1–6 convert it before
+// the module runs, so the flip fires in the same interaction — omitting
+// those flips would bias the recorded sample toward late (high-level)
+// tails, because X partners are plentiful only early in the run.
+func traceAsymmetricFlips(n int, steps uint64, seed uint64) flipTrace {
+	p := core.NewForN(n)
+	sim := pp.NewSimulator[core.State](p, n, seed)
+	r := rng.New(seed ^ 0xc0111)
+	var tr flipTrace
+	for s := uint64(0); s < steps; s++ {
+		i, j := r.Pair(n)
+		si, sj := sim.State(i), sim.State(j)
+		isFlip := func(l, f core.State) bool {
+			return l.Leader && l.Status == core.StatusA && !l.Done && l.Epoch == 1 &&
+				f.Epoch == 1 && (f.Status == core.StatusX || !f.Leader)
+		}
+		switch {
+		case isFlip(si, sj):
+			tr.bits = append(tr.bits, 1) // initiator ⇒ heads
+		case isFlip(sj, si):
+			tr.bits = append(tr.bits, 0) // responder ⇒ tails
+			tr.levels = append(tr.levels, int(sj.LevelQ))
+		}
+		sim.Interact(i, j)
+	}
+	return tr
+}
+
+// traceSymmetricFlips does the same for the symmetric variant, where a
+// flip is a leader meeting an F0 (heads) or F1 (tails) coin provider.
+func traceSymmetricFlips(n int, steps uint64, seed uint64) flipTrace {
+	p := core.NewSymmetricForN(n)
+	sim := pp.NewSimulator[core.SymState](p, n, seed)
+	r := rng.New(seed ^ 0x5e111)
+	var tr flipTrace
+	record := func(l, f core.SymState) {
+		if !l.Leader || l.Status != core.StatusA || l.Done || l.Epoch != 1 || f.Leader || f.Epoch != 1 {
+			return
+		}
+		switch f.Coin {
+		case core.CoinF0:
+			tr.bits = append(tr.bits, 1)
+		case core.CoinF1:
+			tr.bits = append(tr.bits, 0)
+			tr.levels = append(tr.levels, int(l.LevelQ))
+		}
+	}
+	for s := uint64(0); s < steps; s++ {
+		i, j := r.Pair(n)
+		record(sim.State(i), sim.State(j))
+		record(sim.State(j), sim.State(i))
+		sim.Interact(i, j)
+	}
+	return tr
+}
+
+func lag1Autocorr(bits []int) float64 {
+	if len(bits) < 3 {
+		return 0
+	}
+	mean := 0.0
+	for _, b := range bits {
+		mean += float64(b)
+	}
+	mean /= float64(len(bits))
+	var num, den float64
+	for i := 0; i < len(bits)-1; i++ {
+		num += (float64(bits[i]) - mean) * (float64(bits[i+1]) - mean)
+	}
+	for _, b := range bits {
+		den += (float64(b) - mean) * (float64(b) - mean)
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// geometricGOF bins the per-leader stop levels and chi-square-tests them
+// against shift + Geometric(1/2), the s_v distribution of the lottery
+// game. In the asymmetric protocol the shift is 1: a candidate is minted
+// precisely because its first interaction was as initiator, so its first
+// flip is a certain head (levelQ starts at 1). In the symmetric variant
+// candidates are minted by the X×Y dance without any coin, so the shift
+// is 0.
+func geometricGOF(levels []int, shift int) stats.ChiSquare {
+	const bins = 6
+	obs := make([]float64, bins)
+	for _, l := range levels {
+		k := l - shift
+		if k < 0 {
+			k = 0 // impossible under the model; lands in bin 0 and fails loudly
+		}
+		if k >= bins-1 {
+			obs[bins-1]++
+		} else {
+			obs[k]++
+		}
+	}
+	exp := make([]float64, bins)
+	total := float64(len(levels))
+	for k := 0; k < bins-1; k++ {
+		exp[k] = total * stats.GeometricPMF(0.5, k)
+	}
+	exp[bins-1] = total * (1 - stats.GeometricCDF(0.5, bins-2))
+	return stats.ChiSquareGOF(obs, exp)
+}
+
+// coinsExperiment validates the paper's two coin-flip constructions: the
+// scheduler-role coins of §3.2.3 (fair and independent because a flip
+// happens only when a leader meets a follower) and the F0/F1 coins of §4
+// (fair because |F0| = |F1| is invariant).
+func coinsExperiment() Experiment {
+	e := Experiment{
+		ID:    "coins",
+		Title: "fairness and independence of both coin-flip constructions",
+		Paper: "§3.2.3 (scheduler coins) and §4 (symmetric F0/F1 coins)",
+	}
+	e.Run = func(cfg Config) Result {
+		n := 512
+		repCount := reps(cfg, 30)
+		if cfg.Quick {
+			n = 128
+			repCount = 10
+		}
+		stepsPerRun := uint64(6 * n * core.CeilLog2(n))
+
+		collect := func(trace func(int, uint64, uint64) flipTrace) (bits []int, levels []int, corr float64) {
+			var corrSum float64
+			runs := 0
+			for rep := 0; rep < repCount; rep++ {
+				tr := trace(n, stepsPerRun, cfg.Seed+uint64(rep)*7919)
+				bits = append(bits, tr.bits...)
+				levels = append(levels, tr.levels...)
+				if len(tr.bits) > 10 {
+					corrSum += lag1Autocorr(tr.bits)
+					runs++
+				}
+			}
+			if runs > 0 {
+				corr = corrSum / float64(runs)
+			}
+			return bits, levels, corr
+		}
+
+		asymBits, asymLevels, asymCorr := collect(traceAsymmetricFlips)
+		symBits, symLevels, symCorr := collect(traceSymmetricFlips)
+
+		analyze := func(bits []int) (heads int, gof stats.ChiSquare) {
+			for _, b := range bits {
+				heads += b
+			}
+			obs := []float64{float64(heads), float64(len(bits) - heads)}
+			exp := []float64{float64(len(bits)) / 2, float64(len(bits)) / 2}
+			return heads, stats.ChiSquareGOF(obs, exp)
+		}
+		asymHeads, asymGOF := analyze(asymBits)
+		symHeads, symGOF := analyze(symBits)
+		asymGeo := geometricGOF(asymLevels, 1) // birth head: s_v = 1 + Geom(1/2)
+		symGeo := geometricGOF(symLevels, 0)   // no birth coin: s_v = Geom(1/2)
+
+		tbl := table.New("construction", "flips observed", "heads fraction",
+			"fairness χ² p", "lag-1 autocorr", "s_v ~ Geometric(1/2) χ² p")
+		tbl.AddRowf("scheduler roles (§3.2.3)", len(asymBits),
+			f4(float64(asymHeads)/float64(len(asymBits))), f3(asymGOF.P), f4(asymCorr), f3(asymGeo.P))
+		tbl.AddRowf("F0/F1 coins (§4)", len(symBits),
+			f4(float64(symHeads)/float64(len(symBits))), f3(symGOF.P), f4(symCorr), f3(symGeo.P))
+
+		var body strings.Builder
+		fmt.Fprintf(&body, "n = %d, %d instrumented runs per construction, %d steps each.\n\n",
+			n, repCount, stepsPerRun)
+		body.WriteString(tbl.Markdown())
+		body.WriteString("\nThe geometric test checks the per-leader heads-before-first-tail count s_v, the random variable of the §3.1.1 lottery game.\n")
+
+		fair := func(g stats.ChiSquare) bool { return g.P > 0.001 }
+		verdicts := []Verdict{
+			{
+				Claim:  "scheduler-role flips are fair (§3.2.3)",
+				Pass:   fair(asymGOF),
+				Detail: asymGOF.String(),
+			},
+			{
+				Claim:  "scheduler-role flips show no serial correlation",
+				Pass:   math.Abs(asymCorr) < pick(cfg, 0.05, 0.12),
+				Detail: fmt.Sprintf("mean lag-1 autocorrelation %s", f4(asymCorr)),
+			},
+			{
+				Claim:  "per-leader lottery levels follow Geometric(1/2) (§3.1.1)",
+				Pass:   fair(asymGeo),
+				Detail: asymGeo.String(),
+			},
+			{
+				Claim:  "symmetric F0/F1 flips are fair (§4)",
+				Pass:   fair(symGOF),
+				Detail: symGOF.String(),
+			},
+			{
+				Claim:  "symmetric flips show no serial correlation",
+				Pass:   math.Abs(symCorr) < pick(cfg, 0.05, 0.12),
+				Detail: fmt.Sprintf("mean lag-1 autocorrelation %s", f4(symCorr)),
+			},
+			{
+				Claim:  "symmetric lottery levels follow Geometric(1/2)",
+				Pass:   fair(symGeo),
+				Detail: symGeo.String(),
+			},
+		}
+		return renderReport(e, body.String(), verdicts)
+	}
+	return e
+}

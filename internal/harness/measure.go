@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"popproto/internal/core"
+	"popproto/internal/pp"
+	"popproto/internal/stats"
+)
+
+// summarizeOr is Summarize with an empty-sample fallback (zero Summary),
+// for report paths where a sample may legitimately come back empty.
+func summarizeOr(xs []float64) stats.Summary {
+	if len(xs) == 0 {
+		return stats.Summary{}
+	}
+	return stats.Summarize(xs)
+}
+
+// logBudget is the step cap for protocols with (poly)logarithmic expected
+// time: thousands of parallel-time log-factors beyond the expectation.
+func logBudget(n int) uint64 {
+	m := core.CeilLog2(n) + 1
+	return uint64(4000) * uint64(n) * uint64(m)
+}
+
+// linearBudget is the step cap for Θ(n)-parallel-time protocols.
+func linearBudget(n int) uint64 {
+	return 100*uint64(n)*uint64(n) + 100_000
+}
+
+// runUntil advances sim in checkEvery-step slices until pred holds or the
+// step budget is exhausted, returning the step count at which pred was
+// first observed and whether it was.
+func runUntil[S comparable](
+	sim *pp.Simulator[S], checkEvery, budget uint64, pred func(*pp.Simulator[S]) bool,
+) (uint64, bool) {
+	for {
+		if pred(sim) {
+			return sim.Steps(), true
+		}
+		if sim.Steps() >= budget {
+			return sim.Steps(), false
+		}
+		sim.RunSteps(checkEvery)
+	}
+}
+
+// measureTimes runs repCount independent elections and returns the
+// parallel stabilization times together with a flag reporting whether all
+// runs actually stabilized within the budget.
+func measureTimes[S comparable](
+	proto pp.Protocol[S], n, repCount int, seed, budget uint64, workers int,
+) (times []float64, allOK bool) {
+	results := pp.MeasureStabilization(proto, n, repCount, seed, budget, workers)
+	times = make([]float64, len(results))
+	allOK = true
+	for i, r := range results {
+		times[i] = r.ParallelTime
+		if !r.Stabilized {
+			allOK = false
+		}
+	}
+	return times, allOK
+}

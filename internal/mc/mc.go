@@ -1,0 +1,196 @@
+// Package mc is a small explicit-state model checker for population
+// protocols: it enumerates every configuration reachable from the initial
+// configuration under ANY schedule (the nondeterministic semantics of
+// Section 2, not just the uniformly random scheduler) and checks safety
+// invariants on each.
+//
+// Configurations of anonymous agents are multisets of states, so the
+// checker canonicalizes each configuration by sorting its state vector;
+// this collapses the n! agent permutations and makes exhaustive
+// exploration feasible for small populations. For PLL with n = 3 and
+// m = 1 the reachable space is a few hundred thousand configurations —
+// enough to *prove* (not sample) that, e.g., no schedule whatsoever can
+// eliminate all leaders, the claim the paper argues once per module.
+package mc
+
+import (
+	"fmt"
+	"sort"
+
+	"popproto/internal/pp"
+)
+
+// Result summarizes an exhaustive exploration.
+type Result struct {
+	// Explored is the number of distinct configurations visited.
+	Explored int
+	// Complete reports whether the whole reachable space was explored
+	// (false if the Limit was hit first).
+	Complete bool
+	// Violation holds the first invariant violation found, if any.
+	Violation *Violation
+}
+
+// Violation describes an invariant failure on a reachable configuration.
+type Violation struct {
+	// Invariant is the name of the violated invariant.
+	Invariant string
+	// Configuration is the offending canonical configuration.
+	Configuration string
+	// Detail is the checker's error.
+	Detail error
+}
+
+// Invariant is a named predicate over configurations (multisets given as
+// sorted slices).
+type Invariant[S comparable] struct {
+	// Name identifies the invariant in reports.
+	Name string
+	// Check returns an error if the configuration violates the invariant.
+	Check func(config []S) error
+}
+
+// Options bounds and extends the exploration.
+type Options[S comparable] struct {
+	// Limit caps the number of distinct configurations explored
+	// (0 means 1<<22).
+	Limit int
+	// EdgeCheck, if non-nil, is invoked on every explored transition
+	// (parent configuration, successor configuration); a non-nil error is
+	// reported as a violation. It is how step-relative properties such as
+	// "the leader count never increases" are verified exhaustively.
+	EdgeCheck func(parent, child []S) error
+}
+
+// Explore enumerates the configurations of proto on n agents reachable
+// under any schedule, breadth-first, checking every invariant on every
+// configuration. less must be a strict total order on S used for
+// canonicalization.
+func Explore[S comparable](
+	proto pp.Protocol[S], n int, less func(a, b S) bool,
+	invariants []Invariant[S], opt Options[S],
+) Result {
+	if n < 2 {
+		panic("mc: need at least two agents")
+	}
+	limit := opt.Limit
+	if limit <= 0 {
+		limit = 1 << 22
+	}
+
+	canon := func(cfg []S) string {
+		sorted := append([]S(nil), cfg...)
+		sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+		return fmt.Sprint(sorted)
+	}
+
+	init := make([]S, n)
+	for i := range init {
+		init[i] = proto.InitialState()
+	}
+
+	seen := make(map[string]struct{}, 1024)
+	queue := [][]S{init}
+	seen[canon(init)] = struct{}{}
+
+	res := Result{}
+	check := func(cfg []S) *Violation {
+		for _, inv := range invariants {
+			if err := inv.Check(cfg); err != nil {
+				return &Violation{
+					Invariant:     inv.Name,
+					Configuration: canon(cfg),
+					Detail:        err,
+				}
+			}
+		}
+		return nil
+	}
+
+	truncated := false
+	for len(queue) > 0 {
+		cfg := queue[0]
+		queue = queue[1:]
+		res.Explored++
+		if v := check(cfg); v != nil {
+			res.Violation = v
+			return res
+		}
+		if len(seen) >= limit {
+			// Stop expanding; drain what is queued. Incomplete.
+			truncated = true
+			continue
+		}
+		// Expand: every ordered pair of distinct agents may interact.
+		// Because the configuration is a multiset, it suffices to pick
+		// ordered pairs of *positions* in the state vector.
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				p, q := proto.Transition(cfg[i], cfg[j])
+				if p == cfg[i] && q == cfg[j] {
+					continue
+				}
+				next := append([]S(nil), cfg...)
+				next[i], next[j] = p, q
+				if opt.EdgeCheck != nil {
+					if err := opt.EdgeCheck(cfg, next); err != nil {
+						res.Violation = &Violation{
+							Invariant:     "edge invariant",
+							Configuration: canon(cfg),
+							Detail:        err,
+						}
+						return res
+					}
+				}
+				key := canon(next)
+				if _, ok := seen[key]; ok {
+					continue
+				}
+				seen[key] = struct{}{}
+				queue = append(queue, next)
+			}
+		}
+	}
+	res.Complete = !truncated
+	return res
+}
+
+// LeaderSafety returns the invariant "at least minLeaders agents output L",
+// the per-module safety property of the paper ("never eliminates all
+// leaders").
+func LeaderSafety[S comparable](proto pp.Protocol[S], minLeaders int) Invariant[S] {
+	return Invariant[S]{
+		Name: fmt.Sprintf("at least %d leader(s)", minLeaders),
+		Check: func(cfg []S) error {
+			leaders := 0
+			for _, s := range cfg {
+				if proto.Output(s) == pp.Leader {
+					leaders++
+				}
+			}
+			if leaders < minLeaders {
+				return fmt.Errorf("only %d leaders", leaders)
+			}
+			return nil
+		},
+	}
+}
+
+// StateInvariant lifts a per-state checker (such as core's CheckCanonical)
+// to a configuration invariant.
+func StateInvariant[S comparable](name string, check func(S) error) Invariant[S] {
+	return Invariant[S]{
+		Name: name,
+		Check: func(cfg []S) error {
+			for _, s := range cfg {
+				if err := check(s); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}

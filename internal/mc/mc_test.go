@@ -1,0 +1,209 @@
+package mc
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"popproto/internal/baseline"
+	"popproto/internal/core"
+	"popproto/internal/pp"
+)
+
+func boolLess(a, b bool) bool { return !a && b }
+
+func countLeaders[S comparable](proto pp.Protocol[S], cfg []S) int {
+	leaders := 0
+	for _, s := range cfg {
+		if proto.Output(s) == pp.Leader {
+			leaders++
+		}
+	}
+	return leaders
+}
+
+// TestAngluinExactSpace: the constant-state protocol's reachable space from
+// the all-leader configuration is exactly {k leaders, n−k followers} for
+// k = 1..n — n configurations. A fully checkable textbook case.
+func TestAngluinExactSpace(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		res := Explore[baseline.AngluinState](baseline.Angluin{}, n, boolLess,
+			[]Invariant[baseline.AngluinState]{
+				LeaderSafety[baseline.AngluinState](baseline.Angluin{}, 1),
+			}, Options[baseline.AngluinState]{})
+		if !res.Complete {
+			t.Fatalf("n=%d: exploration incomplete", n)
+		}
+		if res.Violation != nil {
+			t.Fatalf("n=%d: violation %+v", n, res.Violation)
+		}
+		if res.Explored != n {
+			t.Fatalf("n=%d: explored %d configurations, want exactly %d", n, res.Explored, n)
+		}
+	}
+}
+
+// TestAngluinEdgeMonotone verifies leader-count monotonicity on every
+// reachable transition, exhaustively.
+func TestAngluinEdgeMonotone(t *testing.T) {
+	proto := baseline.Angluin{}
+	res := Explore[baseline.AngluinState](proto, 6, boolLess, nil,
+		Options[baseline.AngluinState]{
+			EdgeCheck: func(parent, child []baseline.AngluinState) error {
+				if countLeaders[baseline.AngluinState](proto, child) >
+					countLeaders[baseline.AngluinState](proto, parent) {
+					return fmt.Errorf("leader count increased")
+				}
+				return nil
+			},
+		})
+	if res.Violation != nil {
+		t.Fatalf("violation: %+v", res.Violation)
+	}
+	if !res.Complete {
+		t.Fatal("exploration incomplete")
+	}
+}
+
+func stateLess(a, b core.State) bool { return fmt.Sprint(a) < fmt.Sprint(b) }
+
+// TestPLLTwoAgentsExhaustive model-checks PLL with n = 2 (m = 1) over its
+// ENTIRE reachable configuration space under arbitrary schedules: safety
+// (at least one leader), canonical state form, and leader-count
+// monotonicity on every edge. This is a proof by enumeration of the
+// paper's per-module safety claims at this size.
+func TestPLLTwoAgentsExhaustive(t *testing.T) {
+	p := core.New(core.NewParams(2))
+	proto := pp.Protocol[core.State](p)
+	res := Explore[core.State](proto, 2, stateLess,
+		[]Invariant[core.State]{
+			LeaderSafety[core.State](proto, 1),
+			StateInvariant[core.State]("canonical form", p.CheckCanonical),
+		},
+		Options[core.State]{
+			Limit: 1 << 21,
+			EdgeCheck: func(parent, child []core.State) error {
+				if countLeaders[core.State](proto, child) > countLeaders[core.State](proto, parent) {
+					return fmt.Errorf("leader count increased")
+				}
+				return nil
+			},
+		})
+	if res.Violation != nil {
+		t.Fatalf("violation: %+v", res.Violation)
+	}
+	if !res.Complete {
+		t.Fatalf("n=2 space not exhausted after %d configurations", res.Explored)
+	}
+	if res.Explored < 100 {
+		t.Fatalf("implausibly small reachable space: %d", res.Explored)
+	}
+	t.Logf("PLL n=2 reachable configurations: %d", res.Explored)
+}
+
+// TestPLLThreeAgentsBounded explores PLL with n = 3 up to a budget. The
+// space is larger than n = 2 by orders of magnitude; within the budget no
+// schedule may reach a violation.
+func TestPLLThreeAgentsBounded(t *testing.T) {
+	p := core.New(core.NewParams(3))
+	proto := pp.Protocol[core.State](p)
+	res := Explore[core.State](proto, 3, stateLess,
+		[]Invariant[core.State]{
+			LeaderSafety[core.State](proto, 1),
+			StateInvariant[core.State]("canonical form", p.CheckCanonical),
+		},
+		Options[core.State]{Limit: 60_000})
+	if res.Violation != nil {
+		t.Fatalf("violation: %+v", res.Violation)
+	}
+	if res.Explored < 30_000 {
+		t.Fatalf("explored only %d configurations", res.Explored)
+	}
+}
+
+func symLessTest(a, b core.SymState) bool { return fmt.Sprint(a) < fmt.Sprint(b) }
+
+// TestSymmetricPLLBounded model-checks the symmetric variant with n = 3:
+// leader safety, canonical form, and the |F0| = |F1| fairness invariant,
+// under arbitrary schedules up to the budget.
+func TestSymmetricPLLBounded(t *testing.T) {
+	p := core.NewSymmetric(core.NewParams(3))
+	proto := pp.Protocol[core.SymState](p)
+	coinBalance := Invariant[core.SymState]{
+		Name: "|F0| = |F1|",
+		Check: func(cfg []core.SymState) error {
+			f0, f1 := 0, 0
+			for _, s := range cfg {
+				switch s.Coin {
+				case core.CoinF0:
+					f0++
+				case core.CoinF1:
+					f1++
+				}
+			}
+			if f0 != f1 {
+				return fmt.Errorf("|F0| = %d, |F1| = %d", f0, f1)
+			}
+			return nil
+		},
+	}
+	res := Explore[core.SymState](proto, 3, symLessTest,
+		[]Invariant[core.SymState]{
+			LeaderSafety[core.SymState](proto, 1),
+			StateInvariant[core.SymState]("canonical form", p.CheckCanonical),
+			coinBalance,
+		},
+		Options[core.SymState]{Limit: 60_000})
+	if res.Violation != nil {
+		t.Fatalf("violation: %+v", res.Violation)
+	}
+	if res.Explored < 30_000 {
+		t.Fatalf("explored only %d configurations", res.Explored)
+	}
+}
+
+// TestViolationIsReported plants a deliberately broken invariant and
+// checks the report shape.
+func TestViolationIsReported(t *testing.T) {
+	res := Explore[baseline.AngluinState](baseline.Angluin{}, 3, boolLess,
+		[]Invariant[baseline.AngluinState]{
+			{
+				Name: "fewer than 3 leaders (false at the initial configuration)",
+				Check: func(cfg []baseline.AngluinState) error {
+					if countLeaders[baseline.AngluinState](baseline.Angluin{}, cfg) == 3 {
+						return fmt.Errorf("all three are leaders")
+					}
+					return nil
+				},
+			},
+		}, Options[baseline.AngluinState]{})
+	if res.Violation == nil {
+		t.Fatal("planted violation not reported")
+	}
+	if !strings.Contains(res.Violation.Invariant, "fewer than 3") {
+		t.Fatalf("violation names wrong invariant: %+v", res.Violation)
+	}
+}
+
+// TestLimitTruncates: a tiny limit must mark the exploration incomplete.
+func TestLimitTruncates(t *testing.T) {
+	p := core.New(core.NewParams(3))
+	res := Explore[core.State](pp.Protocol[core.State](p), 3, stateLess, nil,
+		Options[core.State]{Limit: 100})
+	if res.Complete {
+		t.Fatal("truncated exploration reported complete")
+	}
+	if res.Explored == 0 {
+		t.Fatal("nothing explored")
+	}
+}
+
+func TestExplorePanicsOnSingleton(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n=1")
+		}
+	}()
+	Explore[baseline.AngluinState](baseline.Angluin{}, 1, boolLess, nil,
+		Options[baseline.AngluinState]{})
+}

@@ -1,0 +1,88 @@
+package pp
+
+import (
+	"runtime"
+	"sync"
+
+	"popproto/internal/rng"
+)
+
+// RunResult is the outcome of one independent election run.
+type RunResult struct {
+	// Seed is the scheduler seed used for the run.
+	Seed uint64
+	// Steps is the interaction count at which the run ended.
+	Steps uint64
+	// ParallelTime is Steps divided by the population size.
+	ParallelTime float64
+	// Stabilized reports whether the leader target was reached before the
+	// step budget ran out.
+	Stabilized bool
+	// Leaders is the leader count when the run ended.
+	Leaders int
+}
+
+// Parallel executes reps independent tasks over a bounded worker pool with
+// deterministic per-rep seeds derived from seed. Task invocations may run
+// concurrently; rep indices are 0-based. workers <= 0 selects
+// runtime.NumCPU(). Parallel returns after every task has finished.
+func Parallel(reps, workers int, seed uint64, task func(rep int, seed uint64)) {
+	if reps <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > reps {
+		workers = reps
+	}
+	// Derive all per-rep seeds up front so results do not depend on worker
+	// scheduling.
+	derive := rng.New(seed)
+	seeds := make([]uint64, reps)
+	for i := range seeds {
+		seeds[i] = derive.Uint64()
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for rep := range next {
+				task(rep, seeds[rep])
+			}
+		}()
+	}
+	for rep := 0; rep < reps; rep++ {
+		next <- rep
+	}
+	close(next)
+	wg.Wait()
+}
+
+// MeasureStabilization runs reps independent elections of proto on n agents
+// and reports per-run stabilization results. Runs are capped at maxSteps
+// interactions. workers <= 0 selects runtime.NumCPU().
+//
+// The protocol value is shared across goroutines and must therefore be
+// read-only after construction, which holds for every protocol in this
+// repository.
+func MeasureStabilization[S comparable](
+	proto Protocol[S], n, reps int, seed, maxSteps uint64, workers int,
+) []RunResult {
+	results := make([]RunResult, reps)
+	Parallel(reps, workers, seed, func(rep int, repSeed uint64) {
+		sim := NewSimulator(proto, n, repSeed)
+		steps, ok := sim.RunUntilLeaders(1, maxSteps)
+		results[rep] = RunResult{
+			Seed:         repSeed,
+			Steps:        steps,
+			ParallelTime: float64(steps) / float64(n),
+			Stabilized:   ok,
+			Leaders:      sim.Leaders(),
+		}
+	})
+	return results
+}

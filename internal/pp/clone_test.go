@@ -1,0 +1,70 @@
+package pp
+
+import "testing"
+
+// TestCloneProducesIdenticalFutures: a clone carries the scheduler
+// position, so original and clone evolve identically step for step.
+func TestCloneProducesIdenticalFutures(t *testing.T) {
+	a := NewSimulator[bool](duel{}, 64, 42)
+	a.RunSteps(500) // advance to a nontrivial prefix
+	b := a.Clone()
+
+	for k := 0; k < 2000; k++ {
+		a.Step()
+		b.Step()
+	}
+	if a.Steps() != b.Steps() || a.Leaders() != b.Leaders() {
+		t.Fatalf("clone diverged: steps %d/%d leaders %d/%d",
+			a.Steps(), b.Steps(), a.Leaders(), b.Leaders())
+	}
+	for i := 0; i < a.N(); i++ {
+		if a.State(i) != b.State(i) {
+			t.Fatalf("agent %d differs after identical futures", i)
+		}
+	}
+}
+
+// TestCloneIsIndependent: mutating the clone leaves the original alone.
+func TestCloneIsIndependent(t *testing.T) {
+	a := NewSimulator[bool](duel{}, 16, 7)
+	b := a.Clone()
+	b.RunSteps(1000)
+	if a.Steps() != 0 {
+		t.Fatalf("original advanced: %d steps", a.Steps())
+	}
+	if a.Leaders() != 16 {
+		t.Fatalf("original census changed: %d leaders", a.Leaders())
+	}
+	b.SetState(0, false)
+	if a.State(0) != true {
+		t.Fatal("original agent mutated through the clone")
+	}
+}
+
+// TestCloneCarriesTracking: the distinct-state tracker is deep-copied.
+func TestCloneCarriesTracking(t *testing.T) {
+	a := NewSimulator[bool](duel{}, 8, 7)
+	a.TrackStates()
+	a.Interact(0, 1)
+	b := a.Clone()
+	if b.DistinctStates() != a.DistinctStates() {
+		t.Fatalf("tracking lost: %d vs %d", b.DistinctStates(), a.DistinctStates())
+	}
+	// New observations on the clone must not leak back.
+	before := a.DistinctStates()
+	b.SetState(0, false)
+	b.Interact(0, 1)
+	if a.DistinctStates() != before {
+		t.Fatal("clone observation leaked into the original")
+	}
+}
+
+// TestCloneWithoutTracking: cloning an untracked simulator stays
+// untracked.
+func TestCloneWithoutTracking(t *testing.T) {
+	a := NewSimulator[bool](duel{}, 8, 7)
+	b := a.Clone()
+	if b.DistinctStates() != 0 {
+		t.Fatal("clone invented a tracker")
+	}
+}

@@ -1,0 +1,64 @@
+package pp_test
+
+import (
+	"fmt"
+
+	"popproto/internal/baseline"
+	"popproto/internal/core"
+	"popproto/internal/pp"
+)
+
+// ExampleSimulator_Interact drives the constant-state duel protocol with
+// an explicit schedule: deterministic, no randomness involved.
+func ExampleSimulator_Interact() {
+	sim := pp.NewSimulator[baseline.AngluinState](baseline.Angluin{}, 4, 1)
+	fmt.Println("leaders:", sim.Leaders())
+
+	sim.Interact(0, 1) // duel: agent 1 yields
+	sim.Interact(2, 3) // duel: agent 3 yields
+	sim.Interact(0, 2) // duel: agent 2 yields
+	fmt.Println("leaders:", sim.Leaders())
+	fmt.Println("agent 0 output:", baseline.Angluin{}.Output(sim.State(0)))
+
+	// Output:
+	// leaders: 4
+	// leaders: 1
+	// agent 0 output: L
+}
+
+// ExampleSimulator_RunUntilLeaders elects a leader with PLL under the
+// seeded uniformly random scheduler; the seed makes the run reproducible.
+func ExampleSimulator_RunUntilLeaders() {
+	protocol := core.NewForN(100)
+	sim := pp.NewSimulator[core.State](protocol, 100, 7)
+	_, ok := sim.RunUntilLeaders(1, 1<<30)
+	fmt.Println("stabilized:", ok, "leaders:", sim.Leaders())
+
+	// Output:
+	// stabilized: true leaders: 1
+}
+
+// ExampleCensusBy groups a configuration by an arbitrary classifier —
+// here the Table 3 status groups of PLL.
+func ExampleCensusBy() {
+	protocol := core.NewForN(6)
+	sim := pp.NewSimulator[core.State](protocol, 6, 1)
+	sim.Interact(0, 1) // first contact: one candidate, one timer
+	census := pp.CensusBy(sim, func(s core.State) core.Status { return s.Status })
+	fmt.Println("X:", census[core.StatusX], "A:", census[core.StatusA], "B:", census[core.StatusB])
+
+	// Output:
+	// X: 4 A: 1 B: 1
+}
+
+// ExampleRoundRobin shows a deterministic schedule: safety properties must
+// hold under any schedule, not only the random one.
+func ExampleRoundRobin() {
+	sim := pp.NewSimulator[baseline.AngluinState](baseline.Angluin{}, 3, 1)
+	var rr pp.RoundRobin
+	sim.RunSchedule(&rr, 6) // one full sweep of all ordered pairs
+	fmt.Println("leaders after one sweep:", sim.Leaders())
+
+	// Output:
+	// leaders after one sweep: 1
+}

@@ -1,0 +1,356 @@
+package pp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// duel is the constant-state leader election protocol of Angluin et al.
+// (two leaders meet, responder yields), used here as a minimal fixture for
+// engine tests. The real baseline lives in internal/baseline.
+type duel struct{}
+
+func (duel) Name() string       { return "duel-fixture" }
+func (duel) InitialState() bool { return true }
+func (duel) Output(s bool) Role {
+	if s {
+		return Leader
+	}
+	return Follower
+}
+func (duel) Transition(a, b bool) (bool, bool) {
+	if a && b {
+		return true, false
+	}
+	return a, b
+}
+
+// frozen never changes state; every agent stays a follower.
+type frozen struct{}
+
+func (frozen) Name() string                   { return "frozen-fixture" }
+func (frozen) InitialState() int              { return 0 }
+func (frozen) Output(int) Role                { return Follower }
+func (frozen) Transition(a, b int) (int, int) { return a, b }
+
+func TestNewSimulatorInitialCensus(t *testing.T) {
+	sim := NewSimulator[bool](duel{}, 10, 1)
+	if sim.N() != 10 {
+		t.Fatalf("N = %d, want 10", sim.N())
+	}
+	if sim.Leaders() != 10 {
+		t.Fatalf("initial leaders = %d, want 10", sim.Leaders())
+	}
+	if sim.Steps() != 0 {
+		t.Fatalf("initial steps = %d, want 0", sim.Steps())
+	}
+}
+
+func TestNewSimulatorPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSimulator with n=0 did not panic")
+		}
+	}()
+	NewSimulator[bool](duel{}, 0, 1)
+}
+
+func TestInteractUpdatesLeaderCount(t *testing.T) {
+	sim := NewSimulator[bool](duel{}, 4, 1)
+	sim.Interact(0, 1)
+	if sim.Leaders() != 3 {
+		t.Fatalf("leaders after one duel = %d, want 3", sim.Leaders())
+	}
+	if sim.RoleChanges() != 1 {
+		t.Fatalf("role changes = %d, want 1", sim.RoleChanges())
+	}
+	// Interacting a leader with a follower changes nothing.
+	sim.Interact(0, 1)
+	if sim.Leaders() != 3 || sim.RoleChanges() != 1 {
+		t.Fatalf("leader-follower duel changed census: leaders=%d changes=%d",
+			sim.Leaders(), sim.RoleChanges())
+	}
+}
+
+func TestInteractPanicsOnSelf(t *testing.T) {
+	sim := NewSimulator[bool](duel{}, 3, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("self-interaction did not panic")
+		}
+	}()
+	sim.Interact(2, 2)
+}
+
+func TestRunUntilLeadersStabilizes(t *testing.T) {
+	for _, n := range []int{2, 3, 10, 100} {
+		sim := NewSimulator[bool](duel{}, n, uint64(n))
+		steps, ok := sim.RunUntilLeaders(1, 1<<40)
+		if !ok {
+			t.Fatalf("n=%d did not stabilize", n)
+		}
+		if sim.Leaders() != 1 {
+			t.Fatalf("n=%d leaders = %d after stabilization", n, sim.Leaders())
+		}
+		if steps != sim.Steps() {
+			t.Fatalf("returned steps %d != sim steps %d", steps, sim.Steps())
+		}
+	}
+}
+
+func TestRunUntilLeadersRespectsBudget(t *testing.T) {
+	sim := NewSimulator[int](frozen{}, 10, 1)
+	steps, ok := sim.RunUntilLeaders(1, 0)
+	// frozen has zero leaders; target 1 is already met (0 <= 1).
+	if !ok || steps != 0 {
+		t.Fatalf("frozen run: steps=%d ok=%v, want 0,true", steps, ok)
+	}
+	simDuel := NewSimulator[bool](duel{}, 1000, 1)
+	_, ok = simDuel.RunUntilLeaders(1, 5)
+	if ok {
+		t.Fatal("1000-agent duel cannot stabilize in 5 steps")
+	}
+	if simDuel.Steps() != 5 {
+		t.Fatalf("budget overrun: %d steps", simDuel.Steps())
+	}
+}
+
+func TestSingleAgentPopulation(t *testing.T) {
+	sim := NewSimulator[bool](duel{}, 1, 1)
+	steps, ok := sim.RunUntilLeaders(1, 100)
+	if !ok || steps != 0 {
+		t.Fatalf("n=1: steps=%d ok=%v, want immediate stabilization", steps, ok)
+	}
+	if !sim.VerifyStable(100) {
+		t.Fatal("n=1 population reported unstable")
+	}
+}
+
+func TestVerifyStable(t *testing.T) {
+	sim := NewSimulator[bool](duel{}, 50, 7)
+	if sim.VerifyStable(200) {
+		t.Fatal("all-leader initial configuration reported stable")
+	}
+	sim.RunUntilLeaders(1, 1<<40)
+	if !sim.VerifyStable(5000) {
+		t.Fatal("single-leader duel configuration reported unstable")
+	}
+}
+
+func TestSetStateAdjustsCensus(t *testing.T) {
+	sim := NewSimulator[bool](duel{}, 5, 1)
+	sim.SetState(0, false)
+	if sim.Leaders() != 4 {
+		t.Fatalf("leaders = %d after demoting one agent, want 4", sim.Leaders())
+	}
+	sim.SetState(0, true)
+	if sim.Leaders() != 5 {
+		t.Fatalf("leaders = %d after re-promoting, want 5", sim.Leaders())
+	}
+	// No-op overwrite keeps the census.
+	sim.SetState(1, true)
+	if sim.Leaders() != 5 {
+		t.Fatalf("no-op SetState changed census to %d", sim.Leaders())
+	}
+}
+
+func TestCensus(t *testing.T) {
+	sim := NewSimulator[bool](duel{}, 6, 1)
+	sim.Interact(0, 1)
+	sim.Interact(2, 3)
+	c := sim.Census()
+	if c[true] != 4 || c[false] != 2 {
+		t.Fatalf("census = %v, want 4 leaders / 2 followers", c)
+	}
+	byRole := CensusBy(sim, func(s bool) Role {
+		if s {
+			return Leader
+		}
+		return Follower
+	})
+	if byRole[Leader] != 4 || byRole[Follower] != 2 {
+		t.Fatalf("CensusBy = %v", byRole)
+	}
+}
+
+func TestTrackStates(t *testing.T) {
+	sim := NewSimulator[bool](duel{}, 4, 1)
+	if sim.DistinctStates() != 0 {
+		t.Fatal("tracking should be off by default")
+	}
+	sim.TrackStates()
+	if sim.DistinctStates() != 1 {
+		t.Fatalf("distinct initial states = %d, want 1", sim.DistinctStates())
+	}
+	sim.Interact(0, 1)
+	if sim.DistinctStates() != 2 {
+		t.Fatalf("distinct states after duel = %d, want 2", sim.DistinctStates())
+	}
+	sim.TrackStates() // idempotent
+	if sim.DistinctStates() != 2 {
+		t.Fatal("TrackStates reset the seen set")
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	a := NewSimulator[bool](duel{}, 64, 99)
+	b := NewSimulator[bool](duel{}, 64, 99)
+	sa, _ := a.RunUntilLeaders(1, 1<<40)
+	sb, _ := b.RunUntilLeaders(1, 1<<40)
+	if sa != sb {
+		t.Fatalf("same seed produced different stabilization steps: %d vs %d", sa, sb)
+	}
+	for i := 0; i < 64; i++ {
+		if a.State(i) != b.State(i) {
+			t.Fatalf("agent %d state differs between replays", i)
+		}
+	}
+}
+
+func TestRoundRobinCoversAllPairs(t *testing.T) {
+	var rr RoundRobin
+	const n = 4
+	seen := make(map[[2]int]bool)
+	for k := 0; k < n*(n-1); k++ {
+		i, j := rr.Next(n)
+		if i == j {
+			t.Fatal("round robin emitted self-pair")
+		}
+		seen[[2]int{i, j}] = true
+	}
+	if len(seen) != n*(n-1) {
+		t.Fatalf("round robin covered %d pairs in one cycle, want %d", len(seen), n*(n-1))
+	}
+}
+
+func TestFixedScheduleReplaysAndValidates(t *testing.T) {
+	f := &Fixed{Pairs: [][2]int{{0, 1}, {1, 2}}}
+	i, j := f.Next(3)
+	if i != 0 || j != 1 {
+		t.Fatalf("first pair = (%d,%d)", i, j)
+	}
+	i, j = f.Next(3)
+	if i != 1 || j != 2 {
+		t.Fatalf("second pair = (%d,%d)", i, j)
+	}
+	i, j = f.Next(3) // wraps
+	if i != 0 || j != 1 {
+		t.Fatalf("wrapped pair = (%d,%d)", i, j)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range fixed pair did not panic")
+		}
+	}()
+	f.Next(2) // pair (1,2) is invalid for n=2 on the next wrap
+	f.Next(2)
+}
+
+func TestStarveKeepsInactiveAgentsFrozen(t *testing.T) {
+	sim := NewSimulator[bool](duel{}, 10, 1)
+	sched := &Starve{Active: 3}
+	sim.RunSchedule(sched, 1000)
+	// Agents 3..9 never interacted: still leaders.
+	for i := 3; i < 10; i++ {
+		if sim.State(i) != true {
+			t.Fatalf("starved agent %d changed state", i)
+		}
+	}
+	// Among the active three, duels happened; at least one leader remains
+	// overall (safety under adversarial schedules).
+	if sim.Leaders() < 8 {
+		t.Fatalf("leaders = %d, want >= 8 (7 starved + >=1 active)", sim.Leaders())
+	}
+}
+
+func TestRunScheduleAdvancesSteps(t *testing.T) {
+	sim := NewSimulator[bool](duel{}, 5, 1)
+	var rr RoundRobin
+	sim.RunSchedule(&rr, 42)
+	if sim.Steps() != 42 {
+		t.Fatalf("steps = %d, want 42", sim.Steps())
+	}
+}
+
+func TestParallelRunsEveryRepOnce(t *testing.T) {
+	const reps = 100
+	hits := make([]int, reps)
+	var seeds = make([]uint64, reps)
+	Parallel(reps, 4, 123, func(rep int, seed uint64) {
+		hits[rep]++
+		seeds[rep] = seed
+	})
+	for rep, h := range hits {
+		if h != 1 {
+			t.Fatalf("rep %d ran %d times", rep, h)
+		}
+	}
+	// Seeds must be deterministic across invocations.
+	again := make([]uint64, reps)
+	Parallel(reps, 2, 123, func(rep int, seed uint64) { again[rep] = seed })
+	for rep := range seeds {
+		if seeds[rep] != again[rep] {
+			t.Fatalf("rep %d seed differs across invocations", rep)
+		}
+	}
+}
+
+func TestParallelZeroReps(t *testing.T) {
+	called := false
+	Parallel(0, 4, 1, func(int, uint64) { called = true })
+	if called {
+		t.Fatal("task called for zero reps")
+	}
+}
+
+func TestMeasureStabilization(t *testing.T) {
+	results := MeasureStabilization[bool](duel{}, 50, 20, 7, 1<<40, 2)
+	if len(results) != 20 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if !r.Stabilized {
+			t.Fatalf("rep %d did not stabilize", i)
+		}
+		if r.Leaders != 1 {
+			t.Fatalf("rep %d ended with %d leaders", i, r.Leaders)
+		}
+		if r.ParallelTime <= 0 {
+			t.Fatalf("rep %d parallel time %v", i, r.ParallelTime)
+		}
+	}
+	// Deterministic overall.
+	again := MeasureStabilization[bool](duel{}, 50, 20, 7, 1<<40, 4)
+	for i := range results {
+		if results[i].Steps != again[i].Steps {
+			t.Fatalf("rep %d not reproducible across worker counts", i)
+		}
+	}
+}
+
+// TestQuickLeaderCountNeverNegative drives random interactions through the
+// fixture and checks census sanity as a property.
+func TestQuickLeaderCountNeverNegative(t *testing.T) {
+	f := func(seed uint64, steps uint16) bool {
+		sim := NewSimulator[bool](duel{}, 12, seed)
+		sim.RunSteps(uint64(steps))
+		recount := 0
+		sim.ForEach(func(_ int, s bool) {
+			if s {
+				recount++
+			}
+		})
+		return recount == sim.Leaders() && recount >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkStepDuel(b *testing.B) {
+	sim := NewSimulator[bool](duel{}, 1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}

@@ -1,0 +1,227 @@
+package pp
+
+import (
+	"fmt"
+
+	"popproto/internal/rng"
+)
+
+// Simulator executes one population under a protocol. It owns the agent
+// state vector, a deterministic random source for the uniform scheduler,
+// and incremental counters (steps, leaders, role changes).
+//
+// A Simulator is not safe for concurrent use; run one per goroutine.
+type Simulator[S comparable] struct {
+	proto  Protocol[S]
+	agents []S
+	rand   *rng.Source
+	steps  uint64
+
+	leaders     int
+	roleChanges uint64
+
+	seen map[S]struct{} // non-nil only when TrackStates was called
+}
+
+// NewSimulator creates a population of n agents, all in the protocol's
+// initial state, with the scheduler seeded by seed. It panics if n < 1.
+func NewSimulator[S comparable](proto Protocol[S], n int, seed uint64) *Simulator[S] {
+	if n < 1 {
+		panic(fmt.Sprintf("pp: population size %d < 1", n))
+	}
+	s := &Simulator[S]{
+		proto:  proto,
+		agents: make([]S, n),
+		rand:   rng.New(seed),
+	}
+	init := proto.InitialState()
+	for i := range s.agents {
+		s.agents[i] = init
+	}
+	if proto.Output(init) == Leader {
+		s.leaders = n
+	}
+	return s
+}
+
+// N returns the population size.
+func (s *Simulator[S]) N() int { return len(s.agents) }
+
+// Steps returns the number of interactions executed so far.
+func (s *Simulator[S]) Steps() uint64 { return s.steps }
+
+// ParallelTime returns steps divided by n, the paper's time measure.
+func (s *Simulator[S]) ParallelTime() float64 {
+	return float64(s.steps) / float64(len(s.agents))
+}
+
+// Leaders returns the current number of agents whose output is Leader.
+func (s *Simulator[S]) Leaders() int { return s.leaders }
+
+// RoleChanges returns the cumulative number of agent output changes
+// (L→F or F→L) observed since construction. A configuration sequence is
+// stable exactly while this counter does not move.
+func (s *Simulator[S]) RoleChanges() uint64 { return s.roleChanges }
+
+// State returns agent i's current state.
+func (s *Simulator[S]) State(i int) S { return s.agents[i] }
+
+// SetState overwrites agent i's state, keeping the leader census coherent.
+// It is intended for constructing specific configurations in tests and
+// experiments (e.g. the Bstart configurations of Definition 3).
+func (s *Simulator[S]) SetState(i int, st S) {
+	old := s.proto.Output(s.agents[i])
+	now := s.proto.Output(st)
+	if old == Leader && now != Leader {
+		s.leaders--
+	} else if old != Leader && now == Leader {
+		s.leaders++
+	}
+	s.agents[i] = st
+}
+
+// ForEach calls f for every agent id and state, in agent order.
+func (s *Simulator[S]) ForEach(f func(id int, state S)) {
+	for i, st := range s.agents {
+		f(i, st)
+	}
+}
+
+// TrackStates enables recording of every distinct agent state ever observed
+// (including initial states). It costs two map insertions per interaction
+// and is used by the Lemma 3 / Table 3 state-count experiments.
+func (s *Simulator[S]) TrackStates() {
+	if s.seen != nil {
+		return
+	}
+	s.seen = make(map[S]struct{}, 1024)
+	for _, st := range s.agents {
+		s.seen[st] = struct{}{}
+	}
+}
+
+// DistinctStates returns the number of distinct agent states observed since
+// TrackStates was enabled, or 0 if tracking is disabled.
+func (s *Simulator[S]) DistinctStates() int { return len(s.seen) }
+
+// Interact applies one interaction between initiator i and responder j and
+// updates the censuses. It does not advance the step counter; Step and
+// RunSchedule do. It panics if i == j or either index is out of range.
+func (s *Simulator[S]) Interact(i, j int) {
+	if i == j {
+		panic(fmt.Sprintf("pp: self-interaction of agent %d", i))
+	}
+	p, q := s.agents[i], s.agents[j]
+	p2, q2 := s.proto.Transition(p, q)
+	if p2 != p {
+		s.applyChange(i, p, p2)
+	}
+	if q2 != q {
+		s.applyChange(j, q, q2)
+	}
+}
+
+func (s *Simulator[S]) applyChange(id int, old, now S) {
+	ro, rn := s.proto.Output(old), s.proto.Output(now)
+	if ro != rn {
+		s.roleChanges++
+		if rn == Leader {
+			s.leaders++
+		} else {
+			s.leaders--
+		}
+	}
+	s.agents[id] = now
+	if s.seen != nil {
+		s.seen[now] = struct{}{}
+	}
+}
+
+// Step executes one uniformly random interaction. It panics if n < 2
+// (a single agent can never interact).
+func (s *Simulator[S]) Step() {
+	i, j := s.rand.Pair(len(s.agents))
+	s.Interact(i, j)
+	s.steps++
+}
+
+// RunSteps executes k uniformly random interactions.
+func (s *Simulator[S]) RunSteps(k uint64) {
+	for ; k > 0; k-- {
+		s.Step()
+	}
+}
+
+// RunUntilLeaders runs random interactions until at most target leaders
+// remain or maxSteps total interactions have been executed. It returns the
+// total step count at return and whether the target was reached.
+//
+// For every protocol in this repository the leader count is monotone
+// non-increasing and followers never regain leadership, so reaching one
+// leader is exactly the stabilization condition of the leader election
+// problem (the configuration is in S_P of Section 2).
+func (s *Simulator[S]) RunUntilLeaders(target int, maxSteps uint64) (steps uint64, ok bool) {
+	if len(s.agents) == 1 {
+		return s.steps, s.leaders <= target
+	}
+	for s.leaders > target {
+		if s.steps >= maxSteps {
+			return s.steps, false
+		}
+		s.Step()
+	}
+	return s.steps, true
+}
+
+// VerifyStable runs extra random interactions and reports whether any
+// agent's output changed during them. A true result is evidence (not proof)
+// that the configuration reached is in the safe set S_P.
+func (s *Simulator[S]) VerifyStable(extra uint64) bool {
+	if len(s.agents) == 1 {
+		return true
+	}
+	before := s.roleChanges
+	s.RunSteps(extra)
+	return s.roleChanges == before
+}
+
+// Clone returns an independent deep copy of the simulator, including the
+// scheduler position: the original and the clone produce identical
+// futures until their schedules diverge. Cloning is how experiments
+// branch several continuations off one common prefix.
+func (s *Simulator[S]) Clone() *Simulator[S] {
+	c := &Simulator[S]{
+		proto:       s.proto,
+		agents:      append([]S(nil), s.agents...),
+		rand:        s.rand.Clone(),
+		steps:       s.steps,
+		leaders:     s.leaders,
+		roleChanges: s.roleChanges,
+	}
+	if s.seen != nil {
+		c.seen = make(map[S]struct{}, len(s.seen))
+		for k := range s.seen {
+			c.seen[k] = struct{}{}
+		}
+	}
+	return c
+}
+
+// Census returns the multiset of current agent states.
+func (s *Simulator[S]) Census() map[S]int {
+	c := make(map[S]int)
+	for _, st := range s.agents {
+		c[st]++
+	}
+	return c
+}
+
+// CensusBy aggregates the current configuration of sim by an arbitrary
+// classifier, e.g. the paper's groups V_X, V_B, V_A∩V_1, ….
+func CensusBy[S comparable, K comparable](sim *Simulator[S], classify func(S) K) map[K]int {
+	c := make(map[K]int)
+	sim.ForEach(func(_ int, st S) {
+		c[classify(st)]++
+	})
+	return c
+}

@@ -1,0 +1,9 @@
+package rng
+
+import "math"
+
+// logFloat is a thin wrapper around math.Log, isolated so the Geometric
+// sampler's only floating-point dependency is explicit and testable.
+func logFloat(x float64) float64 {
+	return math.Log(x)
+}

@@ -1,0 +1,160 @@
+// Package rng provides a small, fast, deterministic random number generator
+// for population-protocol simulation.
+//
+// The generator is xoshiro256++ seeded through SplitMix64, following the
+// reference construction by Blackman and Vigna. It is allocation-free,
+// unsynchronized (each goroutine owns its Source), and fully reproducible
+// from a single uint64 seed, which the simulation harness threads through
+// every experiment so that paper-reproduction runs are replayable.
+//
+// The package also provides Lemire's nearly-divisionless bounded sampling
+// (Uint64n) and uniform sampling of ordered pairs of distinct agents (Pair),
+// which is the primitive operation of the uniformly random scheduler Γ in
+// the population protocol model.
+package rng
+
+import "math/bits"
+
+// Source is a xoshiro256++ pseudo random number generator.
+//
+// The zero value is not a valid generator; use New. Source is not safe for
+// concurrent use; give each goroutine its own Source (see Split).
+type Source struct {
+	s [4]uint64
+}
+
+// splitMix64 advances x through the SplitMix64 sequence and returns the next
+// output. It is used only for seeding, per the xoshiro authors' guidance.
+func splitMix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source deterministically seeded from seed. Distinct seeds
+// yield independent-looking streams; the all-zero internal state cannot
+// occur because SplitMix64 is a bijection over a full-period sequence.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed resets the generator to the state derived from seed, as if it had
+// been freshly created with New(seed).
+func (r *Source) Reseed(seed uint64) {
+	x := seed
+	r.s[0] = splitMix64(&x)
+	r.s[1] = splitMix64(&x)
+	r.s[2] = splitMix64(&x)
+	r.s[3] = splitMix64(&x)
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	res := bits.RotateLeft64(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = bits.RotateLeft64(r.s[3], 45)
+	return res
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// method with rejection, which avoids the modulo bias of naive reduction.
+// It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		// Rejection zone: resample while lo < threshold, where
+		// threshold = (2^64 - n) mod n = -n mod n.
+		threshold := -n % n
+		for lo < threshold {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Pair returns an ordered pair (initiator, responder) of distinct agent
+// indices drawn uniformly from the n(n-1) possibilities, matching the
+// uniformly random scheduler of the population protocol model.
+// It panics if n < 2.
+func (r *Source) Pair(n int) (initiator, responder int) {
+	if n < 2 {
+		panic("rng: Pair called with n < 2")
+	}
+	initiator = r.Intn(n)
+	responder = r.Intn(n - 1)
+	if responder >= initiator {
+		responder++
+	}
+	return initiator, responder
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns a fair random boolean.
+func (r *Source) Bool() bool {
+	return r.Uint64()&1 == 1
+}
+
+// Split derives a new, statistically independent Source from the stream of
+// r. It is the supported way to hand per-worker generators to goroutines.
+func (r *Source) Split() *Source {
+	return New(r.Uint64())
+}
+
+// Clone returns an independent copy of the generator at its current
+// position: both copies produce identical streams from here on.
+func (r *Source) Clone() *Source {
+	c := *r
+	return &c
+}
+
+// Perm returns a uniformly random permutation of [0, n) using the
+// Fisher-Yates shuffle.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Geometric returns the number of failures before the first success in a
+// sequence of Bernoulli(p) trials (support {0, 1, 2, ...}). It is used by
+// the epidemic jump simulator to skip over non-infecting interactions.
+// It panics unless 0 < p <= 1.
+func (r *Source) Geometric(p float64) uint64 {
+	if p <= 0 || p > 1 {
+		panic("rng: Geometric needs 0 < p <= 1")
+	}
+	if p == 1 {
+		return 0
+	}
+	// Inverse-CDF sampling: floor(ln(U) / ln(1-p)) with U in (0, 1].
+	u := 1.0 - r.Float64() // in (0, 1]
+	return uint64(logFloat(u) / logFloat(1.0-p))
+}

@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// ChernoffUpper is Lemma 1, form (1) of the paper: for independent Poisson
+// trials with sum mean μ and 0 ≤ δ ≤ 1,
+// Pr[X ≥ (1+δ)μ] ≤ e^{−δ²μ/3}.
+func ChernoffUpper(delta, mu float64) float64 {
+	if delta < 0 || delta > 1 {
+		panic(fmt.Sprintf("stats: Chernoff upper form needs 0 <= δ <= 1, got %v", delta))
+	}
+	return math.Exp(-delta * delta * mu / 3)
+}
+
+// ChernoffLower is Lemma 1, form (2): for 0 < δ < 1,
+// Pr[X ≤ (1−δ)μ] ≤ e^{−δ²μ/2}.
+func ChernoffLower(delta, mu float64) float64 {
+	if delta <= 0 || delta >= 1 {
+		panic(fmt.Sprintf("stats: Chernoff lower form needs 0 < δ < 1, got %v", delta))
+	}
+	return math.Exp(-delta * delta * mu / 2)
+}
+
+// GeometricPMF returns Pr[X = k] for the number of failures k before the
+// first success of a Bernoulli(p) sequence.
+func GeometricPMF(p float64, k int) float64 {
+	if p <= 0 || p > 1 || k < 0 {
+		panic("stats: bad geometric arguments")
+	}
+	return math.Pow(1-p, float64(k)) * p
+}
+
+// GeometricCDF returns Pr[X ≤ k] for the same distribution.
+func GeometricCDF(p float64, k int) float64 {
+	if p <= 0 || p > 1 {
+		panic("stats: bad geometric arguments")
+	}
+	if k < 0 {
+		return 0
+	}
+	return 1 - math.Pow(1-p, float64(k+1))
+}
+
+// WilsonCI returns the Wilson score 95% confidence interval for a binomial
+// proportion with the given successes out of trials. It panics on invalid
+// counts.
+func WilsonCI(successes, trials int) (lo, hi float64) {
+	if trials <= 0 || successes < 0 || successes > trials {
+		panic(fmt.Sprintf("stats: bad binomial counts %d/%d", successes, trials))
+	}
+	const z = 1.96
+	n := float64(trials)
+	p := float64(successes) / n
+	denom := 1 + z*z/n
+	center := (p + z*z/(2*n)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+	return math.Max(0, center-half), math.Min(1, center+half)
+}
+
+// SurvivorEnvelope returns the paper's Lemma 7 envelope 2^{1−i} on the
+// probability that exactly i ≥ 2 leaders survive QuickElimination.
+func SurvivorEnvelope(i int) float64 {
+	if i < 2 {
+		panic("stats: survivor envelope defined for i >= 2")
+	}
+	return math.Pow(2, float64(1-i))
+}

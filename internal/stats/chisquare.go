@@ -1,0 +1,57 @@
+package stats
+
+import "fmt"
+
+// ChiSquare is the result of a chi-square goodness-of-fit test.
+type ChiSquare struct {
+	Stat float64
+	DF   int
+	P    float64 // upper-tail p-value
+}
+
+// String renders the test result.
+func (c ChiSquare) String() string {
+	return fmt.Sprintf("χ² = %.3f (df %d, p = %.4f)", c.Stat, c.DF, c.P)
+}
+
+// ChiSquareGOF tests observed counts against expected counts. Cells with
+// expected count zero must have observed count zero and are skipped (with
+// a panic if violated). The p-value uses the regularized upper incomplete
+// gamma Q(df/2, stat/2). It panics on mismatched or too-short inputs.
+func ChiSquareGOF(observed, expected []float64) ChiSquare {
+	if len(observed) != len(expected) {
+		panic("stats: mismatched chi-square inputs")
+	}
+	cells := 0
+	stat := 0.0
+	for i := range observed {
+		if expected[i] == 0 {
+			if observed[i] != 0 {
+				panic(fmt.Sprintf("stats: observed %v in zero-expectation cell %d", observed[i], i))
+			}
+			continue
+		}
+		d := observed[i] - expected[i]
+		stat += d * d / expected[i]
+		cells++
+	}
+	if cells < 2 {
+		panic("stats: chi-square needs at least two non-empty cells")
+	}
+	df := cells - 1
+	return ChiSquare{Stat: stat, DF: df, P: GammaQ(float64(df)/2, stat/2)}
+}
+
+// ChiSquareUniform tests observed counts against the uniform distribution
+// over the cells.
+func ChiSquareUniform(observed []float64) ChiSquare {
+	total := 0.0
+	for _, o := range observed {
+		total += o
+	}
+	expected := make([]float64, len(observed))
+	for i := range expected {
+		expected[i] = total / float64(len(observed))
+	}
+	return ChiSquareGOF(observed, expected)
+}

@@ -1,0 +1,74 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"popproto/internal/stats"
+)
+
+// ExampleSummarize describes a sample the way the experiment reports do.
+func ExampleSummarize() {
+	s := stats.Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	fmt.Printf("mean %.1f, median %.1f, range [%.0f, %.0f]\n",
+		s.Mean, s.Median, s.Min, s.Max)
+
+	// Output:
+	// mean 5.0, median 4.5, range [2, 9]
+}
+
+// ExampleFitLogX recovers the coefficients of a y = a·lg x + b law — the
+// shape of every O(log n) bound in the paper.
+func ExampleFitLogX() {
+	xs := []float64{256, 1024, 4096, 16384}
+	ys := []float64{49, 61, 73, 85} // 6·lg x + 1
+	fit := stats.FitLogX(xs, ys)
+	fmt.Printf("a = %.1f, b = %.1f, R² = %.3f\n", fit.Slope, fit.Intercept, fit.R2)
+
+	// Output:
+	// a = 6.0, b = 1.0, R² = 1.000
+}
+
+// ExamplePowerFit distinguishes linear from logarithmic growth by the
+// log-log exponent.
+func ExamplePowerFit() {
+	ns := []float64{256, 512, 1024, 2048}
+	linear := []float64{179, 358, 717, 1434}
+	fmt.Printf("linear data exponent: %.2f\n", stats.PowerFit(ns, linear).Slope)
+
+	// Output:
+	// linear data exponent: 1.00
+}
+
+// ExampleChiSquareGOF tests a coin-flip tally for fairness.
+func ExampleChiSquareGOF() {
+	observed := []float64{5032, 4968}
+	expected := []float64{5000, 5000}
+	c := stats.ChiSquareGOF(observed, expected)
+	fmt.Printf("fair at 1%%: %v\n", c.P > 0.01)
+
+	// Output:
+	// fair at 1%: true
+}
+
+// ExampleWilsonCI brackets an empirical probability, as the Lemma 7
+// experiment does for the survivor envelope.
+func ExampleWilsonCI() {
+	lo, hi := stats.WilsonCI(240, 1000) // 24% observed
+	fmt.Printf("CI width below 6 points: %v, brackets 0.24: %v\n",
+		hi-lo < 0.06, lo < 0.24 && 0.24 < hi)
+
+	// Output:
+	// CI width below 6 points: true, brackets 0.24: true
+}
+
+// ExampleSurvivorEnvelope prints the Lemma 7 envelope.
+func ExampleSurvivorEnvelope() {
+	for i := 2; i <= 4; i++ {
+		fmt.Printf("Pr[%d survivors] <= %.3f\n", i, stats.SurvivorEnvelope(i))
+	}
+
+	// Output:
+	// Pr[2 survivors] <= 0.500
+	// Pr[3 survivors] <= 0.250
+	// Pr[4 survivors] <= 0.125
+}

@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"popproto/internal/rng"
+)
+
+func TestGammaAgainstClosedForms(t *testing.T) {
+	// P(1, x) = 1 − e^{−x}.
+	for _, x := range []float64{0.1, 0.5, 1, 2, 5, 10} {
+		want := 1 - math.Exp(-x)
+		if got := GammaP(1, x); !almost(got, want, 1e-10) {
+			t.Errorf("GammaP(1, %v) = %v, want %v", x, got, want)
+		}
+	}
+	// Q(1/2, x) = erfc(√x).
+	for _, x := range []float64{0.1, 0.5, 1, 2, 4, 9} {
+		want := math.Erfc(math.Sqrt(x))
+		if got := GammaQ(0.5, x); !almost(got, want, 1e-10) {
+			t.Errorf("GammaQ(0.5, %v) = %v, want %v", x, got, want)
+		}
+	}
+	// Complementarity across the series/continued-fraction boundary.
+	for _, a := range []float64{0.3, 1, 2.5, 7, 20} {
+		for _, x := range []float64{0.01, a - 0.5, a + 0.5, 3 * a} {
+			if x < 0 {
+				continue
+			}
+			if s := GammaP(a, x) + GammaQ(a, x); !almost(s, 1, 1e-9) {
+				t.Errorf("P+Q(a=%v, x=%v) = %v", a, x, s)
+			}
+		}
+	}
+	// Boundary values.
+	if GammaP(2, 0) != 0 || GammaQ(2, 0) != 1 {
+		t.Fatal("gamma at x=0")
+	}
+}
+
+func TestGammaPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"a<=0": func() { GammaP(0, 1) },
+		"x<0":  func() { GammaQ(1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestChiSquareExactDF2(t *testing.T) {
+	// With df = 2 the p-value is exactly e^{−stat/2}.
+	obs := []float64{30, 30, 40}
+	exp := []float64{33.3333333333, 33.3333333333, 33.3333333333}
+	c := ChiSquareGOF(obs, exp)
+	if c.DF != 2 {
+		t.Fatalf("df = %d", c.DF)
+	}
+	if !almost(c.P, math.Exp(-c.Stat/2), 1e-9) {
+		t.Fatalf("p = %v, want %v", c.P, math.Exp(-c.Stat/2))
+	}
+}
+
+func TestChiSquareUniformAcceptsUniform(t *testing.T) {
+	r := rng.New(3)
+	obs := make([]float64, 10)
+	for i := 0; i < 100000; i++ {
+		obs[r.Intn(10)]++
+	}
+	c := ChiSquareUniform(obs)
+	if c.P < 0.001 {
+		t.Fatalf("uniform data rejected: %v", c)
+	}
+}
+
+func TestChiSquareRejectsSkew(t *testing.T) {
+	obs := []float64{500, 100, 100, 100}
+	c := ChiSquareUniform(obs)
+	if c.P > 1e-6 {
+		t.Fatalf("skewed data accepted: %v", c)
+	}
+}
+
+func TestChiSquareZeroExpectationCells(t *testing.T) {
+	c := ChiSquareGOF([]float64{10, 0, 12}, []float64{11, 0, 11})
+	if c.DF != 1 {
+		t.Fatalf("df = %d, want 1 (zero cell skipped)", c.DF)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("observed count in zero-expectation cell accepted")
+		}
+	}()
+	ChiSquareGOF([]float64{10, 5}, []float64{15, 0})
+}
+
+func TestKSUniformSample(t *testing.T) {
+	r := rng.New(11)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	uniformCDF := func(x float64) float64 {
+		return math.Max(0, math.Min(1, x))
+	}
+	ks := KSOneSample(xs, uniformCDF)
+	if ks.P < 0.001 {
+		t.Fatalf("uniform sample rejected against uniform CDF: %+v", ks)
+	}
+	// The same sample against a wrong CDF (squared) must be rejected.
+	ks = KSOneSample(xs, func(x float64) float64 { return uniformCDF(x * x) })
+	if ks.P > 1e-6 {
+		t.Fatalf("wrong CDF accepted: %+v", ks)
+	}
+}
+
+func TestKSTwoSample(t *testing.T) {
+	r := rng.New(13)
+	a := make([]float64, 1500)
+	b := make([]float64, 1500)
+	c := make([]float64, 1500)
+	for i := range a {
+		a[i] = r.Float64()
+		b[i] = r.Float64()
+		c[i] = r.Float64() * r.Float64() // different distribution
+	}
+	if ks := KSTwoSample(a, b); ks.P < 0.001 {
+		t.Fatalf("identically distributed samples rejected: %+v", ks)
+	}
+	if ks := KSTwoSample(a, c); ks.P > 1e-6 {
+		t.Fatalf("differently distributed samples accepted: %+v", ks)
+	}
+}
+
+func TestKolmogorovQBounds(t *testing.T) {
+	if q := kolmogorovQ(0); q != 1 {
+		t.Fatalf("Q(0) = %v", q)
+	}
+	if q := kolmogorovQ(10); q > 1e-12 {
+		t.Fatalf("Q(10) = %v", q)
+	}
+	// Monotone decreasing.
+	prev := 1.0
+	for l := 0.1; l < 3; l += 0.1 {
+		q := kolmogorovQ(l)
+		if q > prev+1e-12 {
+			t.Fatalf("kolmogorovQ not monotone at %v", l)
+		}
+		prev = q
+	}
+}

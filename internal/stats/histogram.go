@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-bin counting histogram over small non-negative
+// integers, with an overflow bin. It backs the distribution tables and
+// bar charts of the experiment reports (e.g. the Lemma 7 survivor
+// distribution).
+type Histogram struct {
+	counts   []int
+	overflow int
+	total    int
+}
+
+// NewHistogram creates a histogram with bins 0..bins−1 plus an overflow
+// bin. It panics for bins < 1.
+func NewHistogram(bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	return &Histogram{counts: make([]int, bins)}
+}
+
+// Add records one observation. Negative values panic.
+func (h *Histogram) Add(v int) {
+	if v < 0 {
+		panic(fmt.Sprintf("stats: negative histogram value %d", v))
+	}
+	if v >= len(h.counts) {
+		h.overflow++
+	} else {
+		h.counts[v]++
+	}
+	h.total++
+}
+
+// Total returns the number of observations.
+func (h *Histogram) Total() int { return h.total }
+
+// Count returns the count of bin v (the overflow bin if v is out of
+// range).
+func (h *Histogram) Count(v int) int {
+	if v < 0 {
+		return 0
+	}
+	if v >= len(h.counts) {
+		return h.overflow
+	}
+	return h.counts[v]
+}
+
+// Fraction returns bin v's share of all observations (0 for an empty
+// histogram).
+func (h *Histogram) Fraction(v int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Count(v)) / float64(h.total)
+}
+
+// Mean returns the sample mean, counting the overflow bin at its lower
+// edge. It panics on an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		panic("stats: empty histogram")
+	}
+	sum := 0.0
+	for v, c := range h.counts {
+		sum += float64(v) * float64(c)
+	}
+	sum += float64(len(h.counts)) * float64(h.overflow)
+	return sum / float64(h.total)
+}
+
+// Bars renders the histogram as fixed-width text rows: value, count,
+// fraction and a proportional bar, one row per bin (overflow last when
+// non-empty).
+func (h *Histogram) Bars(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxCount := h.overflow
+	for _, c := range h.counts {
+		maxCount = max(maxCount, c)
+	}
+	if maxCount == 0 {
+		return "(empty histogram)\n"
+	}
+	var b strings.Builder
+	row := func(label string, count int) {
+		bar := strings.Repeat("█", count*width/maxCount)
+		fmt.Fprintf(&b, "%6s %7d %7.4f |%s\n", label, count,
+			float64(count)/float64(h.total), bar)
+	}
+	for v, c := range h.counts {
+		row(fmt.Sprint(v), c)
+	}
+	if h.overflow > 0 {
+		row(fmt.Sprintf("≥%d", len(h.counts)), h.overflow)
+	}
+	return b.String()
+}

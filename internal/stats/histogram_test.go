@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(4)
+	for _, v := range []int{0, 1, 1, 2, 5, 9} {
+		h.Add(v)
+	}
+	if h.Total() != 6 {
+		t.Fatalf("total = %d", h.Total())
+	}
+	if h.Count(1) != 2 || h.Count(3) != 0 {
+		t.Fatalf("counts: %d, %d", h.Count(1), h.Count(3))
+	}
+	if h.Count(100) != 2 { // overflow bin (5 and 9)
+		t.Fatalf("overflow = %d", h.Count(100))
+	}
+	if h.Fraction(1) != 2.0/6 {
+		t.Fatalf("fraction = %v", h.Fraction(1))
+	}
+	if h.Count(-1) != 0 {
+		t.Fatal("negative lookup not zero")
+	}
+}
+
+func TestHistogramMean(t *testing.T) {
+	h := NewHistogram(10)
+	for _, v := range []int{2, 4, 6} {
+		h.Add(v)
+	}
+	if got := h.Mean(); got != 4 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramBars(t *testing.T) {
+	h := NewHistogram(3)
+	h.Add(0)
+	h.Add(0)
+	h.Add(1)
+	h.Add(7)
+	out := h.Bars(20)
+	if !strings.Contains(out, "≥3") {
+		t.Fatalf("overflow row missing:\n%s", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Fatalf("bars missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d rows, want 4:\n%s", len(lines), out)
+	}
+}
+
+func TestHistogramEmptyAndPanics(t *testing.T) {
+	h := NewHistogram(2)
+	if out := h.Bars(10); !strings.Contains(out, "empty") {
+		t.Fatalf("empty rendering: %q", out)
+	}
+	if h.Fraction(0) != 0 {
+		t.Fatal("fraction of empty histogram")
+	}
+	for name, f := range map[string]func(){
+		"zero bins": func() { NewHistogram(0) },
+		"negative":  func() { NewHistogram(2).Add(-1) },
+		"mean":      func() { NewHistogram(2).Mean() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestQuickHistogramConservation: total equals the sum of all bins.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		h := NewHistogram(8)
+		for _, v := range raw {
+			h.Add(int(v))
+		}
+		sum := h.Count(1000) // overflow
+		for v := 0; v < 8; v++ {
+			sum += h.Count(v)
+		}
+		return sum == h.Total() && h.Total() == len(raw)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// KS is the result of a Kolmogorov–Smirnov test.
+type KS struct {
+	Stat float64 // the D statistic
+	P    float64 // asymptotic p-value
+}
+
+// KSOneSample tests a sample against a reference CDF. It panics on an
+// empty sample.
+func KSOneSample(sample []float64, cdf func(float64) float64) KS {
+	if len(sample) == 0 {
+		panic("stats: empty sample")
+	}
+	xs := append([]float64(nil), sample...)
+	sort.Float64s(xs)
+	n := float64(len(xs))
+	d := 0.0
+	for i, x := range xs {
+		f := cdf(x)
+		d = math.Max(d, math.Abs(f-float64(i)/n))
+		d = math.Max(d, math.Abs(float64(i+1)/n-f))
+	}
+	return KS{Stat: d, P: ksPValue(d, len(xs))}
+}
+
+// KSTwoSample tests whether two samples come from the same distribution.
+// It panics if either sample is empty.
+func KSTwoSample(a, b []float64) KS {
+	if len(a) == 0 || len(b) == 0 {
+		panic("stats: empty sample")
+	}
+	xs := append([]float64(nil), a...)
+	ys := append([]float64(nil), b...)
+	sort.Float64s(xs)
+	sort.Float64s(ys)
+	var i, j int
+	d := 0.0
+	for i < len(xs) && j < len(ys) {
+		if xs[i] <= ys[j] {
+			i++
+		} else {
+			j++
+		}
+		diff := math.Abs(float64(i)/float64(len(xs)) - float64(j)/float64(len(ys)))
+		d = math.Max(d, diff)
+	}
+	ne := float64(len(xs)) * float64(len(ys)) / float64(len(xs)+len(ys))
+	return KS{Stat: d, P: kolmogorovQ((math.Sqrt(ne) + 0.12 + 0.11/math.Sqrt(ne)) * d)}
+}
+
+func ksPValue(d float64, n int) float64 {
+	sn := math.Sqrt(float64(n))
+	return kolmogorovQ((sn + 0.12 + 0.11/sn) * d)
+}
+
+// kolmogorovQ is the survival function of the Kolmogorov distribution,
+// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} e^{−2k²λ²}.
+func kolmogorovQ(lambda float64) float64 {
+	if lambda <= 0 {
+		return 1
+	}
+	sum := 0.0
+	sign := 1.0
+	for k := 1; k <= 100; k++ {
+		term := sign * math.Exp(-2*float64(k)*float64(k)*lambda*lambda)
+		sum += term
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+		sign = -sign
+	}
+	p := 2 * sum
+	return math.Min(1, math.Max(0, p))
+}

@@ -1,0 +1,79 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is an ordinary least squares line y = Slope·x + Intercept with its
+// coefficient of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// String renders the fit compactly.
+func (f Fit) String() string {
+	return fmt.Sprintf("y = %.4g·x %+.4g (R² = %.4f)", f.Slope, f.Intercept, f.R2)
+}
+
+// LinearFit computes the least-squares line through (xs[i], ys[i]). It
+// panics unless len(xs) == len(ys) ≥ 2.
+func LinearFit(xs, ys []float64) Fit {
+	if len(xs) != len(ys) {
+		panic("stats: mismatched sample lengths")
+	}
+	if len(xs) < 2 {
+		panic("stats: need at least two points to fit a line")
+	}
+	n := float64(len(xs))
+	var sx, sy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		panic("stats: degenerate fit (all x equal)")
+	}
+	slope := sxy / sxx
+	fit := Fit{Slope: slope, Intercept: my - slope*mx}
+	if syy == 0 {
+		fit.R2 = 1 // perfectly flat data, perfectly fit
+	} else {
+		fit.R2 = sxy * sxy / (sxx * syy)
+	}
+	return fit
+}
+
+// FitLogX fits y = a·lg(x) + b, the shape of every O(log n) time bound in
+// the paper: slope a is the "parallel time per doubling of n".
+func FitLogX(xs, ys []float64) Fit {
+	lx := make([]float64, len(xs))
+	for i, x := range xs {
+		lx[i] = math.Log2(x)
+	}
+	return LinearFit(lx, ys)
+}
+
+// PowerFit fits y = c·x^Exponent by least squares in log-log space and
+// reports the exponent (Slope of the log-log line). Growth-shape checks
+// use it to distinguish Θ(n) from Θ(log n) scaling: linear data yields an
+// exponent near 1, logarithmic data an exponent near 0.
+func PowerFit(xs, ys []float64) Fit {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		lx[i] = math.Log2(xs[i])
+		ly[i] = math.Log2(ys[i])
+	}
+	return LinearFit(lx, ly)
+}

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"popproto/internal/rng"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if !almost(s.Std, 2.138, 0.001) {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("range = [%v, %v]", s.Min, s.Max)
+	}
+	if !almost(s.Median, 4.5, 1e-12) {
+		t.Fatalf("median = %v", s.Median)
+	}
+	lo, hi := s.CI95()
+	if lo >= s.Mean || hi <= s.Mean {
+		t.Fatalf("CI95 = [%v, %v] does not bracket the mean", lo, hi)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3})
+	if s.Mean != 3 || s.Std != 0 || s.Median != 3 {
+		t.Fatalf("single-point summary = %+v", s)
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty sample")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almost(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	// Input must not be mutated.
+	ys := []float64{3, 1, 2}
+	Quantile(ys, 0.5)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Quantile mutated its input")
+	}
+}
+
+// TestQuickQuantileWithinRange: quantiles always land inside [min, max].
+func TestQuickQuantileWithinRange(t *testing.T) {
+	r := rng.New(1)
+	f := func(raw []float64, qRaw uint8) bool {
+		if len(raw) == 0 {
+			raw = []float64{r.Float64()}
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		q := float64(qRaw) / 255
+		got := Quantile(raw, q)
+		s := Summarize(raw)
+		return got >= s.Min-1e-9 && got <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 2x + 3
+	f := LinearFit(xs, ys)
+	if !almost(f.Slope, 2, 1e-12) || !almost(f.Intercept, 3, 1e-12) || !almost(f.R2, 1, 1e-12) {
+		t.Fatalf("fit = %+v", f)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	r := rng.New(7)
+	xs := make([]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 1.5*xs[i] - 4 + (r.Float64()-0.5)*2
+	}
+	f := LinearFit(xs, ys)
+	if !almost(f.Slope, 1.5, 0.01) || !almost(f.Intercept, -4, 1.0) {
+		t.Fatalf("noisy fit = %+v", f)
+	}
+	if f.R2 < 0.99 {
+		t.Fatalf("R² = %v too low for light noise", f.R2)
+	}
+}
+
+func TestFitLogX(t *testing.T) {
+	// y = 3·lg(x) + 1 exactly.
+	xs := []float64{2, 4, 8, 16, 32}
+	ys := []float64{4, 7, 10, 13, 16}
+	f := FitLogX(xs, ys)
+	if !almost(f.Slope, 3, 1e-9) || !almost(f.Intercept, 1, 1e-9) {
+		t.Fatalf("log fit = %+v", f)
+	}
+}
+
+func TestPowerFitDistinguishesShapes(t *testing.T) {
+	ns := []float64{256, 512, 1024, 2048, 4096}
+
+	linear := make([]float64, len(ns))
+	logarithmic := make([]float64, len(ns))
+	for i, n := range ns {
+		linear[i] = 0.7 * n
+		logarithmic[i] = 12 * math.Log2(n)
+	}
+	if e := PowerFit(ns, linear).Slope; !almost(e, 1, 0.01) {
+		t.Fatalf("linear exponent = %v", e)
+	}
+	if e := PowerFit(ns, logarithmic).Slope; e > 0.25 {
+		t.Fatalf("logarithmic data produced exponent %v, want near 0", e)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"mismatched": func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		"too short":  func() { LinearFit([]float64{1}, []float64{1}) },
+		"degenerate": func() { LinearFit([]float64{2, 2}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestChernoffBounds(t *testing.T) {
+	// Exact values of e^{−δ²μ/3} and e^{−δ²μ/2}.
+	if got := ChernoffUpper(1, 3); !almost(got, math.Exp(-1), 1e-12) {
+		t.Fatalf("upper = %v", got)
+	}
+	if got := ChernoffLower(0.5, 8); !almost(got, math.Exp(-1), 1e-12) {
+		t.Fatalf("lower = %v", got)
+	}
+	// Monotone in μ.
+	if ChernoffUpper(0.5, 100) >= ChernoffUpper(0.5, 10) {
+		t.Fatal("upper bound not decreasing in μ")
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	// Pr[X = 0] = p; CDF telescopes.
+	if !almost(GeometricPMF(0.25, 0), 0.25, 1e-12) {
+		t.Fatal("pmf(0)")
+	}
+	sum := 0.0
+	for k := 0; k <= 50; k++ {
+		sum += GeometricPMF(0.3, k)
+	}
+	if !almost(sum, GeometricCDF(0.3, 50), 1e-9) {
+		t.Fatalf("pmf sum %v != cdf %v", sum, GeometricCDF(0.3, 50))
+	}
+	if GeometricCDF(0.3, -1) != 0 {
+		t.Fatal("cdf(-1)")
+	}
+}
+
+func TestWilsonCI(t *testing.T) {
+	lo, hi := WilsonCI(50, 100)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("CI [%v, %v] does not bracket 0.5", lo, hi)
+	}
+	if lo < 0.39 || hi > 0.61 {
+		t.Fatalf("CI [%v, %v] implausibly wide for n=100", lo, hi)
+	}
+	// Extreme counts stay within [0, 1].
+	lo, hi = WilsonCI(0, 10)
+	if lo != 0 || hi <= 0 {
+		t.Fatalf("CI for 0/10 = [%v, %v]", lo, hi)
+	}
+	lo, hi = WilsonCI(10, 10)
+	if hi != 1 || lo >= 1 {
+		t.Fatalf("CI for 10/10 = [%v, %v]", lo, hi)
+	}
+}
+
+func TestSurvivorEnvelope(t *testing.T) {
+	if !almost(SurvivorEnvelope(2), 0.5, 1e-12) {
+		t.Fatal("envelope(2)")
+	}
+	if !almost(SurvivorEnvelope(5), 1.0/16, 1e-12) {
+		t.Fatal("envelope(5)")
+	}
+}

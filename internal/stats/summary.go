@@ -1,0 +1,106 @@
+// Package stats provides the statistical machinery the experiment harness
+// uses to test the paper's quantitative claims rather than eyeball them:
+// summary statistics with confidence intervals, least-squares fits for
+// growth-shape checks, chi-square and Kolmogorov–Smirnov goodness-of-fit
+// tests, binomial confidence intervals, and calculators for the Chernoff
+// bounds of the paper's Lemma 1 and the geometric distribution of its
+// lottery analysis.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the usual description of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n−1 denominator)
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary. It panics on an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	for _, x := range xs {
+		s.Mean += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean /= float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	s.Median = Quantile(xs, 0.5)
+	return s
+}
+
+// String renders the summary compactly.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g ± %.2g (median %.4g, range [%.4g, %.4g])",
+		s.N, s.Mean, s.SEM(), s.Median, s.Min, s.Max)
+}
+
+// SEM returns the standard error of the mean.
+func (s Summary) SEM() float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	return s.Std / math.Sqrt(float64(s.N))
+}
+
+// CI95 returns the normal-approximation 95% confidence interval for the
+// mean.
+func (s Summary) CI95() (lo, hi float64) {
+	d := 1.96 * s.SEM()
+	return s.Mean - d, s.Mean + d
+}
+
+// Mean returns the arithmetic mean. It panics on an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Quantile returns the q-th sample quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics. It does not modify xs and panics
+// on an empty sample or q outside [0, 1].
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic(fmt.Sprintf("stats: quantile %v outside [0,1]", q))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

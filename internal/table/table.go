@@ -1,0 +1,93 @@
+// Package table renders aligned Markdown tables for experiment reports —
+// the medium in which this repository regenerates the paper's tables.
+package table
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows and renders an aligned Markdown pipe table.
+// The zero value is not usable; construct with New.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// New returns a table with the given column headers. It panics without
+// at least one column.
+func New(headers ...string) *Table {
+	if len(headers) == 0 {
+		panic("table: need at least one column")
+	}
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row. Missing cells are blank-filled; extra cells panic.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("table: row has %d cells, table has %d columns",
+			len(cells), len(t.headers)))
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v unless it is a string (kept as-is).
+func (t *Table) AddRowf(cells ...any) {
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		if s, ok := c.(string); ok {
+			out = append(out, s)
+		} else {
+			out = append(out, fmt.Sprintf("%v", c))
+		}
+	}
+	t.AddRow(out...)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Markdown renders the table with padded columns.
+func (t *Table) Markdown() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len([]rune(h))
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if l := len([]rune(c)); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		b.WriteString("|")
+		for i, c := range cells {
+			b.WriteString(" ")
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len([]rune(c))))
+			b.WriteString(" |")
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.headers)
+	b.WriteString("|")
+	for _, w := range widths {
+		b.WriteString(strings.Repeat("-", w+2))
+		b.WriteString("|")
+	}
+	b.WriteString("\n")
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// String implements fmt.Stringer.
+func (t *Table) String() string { return t.Markdown() }

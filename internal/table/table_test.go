@@ -1,0 +1,64 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownShape(t *testing.T) {
+	tb := New("Protocol", "States", "Time")
+	tb.AddRow("PLL", "O(log n)", "O(log n)")
+	tb.AddRow("Angluin", "O(1)", "O(n)")
+	out := tb.Markdown()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "| Protocol") {
+		t.Fatalf("header line: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Fatalf("separator line: %q", lines[1])
+	}
+	// All rows must have identical width (aligned columns).
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) {
+			t.Fatalf("misaligned row %q vs header %q", l, lines[0])
+		}
+	}
+}
+
+func TestAddRowPadsAndPanics(t *testing.T) {
+	tb := New("A", "B")
+	tb.AddRow("x") // short rows are padded
+	if !strings.Contains(tb.Markdown(), "| x |") {
+		t.Fatalf("padded row missing:\n%s", tb.Markdown())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("oversized row accepted")
+		}
+	}()
+	tb.AddRow("1", "2", "3")
+}
+
+func TestAddRowf(t *testing.T) {
+	tb := New("n", "time")
+	tb.AddRowf(1024, 3.5)
+	if !strings.Contains(tb.Markdown(), "1024") || !strings.Contains(tb.Markdown(), "3.5") {
+		t.Fatalf("formatted row missing:\n%s", tb.Markdown())
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+}
+
+func TestNewPanicsWithoutColumns(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for empty header list")
+		}
+	}()
+	New()
+}

@@ -1,0 +1,171 @@
+// Package trace records time series from protocol executions — leader
+// counts, epoch occupancy, group censuses — sampled at fixed parallel-time
+// intervals. It backs the trajectory "figures" of the experiment reports
+// and the -chart mode of cmd/leaderelect.
+package trace
+
+import (
+	"fmt"
+
+	"popproto/internal/asciichart"
+	"popproto/internal/pp"
+)
+
+// Series is one named scalar time series sampled over parallel time.
+type Series struct {
+	// Name labels the series in charts.
+	Name string
+	// Times holds the sample instants in parallel time.
+	Times []float64
+	// Values holds the sampled values.
+	Values []float64
+}
+
+// Len returns the number of samples.
+func (s *Series) Len() int { return len(s.Times) }
+
+// Last returns the most recent sample value; it panics on an empty series.
+func (s *Series) Last() float64 {
+	if len(s.Values) == 0 {
+		panic("trace: empty series")
+	}
+	return s.Values[len(s.Values)-1]
+}
+
+// Probe extracts one scalar from a simulator.
+type Probe[S comparable] struct {
+	// Name labels the resulting series.
+	Name string
+	// Sample reads the scalar.
+	Sample func(sim *pp.Simulator[S]) float64
+}
+
+// LeaderProbe samples the current leader count.
+func LeaderProbe[S comparable]() Probe[S] {
+	return Probe[S]{
+		Name:   "leaders",
+		Sample: func(sim *pp.Simulator[S]) float64 { return float64(sim.Leaders()) },
+	}
+}
+
+// CountProbe samples how many agents satisfy pred.
+func CountProbe[S comparable](name string, pred func(S) bool) Probe[S] {
+	return Probe[S]{
+		Name: name,
+		Sample: func(sim *pp.Simulator[S]) float64 {
+			count := 0
+			sim.ForEach(func(_ int, s S) {
+				if pred(s) {
+					count++
+				}
+			})
+			return float64(count)
+		},
+	}
+}
+
+// Recorder samples a set of probes from a simulator at a fixed cadence.
+type Recorder[S comparable] struct {
+	sim      *pp.Simulator[S]
+	probes   []Probe[S]
+	series   []*Series
+	interval float64 // parallel time between samples
+}
+
+// NewRecorder attaches probes to a simulator. every is the sampling
+// interval in parallel time; it panics unless every > 0 and at least one
+// probe is given.
+func NewRecorder[S comparable](sim *pp.Simulator[S], every float64, probes ...Probe[S]) *Recorder[S] {
+	if every <= 0 {
+		panic("trace: non-positive sampling interval")
+	}
+	if len(probes) == 0 {
+		panic("trace: no probes")
+	}
+	r := &Recorder[S]{sim: sim, probes: probes, interval: every}
+	r.series = make([]*Series, len(probes))
+	for i, p := range probes {
+		r.series[i] = &Series{Name: p.Name}
+	}
+	r.sample() // include the initial configuration
+	return r
+}
+
+func (r *Recorder[S]) sample() {
+	t := r.sim.ParallelTime()
+	for i, p := range r.probes {
+		r.series[i].Times = append(r.series[i].Times, t)
+		r.series[i].Values = append(r.series[i].Values, p.Sample(r.sim))
+	}
+}
+
+// Run advances the simulation by the given parallel time, sampling every
+// interval, and returns the recorder for chaining.
+func (r *Recorder[S]) Run(parallel float64) *Recorder[S] {
+	stepsPerSample := uint64(r.interval * float64(r.sim.N()))
+	if stepsPerSample == 0 {
+		stepsPerSample = 1
+	}
+	total := uint64(parallel * float64(r.sim.N()))
+	for done := uint64(0); done < total; done += stepsPerSample {
+		chunk := min(stepsPerSample, total-done)
+		r.sim.RunSteps(chunk)
+		r.sample()
+	}
+	return r
+}
+
+// RunUntil advances the simulation, sampling every interval, until pred
+// holds or the parallel-time budget is exhausted; it reports whether pred
+// was observed.
+func (r *Recorder[S]) RunUntil(budget float64, pred func(*pp.Simulator[S]) bool) bool {
+	stepsPerSample := uint64(r.interval * float64(r.sim.N()))
+	if stepsPerSample == 0 {
+		stepsPerSample = 1
+	}
+	total := uint64(budget * float64(r.sim.N()))
+	for {
+		if pred(r.sim) {
+			return true
+		}
+		if r.sim.Steps() >= total {
+			return false
+		}
+		r.sim.RunSteps(stepsPerSample)
+		r.sample()
+	}
+}
+
+// Series returns the recorded series, in probe order.
+func (r *Recorder[S]) Series() []*Series { return r.series }
+
+// SeriesByName returns the series recorded for the given probe name.
+func (r *Recorder[S]) SeriesByName(name string) (*Series, bool) {
+	for _, s := range r.series {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return nil, false
+}
+
+// Chart renders the recorded series as one ASCII chart.
+func (r *Recorder[S]) Chart(opt asciichart.Options) string {
+	series := make([]asciichart.Series, 0, len(r.series))
+	for _, s := range r.series {
+		if s.Len() == 0 {
+			continue
+		}
+		series = append(series, asciichart.Series{Name: s.Name, X: s.Times, Y: s.Values})
+	}
+	if opt.XLabel == "" {
+		opt.XLabel = "parallel time"
+	}
+	return asciichart.Plot(series, opt)
+}
+
+// String summarizes the recorder state.
+func (r *Recorder[S]) String() string {
+	return fmt.Sprintf("trace.Recorder{%d probes, %d samples, t=%.1f}",
+		len(r.probes), r.series[0].Len(), r.sim.ParallelTime())
+}

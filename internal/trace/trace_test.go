@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"popproto/internal/asciichart"
+	"popproto/internal/core"
+	"popproto/internal/pp"
+)
+
+func newPLLSim(n int, seed uint64) *pp.Simulator[core.State] {
+	return pp.NewSimulator[core.State](core.NewForN(n), n, seed)
+}
+
+func TestRecorderSamplesAtCadence(t *testing.T) {
+	sim := newPLLSim(100, 1)
+	r := NewRecorder(sim, 1.0, LeaderProbe[core.State]())
+	r.Run(10)
+	leaders, ok := r.SeriesByName("leaders")
+	if !ok {
+		t.Fatal("leaders series missing")
+	}
+	// Initial sample plus ten unit-interval samples.
+	if leaders.Len() != 11 {
+		t.Fatalf("got %d samples, want 11", leaders.Len())
+	}
+	if leaders.Values[0] != 100 {
+		t.Fatalf("initial leader sample = %v, want 100", leaders.Values[0])
+	}
+	if leaders.Last() > leaders.Values[0] {
+		t.Fatal("leader count grew")
+	}
+	// Times are non-decreasing and end near 10 parallel time.
+	for i := 1; i < leaders.Len(); i++ {
+		if leaders.Times[i] < leaders.Times[i-1] {
+			t.Fatal("sample times not monotone")
+		}
+	}
+	if last := leaders.Times[leaders.Len()-1]; last < 9.5 || last > 10.5 {
+		t.Fatalf("final sample at t=%v, want ≈10", last)
+	}
+}
+
+func TestRecorderMultipleProbes(t *testing.T) {
+	sim := newPLLSim(64, 2)
+	r := NewRecorder(sim, 0.5,
+		LeaderProbe[core.State](),
+		CountProbe[core.State]("timers", func(s core.State) bool { return s.Status == core.StatusB }),
+		CountProbe[core.State]("epoch4", func(s core.State) bool { return s.Epoch == 4 }),
+	)
+	r.Run(5)
+	if len(r.Series()) != 3 {
+		t.Fatalf("got %d series", len(r.Series()))
+	}
+	timers, _ := r.SeriesByName("timers")
+	if timers.Last() < 1 {
+		t.Fatalf("no timers after 5 parallel time: %v", timers.Last())
+	}
+	if _, ok := r.SeriesByName("nope"); ok {
+		t.Fatal("found a series that was never recorded")
+	}
+}
+
+func TestRecorderRunUntil(t *testing.T) {
+	sim := newPLLSim(64, 3)
+	r := NewRecorder(sim, 1.0, LeaderProbe[core.State]())
+	ok := r.RunUntil(100000, func(s *pp.Simulator[core.State]) bool {
+		return s.Leaders() == 1
+	})
+	if !ok {
+		t.Fatal("never reached one leader")
+	}
+	leaders, _ := r.SeriesByName("leaders")
+	if leaders.Last() != 1 {
+		t.Fatalf("last sample %v, want 1", leaders.Last())
+	}
+
+	// A budget of zero parallel time cannot satisfy an unsatisfiable
+	// predicate.
+	sim2 := newPLLSim(8, 4)
+	r2 := NewRecorder(sim2, 1.0, LeaderProbe[core.State]())
+	if r2.RunUntil(0.5, func(s *pp.Simulator[core.State]) bool { return false }) {
+		t.Fatal("unsatisfiable predicate reported satisfied")
+	}
+}
+
+func TestRecorderChart(t *testing.T) {
+	sim := newPLLSim(128, 5)
+	r := NewRecorder(sim, 1.0, LeaderProbe[core.State]())
+	r.Run(20)
+	chart := r.Chart(asciichart.Options{Width: 40, Height: 8, YLabel: "count"})
+	if !strings.Contains(chart, "leaders") || !strings.Contains(chart, "parallel time") {
+		t.Fatalf("chart missing labels:\n%s", chart)
+	}
+}
+
+func TestRecorderString(t *testing.T) {
+	sim := newPLLSim(16, 6)
+	r := NewRecorder(sim, 2.0, LeaderProbe[core.State]())
+	if s := r.String(); !strings.Contains(s, "1 probes") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestRecorderPanics(t *testing.T) {
+	sim := newPLLSim(16, 7)
+	for name, f := range map[string]func(){
+		"zero interval": func() { NewRecorder(sim, 0, LeaderProbe[core.State]()) },
+		"no probes":     func() { NewRecorder[core.State](sim, 1.0) },
+		"empty last":    func() { (&Series{}).Last() },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
