@@ -10,6 +10,8 @@ package popproto
 import (
 	"fmt"
 	"math"
+	"os"
+	"runtime"
 	"testing"
 
 	"popproto/internal/baseline"
@@ -20,19 +22,32 @@ import (
 	"popproto/internal/trace"
 )
 
-// electionBench runs one full election per iteration and reports the mean
-// parallel stabilization time.
-func electionBench[S comparable](b *testing.B, proto pp.Protocol[S], n int, budget uint64) {
+// electionBench runs one full election per iteration on the selected
+// engine and reports the mean parallel stabilization time.
+func electionBench[S comparable](b *testing.B, engine pp.Engine, proto pp.Protocol[S], n int, budget uint64) {
 	b.Helper()
 	var total float64
 	for i := 0; i < b.N; i++ {
-		sim := pp.NewSimulator[S](proto, n, uint64(i)+1)
+		sim := pp.NewRunner[S](engine, proto, n, uint64(i)+1)
 		if _, ok := sim.RunUntilLeaders(1, budget); !ok {
 			b.Fatalf("iteration %d did not stabilize", i)
 		}
 		total += sim.ParallelTime()
 	}
 	b.ReportMetric(total/float64(b.N), "parallel-time/op")
+}
+
+// liveHeapMiB measures the live heap after a forced GC, the memory figure
+// that separates the engines at large n. keepAlive pins the simulator so
+// its census is still live when the heap is measured. Callers stop the
+// benchmark timer around the call (the forced GC must not count toward
+// ns/op) and report the maximum over iterations after the loop.
+func liveHeapMiB(keepAlive any) float64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	runtime.KeepAlive(keepAlive)
+	return float64(ms.HeapAlloc) / (1 << 20)
 }
 
 func logBudget(n int) uint64 {
@@ -46,33 +61,33 @@ func linearBudget(n int) uint64 {
 // --- Table 1: states vs stabilization time, one bench per protocol row ---
 
 func BenchmarkTable1_PLL(b *testing.B) {
-	electionBench[core.State](b, core.NewForN(1024), 1024, logBudget(1024))
+	electionBench[core.State](b, pp.EngineAgent, core.NewForN(1024), 1024, logBudget(1024))
 }
 
 func BenchmarkTable1_PLLSymmetric(b *testing.B) {
-	electionBench[core.SymState](b, core.NewSymmetricForN(1024), 1024, 40*logBudget(1024))
+	electionBench[core.SymState](b, pp.EngineAgent, core.NewSymmetricForN(1024), 1024, 40*logBudget(1024))
 }
 
 func BenchmarkTable1_Angluin(b *testing.B) {
-	electionBench[baseline.AngluinState](b, baseline.Angluin{}, 1024, linearBudget(1024))
+	electionBench[baseline.AngluinState](b, pp.EngineAgent, baseline.Angluin{}, 1024, linearBudget(1024))
 }
 
 func BenchmarkTable1_Lottery(b *testing.B) {
-	electionBench[baseline.LotteryState](b, baseline.NewLottery(1024), 1024, linearBudget(1024))
+	electionBench[baseline.LotteryState](b, pp.EngineAgent, baseline.NewLottery(1024), 1024, linearBudget(1024))
 }
 
 func BenchmarkTable1_MaxID(b *testing.B) {
-	electionBench[baseline.MaxIDState](b, baseline.NewMaxID(1024), 1024, linearBudget(1024))
+	electionBench[baseline.MaxIDState](b, pp.EngineAgent, baseline.NewMaxID(1024), 1024, linearBudget(1024))
 }
 
 // --- Table 2: lower-bound consistency (constant-state pays linear time) ---
 
 func BenchmarkTable2_LowerBounds(b *testing.B) {
 	b.Run("angluin-n512", func(b *testing.B) {
-		electionBench[baseline.AngluinState](b, baseline.Angluin{}, 512, linearBudget(512))
+		electionBench[baseline.AngluinState](b, pp.EngineAgent, baseline.Angluin{}, 512, linearBudget(512))
 	})
 	b.Run("pll-n512", func(b *testing.B) {
-		electionBench[core.State](b, core.NewForN(512), 512, logBudget(512))
+		electionBench[core.State](b, pp.EngineAgent, core.NewForN(512), 512, logBudget(512))
 	})
 }
 
@@ -97,7 +112,7 @@ func BenchmarkTable3_StateSpace(b *testing.B) {
 func BenchmarkTheorem1_PLLStabilization(b *testing.B) {
 	for _, n := range []int{1024, 4096, 16384} {
 		b.Run(benchName(n), func(b *testing.B) {
-			electionBench[core.State](b, core.NewForN(n), n, logBudget(n))
+			electionBench[core.State](b, pp.EngineAgent, core.NewForN(n), n, logBudget(n))
 		})
 	}
 }
@@ -298,10 +313,10 @@ func BenchmarkCoins_Fairness(b *testing.B) {
 
 func BenchmarkSymmetric_Parity(b *testing.B) {
 	b.Run("asymmetric-n1024", func(b *testing.B) {
-		electionBench[core.State](b, core.NewForN(1024), 1024, logBudget(1024))
+		electionBench[core.State](b, pp.EngineAgent, core.NewForN(1024), 1024, logBudget(1024))
 	})
 	b.Run("symmetric-n1024", func(b *testing.B) {
-		electionBench[core.SymState](b, core.NewSymmetricForN(1024), 1024, 40*logBudget(1024))
+		electionBench[core.SymState](b, pp.EngineAgent, core.NewSymmetricForN(1024), 1024, 40*logBudget(1024))
 	})
 }
 
@@ -313,7 +328,7 @@ func BenchmarkTrajectory_Figure(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		sim := pp.NewSimulator[core.State](p, n, uint64(i)+1)
 		rec := trace.NewRecorder(sim, 1.0, trace.LeaderProbe[core.State]())
-		rec.RunUntil(float64(40*core.CeilLog2(n)), func(s *pp.Simulator[core.State]) bool {
+		rec.RunUntil(float64(40*core.CeilLog2(n)), func(s pp.Runner[core.State]) bool {
 			return s.Leaders() == 1
 		})
 	}
@@ -326,7 +341,7 @@ func BenchmarkAblation_PhiSweep(b *testing.B) {
 	for _, phi := range []int{0, 3} {
 		p := core.New(core.NewParams(n).WithPhi(phi))
 		b.Run(fmt.Sprintf("phi=%d", phi), func(b *testing.B) {
-			electionBench[core.State](b, p, n, 100*logBudget(n))
+			electionBench[core.State](b, pp.EngineAgent, p, n, 100*logBudget(n))
 		})
 	}
 }
@@ -351,11 +366,108 @@ func BenchmarkMicro_PLLStep(b *testing.B) {
 	}
 }
 
+func BenchmarkMicro_PLLCountStep(b *testing.B) {
+	sim := pp.NewCountSimulator[core.State](core.NewForN(4096), 4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}
+
 func BenchmarkMicro_SymmetricStep(b *testing.B) {
 	sim := pp.NewSimulator[core.SymState](core.NewSymmetricForN(4096), 4096, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Step()
+	}
+}
+
+// --- Engine comparison: per-agent vs census on identical workloads ---
+
+// BenchmarkEngines_PLL races the two engines on the Table 1 PLL workload
+// across population sizes up to 10⁶, where the per-agent engine's Θ(n)
+// state vector stops fitting in cache while the census stays resident.
+func BenchmarkEngines_PLL(b *testing.B) {
+	for _, n := range []int{1024, 65536, 1_000_000} {
+		for _, engine := range pp.Engines() {
+			b.Run(fmt.Sprintf("n=%d/engine=%s", n, engine), func(b *testing.B) {
+				electionBench[core.State](b, engine, core.NewForN(n), n, logBudget(n))
+			})
+		}
+	}
+}
+
+// BenchmarkEngines_Angluin shows the census engine's batched no-op
+// skipping: the duel endgame is no-op dominated (two surviving leaders
+// among n agents meet once every ~n²/2 interactions), so the census engine
+// does Θ(n) work where the per-agent engine does Θ(n²).
+func BenchmarkEngines_Angluin(b *testing.B) {
+	for _, n := range []int{1024, 16384} {
+		for _, engine := range pp.Engines() {
+			b.Run(fmt.Sprintf("n=%d/engine=%s", n, engine), func(b *testing.B) {
+				electionBench[baseline.AngluinState](b, engine, baseline.Angluin{}, n, linearBudget(n))
+			})
+		}
+	}
+}
+
+// --- Large-n workloads: infeasible on the per-agent engine ---
+
+// xlGuard skips the 10⁸-agent cases unless explicitly requested: a full
+// PLL election at n = 10⁸ is ~6×10⁹ census events (minutes of wall clock),
+// though only tens of MiB of memory — the per-agent engine would need
+// ≳1.6 GiB for the state vector alone before counting GC headroom.
+func xlGuard(b *testing.B, n int) {
+	b.Helper()
+	if n > 10_000_000 && os.Getenv("POPPROTO_BENCH_XL") == "" {
+		b.Skip("set POPPROTO_BENCH_XL=1 to run the 10⁸-agent case")
+	}
+}
+
+func BenchmarkLargeN_PLL_CountEngine(b *testing.B) {
+	for _, n := range []int{10_000_000, 100_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xlGuard(b, n)
+			proto := core.NewForN(n)
+			var total, maxHeap, maxLive float64
+			for i := 0; i < b.N; i++ {
+				sim := pp.NewCountSimulator[core.State](proto, n, uint64(i)+1)
+				if _, ok := sim.RunUntilLeaders(1, logBudget(n)); !ok {
+					b.Fatalf("iteration %d did not stabilize", i)
+				}
+				total += sim.ParallelTime()
+				b.StopTimer()
+				maxHeap = max(maxHeap, liveHeapMiB(sim))
+				maxLive = max(maxLive, float64(sim.LiveStates()))
+				b.StartTimer()
+			}
+			b.ReportMetric(maxHeap, "max-heap-MiB")
+			b.ReportMetric(maxLive, "live-states")
+			b.ReportMetric(total/float64(b.N), "parallel-time/op")
+		})
+	}
+}
+
+func BenchmarkLargeN_Angluin_CountEngine(b *testing.B) {
+	// The simulated interaction count here is Θ(n²) ≈ 10¹⁴–10¹⁶ — far past
+	// anything executable one step at a time; batching makes it Θ(n) events.
+	for _, n := range []int{10_000_000, 100_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xlGuard(b, n)
+			var total, maxHeap float64
+			for i := 0; i < b.N; i++ {
+				sim := pp.NewCountSimulator[baseline.AngluinState](baseline.Angluin{}, n, uint64(i)+1)
+				if _, ok := sim.RunUntilLeaders(1, linearBudget(n)); !ok {
+					b.Fatalf("iteration %d did not stabilize", i)
+				}
+				total += sim.ParallelTime()
+				b.StopTimer()
+				maxHeap = max(maxHeap, liveHeapMiB(sim))
+				b.StartTimer()
+			}
+			b.ReportMetric(maxHeap, "max-heap-MiB")
+			b.ReportMetric(total/float64(b.N), "parallel-time/op")
+		})
 	}
 }
 

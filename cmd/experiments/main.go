@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments -list
-//	experiments [-quick] [-seed N] [-out FILE] [ids...]
+//	experiments [-quick] [-seed N] [-engine agent|count] [-out FILE] [ids...]
 //
 // With no ids, every experiment runs in registry order.
 package main
@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"popproto/internal/harness"
+	"popproto/internal/pp"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "smoke-test scale (small n, few repetitions)")
 	seed := fs.Uint64("seed", harness.DefaultConfig().Seed, "master seed")
 	workers := fs.Int("workers", 0, "simulation workers (0 = NumCPU)")
+	engine := fs.String("engine", "agent", "simulation engine for election sweeps: agent (per-agent states) | count (census, for large n)")
 	out := fs.String("out", "", "also write the combined report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,7 +48,11 @@ func run(args []string) error {
 		return nil
 	}
 
-	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	eng, err := pp.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers, Engine: eng}
 	selected := harness.All()
 	if fs.NArg() > 0 {
 		selected = selected[:0]

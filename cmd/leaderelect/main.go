@@ -5,6 +5,11 @@
 // Usage:
 //
 //	leaderelect -protocol pll -n 100000 -seed 7 -trace 5
+//	leaderelect -protocol pll -engine count -n 100000000 -seed 7
+//
+// The -engine flag selects the simulation engine: "agent" keeps one state
+// per agent; "count" keeps only the census (state multiplicities), which is
+// what makes populations of 10^7-10^8 agents practical.
 //
 // With -trace k the leader count is printed every k units of parallel
 // time until stabilization.
@@ -32,6 +37,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("leaderelect", flag.ContinueOnError)
 	protocol := fs.String("protocol", "pll", "pll | pll-sym | angluin | lottery | maxid")
+	engineName := fs.String("engine", "agent", "simulation engine: agent | count (census-based, for large n)")
 	n := fs.Int("n", 10000, "population size")
 	seed := fs.Uint64("seed", 1, "scheduler seed")
 	m := fs.Int("m", 0, "knowledge parameter m for PLL (0 = ⌈lg n⌉)")
@@ -45,6 +51,10 @@ func run(args []string) error {
 	if *n < 1 {
 		return fmt.Errorf("population size %d < 1", *n)
 	}
+	engine, err := pp.ParseEngine(*engineName)
+	if err != nil {
+		return err
+	}
 
 	maxSteps := uint64(*budget * float64(*n))
 	switch *protocol {
@@ -55,20 +65,20 @@ func run(args []string) error {
 		}
 		fmt.Printf("PLL with n=%d m=%d (lmax=%d cmax=%d Φ=%d), %d states/agent\n",
 			*n, params.M, params.LMax, params.CMax, params.Phi, params.StateSpaceSize())
-		return elect[core.State](core.New(params), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
+		return elect[core.State](engine, core.New(params), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
 	case "pll-sym":
 		params, err := pllParams(*n, *m)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("symmetric PLL with n=%d m=%d\n", *n, params.M)
-		return elect[core.SymState](core.NewSymmetric(params), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
+		return elect[core.SymState](engine, core.NewSymmetric(params), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
 	case "angluin":
-		return elect[baseline.AngluinState](baseline.Angluin{}, *n, *seed, maxSteps, *traceEvery, *chart, *verify)
+		return elect[baseline.AngluinState](engine, baseline.Angluin{}, *n, *seed, maxSteps, *traceEvery, *chart, *verify)
 	case "lottery":
-		return elect[baseline.LotteryState](baseline.NewLottery(*n), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
+		return elect[baseline.LotteryState](engine, baseline.NewLottery(*n), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
 	case "maxid":
-		return elect[baseline.MaxIDState](baseline.NewMaxID(*n), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
+		return elect[baseline.MaxIDState](engine, baseline.NewMaxID(*n), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
 	default:
 		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
@@ -81,14 +91,14 @@ func pllParams(n, m int) (core.Params, error) {
 	return core.NewParamsWithM(n, m)
 }
 
-func elect[S comparable](proto pp.Protocol[S], n int, seed, maxSteps uint64, traceEvery float64, chart bool, verify uint64) error {
-	sim := pp.NewSimulator[S](proto, n, seed)
-	fmt.Printf("protocol %s, %d agents, seed %d\n", proto.Name(), n, seed)
+func elect[S comparable](engine pp.Engine, proto pp.Protocol[S], n int, seed, maxSteps uint64, traceEvery float64, chart bool, verify uint64) error {
+	sim := pp.NewRunner[S](engine, proto, n, seed)
+	fmt.Printf("protocol %s, %d agents, seed %d, %s engine\n", proto.Name(), n, seed, engine)
 
 	switch {
 	case chart:
 		rec := trace.NewRecorder(sim, 1.0, trace.LeaderProbe[S]())
-		rec.RunUntil(float64(maxSteps)/float64(n), func(s *pp.Simulator[S]) bool {
+		rec.RunUntil(float64(maxSteps)/float64(n), func(s pp.Runner[S]) bool {
 			return s.Leaders() <= 1
 		})
 		fmt.Print(rec.Chart(asciichart.Options{Width: 64, Height: 14, YLabel: "leaders"}))
@@ -109,14 +119,22 @@ func elect[S comparable](proto pp.Protocol[S], n int, seed, maxSteps uint64, tra
 		return fmt.Errorf("no stabilization within %d steps (%d leaders remain)",
 			maxSteps, sim.Leaders())
 	}
-	leaderID := -1
-	sim.ForEach(func(id int, s S) {
-		if proto.Output(s) == pp.Leader {
-			leaderID = id
-		}
-	})
-	fmt.Printf("elected agent %d after %.2f parallel time (%d interactions)\n",
-		leaderID, sim.ParallelTime(), sim.Steps())
+	if engine == pp.EngineAgent {
+		// Only the per-agent engine has real agent identities; the census
+		// engine's ids are synthetic, and scanning 10⁸ agents to print one
+		// would dwarf the election itself.
+		leaderID := -1
+		sim.ForEach(func(id int, s S) {
+			if proto.Output(s) == pp.Leader {
+				leaderID = id
+			}
+		})
+		fmt.Printf("elected agent %d after %.2f parallel time (%d interactions)\n",
+			leaderID, sim.ParallelTime(), sim.Steps())
+	} else {
+		fmt.Printf("elected a unique leader after %.2f parallel time (%d interactions, %d live states)\n",
+			sim.ParallelTime(), sim.Steps(), len(sim.Census()))
+	}
 
 	if verify > 0 {
 		if sim.VerifyStable(verify) {

@@ -6,11 +6,20 @@ import (
 )
 
 func TestRunAllProtocols(t *testing.T) {
-	for _, proto := range []string{"pll", "pll-sym", "angluin", "lottery", "maxid"} {
-		args := []string{"-protocol", proto, "-n", "64", "-seed", "3", "-verify", "2000"}
-		if err := run(args); err != nil {
-			t.Errorf("%s: %v", proto, err)
+	for _, engine := range []string{"agent", "count"} {
+		for _, proto := range []string{"pll", "pll-sym", "angluin", "lottery", "maxid"} {
+			args := []string{"-protocol", proto, "-engine", engine,
+				"-n", "64", "-seed", "3", "-verify", "2000"}
+			if err := run(args); err != nil {
+				t.Errorf("%s/%s: %v", proto, engine, err)
+			}
 		}
+	}
+}
+
+func TestRunRejectsUnknownEngine(t *testing.T) {
+	if err := run([]string{"-engine", "quantum", "-n", "8"}); err == nil {
+		t.Fatal("unknown engine accepted")
 	}
 }
 

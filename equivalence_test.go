@@ -1,0 +1,153 @@
+// Engine-equivalence tests: the census engine (CountSimulator) must be
+// statistically indistinguishable from the per-agent engine (Simulator) on
+// identical protocols. Both engines realize the same Markov chain — the
+// census engine by sampling state pairs with the multiplicity weights of
+// the uniform scheduler and by exact geometric batching of
+// census-preserving interactions — so their stabilization-time
+// distributions agree. These tests certify that with the repository's own
+// statistical machinery (KS and χ² from internal/stats).
+//
+// All seeds are fixed, so the tests are deterministic; under the null
+// hypothesis (which holds by construction) the p-values are uniform, and
+// the chosen seeds give comfortable margins over the 0.001 rejection level.
+package popproto
+
+import (
+	"testing"
+
+	"popproto/internal/baseline"
+	"popproto/internal/core"
+	"popproto/internal/pp"
+	"popproto/internal/pp/pptest"
+	"popproto/internal/stats"
+)
+
+// stabilizationTimes collects the parallel stabilization times of reps
+// independent elections on the given engine, failing the test if any run
+// misses the budget.
+func stabilizationTimes[S comparable](
+	t *testing.T, engine pp.Engine, proto pp.Protocol[S], n, reps int, seed, budget uint64,
+) []float64 {
+	t.Helper()
+	results := pp.MeasureWith(engine, proto, n, reps, seed, budget, 0)
+	times := make([]float64, len(results))
+	for i, r := range results {
+		if !r.Stabilized {
+			t.Fatalf("%s engine, rep %d: did not stabilize within %d steps",
+				engine, i, budget)
+		}
+		times[i] = r.ParallelTime
+	}
+	return times
+}
+
+// ksAcross runs reps elections per engine (with distinct seed streams) and
+// applies the two-sample Kolmogorov–Smirnov test to the resulting
+// stabilization-time samples.
+func ksAcross[S comparable](
+	t *testing.T, proto pp.Protocol[S], n, reps int, budget uint64,
+) stats.KS {
+	t.Helper()
+	agent := stabilizationTimes(t, pp.EngineAgent, proto, n, reps, 1, budget)
+	count := stabilizationTimes(t, pp.EngineCount, proto, n, reps, 2, budget)
+	return stats.KSTwoSample(agent, count)
+}
+
+func TestEngineEquivalencePLL(t *testing.T) {
+	n := 96
+	ks := ksAcross[core.State](t, core.NewForN(n), n, 200, logBudget(n))
+	if ks.P < 0.001 {
+		t.Fatalf("PLL stabilization times distinguish the engines: D=%.4f p=%.6f", ks.Stat, ks.P)
+	}
+}
+
+func TestEngineEquivalencePLLSymmetric(t *testing.T) {
+	n := 64
+	ks := ksAcross[core.SymState](t, core.NewSymmetricForN(n), n, 120, 40*logBudget(n))
+	if ks.P < 0.001 {
+		t.Fatalf("symmetric PLL stabilization times distinguish the engines: D=%.4f p=%.6f",
+			ks.Stat, ks.P)
+	}
+}
+
+func TestEngineEquivalenceAngluin(t *testing.T) {
+	n := 64
+	ks := ksAcross[baseline.AngluinState](t, baseline.Angluin{}, n, 200, linearBudget(n))
+	if ks.P < 0.001 {
+		t.Fatalf("Angluin stabilization times distinguish the engines: D=%.4f p=%.6f",
+			ks.Stat, ks.P)
+	}
+}
+
+// TestEngineEquivalenceChiSquare bins the census engine's stabilization
+// times at the quantiles of the per-agent sample: under equivalence the
+// bin occupancies are uniform, which the χ² goodness-of-fit test checks.
+func TestEngineEquivalenceChiSquare(t *testing.T) {
+	const (
+		n    = 64
+		reps = 240
+		bins = 6
+	)
+	budget := linearBudget(n)
+	agent := stabilizationTimes(t, pp.EngineAgent, baseline.Angluin{}, n, reps, 3, budget)
+	count := stabilizationTimes(t, pp.EngineCount, baseline.Angluin{}, n, reps, 4, budget)
+
+	edges := make([]float64, bins-1)
+	for i := range edges {
+		edges[i] = stats.Quantile(agent, float64(i+1)/bins)
+	}
+	observed := make([]float64, bins)
+	for _, v := range count {
+		b := 0
+		for b < len(edges) && v > edges[b] {
+			b++
+		}
+		observed[b]++
+	}
+	gof := stats.ChiSquareUniform(observed)
+	if gof.P < 0.001 {
+		t.Fatalf("census-engine times are not uniform over agent-engine quantile bins: %v "+
+			"(occupancies %v)", gof, observed)
+	}
+}
+
+// TestLeaderCountMonotone: for every protocol in this repository the leader
+// count is monotone non-increasing and never reaches zero — on both
+// engines, including through the census engine's batched skips.
+func TestLeaderCountMonotone(t *testing.T) {
+	checkMonotone := func(t *testing.T, sim pp.Runner[core.State], chunk, budget uint64) {
+		t.Helper()
+		prev := sim.Leaders()
+		for sim.Steps() < budget {
+			sim.RunSteps(chunk)
+			l := sim.Leaders()
+			if l > prev {
+				t.Fatalf("leader count increased %d -> %d at step %d", prev, l, sim.Steps())
+			}
+			if l < 1 {
+				t.Fatalf("all leaders eliminated at step %d", sim.Steps())
+			}
+			prev = l
+		}
+	}
+	for _, engine := range pp.Engines() {
+		t.Run("pll/"+engine.String(), func(t *testing.T) {
+			const n = 256
+			sim := pp.NewRunner[core.State](engine, core.NewForN(n), n, 7)
+			checkMonotone(t, sim, n, uint64(60*n))
+		})
+		t.Run("duel/"+engine.String(), func(t *testing.T) {
+			const n = 512
+			sim := pp.NewRunner[bool](engine, pptest.Duel{}, n, 9)
+			prev := sim.Leaders()
+			budget := uint64(n) * uint64(n) * 4
+			for sim.Steps() < budget && sim.Leaders() > 1 {
+				sim.RunSteps(uint64(n))
+				if l := sim.Leaders(); l > prev || l < 1 {
+					t.Fatalf("leader census corrupt: %d -> %d at step %d", prev, l, sim.Steps())
+				}
+				prev = sim.Leaders()
+			}
+		})
+	}
+}

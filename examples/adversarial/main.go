@@ -5,10 +5,11 @@
 // eliminate all leaders or mint a second one; afterwards the random
 // scheduler still finishes the election (the probability-1 guarantee).
 //
-//	go run ./examples/adversarial
+//	go run ./examples/adversarial [-n agents]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -17,7 +18,9 @@ import (
 )
 
 func main() {
-	const n = 500
+	nFlag := flag.Int("n", 500, "population size")
+	flag.Parse()
+	n := *nFlag
 	p := core.NewForN(n)
 
 	fmt.Println("attack 1: deterministic round-robin, 200k interactions")
@@ -41,7 +44,7 @@ func main() {
 	}
 	fmt.Printf("  recovered to a unique leader at t = %.1f parallel time (%d total interactions)\n",
 		sim.ParallelTime(), steps)
-	if !sim.VerifyStable(100 * n) {
+	if !sim.VerifyStable(uint64(100 * n)) {
 		log.Fatal("configuration unstable after recovery")
 	}
 	fmt.Println("  stable: the adversary delayed the election but could not corrupt it")

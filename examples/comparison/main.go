@@ -1,10 +1,11 @@
 // Comparison: race every protocol in the repository on the same
 // populations — a miniature, live version of the paper's Table 1.
 //
-//	go run ./examples/comparison
+//	go run ./examples/comparison [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 
 	"popproto/internal/baseline"
@@ -14,13 +15,22 @@ import (
 	"popproto/internal/table"
 )
 
-const repetitions = 10
+var repetitions = 10
 
 func main() {
+	quick := flag.Bool("quick", false, "smoke-test scale (tiny populations, few repetitions)")
+	flag.Parse()
 	sizes := []int{256, 1024, 4096}
+	if *quick {
+		sizes = []int{64, 128, 256}
+		repetitions = 3
+	}
 
-	tbl := table.New("protocol", "states (n=4096)",
-		"t̄(256)", "t̄(1024)", "t̄(4096)")
+	cols := []string{"protocol", fmt.Sprintf("states (n=%d)", sizes[len(sizes)-1])}
+	for _, n := range sizes {
+		cols = append(cols, fmt.Sprintf("t̄(%d)", n))
+	}
+	tbl := table.New(cols...)
 
 	rows := []struct {
 		name    string

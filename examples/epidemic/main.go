@@ -6,10 +6,11 @@
 // prints the completion-time quantiles, and charts the empirical tail
 // against the paper's bound n·e^{−t/n}.
 //
-//	go run ./examples/epidemic
+//	go run ./examples/epidemic [-quick]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 
@@ -19,27 +20,30 @@ import (
 )
 
 func main() {
-	const (
-		n    = 1 << 14
-		reps = 400
-	)
+	quick := flag.Bool("quick", false, "smoke-test scale (smaller population, fewer repetitions)")
+	flag.Parse()
+	n, reps := 1<<14, 400
+	if *quick {
+		n, reps = 1<<11, 60
+	}
+	fn := float64(n)
 
 	for _, sub := range []int{n, n / 2} {
 		times := epidemic.CompletionTimes(n, sub, reps, 7)
 		parallel := make([]float64, len(times))
 		for i, t := range times {
-			parallel[i] = float64(t) / n
+			parallel[i] = float64(t) / fn
 		}
 		s := stats.Summarize(parallel)
 		fmt.Printf("epidemic in |V'| = %5d of n = %d: completion %.1f ± %.1f parallel time (p99 %.1f, ln n = %.1f)\n",
-			sub, n, s.Mean, s.SEM(), stats.Quantile(parallel, 0.99), math.Log(n))
+			sub, n, s.Mean, s.SEM(), stats.Quantile(parallel, 0.99), math.Log(fn))
 	}
 
 	// Tail probability versus the Lemma 2 bound for the full population.
 	times := epidemic.CompletionTimes(n, n, reps, 11)
 	var xs, emp, bound []float64
 	for tf := 1.0; tf <= 3.0; tf += 0.25 {
-		t := tf * n * math.Log(n)
+		t := tf * fn * math.Log(fn)
 		budget := epidemic.Lemma2Steps(n, n, t)
 		late := 0
 		for _, ct := range times {
@@ -48,7 +52,7 @@ func main() {
 			}
 		}
 		xs = append(xs, tf)
-		emp = append(emp, float64(late)/reps)
+		emp = append(emp, float64(late)/float64(reps))
 		bound = append(bound, epidemic.Lemma2Bound(n, t))
 	}
 	fmt.Println("\nPr[epidemic unfinished after 2t interactions] vs Lemma 2's n·e^{−t/n}:")

@@ -1,10 +1,11 @@
 // Quickstart: elect a leader among 10,000 anonymous agents with PLL, the
 // O(log n)-time O(log n)-states protocol of Sudo et al. (PODC 2019).
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-n agents]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,7 +14,9 @@ import (
 )
 
 func main() {
-	const n = 10_000
+	nFlag := flag.Int("n", 10_000, "population size")
+	flag.Parse()
+	n := *nFlag
 
 	// The protocol needs only a rough knowledge m ≥ log₂ n, m = Θ(log n);
 	// NewForN picks m = ⌈lg n⌉.
@@ -37,7 +40,7 @@ func main() {
 		sim.ParallelTime()/float64(core.CeilLog2(n)))
 
 	// The elected configuration is stable: no output ever changes again.
-	if sim.VerifyStable(100 * n) {
+	if sim.VerifyStable(uint64(100 * n)) {
 		fmt.Println("outputs unchanged over a further 100 parallel time units")
 	}
 }

@@ -7,10 +7,11 @@
 // the coin "species" J/K/F0/F1 reach their working balance, and verifies
 // the exact fairness invariant |F0| = |F1|.
 //
-//	go run ./examples/symmetric
+//	go run ./examples/symmetric [-n agents]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -19,7 +20,9 @@ import (
 )
 
 func main() {
-	const n = 5_000
+	nFlag := flag.Int("n", 5_000, "population size")
+	flag.Parse()
+	n := *nFlag
 
 	protocol := core.NewSymmetricForN(n)
 	sim := pp.NewSimulator[core.SymState](protocol, n, 2019)
@@ -43,6 +46,6 @@ func main() {
 		log.Fatal("did not stabilize")
 	}
 	fmt.Printf("\nsingle leader after %.1f parallel time (%d interactions)\n",
-		float64(steps)/n, steps)
+		float64(steps)/float64(n), steps)
 	fmt.Println("|F0| = |F1| held at every sample: every leader coin flip was exactly fair.")
 }

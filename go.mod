@@ -1,0 +1,3 @@
+module popproto
+
+go 1.22

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"popproto/internal/pp"
+	"popproto/internal/pp/pptest"
 )
 
 // stabilizationBudget is a deliberately generous step cap: expected
@@ -15,23 +16,21 @@ func stabilizationBudget(n int) uint64 {
 }
 
 // TestStabilizesAcrossSizes is the headline integration test: PLL elects
-// exactly one leader, from n = 1 up through n = 1024, across seeds, and the
-// resulting configuration is stable.
+// exactly one leader, from n = 1 up through n = 1024, across seeds and on
+// both simulation engines, and the resulting configuration is stable.
 func TestStabilizesAcrossSizes(t *testing.T) {
 	for _, n := range []int{1, 2, 3, 4, 5, 8, 16, 33, 64, 100, 128, 256, 1024} {
 		for seed := uint64(1); seed <= 3; seed++ {
-			sim := pp.NewSimulator[State](NewForN(n), n, seed)
-			steps, ok := sim.RunUntilLeaders(1, stabilizationBudget(n))
-			if !ok {
-				t.Fatalf("n=%d seed=%d: not stabilized after %d steps (%d leaders)",
-					n, seed, steps, sim.Leaders())
+			tc := pptest.TestCase[State]{
+				Proto: NewForN(n), N: n, Seed: seed, MaxSteps: stabilizationBudget(n),
 			}
-			if sim.Leaders() != 1 {
-				t.Fatalf("n=%d seed=%d: %d leaders", n, seed, sim.Leaders())
-			}
-			if !sim.VerifyStable(uint64(200 * n)) {
-				t.Fatalf("n=%d seed=%d: configuration not stable after election", n, seed)
-			}
+			pptest.RunAllEngines(t, tc, "elect",
+				func(t *testing.T, tc pptest.TestCase[State], sim pp.Runner[State]) {
+					pptest.ElectOne(t, tc, sim)
+					if !sim.VerifyStable(uint64(200 * tc.N)) {
+						t.Fatal("configuration not stable after election")
+					}
+				})
 		}
 	}
 }

@@ -34,7 +34,7 @@ func lemma6Experiment() Experiment {
 		p := core.NewForN(n)
 		nLogN := float64(n) * math.Log(float64(n))
 
-		colorCount := func(sim *pp.Simulator[core.State], color uint8) int {
+		colorCount := func(sim pp.Runner[core.State], color uint8) int {
 			c := 0
 			sim.ForEach(func(_ int, s core.State) {
 				if s.Color == color {
@@ -52,7 +52,7 @@ func lemma6Experiment() Experiment {
 			check := uint64(n / 2)
 
 			// Find the first appearance of color 1 (≈ Cstart(1)).
-			t1, ok := runUntil(sim, check, uint64(200*nLogN), func(s *pp.Simulator[core.State]) bool {
+			t1, ok := runUntil(sim, check, uint64(200*nLogN), func(s pp.Runner[core.State]) bool {
 				return colorCount(s, 1) > 0
 			})
 			if !ok {
@@ -60,12 +60,12 @@ func lemma6Experiment() Experiment {
 			}
 
 			// P2: color 1 covers the population within ⌊4 n ln n⌋ steps.
-			t2, covered := runUntil(sim, check, t1+uint64(4*nLogN), func(s *pp.Simulator[core.State]) bool {
+			t2, covered := runUntil(sim, check, t1+uint64(4*nLogN), func(s pp.Runner[core.State]) bool {
 				return colorCount(s, 1) == s.N()
 			})
 
 			// P1 and P3: watch for the first color-2 agent.
-			t3, sawColor2 := runUntil(sim, check, t1+uint64(60*nLogN), func(s *pp.Simulator[core.State]) bool {
+			t3, sawColor2 := runUntil(sim, check, t1+uint64(60*nLogN), func(s pp.Runner[core.State]) bool {
 				return colorCount(s, 2) > 0
 			})
 

@@ -38,7 +38,7 @@ func lemma8Experiment() Experiment {
 			successes := 0
 			pp.Parallel(repCount, cfg.Workers, cfg.Seed+uint64(n), func(_ int, seed uint64) {
 				sim := pp.NewSimulator[core.State](p, n, seed)
-				_, ok := runUntil(sim, uint64(n/2), logBudget(n), func(s *pp.Simulator[core.State]) bool {
+				_, ok := runUntil(sim, uint64(n/2), logBudget(n), func(s pp.Runner[core.State]) bool {
 					inFourth := false
 					s.ForEach(func(_ int, st core.State) {
 						if st.Epoch == 4 {

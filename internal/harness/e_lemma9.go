@@ -36,7 +36,7 @@ func lemma9Experiment() Experiment {
 			reached := true
 			pp.Parallel(repCount, cfg.Workers, cfg.Seed+uint64(i), func(rep int, seed uint64) {
 				sim := pp.NewSimulator[core.State](p, n, seed)
-				_, ok := runUntil(sim, uint64(n), 40*logBudget(n), func(s *pp.Simulator[core.State]) bool {
+				_, ok := runUntil(sim, uint64(n), 40*logBudget(n), func(s pp.Runner[core.State]) bool {
 					all := true
 					s.ForEach(func(_ int, st core.State) {
 						if st.Epoch != 4 {

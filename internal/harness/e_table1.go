@@ -27,7 +27,7 @@ func table1Rows() []protocolRow {
 			name: "PLL (this work)", paperStates: "O(log n)", paperTime: "O(log n)",
 			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
 				p := core.NewForN(n)
-				times, ok := measureTimes[core.State](p, n, rep, seed, logBudget(n), cfg.Workers)
+				times, ok := measureTimes[core.State](cfg.Engine, p, n, rep, seed, logBudget(n), cfg.Workers)
 				return stats.Mean(times), p.Params().StateSpaceSize(), ok
 			},
 		},
@@ -35,7 +35,7 @@ func table1Rows() []protocolRow {
 			name: "PLL symmetric (§4)", paperStates: "O(log n)", paperTime: "O(log n)",
 			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
 				p := core.NewSymmetricForN(n)
-				times, ok := measureTimes[core.SymState](p, n, rep, seed, 40*logBudget(n), cfg.Workers)
+				times, ok := measureTimes[core.SymState](cfg.Engine, p, n, rep, seed, 40*logBudget(n), cfg.Workers)
 				// Coin and duel sub-states multiply the Table 3 count by
 				// the constant 4 (coins) + 4 (duels).
 				return stats.Mean(times), p.Params().StateSpaceSize() * 8, ok
@@ -44,7 +44,7 @@ func table1Rows() []protocolRow {
 		{
 			name: "Angluin et al. 2006", paperStates: "O(1)", paperTime: "O(n)",
 			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
-				times, ok := measureTimes[baseline.AngluinState](baseline.Angluin{}, n, rep, seed, linearBudget(n), cfg.Workers)
+				times, ok := measureTimes[baseline.AngluinState](cfg.Engine, baseline.Angluin{}, n, rep, seed, linearBudget(n), cfg.Workers)
 				return stats.Mean(times), baseline.Angluin{}.StateCount(), ok
 			},
 		},
@@ -52,7 +52,7 @@ func table1Rows() []protocolRow {
 			name: "Lottery (Ali+17 style)", paperStates: "O(log n)", paperTime: "Θ(n) [simplified; orig. polylog]",
 			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
 				p := baseline.NewLottery(n)
-				times, ok := measureTimes[baseline.LotteryState](p, n, rep, seed, linearBudget(n), cfg.Workers)
+				times, ok := measureTimes[baseline.LotteryState](cfg.Engine, p, n, rep, seed, linearBudget(n), cfg.Workers)
 				return stats.Mean(times), p.StateCount(), ok
 			},
 		},
@@ -60,7 +60,7 @@ func table1Rows() []protocolRow {
 			name: "MaxID (MST18 style)", paperStates: "poly(n)", paperTime: "O(log n)",
 			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
 				p := baseline.NewMaxID(n)
-				times, ok := measureTimes[baseline.MaxIDState](p, n, rep, seed, linearBudget(n), cfg.Workers)
+				times, ok := measureTimes[baseline.MaxIDState](cfg.Engine, p, n, rep, seed, linearBudget(n), cfg.Workers)
 				return stats.Mean(times), p.StateCount(), ok
 			},
 		},

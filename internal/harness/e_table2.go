@@ -31,9 +31,9 @@ func table2Experiment() Experiment {
 		var angPerN, pllPerLog []float64
 		minPLLRatio := math.Inf(1)
 		for i, n := range ns {
-			angTimes, _ := measureTimes[baseline.AngluinState](baseline.Angluin{}, n, rep,
+			angTimes, _ := measureTimes[baseline.AngluinState](cfg.Engine, baseline.Angluin{}, n, rep,
 				cfg.Seed+uint64(i), linearBudget(n), cfg.Workers)
-			pllTimes, _ := measureTimes[core.State](core.NewForN(n), n, rep,
+			pllTimes, _ := measureTimes[core.State](cfg.Engine, core.NewForN(n), n, rep,
 				cfg.Seed+uint64(i)+7_777, logBudget(n), cfg.Workers)
 			ang := stats.Mean(angTimes)
 			pll := stats.Mean(pllTimes)

@@ -33,7 +33,7 @@ func theorem1Experiment() Experiment {
 		allOK := true
 		for i, n := range ns {
 			proto := core.NewForN(n)
-			times, ok := measureTimes[core.State](proto, n, rep,
+			times, ok := measureTimes[core.State](cfg.Engine, proto, n, rep,
 				cfg.Seed+uint64(i), logBudget(n), cfg.Workers)
 			allOK = allOK && ok
 			s := stats.Summarize(times)

@@ -26,7 +26,7 @@ func trajectoryExperiment() Experiment {
 			n = 512
 		}
 		p := core.NewForN(n)
-		sim := pp.NewSimulator[core.State](p, n, cfg.Seed)
+		sim := pp.NewRunner[core.State](cfg.Engine, p, n, cfg.Seed)
 		rec := trace.NewRecorder(sim, 1.0,
 			trace.LeaderProbe[core.State](),
 			trace.CountProbe[core.State]("unassigned (V_X)", func(s core.State) bool {
@@ -40,7 +40,7 @@ func trajectoryExperiment() Experiment {
 			}),
 		)
 		horizon := 30 * float64(core.CeilLog2(n))
-		reachedOne := rec.RunUntil(horizon, func(s *pp.Simulator[core.State]) bool {
+		reachedOne := rec.RunUntil(horizon, func(s pp.Runner[core.State]) bool {
 			return s.Leaders() == 1
 		})
 

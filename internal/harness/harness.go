@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"popproto/internal/pp"
 )
 
 // Config controls experiment scale and reproducibility.
@@ -26,6 +28,13 @@ type Config struct {
 	Seed uint64
 	// Workers bounds simulation parallelism; <= 0 means NumCPU.
 	Workers int
+	// Engine selects the simulation engine for the election-time sweeps
+	// (Table 1/2, Theorem 1, trajectory, …). The zero value is the
+	// per-agent engine; the census engine (pp.EngineCount) reproduces the
+	// same distributions and reaches populations the per-agent engine
+	// cannot. Experiments that address individual agents (Bstart
+	// constructions, coin audits) always use the per-agent engine.
+	Engine pp.Engine
 }
 
 // DefaultConfig returns the configuration used by cmd/experiments.

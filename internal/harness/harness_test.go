@@ -3,6 +3,8 @@ package harness
 import (
 	"strings"
 	"testing"
+
+	"popproto/internal/pp"
 )
 
 func quickCfg() Config {
@@ -62,6 +64,35 @@ func TestExperimentsQuick(t *testing.T) {
 			for _, v := range res.Verdicts {
 				if !v.Pass {
 					t.Errorf("verdict failed: %s — %s", v.Claim, v.Detail)
+				}
+			}
+			if t.Failed() {
+				t.Logf("full report:\n%s", res.Markdown)
+			}
+		})
+	}
+}
+
+// TestExperimentsQuickCountEngine reruns the election-time sweeps on the
+// census engine: the paper's claims must verify identically on both
+// engines (the statistical-equivalence tests in the repository root check
+// the distributions directly; this checks the experiment plumbing).
+func TestExperimentsQuickCountEngine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not -short")
+	}
+	cfg := quickCfg()
+	cfg.Engine = pp.EngineCount
+	for _, id := range []string{"table1", "table2", "theorem1", "trajectory"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %q not registered", id)
+		}
+		t.Run(e.ID, func(t *testing.T) {
+			res := e.Run(cfg)
+			for _, v := range res.Verdicts {
+				if !v.Pass {
+					t.Errorf("verdict failed on count engine: %s — %s", v.Claim, v.Detail)
 				}
 			}
 			if t.Failed() {

@@ -31,7 +31,7 @@ func linearBudget(n int) uint64 {
 // step budget is exhausted, returning the step count at which pred was
 // first observed and whether it was.
 func runUntil[S comparable](
-	sim *pp.Simulator[S], checkEvery, budget uint64, pred func(*pp.Simulator[S]) bool,
+	sim pp.Runner[S], checkEvery, budget uint64, pred func(pp.Runner[S]) bool,
 ) (uint64, bool) {
 	for {
 		if pred(sim) {
@@ -44,13 +44,13 @@ func runUntil[S comparable](
 	}
 }
 
-// measureTimes runs repCount independent elections and returns the
-// parallel stabilization times together with a flag reporting whether all
-// runs actually stabilized within the budget.
+// measureTimes runs repCount independent elections on the selected engine
+// and returns the parallel stabilization times together with a flag
+// reporting whether all runs actually stabilized within the budget.
 func measureTimes[S comparable](
-	proto pp.Protocol[S], n, repCount int, seed, budget uint64, workers int,
+	engine pp.Engine, proto pp.Protocol[S], n, repCount int, seed, budget uint64, workers int,
 ) (times []float64, allOK bool) {
-	results := pp.MeasureStabilization(proto, n, repCount, seed, budget, workers)
+	results := pp.MeasureWith(engine, proto, n, repCount, seed, budget, workers)
 	times = make([]float64, len(results))
 	allOK = true
 	for i, r := range results {

@@ -87,7 +87,7 @@ func TestRenderReportAndPassed(t *testing.T) {
 
 func TestRunUntilHelper(t *testing.T) {
 	sim := pp.NewSimulator[baseline.AngluinState](baseline.Angluin{}, 32, 1)
-	steps, ok := runUntil(sim, 16, 1<<30, func(s *pp.Simulator[baseline.AngluinState]) bool {
+	steps, ok := runUntil(sim, 16, 1<<30, func(s pp.Runner[baseline.AngluinState]) bool {
 		return s.Leaders() == 1
 	})
 	if !ok || sim.Leaders() != 1 {
@@ -95,7 +95,7 @@ func TestRunUntilHelper(t *testing.T) {
 	}
 	// Exhausted budget reports failure.
 	sim2 := pp.NewSimulator[baseline.AngluinState](baseline.Angluin{}, 32, 1)
-	if _, ok := runUntil(sim2, 16, 4, func(s *pp.Simulator[baseline.AngluinState]) bool {
+	if _, ok := runUntil(sim2, 16, 4, func(s pp.Runner[baseline.AngluinState]) bool {
 		return false
 	}); ok {
 		t.Fatal("unsatisfiable predicate reported satisfied")
@@ -112,13 +112,16 @@ func TestSummarizeOrEmpty(t *testing.T) {
 }
 
 func TestMeasureTimesReportsBudgetFailures(t *testing.T) {
-	// A 2-step budget cannot elect among 64 duelling agents.
-	times, ok := measureTimes[baseline.AngluinState](baseline.Angluin{}, 64, 5, 1, 2, 2)
-	if ok {
-		t.Fatal("budget failure not reported")
-	}
-	if len(times) != 5 {
-		t.Fatalf("got %d times", len(times))
+	// A 2-step budget cannot elect among 64 duelling agents — on either
+	// engine.
+	for _, engine := range pp.Engines() {
+		times, ok := measureTimes[baseline.AngluinState](engine, baseline.Angluin{}, 64, 5, 1, 2, 2)
+		if ok {
+			t.Fatalf("engine %s: budget failure not reported", engine)
+		}
+		if len(times) != 5 {
+			t.Fatalf("engine %s: got %d times", engine, len(times))
+		}
 	}
 }
 

@@ -63,18 +63,28 @@ func Parallel(reps, workers int, seed uint64, task func(rep int, seed uint64)) {
 }
 
 // MeasureStabilization runs reps independent elections of proto on n agents
-// and reports per-run stabilization results. Runs are capped at maxSteps
-// interactions. workers <= 0 selects runtime.NumCPU().
+// on the per-agent engine and reports per-run stabilization results. Runs
+// are capped at maxSteps interactions. workers <= 0 selects
+// runtime.NumCPU(). See MeasureWith to select the engine.
+func MeasureStabilization[S comparable](
+	proto Protocol[S], n, reps int, seed, maxSteps uint64, workers int,
+) []RunResult {
+	return MeasureWith(EngineAgent, proto, n, reps, seed, maxSteps, workers)
+}
+
+// MeasureWith runs reps independent elections of proto on n agents on the
+// selected engine and reports per-run stabilization results. Runs are
+// capped at maxSteps interactions. workers <= 0 selects runtime.NumCPU().
 //
 // The protocol value is shared across goroutines and must therefore be
 // read-only after construction, which holds for every protocol in this
 // repository.
-func MeasureStabilization[S comparable](
-	proto Protocol[S], n, reps int, seed, maxSteps uint64, workers int,
+func MeasureWith[S comparable](
+	engine Engine, proto Protocol[S], n, reps int, seed, maxSteps uint64, workers int,
 ) []RunResult {
 	results := make([]RunResult, reps)
 	Parallel(reps, workers, seed, func(rep int, repSeed uint64) {
-		sim := NewSimulator(proto, n, repSeed)
+		sim := NewRunner(engine, proto, n, repSeed)
 		steps, ok := sim.RunUntilLeaders(1, maxSteps)
 		results[rep] = RunResult{
 			Seed:         repSeed,

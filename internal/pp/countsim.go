@@ -1,0 +1,522 @@
+package pp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"popproto/internal/rng"
+)
+
+// Tuning constants of the census engine's batched no-op skipping. They
+// affect only wall-clock cost, never the sampled distribution: every path
+// below realizes the exact uniform-scheduler Markov chain.
+const (
+	// countNoopStreak is the number of consecutive sampled no-op
+	// interactions after which the engine switches to batched skipping.
+	// Streak observation conditions only on the past, so the switch is
+	// distribution-preserving (strong Markov property).
+	countNoopStreak = 64
+	// countBatchLiveMax bounds the number of occupied states for which the
+	// batched path's O(k²) reactive-pair enumeration is still worthwhile.
+	// Protocols with large live supports (PLL mid-run, MaxID) stay on the
+	// O(log k) per-interaction path.
+	countBatchLiveMax = 384
+	// countBatchExitSkip: a batched event that skipped fewer than this many
+	// no-ops signals a reaction-dense census; fall back to per-interaction
+	// sampling until the next long no-op streak.
+	countBatchExitSkip = 8
+	// countPairCacheMax caps the memoized (initiator, responder) →
+	// transition-outcome table. Scheduler sampling concentrates on
+	// high-multiplicity state pairs, so a bounded memo captures most of the
+	// hot path; on overflow the whole memo is dropped and refilled with the
+	// current working set.
+	countPairCacheMax = 1 << 20
+)
+
+// pairOutcome is the memoized result of one ordered state-pair transition,
+// as dense indices. i2 == i and j2 == j encodes a census-preserving pair.
+type pairOutcome struct {
+	i2, j2 int32
+}
+
+// CountSimulator executes one population under a protocol on the census
+// (configuration-as-multiset) representation: one integer count per
+// distinct live state instead of one state per agent. Because agents are
+// anonymous and transitions depend only on states, sampling the interacting
+// *state pair* with the multiplicity-weighted probabilities of the uniform
+// scheduler realizes exactly the same Markov chain as Simulator — with
+// memory Θ(states ever observed) instead of Θ(n) (the dense tables are
+// append-only and never compacted), which is what makes populations of
+// 10⁷–10⁸ agents practical for the small-state-space protocols of this
+// repository. Protocols whose runs visit Θ(n) distinct states (MaxID's
+// random identifiers) lose that advantage and belong on Simulator.
+//
+// Sampling uses a Fenwick (binary indexed) cumulative-weight table over the
+// counts: O(log k) to draw a state and O(log k) to shift weight after a
+// transition, where k is the number of states ever observed. (A static
+// alias table would sample in O(1) but costs O(k) to rebuild after every
+// census change; the Fenwick table is the dynamic version of the same
+// cumulative-weight idea.)
+//
+// The engine additionally *batches* census-preserving interactions: when a
+// long run of sampled no-ops indicates that reactive pairs are rare, it
+// enumerates the reactive (state-changing) ordered pairs, draws how many
+// consecutive interactions leave the census unchanged from the exact
+// geometric law, advances the step counter past all of them at once, and
+// then samples the next state-changing pair directly from the reactive
+// weights. For protocols whose endgame is dominated by no-ops (two
+// surviving leaders among 10⁸ agents meet once every ~n²/2 interactions)
+// this turns Θ(n²) scheduler steps into O(1) work per census change.
+//
+// A CountSimulator is not safe for concurrent use; run one per goroutine.
+type CountSimulator[S comparable] struct {
+	proto Protocol[S]
+	n     int
+	rand  *rng.Source
+	steps uint64
+
+	// Dense state table: index i holds state states[i] with multiplicity
+	// counts[i] (zero once all agents have left the state).
+	states   []S
+	counts   []int64
+	isLeader []bool
+	index    map[S]int
+	fen      []int64 // 1-based Fenwick tree over counts
+	fenTop   int     // largest power of two <= len(states)
+	live     int     // number of states with counts[i] > 0
+
+	leaders     int
+	roleChanges uint64
+
+	batched    bool
+	noopStreak int
+	tcache     map[uint64]pairOutcome // transition memo; pure, droppable
+
+	// Scratch buffers for the batched path, reused across events.
+	liveIdx []int32  // occupied state indexes
+	pairI   []int32  // reactive ordered pairs: initiator state index
+	pairJ   []int32  // reactive ordered pairs: responder state index
+	pairW   []uint64 // cumulative reactive weights, aligned with pairI/pairJ
+
+	seen map[S]struct{} // non-nil only when TrackStates was called
+}
+
+// NewCountSimulator creates a census of n agents, all in the protocol's
+// initial state, with the scheduler seeded by seed. It panics if n < 1.
+func NewCountSimulator[S comparable](proto Protocol[S], n int, seed uint64) *CountSimulator[S] {
+	if n < 1 {
+		panic(fmt.Sprintf("pp: population size %d < 1", n))
+	}
+	c := &CountSimulator[S]{
+		proto: proto,
+		n:     n,
+		rand:  rng.New(seed),
+		index: make(map[S]int, 64),
+		fen:   make([]int64, 1, 64), // fen[0] is the unused Fenwick root
+	}
+	c.add(c.stateIndex(proto.InitialState()), int64(n))
+	return c
+}
+
+// N returns the population size.
+func (c *CountSimulator[S]) N() int { return c.n }
+
+// Steps returns the number of interactions executed so far, including the
+// census-preserving interactions skipped in batch.
+func (c *CountSimulator[S]) Steps() uint64 { return c.steps }
+
+// ParallelTime returns steps divided by n, the paper's time measure.
+func (c *CountSimulator[S]) ParallelTime() float64 {
+	return float64(c.steps) / float64(c.n)
+}
+
+// Leaders returns the current number of agents whose output is Leader.
+func (c *CountSimulator[S]) Leaders() int { return c.leaders }
+
+// RoleChanges returns the cumulative number of agent output changes
+// (L→F or F→L) observed since construction.
+func (c *CountSimulator[S]) RoleChanges() uint64 { return c.roleChanges }
+
+// LiveStates returns the number of distinct states with nonzero count —
+// the k that governs the engine's per-event cost and memory.
+func (c *CountSimulator[S]) LiveStates() int { return c.live }
+
+// Count returns the current multiplicity of state s.
+func (c *CountSimulator[S]) Count(s S) int {
+	if i, ok := c.index[s]; ok {
+		return int(c.counts[i])
+	}
+	return 0
+}
+
+// Census returns the multiset of current agent states.
+func (c *CountSimulator[S]) Census() map[S]int {
+	m := make(map[S]int, c.live)
+	for i, cnt := range c.counts {
+		if cnt > 0 {
+			m[c.states[i]] = int(cnt)
+		}
+	}
+	return m
+}
+
+// ForEach calls f once per agent. Agents in the population protocol model
+// are anonymous, so the census engine does not track identities: ids are
+// synthetic (consecutive, grouped by state in census order) and not stable
+// across calls that interleave with interactions.
+func (c *CountSimulator[S]) ForEach(f func(id int, state S)) {
+	id := 0
+	for i, cnt := range c.counts {
+		st := c.states[i]
+		for k := int64(0); k < cnt; k++ {
+			f(id, st)
+			id++
+		}
+	}
+}
+
+// TrackStates enables recording of every distinct agent state observed from
+// now on (including current states). Unlike the per-agent engine, tracking
+// is free here: the census already materializes every state it meets.
+func (c *CountSimulator[S]) TrackStates() {
+	if c.seen != nil {
+		return
+	}
+	c.seen = make(map[S]struct{}, len(c.states))
+	for i, cnt := range c.counts {
+		if cnt > 0 {
+			c.seen[c.states[i]] = struct{}{}
+		}
+	}
+}
+
+// DistinctStates returns the number of distinct agent states observed since
+// TrackStates was enabled, or 0 if tracking is disabled.
+func (c *CountSimulator[S]) DistinctStates() int { return len(c.seen) }
+
+// --- Fenwick cumulative-weight table ------------------------------------
+
+// stateIndex returns the dense index of s, registering it on first sight.
+func (c *CountSimulator[S]) stateIndex(s S) int {
+	if i, ok := c.index[s]; ok {
+		return i
+	}
+	i := len(c.states)
+	c.states = append(c.states, s)
+	c.counts = append(c.counts, 0)
+	c.isLeader = append(c.isLeader, c.proto.Output(s) == Leader)
+	c.index[s] = i
+	// Extend the Fenwick table: position p covers the count range
+	// (p − lowbit(p), p], so the new cell must be seeded with the already-
+	// accumulated prefix of that range (all zeros only when lowbit(p) = 1).
+	p := i + 1
+	var init int64
+	if lb := p & (-p); lb > 1 {
+		init = c.fenPrefix(p-1) - c.fenPrefix(p-lb)
+	}
+	c.fen = append(c.fen, init)
+	if c.fenTop == 0 {
+		c.fenTop = 1
+	} else if c.fenTop*2 <= len(c.states) {
+		c.fenTop *= 2
+	}
+	return i
+}
+
+func (c *CountSimulator[S]) fenAdd(i int, d int64) {
+	for p := i + 1; p < len(c.fen); p += p & (-p) {
+		c.fen[p] += d
+	}
+}
+
+// fenPrefix returns the total count of states with index < p.
+func (c *CountSimulator[S]) fenPrefix(p int) int64 {
+	var s int64
+	for ; p > 0; p -= p & (-p) {
+		s += c.fen[p]
+	}
+	return s
+}
+
+// fenSample maps target ∈ [0, Σcounts) to the state whose block of the
+// cumulative layout contains it, also returning the block's start offset.
+func (c *CountSimulator[S]) fenSample(target int64) (idx int, before int64) {
+	pos := 0
+	rem := target
+	for bit := c.fenTop; bit > 0; bit >>= 1 {
+		if next := pos + bit; next < len(c.fen) && c.fen[next] <= rem {
+			rem -= c.fen[next]
+			pos = next
+		}
+	}
+	return pos, target - rem
+}
+
+// add shifts the multiplicity of state index i by d, keeping the Fenwick
+// table, the live-state counter and the leader census coherent.
+func (c *CountSimulator[S]) add(i int, d int64) {
+	old := c.counts[i]
+	c.counts[i] = old + d
+	c.fenAdd(i, d)
+	switch {
+	case old == 0 && d > 0:
+		c.live++
+	case old+d == 0 && d < 0:
+		c.live--
+	}
+	if c.isLeader[i] {
+		c.leaders += int(d)
+	}
+}
+
+// moveOne relocates one agent from state index `from` to `to`.
+func (c *CountSimulator[S]) moveOne(from, to int) {
+	if from == to {
+		return
+	}
+	c.add(from, -1)
+	c.add(to, 1)
+	if c.isLeader[from] != c.isLeader[to] {
+		c.roleChanges++
+	}
+	if c.seen != nil {
+		c.seen[c.states[to]] = struct{}{}
+	}
+}
+
+// --- The chain -----------------------------------------------------------
+
+// outcome returns the transition outcome for the ordered state index pair
+// (i, j). Transitions are pure, and dense indices are never reassigned, so
+// outcomes are memoized by index pair: the hot paths cost one uint64-keyed
+// lookup instead of a transition evaluation plus two state-keyed index
+// lookups.
+func (c *CountSimulator[S]) outcome(i, j int) pairOutcome {
+	key := uint64(uint32(i))<<32 | uint64(uint32(j))
+	out, ok := c.tcache[key]
+	if !ok {
+		a, b := c.states[i], c.states[j]
+		a2, b2 := c.proto.Transition(a, b)
+		i2, j2 := i, j
+		if a2 != a {
+			i2 = c.stateIndex(a2)
+		}
+		if b2 != b {
+			j2 = c.stateIndex(b2)
+		}
+		if c.tcache == nil || len(c.tcache) >= countPairCacheMax {
+			c.tcache = make(map[uint64]pairOutcome, 1024)
+		}
+		out = pairOutcome{int32(i2), int32(j2)}
+		c.tcache[key] = out
+	}
+	return out
+}
+
+// applyPair executes the transition for one interaction between an agent in
+// state index i (initiator) and one in j (responder), reporting whether the
+// census changed.
+func (c *CountSimulator[S]) applyPair(i, j int) bool {
+	out := c.outcome(i, j)
+	if int(out.i2) == i && int(out.j2) == j {
+		return false
+	}
+	c.moveOne(i, int(out.i2))
+	c.moveOne(j, int(out.j2))
+	return true
+}
+
+// interactOnce samples one uniformly random ordered interaction and applies
+// it. The initiator's state is drawn with probability count/n; the
+// responder is drawn uniformly from the remaining n−1 agents by excluding
+// one slot of the initiator's block from the cumulative layout, giving the
+// exact (count − [same state])/(n−1) law of the uniform scheduler.
+func (c *CountSimulator[S]) interactOnce() bool {
+	ti := int64(c.rand.Uint64n(uint64(c.n)))
+	i, before := c.fenSample(ti)
+	tj := int64(c.rand.Uint64n(uint64(c.n - 1)))
+	if tj >= before {
+		tj++
+	}
+	j, _ := c.fenSample(tj)
+	return c.applyPair(i, j)
+}
+
+// advance executes scheduler steps until the census changes once or the
+// step counter reaches limit, whichever comes first. The caller guarantees
+// steps < limit on entry.
+func (c *CountSimulator[S]) advance(limit uint64) {
+	if c.n < 2 {
+		panic("pp: a population of 1 cannot interact")
+	}
+	if c.batched && c.live <= countBatchLiveMax {
+		c.advanceBatched(limit)
+		return
+	}
+	c.batched = false
+	if c.interactOnce() {
+		c.noopStreak = 0
+	} else {
+		c.noopStreak++
+		if c.noopStreak >= countNoopStreak {
+			c.noopStreak = 0
+			if c.live <= countBatchLiveMax {
+				c.batched = true
+			}
+		}
+	}
+	c.steps++
+}
+
+// advanceBatched jumps over the geometrically distributed run of
+// census-preserving interactions and applies the next state-changing one,
+// clamped to the step budget. Both the skip length and the changing pair
+// are drawn from their exact conditional laws, so truncation at limit is
+// distribution-preserving: P[skip ≥ r] = (1−p)^r is exactly the
+// probability that r consecutive interactions are no-ops, and the geometric
+// law is memoryless across calls.
+func (c *CountSimulator[S]) advanceBatched(limit uint64) {
+	wc := c.collectReactivePairs()
+	if wc == 0 {
+		// Dead census: no pair of live states reacts, so no interaction can
+		// ever change anything again. Spend the whole budget at once.
+		c.steps = limit
+		return
+	}
+	total := uint64(c.n) * uint64(c.n-1)
+	remaining := limit - c.steps
+	var skip uint64
+	if wc < total {
+		p := float64(wc) / float64(total)
+		u := 1.0 - c.rand.Float64() // in (0, 1]
+		// Inverse-CDF geometric via log1p: accurate down to p ≈ 1e-300,
+		// where the naive ln(1−p) underflows to ln(1) = 0.
+		t := math.Log(u) / math.Log1p(-p)
+		if !(t < float64(remaining)) { // also catches +Inf
+			c.steps = limit
+			return
+		}
+		skip = uint64(t)
+		if skip >= remaining {
+			c.steps = limit
+			return
+		}
+	}
+	c.steps += skip + 1
+	target := c.rand.Uint64n(wc)
+	k := sort.Search(len(c.pairW), func(x int) bool { return c.pairW[x] > target })
+	c.applyPair(int(c.pairI[k]), int(c.pairJ[k]))
+	if skip < countBatchExitSkip {
+		c.batched = false
+	}
+}
+
+// collectReactivePairs enumerates the ordered live state pairs whose
+// transition changes the census, filling the scratch buffers with their
+// cumulative scheduler weights (count_i · (count_j − [i = j]) ways to pick
+// the pair), and returns the total reactive weight.
+func (c *CountSimulator[S]) collectReactivePairs() uint64 {
+	c.liveIdx = c.liveIdx[:0]
+	for i, cnt := range c.counts {
+		if cnt > 0 {
+			c.liveIdx = append(c.liveIdx, int32(i))
+		}
+	}
+	c.pairI, c.pairJ, c.pairW = c.pairI[:0], c.pairJ[:0], c.pairW[:0]
+	var wc uint64
+	for _, i := range c.liveIdx {
+		ci := uint64(c.counts[i])
+		for _, j := range c.liveIdx {
+			cj := uint64(c.counts[j])
+			if i == j {
+				if cj--; cj == 0 {
+					continue
+				}
+			}
+			// Reactivity goes through the same memo as the
+			// per-interaction path, so repeat enumerations are map
+			// lookups, not transition evaluations. (A pair is reactive
+			// iff its outcome moves it.)
+			out := c.outcome(int(i), int(j))
+			if out.i2 == i && out.j2 == j {
+				continue
+			}
+			wc += ci * cj
+			c.pairI = append(c.pairI, i)
+			c.pairJ = append(c.pairJ, j)
+			c.pairW = append(c.pairW, wc)
+		}
+	}
+	return wc
+}
+
+// Step executes one uniformly random interaction. It panics if n < 2.
+func (c *CountSimulator[S]) Step() { c.advance(c.steps + 1) }
+
+// RunSteps executes k uniformly random interactions.
+func (c *CountSimulator[S]) RunSteps(k uint64) {
+	limit := c.steps + k
+	for c.steps < limit {
+		c.advance(limit)
+	}
+}
+
+// RunUntilLeaders runs random interactions until at most target leaders
+// remain or maxSteps total interactions have been executed, returning the
+// total step count at return and whether the target was reached. Semantics
+// match Simulator.RunUntilLeaders exactly.
+func (c *CountSimulator[S]) RunUntilLeaders(target int, maxSteps uint64) (steps uint64, ok bool) {
+	if c.n == 1 {
+		return c.steps, c.leaders <= target
+	}
+	for c.leaders > target {
+		if c.steps >= maxSteps {
+			return c.steps, false
+		}
+		c.advance(maxSteps)
+	}
+	return c.steps, true
+}
+
+// VerifyStable runs extra random interactions and reports whether any
+// agent's output changed during them. Batched no-op skips preserve every
+// state and therefore every output, so the check is exact.
+func (c *CountSimulator[S]) VerifyStable(extra uint64) bool {
+	if c.n == 1 {
+		return true
+	}
+	before := c.roleChanges
+	c.RunSteps(extra)
+	return c.roleChanges == before
+}
+
+// Clone returns an independent deep copy of the simulator, including the
+// scheduler position: the original and the clone produce identical futures
+// until their schedules diverge.
+func (c *CountSimulator[S]) Clone() *CountSimulator[S] {
+	d := *c
+	d.rand = c.rand.Clone()
+	d.states = append([]S(nil), c.states...)
+	d.counts = append([]int64(nil), c.counts...)
+	d.isLeader = append([]bool(nil), c.isLeader...)
+	d.fen = append([]int64(nil), c.fen...)
+	d.index = make(map[S]int, len(c.index))
+	for k, v := range c.index {
+		d.index[k] = v
+	}
+	// Scratch buffers and the transition memo are rebuilt on demand and
+	// carry no chain state.
+	d.liveIdx, d.pairI, d.pairJ, d.pairW = nil, nil, nil, nil
+	d.tcache = nil
+	if c.seen != nil {
+		d.seen = make(map[S]struct{}, len(c.seen))
+		for k := range c.seen {
+			d.seen[k] = struct{}{}
+		}
+	}
+	return &d
+}
+
+// CloneRunner implements Runner.
+func (c *CountSimulator[S]) CloneRunner() Runner[S] { return c.Clone() }

@@ -1,62 +1,50 @@
-package pp
+package pp_test
 
 import (
 	"testing"
 	"testing/quick"
+
+	"popproto/internal/pp"
+	"popproto/internal/pp/pptest"
 )
 
-// duel is the constant-state leader election protocol of Angluin et al.
-// (two leaders meet, responder yields), used here as a minimal fixture for
-// engine tests. The real baseline lives in internal/baseline.
-type duel struct{}
-
-func (duel) Name() string       { return "duel-fixture" }
-func (duel) InitialState() bool { return true }
-func (duel) Output(s bool) Role {
-	if s {
-		return Leader
-	}
-	return Follower
-}
-func (duel) Transition(a, b bool) (bool, bool) {
-	if a && b {
-		return true, false
-	}
-	return a, b
-}
-
-// frozen never changes state; every agent stays a follower.
-type frozen struct{}
-
-func (frozen) Name() string                   { return "frozen-fixture" }
-func (frozen) InitialState() int              { return 0 }
-func (frozen) Output(int) Role                { return Follower }
-func (frozen) Transition(a, b int) (int, int) { return a, b }
+// duel and frozen are the pptest fixture protocols; aliases keep the test
+// bodies close to the paper's wording.
+var (
+	duel   = pptest.Duel{}
+	frozen = pptest.Frozen{}
+)
 
 func TestNewSimulatorInitialCensus(t *testing.T) {
-	sim := NewSimulator[bool](duel{}, 10, 1)
-	if sim.N() != 10 {
-		t.Fatalf("N = %d, want 10", sim.N())
-	}
-	if sim.Leaders() != 10 {
-		t.Fatalf("initial leaders = %d, want 10", sim.Leaders())
-	}
-	if sim.Steps() != 0 {
-		t.Fatalf("initial steps = %d, want 0", sim.Steps())
-	}
+	pptest.RunAllEngines(t, pptest.TestCase[bool]{Proto: duel, N: 10, Seed: 1}, "initial-census",
+		func(t *testing.T, tc pptest.TestCase[bool], sim pp.Runner[bool]) {
+			if sim.N() != 10 {
+				t.Fatalf("N = %d, want 10", sim.N())
+			}
+			if sim.Leaders() != 10 {
+				t.Fatalf("initial leaders = %d, want 10", sim.Leaders())
+			}
+			if sim.Steps() != 0 {
+				t.Fatalf("initial steps = %d, want 0", sim.Steps())
+			}
+		})
 }
 
 func TestNewSimulatorPanicsOnEmpty(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("NewSimulator with n=0 did not panic")
-		}
-	}()
-	NewSimulator[bool](duel{}, 0, 1)
+	for _, engine := range pp.Engines() {
+		t.Run(engine.String(), func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("constructor with n=0 did not panic")
+				}
+			}()
+			pp.NewRunner[bool](engine, duel, 0, 1)
+		})
+	}
 }
 
 func TestInteractUpdatesLeaderCount(t *testing.T) {
-	sim := NewSimulator[bool](duel{}, 4, 1)
+	sim := pp.NewSimulator[bool](duel, 4, 1)
 	sim.Interact(0, 1)
 	if sim.Leaders() != 3 {
 		t.Fatalf("leaders after one duel = %d, want 3", sim.Leaders())
@@ -73,7 +61,7 @@ func TestInteractUpdatesLeaderCount(t *testing.T) {
 }
 
 func TestInteractPanicsOnSelf(t *testing.T) {
-	sim := NewSimulator[bool](duel{}, 3, 1)
+	sim := pp.NewSimulator[bool](duel, 3, 1)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("self-interaction did not panic")
@@ -84,61 +72,65 @@ func TestInteractPanicsOnSelf(t *testing.T) {
 
 func TestRunUntilLeadersStabilizes(t *testing.T) {
 	for _, n := range []int{2, 3, 10, 100} {
-		sim := NewSimulator[bool](duel{}, n, uint64(n))
-		steps, ok := sim.RunUntilLeaders(1, 1<<40)
-		if !ok {
-			t.Fatalf("n=%d did not stabilize", n)
-		}
-		if sim.Leaders() != 1 {
-			t.Fatalf("n=%d leaders = %d after stabilization", n, sim.Leaders())
-		}
-		if steps != sim.Steps() {
-			t.Fatalf("returned steps %d != sim steps %d", steps, sim.Steps())
-		}
+		tc := pptest.TestCase[bool]{Proto: duel, N: n, Seed: uint64(n)}
+		pptest.RunAllEngines(t, tc, "elect",
+			func(t *testing.T, tc pptest.TestCase[bool], sim pp.Runner[bool]) {
+				steps := pptest.ElectOne(t, tc, sim)
+				if steps != sim.Steps() {
+					t.Fatalf("returned steps %d != sim steps %d", steps, sim.Steps())
+				}
+			})
 	}
 }
 
 func TestRunUntilLeadersRespectsBudget(t *testing.T) {
-	sim := NewSimulator[int](frozen{}, 10, 1)
-	steps, ok := sim.RunUntilLeaders(1, 0)
-	// frozen has zero leaders; target 1 is already met (0 <= 1).
-	if !ok || steps != 0 {
-		t.Fatalf("frozen run: steps=%d ok=%v, want 0,true", steps, ok)
-	}
-	simDuel := NewSimulator[bool](duel{}, 1000, 1)
-	_, ok = simDuel.RunUntilLeaders(1, 5)
-	if ok {
-		t.Fatal("1000-agent duel cannot stabilize in 5 steps")
-	}
-	if simDuel.Steps() != 5 {
-		t.Fatalf("budget overrun: %d steps", simDuel.Steps())
-	}
+	pptest.RunAllEngines(t, pptest.TestCase[int]{Proto: frozen, N: 10, Seed: 1}, "frozen-budget",
+		func(t *testing.T, _ pptest.TestCase[int], sim pp.Runner[int]) {
+			steps, ok := sim.RunUntilLeaders(1, 0)
+			// frozen has zero leaders; target 1 is already met (0 <= 1).
+			if !ok || steps != 0 {
+				t.Fatalf("frozen run: steps=%d ok=%v, want 0,true", steps, ok)
+			}
+		})
+	pptest.RunAllEngines(t, pptest.TestCase[bool]{Proto: duel, N: 1000, Seed: 1}, "tiny-budget",
+		func(t *testing.T, _ pptest.TestCase[bool], sim pp.Runner[bool]) {
+			if _, ok := sim.RunUntilLeaders(1, 5); ok {
+				t.Fatal("1000-agent duel cannot stabilize in 5 steps")
+			}
+			if sim.Steps() != 5 {
+				t.Fatalf("budget overrun: %d steps", sim.Steps())
+			}
+		})
 }
 
 func TestSingleAgentPopulation(t *testing.T) {
-	sim := NewSimulator[bool](duel{}, 1, 1)
-	steps, ok := sim.RunUntilLeaders(1, 100)
-	if !ok || steps != 0 {
-		t.Fatalf("n=1: steps=%d ok=%v, want immediate stabilization", steps, ok)
-	}
-	if !sim.VerifyStable(100) {
-		t.Fatal("n=1 population reported unstable")
-	}
+	pptest.RunAllEngines(t, pptest.TestCase[bool]{Proto: duel, N: 1, Seed: 1}, "single-agent",
+		func(t *testing.T, _ pptest.TestCase[bool], sim pp.Runner[bool]) {
+			steps, ok := sim.RunUntilLeaders(1, 100)
+			if !ok || steps != 0 {
+				t.Fatalf("n=1: steps=%d ok=%v, want immediate stabilization", steps, ok)
+			}
+			if !sim.VerifyStable(100) {
+				t.Fatal("n=1 population reported unstable")
+			}
+		})
 }
 
 func TestVerifyStable(t *testing.T) {
-	sim := NewSimulator[bool](duel{}, 50, 7)
-	if sim.VerifyStable(200) {
-		t.Fatal("all-leader initial configuration reported stable")
-	}
-	sim.RunUntilLeaders(1, 1<<40)
-	if !sim.VerifyStable(5000) {
-		t.Fatal("single-leader duel configuration reported unstable")
-	}
+	pptest.RunAllEngines(t, pptest.TestCase[bool]{Proto: duel, N: 50, Seed: 7}, "verify-stable",
+		func(t *testing.T, tc pptest.TestCase[bool], sim pp.Runner[bool]) {
+			if sim.VerifyStable(200) {
+				t.Fatal("all-leader initial configuration reported stable")
+			}
+			pptest.ElectOne(t, tc, sim)
+			if !sim.VerifyStable(5000) {
+				t.Fatal("single-leader duel configuration reported unstable")
+			}
+		})
 }
 
 func TestSetStateAdjustsCensus(t *testing.T) {
-	sim := NewSimulator[bool](duel{}, 5, 1)
+	sim := pp.NewSimulator[bool](duel, 5, 1)
 	sim.SetState(0, false)
 	if sim.Leaders() != 4 {
 		t.Fatalf("leaders = %d after demoting one agent, want 4", sim.Leaders())
@@ -155,26 +147,26 @@ func TestSetStateAdjustsCensus(t *testing.T) {
 }
 
 func TestCensus(t *testing.T) {
-	sim := NewSimulator[bool](duel{}, 6, 1)
+	sim := pp.NewSimulator[bool](duel, 6, 1)
 	sim.Interact(0, 1)
 	sim.Interact(2, 3)
 	c := sim.Census()
 	if c[true] != 4 || c[false] != 2 {
 		t.Fatalf("census = %v, want 4 leaders / 2 followers", c)
 	}
-	byRole := CensusBy(sim, func(s bool) Role {
+	byRole := pp.CensusBy[bool](sim, func(s bool) pp.Role {
 		if s {
-			return Leader
+			return pp.Leader
 		}
-		return Follower
+		return pp.Follower
 	})
-	if byRole[Leader] != 4 || byRole[Follower] != 2 {
+	if byRole[pp.Leader] != 4 || byRole[pp.Follower] != 2 {
 		t.Fatalf("CensusBy = %v", byRole)
 	}
 }
 
 func TestTrackStates(t *testing.T) {
-	sim := NewSimulator[bool](duel{}, 4, 1)
+	sim := pp.NewSimulator[bool](duel, 4, 1)
 	if sim.DistinctStates() != 0 {
 		t.Fatal("tracking should be off by default")
 	}
@@ -193,22 +185,34 @@ func TestTrackStates(t *testing.T) {
 }
 
 func TestDeterministicReplay(t *testing.T) {
-	a := NewSimulator[bool](duel{}, 64, 99)
-	b := NewSimulator[bool](duel{}, 64, 99)
-	sa, _ := a.RunUntilLeaders(1, 1<<40)
-	sb, _ := b.RunUntilLeaders(1, 1<<40)
-	if sa != sb {
-		t.Fatalf("same seed produced different stabilization steps: %d vs %d", sa, sb)
-	}
-	for i := 0; i < 64; i++ {
-		if a.State(i) != b.State(i) {
-			t.Fatalf("agent %d state differs between replays", i)
-		}
+	for _, engine := range pp.Engines() {
+		t.Run(engine.String(), func(t *testing.T) {
+			tc := pptest.TestCase[bool]{Proto: duel, N: 64, Seed: 99, Engine: engine}
+			a, b := tc.NewRunner(), tc.NewRunner()
+			sa, _ := a.RunUntilLeaders(1, 1<<40)
+			sb, _ := b.RunUntilLeaders(1, 1<<40)
+			if sa != sb {
+				t.Fatalf("same seed produced different stabilization steps: %d vs %d", sa, sb)
+			}
+			ca, cb := a.Census(), b.Census()
+			if len(ca) != len(cb) || ca[true] != cb[true] || ca[false] != cb[false] {
+				t.Fatalf("censuses differ between replays: %v vs %v", ca, cb)
+			}
+			// The per-agent engine must replay agent by agent.
+			if sa, ok := a.(*pp.Simulator[bool]); ok {
+				sb := b.(*pp.Simulator[bool])
+				for i := 0; i < sa.N(); i++ {
+					if sa.State(i) != sb.State(i) {
+						t.Fatalf("agent %d state differs between replays", i)
+					}
+				}
+			}
+		})
 	}
 }
 
 func TestRoundRobinCoversAllPairs(t *testing.T) {
-	var rr RoundRobin
+	var rr pp.RoundRobin
 	const n = 4
 	seen := make(map[[2]int]bool)
 	for k := 0; k < n*(n-1); k++ {
@@ -224,7 +228,7 @@ func TestRoundRobinCoversAllPairs(t *testing.T) {
 }
 
 func TestFixedScheduleReplaysAndValidates(t *testing.T) {
-	f := &Fixed{Pairs: [][2]int{{0, 1}, {1, 2}}}
+	f := &pp.Fixed{Pairs: [][2]int{{0, 1}, {1, 2}}}
 	i, j := f.Next(3)
 	if i != 0 || j != 1 {
 		t.Fatalf("first pair = (%d,%d)", i, j)
@@ -247,8 +251,8 @@ func TestFixedScheduleReplaysAndValidates(t *testing.T) {
 }
 
 func TestStarveKeepsInactiveAgentsFrozen(t *testing.T) {
-	sim := NewSimulator[bool](duel{}, 10, 1)
-	sched := &Starve{Active: 3}
+	sim := pp.NewSimulator[bool](duel, 10, 1)
+	sched := &pp.Starve{Active: 3}
 	sim.RunSchedule(sched, 1000)
 	// Agents 3..9 never interacted: still leaders.
 	for i := 3; i < 10; i++ {
@@ -264,8 +268,8 @@ func TestStarveKeepsInactiveAgentsFrozen(t *testing.T) {
 }
 
 func TestRunScheduleAdvancesSteps(t *testing.T) {
-	sim := NewSimulator[bool](duel{}, 5, 1)
-	var rr RoundRobin
+	sim := pp.NewSimulator[bool](duel, 5, 1)
+	var rr pp.RoundRobin
 	sim.RunSchedule(&rr, 42)
 	if sim.Steps() != 42 {
 		t.Fatalf("steps = %d, want 42", sim.Steps())
@@ -276,7 +280,7 @@ func TestParallelRunsEveryRepOnce(t *testing.T) {
 	const reps = 100
 	hits := make([]int, reps)
 	var seeds = make([]uint64, reps)
-	Parallel(reps, 4, 123, func(rep int, seed uint64) {
+	pp.Parallel(reps, 4, 123, func(rep int, seed uint64) {
 		hits[rep]++
 		seeds[rep] = seed
 	})
@@ -287,7 +291,7 @@ func TestParallelRunsEveryRepOnce(t *testing.T) {
 	}
 	// Seeds must be deterministic across invocations.
 	again := make([]uint64, reps)
-	Parallel(reps, 2, 123, func(rep int, seed uint64) { again[rep] = seed })
+	pp.Parallel(reps, 2, 123, func(rep int, seed uint64) { again[rep] = seed })
 	for rep := range seeds {
 		if seeds[rep] != again[rep] {
 			t.Fatalf("rep %d seed differs across invocations", rep)
@@ -297,58 +301,64 @@ func TestParallelRunsEveryRepOnce(t *testing.T) {
 
 func TestParallelZeroReps(t *testing.T) {
 	called := false
-	Parallel(0, 4, 1, func(int, uint64) { called = true })
+	pp.Parallel(0, 4, 1, func(int, uint64) { called = true })
 	if called {
 		t.Fatal("task called for zero reps")
 	}
 }
 
 func TestMeasureStabilization(t *testing.T) {
-	results := MeasureStabilization[bool](duel{}, 50, 20, 7, 1<<40, 2)
-	if len(results) != 20 {
-		t.Fatalf("got %d results", len(results))
-	}
-	for i, r := range results {
-		if !r.Stabilized {
-			t.Fatalf("rep %d did not stabilize", i)
-		}
-		if r.Leaders != 1 {
-			t.Fatalf("rep %d ended with %d leaders", i, r.Leaders)
-		}
-		if r.ParallelTime <= 0 {
-			t.Fatalf("rep %d parallel time %v", i, r.ParallelTime)
-		}
-	}
-	// Deterministic overall.
-	again := MeasureStabilization[bool](duel{}, 50, 20, 7, 1<<40, 4)
-	for i := range results {
-		if results[i].Steps != again[i].Steps {
-			t.Fatalf("rep %d not reproducible across worker counts", i)
-		}
+	for _, engine := range pp.Engines() {
+		t.Run(engine.String(), func(t *testing.T) {
+			results := pp.MeasureWith[bool](engine, duel, 50, 20, 7, 1<<40, 2)
+			if len(results) != 20 {
+				t.Fatalf("got %d results", len(results))
+			}
+			for i, r := range results {
+				if !r.Stabilized {
+					t.Fatalf("rep %d did not stabilize", i)
+				}
+				if r.Leaders != 1 {
+					t.Fatalf("rep %d ended with %d leaders", i, r.Leaders)
+				}
+				if r.ParallelTime <= 0 {
+					t.Fatalf("rep %d parallel time %v", i, r.ParallelTime)
+				}
+			}
+			// Deterministic overall.
+			again := pp.MeasureWith[bool](engine, duel, 50, 20, 7, 1<<40, 4)
+			for i := range results {
+				if results[i].Steps != again[i].Steps {
+					t.Fatalf("rep %d not reproducible across worker counts", i)
+				}
+			}
+		})
 	}
 }
 
 // TestQuickLeaderCountNeverNegative drives random interactions through the
-// fixture and checks census sanity as a property.
+// fixture on both engines and checks census sanity as a property.
 func TestQuickLeaderCountNeverNegative(t *testing.T) {
-	f := func(seed uint64, steps uint16) bool {
-		sim := NewSimulator[bool](duel{}, 12, seed)
-		sim.RunSteps(uint64(steps))
-		recount := 0
-		sim.ForEach(func(_ int, s bool) {
-			if s {
-				recount++
-			}
-		})
-		return recount == sim.Leaders() && recount >= 1
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
-		t.Fatal(err)
+	for _, engine := range pp.Engines() {
+		f := func(seed uint64, steps uint16) bool {
+			sim := pp.NewRunner[bool](engine, duel, 12, seed)
+			sim.RunSteps(uint64(steps))
+			recount := 0
+			sim.ForEach(func(_ int, s bool) {
+				if s {
+					recount++
+				}
+			})
+			return recount == sim.Leaders() && recount >= 1
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("engine %s: %v", engine, err)
+		}
 	}
 }
 
 func BenchmarkStepDuel(b *testing.B) {
-	sim := NewSimulator[bool](duel{}, 1024, 1)
+	sim := pp.NewSimulator[bool](duel, 1024, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Step()

@@ -1,0 +1,148 @@
+// Package pptest provides a small declarative harness for population
+// protocol tests: a TestCase value names the protocol, population size,
+// seed, step budget and simulation engine of one scenario, Run executes an
+// action against a freshly constructed simulator under a canonical subtest
+// name, and TestString formats that name so related tests across packages
+// stay greppable ("PLL/n=128/seed=3/engine=count/elect").
+//
+// The harness exists so that protocol tests state *what* configuration they
+// exercise instead of repeating engine-construction plumbing, and so that
+// every test parameterized this way runs unchanged on both simulation
+// engines (RunAllEngines).
+package pptest
+
+import (
+	"fmt"
+	"testing"
+
+	"popproto/internal/pp"
+)
+
+// DefaultMaxSteps is the step budget used when a TestCase leaves MaxSteps
+// zero: effectively unbounded for test-scale populations, while still
+// terminating a run that can never stabilize.
+const DefaultMaxSteps = 1 << 40
+
+// TestCase describes one protocol scenario declaratively.
+type TestCase[S comparable] struct {
+	// Proto is the protocol under test.
+	Proto pp.Protocol[S]
+	// N is the population size.
+	N int
+	// Seed seeds the scheduler; fixed seeds make runs reproducible.
+	Seed uint64
+	// MaxSteps caps the interaction count; 0 means DefaultMaxSteps.
+	MaxSteps uint64
+	// Engine selects the simulation engine; the zero value is EngineAgent.
+	Engine pp.Engine
+}
+
+// Budget returns the effective step budget of the case.
+func (tc TestCase[S]) Budget() uint64 {
+	if tc.MaxSteps == 0 {
+		return DefaultMaxSteps
+	}
+	return tc.MaxSteps
+}
+
+// NewRunner constructs the case's simulator.
+func (tc TestCase[S]) NewRunner() pp.Runner[S] {
+	return pp.NewRunner(tc.Engine, tc.Proto, tc.N, tc.Seed)
+}
+
+// WithEngine returns a copy of the case on the given engine.
+func (tc TestCase[S]) WithEngine(e pp.Engine) TestCase[S] {
+	tc.Engine = e
+	return tc
+}
+
+// TestString formats the canonical subtest name for tc running opname.
+func TestString[S comparable](tc TestCase[S], opname string) string {
+	return fmt.Sprintf("%s/n=%d/seed=%d/engine=%s/%s",
+		tc.Proto.Name(), tc.N, tc.Seed, tc.Engine, opname)
+}
+
+// Run executes action against a freshly constructed simulator for tc, as a
+// subtest named TestString(tc, opname). It reports whether the subtest
+// passed (the testing.T.Run contract).
+func Run[S comparable](t *testing.T, tc TestCase[S], opname string,
+	action func(t *testing.T, tc TestCase[S], sim pp.Runner[S])) bool {
+	t.Helper()
+	return t.Run(TestString(tc, opname), func(t *testing.T) {
+		action(t, tc, tc.NewRunner())
+	})
+}
+
+// RunAllEngines executes action once per simulation engine, overriding
+// tc.Engine. Use it for behavior that must hold identically on both
+// engines. It reports whether every engine's subtest passed.
+func RunAllEngines[S comparable](t *testing.T, tc TestCase[S], opname string,
+	action func(t *testing.T, tc TestCase[S], sim pp.Runner[S])) bool {
+	t.Helper()
+	ok := true
+	for _, e := range pp.Engines() {
+		ok = Run(t, tc.WithEngine(e), opname, action) && ok
+	}
+	return ok
+}
+
+// ElectOne drives sim to a single leader within tc's budget, failing t if
+// the run does not stabilize, and returns the step count at stabilization.
+func ElectOne[S comparable](t testing.TB, tc TestCase[S], sim pp.Runner[S]) uint64 {
+	t.Helper()
+	steps, ok := sim.RunUntilLeaders(1, tc.Budget())
+	if !ok {
+		t.Fatalf("%s: not stabilized after %d steps (%d leaders)",
+			TestString(tc, "elect"), steps, sim.Leaders())
+	}
+	if sim.Leaders() != 1 {
+		t.Fatalf("%s: %d leaders after stabilization", TestString(tc, "elect"), sim.Leaders())
+	}
+	return steps
+}
+
+// Duel is the constant-state leader election protocol of Angluin et al.
+// (two leaders meet, the responder yields) as a minimal test fixture: two
+// states, monotone leader count, guaranteed stabilization. The full
+// baseline lives in internal/baseline; this copy keeps test fixtures free
+// of protocol-package dependencies.
+type Duel struct{}
+
+// Name implements pp.Protocol.
+func (Duel) Name() string { return "duel-fixture" }
+
+// InitialState implements pp.Protocol: every agent starts as a leader.
+func (Duel) InitialState() bool { return true }
+
+// Output implements pp.Protocol.
+func (Duel) Output(s bool) pp.Role {
+	if s {
+		return pp.Leader
+	}
+	return pp.Follower
+}
+
+// Transition implements pp.Protocol: L×L → L×F, all else unchanged.
+func (Duel) Transition(a, b bool) (bool, bool) {
+	if a && b {
+		return true, false
+	}
+	return a, b
+}
+
+// Frozen is a fixture protocol that never changes state and has no
+// leaders: its populations are dead configurations, useful for budget and
+// deadlock tests.
+type Frozen struct{}
+
+// Name implements pp.Protocol.
+func (Frozen) Name() string { return "frozen-fixture" }
+
+// InitialState implements pp.Protocol.
+func (Frozen) InitialState() int { return 0 }
+
+// Output implements pp.Protocol.
+func (Frozen) Output(int) pp.Role { return pp.Follower }
+
+// Transition implements pp.Protocol: the identity.
+func (Frozen) Transition(a, b int) (int, int) { return a, b }

@@ -1,0 +1,115 @@
+package pp
+
+import "fmt"
+
+// Runner is the observable surface shared by the two simulation engines:
+// the per-agent Simulator and the census-based CountSimulator. Experiments,
+// commands and benchmarks program against this interface so the engine is a
+// runtime choice (see Engine); everything a protocol's *observable* behavior
+// defines — step counts, parallel time, leader census, stabilization,
+// role-change accounting — is available on both engines with identical
+// semantics.
+//
+// Agent identities are the one place the engines differ: the census engine
+// tracks only state multiplicities, so its ForEach ids are synthetic (agents
+// in the population protocol model are anonymous, so no observable quantity
+// may depend on them). Operations that address individual agents (State,
+// SetState, Interact, RunSchedule) are deliberately not part of Runner; they
+// remain on Simulator for the safety experiments that need them.
+type Runner[S comparable] interface {
+	// N returns the population size.
+	N() int
+	// Steps returns the number of interactions executed so far.
+	Steps() uint64
+	// ParallelTime returns steps divided by n, the paper's time measure.
+	ParallelTime() float64
+	// Leaders returns the current number of agents whose output is Leader.
+	Leaders() int
+	// RoleChanges returns the cumulative number of agent output changes.
+	RoleChanges() uint64
+	// Census returns the multiset of current agent states.
+	Census() map[S]int
+	// ForEach calls f for every agent id and state. The census engine
+	// synthesizes ids in census order.
+	ForEach(f func(id int, state S))
+	// Step executes one uniformly random interaction.
+	Step()
+	// RunSteps executes k uniformly random interactions.
+	RunSteps(k uint64)
+	// RunUntilLeaders runs until at most target leaders remain or maxSteps
+	// interactions have been executed.
+	RunUntilLeaders(target int, maxSteps uint64) (steps uint64, ok bool)
+	// VerifyStable runs extra interactions and reports whether no output
+	// changed during them.
+	VerifyStable(extra uint64) bool
+	// TrackStates enables recording of distinct states observed.
+	TrackStates()
+	// DistinctStates returns the number of distinct states observed since
+	// TrackStates, or 0 if tracking is disabled.
+	DistinctStates() int
+	// CloneRunner returns an independent deep copy, including the scheduler
+	// position.
+	CloneRunner() Runner[S]
+}
+
+// Engine selects a simulation engine implementation.
+type Engine uint8
+
+const (
+	// EngineAgent is the per-agent engine (Simulator): one state per agent,
+	// one sampled interaction per step. Memory Θ(n); supports agent-indexed
+	// operations and deterministic schedules.
+	EngineAgent Engine = iota
+	// EngineCount is the census engine (CountSimulator): one count per
+	// distinct state, batched skipping of census-preserving interactions.
+	// Memory Θ(states ever observed) — tiny for small-state-space
+	// protocols (PLL, Angluin, Lottery: polylog(n) states), and the only
+	// engine practical for them at n ≳ 10⁷. For protocols whose agents
+	// carry poly(n) distinct values (MaxID) the observed-state table grows
+	// toward Θ(n) and the per-agent engine is the better choice.
+	EngineCount
+)
+
+// String implements fmt.Stringer; the values round-trip through ParseEngine.
+func (e Engine) String() string {
+	switch e {
+	case EngineAgent:
+		return "agent"
+	case EngineCount:
+		return "count"
+	default:
+		return fmt.Sprintf("Engine(%d)", uint8(e))
+	}
+}
+
+// ParseEngine parses the command-line spelling of an engine name.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "agent":
+		return EngineAgent, nil
+	case "count":
+		return EngineCount, nil
+	}
+	return 0, fmt.Errorf("pp: unknown engine %q (want agent or count)", s)
+}
+
+// Engines returns all available engines, in declaration order.
+func Engines() []Engine { return []Engine{EngineAgent, EngineCount} }
+
+// NewRunner constructs a fresh population of n agents in the protocol's
+// initial state on the selected engine, with the scheduler seeded by seed.
+// The two engines realize the same Markov chain: for a fixed engine a seed
+// reproduces the run exactly, and across engines all observable
+// distributions agree (see the engine-equivalence tests).
+func NewRunner[S comparable](engine Engine, proto Protocol[S], n int, seed uint64) Runner[S] {
+	if engine == EngineCount {
+		return NewCountSimulator(proto, n, seed)
+	}
+	return NewSimulator(proto, n, seed)
+}
+
+// Both engines implement Runner.
+var (
+	_ Runner[bool] = (*Simulator[bool])(nil)
+	_ Runner[bool] = (*CountSimulator[bool])(nil)
+)

@@ -207,6 +207,9 @@ func (s *Simulator[S]) Clone() *Simulator[S] {
 	return c
 }
 
+// CloneRunner implements Runner.
+func (s *Simulator[S]) CloneRunner() Runner[S] { return s.Clone() }
+
 // Census returns the multiset of current agent states.
 func (s *Simulator[S]) Census() map[S]int {
 	c := make(map[S]int)
@@ -217,8 +220,9 @@ func (s *Simulator[S]) Census() map[S]int {
 }
 
 // CensusBy aggregates the current configuration of sim by an arbitrary
-// classifier, e.g. the paper's groups V_X, V_B, V_A∩V_1, ….
-func CensusBy[S comparable, K comparable](sim *Simulator[S], classify func(S) K) map[K]int {
+// classifier, e.g. the paper's groups V_X, V_B, V_A∩V_1, …. It works on
+// either engine.
+func CensusBy[S comparable, K comparable](sim Runner[S], classify func(S) K) map[K]int {
 	c := make(map[K]int)
 	sim.ForEach(func(_ int, st S) {
 		c[classify(st)]++

@@ -37,28 +37,30 @@ type Probe[S comparable] struct {
 	// Name labels the resulting series.
 	Name string
 	// Sample reads the scalar.
-	Sample func(sim *pp.Simulator[S]) float64
+	Sample func(sim pp.Runner[S]) float64
 }
 
 // LeaderProbe samples the current leader count.
 func LeaderProbe[S comparable]() Probe[S] {
 	return Probe[S]{
 		Name:   "leaders",
-		Sample: func(sim *pp.Simulator[S]) float64 { return float64(sim.Leaders()) },
+		Sample: func(sim pp.Runner[S]) float64 { return float64(sim.Leaders()) },
 	}
 }
 
-// CountProbe samples how many agents satisfy pred.
+// CountProbe samples how many agents satisfy pred. It reads the census
+// rather than iterating agents, so on the census engine a sample costs
+// O(live states) — typically a few hundred — even at n = 10⁸.
 func CountProbe[S comparable](name string, pred func(S) bool) Probe[S] {
 	return Probe[S]{
 		Name: name,
-		Sample: func(sim *pp.Simulator[S]) float64 {
+		Sample: func(sim pp.Runner[S]) float64 {
 			count := 0
-			sim.ForEach(func(_ int, s S) {
+			for s, c := range sim.Census() {
 				if pred(s) {
-					count++
+					count += c
 				}
-			})
+			}
 			return float64(count)
 		},
 	}
@@ -66,7 +68,7 @@ func CountProbe[S comparable](name string, pred func(S) bool) Probe[S] {
 
 // Recorder samples a set of probes from a simulator at a fixed cadence.
 type Recorder[S comparable] struct {
-	sim      *pp.Simulator[S]
+	sim      pp.Runner[S]
 	probes   []Probe[S]
 	series   []*Series
 	interval float64 // parallel time between samples
@@ -75,7 +77,7 @@ type Recorder[S comparable] struct {
 // NewRecorder attaches probes to a simulator. every is the sampling
 // interval in parallel time; it panics unless every > 0 and at least one
 // probe is given.
-func NewRecorder[S comparable](sim *pp.Simulator[S], every float64, probes ...Probe[S]) *Recorder[S] {
+func NewRecorder[S comparable](sim pp.Runner[S], every float64, probes ...Probe[S]) *Recorder[S] {
 	if every <= 0 {
 		panic("trace: non-positive sampling interval")
 	}
@@ -118,7 +120,7 @@ func (r *Recorder[S]) Run(parallel float64) *Recorder[S] {
 // RunUntil advances the simulation, sampling every interval, until pred
 // holds or the parallel-time budget is exhausted; it reports whether pred
 // was observed.
-func (r *Recorder[S]) RunUntil(budget float64, pred func(*pp.Simulator[S]) bool) bool {
+func (r *Recorder[S]) RunUntil(budget float64, pred func(pp.Runner[S]) bool) bool {
 	stepsPerSample := uint64(r.interval * float64(r.sim.N()))
 	if stepsPerSample == 0 {
 		stepsPerSample = 1

@@ -13,6 +13,24 @@ func newPLLSim(n int, seed uint64) *pp.Simulator[core.State] {
 	return pp.NewSimulator[core.State](core.NewForN(n), n, seed)
 }
 
+// TestRecorderOnCountEngine: the recorder is engine-agnostic — probes read
+// the census engine through the same Runner interface.
+func TestRecorderOnCountEngine(t *testing.T) {
+	sim := pp.NewRunner[core.State](pp.EngineCount, core.NewForN(100), 100, 1)
+	r := NewRecorder(sim, 1.0,
+		LeaderProbe[core.State](),
+		CountProbe[core.State]("timers", func(s core.State) bool { return s.Status == core.StatusB }),
+	)
+	ok := r.RunUntil(100000, func(s pp.Runner[core.State]) bool { return s.Leaders() == 1 })
+	if !ok {
+		t.Fatal("count engine never reached one leader")
+	}
+	timers, _ := r.SeriesByName("timers")
+	if timers.Last() < 1 {
+		t.Fatalf("no timers recorded: %v", timers.Last())
+	}
+}
+
 func TestRecorderSamplesAtCadence(t *testing.T) {
 	sim := newPLLSim(100, 1)
 	r := NewRecorder(sim, 1.0, LeaderProbe[core.State]())
@@ -65,7 +83,7 @@ func TestRecorderMultipleProbes(t *testing.T) {
 func TestRecorderRunUntil(t *testing.T) {
 	sim := newPLLSim(64, 3)
 	r := NewRecorder(sim, 1.0, LeaderProbe[core.State]())
-	ok := r.RunUntil(100000, func(s *pp.Simulator[core.State]) bool {
+	ok := r.RunUntil(100000, func(s pp.Runner[core.State]) bool {
 		return s.Leaders() == 1
 	})
 	if !ok {
@@ -80,7 +98,7 @@ func TestRecorderRunUntil(t *testing.T) {
 	// predicate.
 	sim2 := newPLLSim(8, 4)
 	r2 := NewRecorder(sim2, 1.0, LeaderProbe[core.State]())
-	if r2.RunUntil(0.5, func(s *pp.Simulator[core.State]) bool { return false }) {
+	if r2.RunUntil(0.5, func(s pp.Runner[core.State]) bool { return false }) {
 		t.Fatal("unsatisfiable predicate reported satisfied")
 	}
 }
