@@ -1,9 +1,11 @@
 // Command leaderelect runs a single leader election and reports its
-// progress and outcome. It exposes every protocol in the repository: the
-// paper's PLL (asymmetric and symmetric) and the Table 1 baselines.
+// progress and outcome. It exposes every protocol in the registry: the
+// paper's PLL (asymmetric and symmetric), the Table 1 baselines, and the
+// epidemic coverage workload.
 //
 // Usage:
 //
+//	leaderelect -list-protocols
 //	leaderelect -protocol pll -n 100000 -seed 7 -trace 5
 //	leaderelect -protocol pll -engine count -n 100000000 -seed 7
 //
@@ -18,13 +20,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"popproto/internal/asciichart"
-	"popproto/internal/baseline"
-	"popproto/internal/core"
 	"popproto/internal/pp"
-	"popproto/internal/trace"
+	"popproto/internal/registry"
 )
 
 func main() {
@@ -36,11 +37,12 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("leaderelect", flag.ContinueOnError)
-	protocol := fs.String("protocol", "pll", "pll | pll-sym | angluin | lottery | maxid")
+	protocol := fs.String("protocol", "pll", "protocol registry key (see -list-protocols)")
 	engineName := fs.String("engine", "agent", "simulation engine: agent | count (census-based, for large n)")
+	list := fs.Bool("list-protocols", false, "print the protocol catalog with parameter docs and exit")
 	n := fs.Int("n", 10000, "population size")
 	seed := fs.Uint64("seed", 1, "scheduler seed")
-	m := fs.Int("m", 0, "knowledge parameter m for PLL (0 = ⌈lg n⌉)")
+	m := fs.Int("m", 0, "knowledge parameter m for the PLL variants (0 = ⌈lg n⌉)")
 	budget := fs.Float64("max-parallel", 1e6, "give up after this much parallel time")
 	traceEvery := fs.Float64("trace", 0, "print the leader count every this many parallel time units (0 = off)")
 	chart := fs.Bool("chart", false, "render an ASCII chart of the leader count trajectory")
@@ -48,96 +50,96 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *n < 1 {
-		return fmt.Errorf("population size %d < 1", *n)
+	if *list {
+		// The catalog is the command's output, not diagnostics: stdout,
+		// so it can be piped and grepped.
+		printCatalog(os.Stdout)
+		return nil
 	}
 	engine, err := pp.ParseEngine(*engineName)
 	if err != nil {
 		return err
 	}
 
+	el, err := registry.New(registry.Spec{
+		Protocol: *protocol,
+		N:        *n,
+		Engine:   engine,
+		Seed:     *seed,
+		M:        *m,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println(el.Description())
+	fmt.Printf("%d agents, seed %d, %s engine\n", el.N(), *seed, engine)
 	maxSteps := uint64(*budget * float64(*n))
-	switch *protocol {
-	case "pll":
-		params, err := pllParams(*n, *m)
-		if err != nil {
-			return err
+	return elect(el, engine, maxSteps, *traceEvery, *chart, *verify)
+}
+
+// printCatalog writes the registry with parameter docs, one protocol per
+// block.
+func printCatalog(w io.Writer) {
+	for _, e := range registry.Entries() {
+		fmt.Fprintf(w, "%-10s %s\n", e.Key, e.Summary)
+		fmt.Fprintf(w, "           states %s, expected time %s, stabilizes at %d leader(s)\n",
+			e.States, e.Time, e.Target)
+		for _, p := range e.Params {
+			fmt.Fprintf(w, "           -%s: %s\n", p.Name, p.Doc)
 		}
-		fmt.Printf("PLL with n=%d m=%d (lmax=%d cmax=%d Φ=%d), %d states/agent\n",
-			*n, params.M, params.LMax, params.CMax, params.Phi, params.StateSpaceSize())
-		return elect[core.State](engine, core.New(params), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
-	case "pll-sym":
-		params, err := pllParams(*n, *m)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("symmetric PLL with n=%d m=%d\n", *n, params.M)
-		return elect[core.SymState](engine, core.NewSymmetric(params), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
-	case "angluin":
-		return elect[baseline.AngluinState](engine, baseline.Angluin{}, *n, *seed, maxSteps, *traceEvery, *chart, *verify)
-	case "lottery":
-		return elect[baseline.LotteryState](engine, baseline.NewLottery(*n), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
-	case "maxid":
-		return elect[baseline.MaxIDState](engine, baseline.NewMaxID(*n), *n, *seed, maxSteps, *traceEvery, *chart, *verify)
-	default:
-		return fmt.Errorf("unknown protocol %q", *protocol)
 	}
 }
 
-func pllParams(n, m int) (core.Params, error) {
-	if m == 0 {
-		return core.NewParams(n), nil
-	}
-	return core.NewParamsWithM(n, m)
-}
-
-func elect[S comparable](engine pp.Engine, proto pp.Protocol[S], n int, seed, maxSteps uint64, traceEvery float64, chart bool, verify uint64) error {
-	sim := pp.NewRunner[S](engine, proto, n, seed)
-	fmt.Printf("protocol %s, %d agents, seed %d, %s engine\n", proto.Name(), n, seed, engine)
+func elect(el registry.Election, engine pp.Engine, maxSteps uint64, traceEvery float64, chart bool, verify uint64) error {
+	n := el.N()
+	target := el.Target()
 
 	switch {
 	case chart:
-		rec := trace.NewRecorder(sim, 1.0, trace.LeaderProbe[S]())
-		rec.RunUntil(float64(maxSteps)/float64(n), func(s pp.Runner[S]) bool {
-			return s.Leaders() <= 1
-		})
-		fmt.Print(rec.Chart(asciichart.Options{Width: 64, Height: 14, YLabel: "leaders"}))
-	case traceEvery > 0:
-		chunk := uint64(traceEvery * float64(n))
-		if chunk == 0 {
-			chunk = 1
+		// Sample the leader count once per unit of parallel time.
+		var xs, ys []float64
+		sample := func() {
+			xs = append(xs, el.ParallelTime())
+			ys = append(ys, float64(el.Leaders()))
 		}
-		for sim.Leaders() > 1 && sim.Steps() < maxSteps {
-			sim.RunSteps(chunk)
-			fmt.Printf("t = %8.1f  leaders = %d\n", sim.ParallelTime(), sim.Leaders())
+		for sample(); el.Leaders() > target && el.Steps() < maxSteps; sample() {
+			el.RunUntilLeaders(target, min(el.Steps()+uint64(n), maxSteps))
+		}
+		fmt.Print(asciichart.Plot(
+			[]asciichart.Series{{Name: "leaders", X: xs, Y: ys}},
+			asciichart.Options{Width: 64, Height: 14, XLabel: "parallel time", YLabel: "leaders"},
+		))
+	case traceEvery > 0:
+		chunk := max(uint64(traceEvery*float64(n)), 1)
+		for el.Leaders() > target && el.Steps() < maxSteps {
+			el.RunUntilLeaders(target, min(el.Steps()+chunk, maxSteps))
+			fmt.Printf("t = %8.1f  leaders = %d\n", el.ParallelTime(), el.Leaders())
 		}
 	default:
-		sim.RunUntilLeaders(1, maxSteps)
+		el.RunUntilLeaders(target, maxSteps)
 	}
 
-	if sim.Leaders() != 1 {
-		return fmt.Errorf("no stabilization within %d steps (%d leaders remain)",
-			maxSteps, sim.Leaders())
+	if el.Leaders() != target {
+		return fmt.Errorf("no stabilization within %d steps (%d leaders remain, want %d)",
+			maxSteps, el.Leaders(), target)
 	}
-	if engine == pp.EngineAgent {
+	switch {
+	case engine == pp.EngineAgent && target == 1:
 		// Only the per-agent engine has real agent identities; the census
 		// engine's ids are synthetic, and scanning 10⁸ agents to print one
 		// would dwarf the election itself.
-		leaderID := -1
-		sim.ForEach(func(id int, s S) {
-			if proto.Output(s) == pp.Leader {
-				leaderID = id
-			}
-		})
 		fmt.Printf("elected agent %d after %.2f parallel time (%d interactions)\n",
-			leaderID, sim.ParallelTime(), sim.Steps())
-	} else {
+			el.LeaderID(), el.ParallelTime(), el.Steps())
+	case target == 1:
 		fmt.Printf("elected a unique leader after %.2f parallel time (%d interactions, %d live states)\n",
-			sim.ParallelTime(), sim.Steps(), len(sim.Census()))
+			el.ParallelTime(), el.Steps(), el.LiveStates())
+	default:
+		fmt.Printf("stabilized at %d leaders after %.2f parallel time (%d interactions)\n",
+			target, el.ParallelTime(), el.Steps())
 	}
 
 	if verify > 0 {
-		if sim.VerifyStable(verify) {
+		if el.VerifyStable(verify) {
 			fmt.Printf("stable: no output changed over %d further interactions\n", verify)
 		} else {
 			return fmt.Errorf("output changed during the %d-interaction stability check", verify)

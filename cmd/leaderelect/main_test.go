@@ -7,7 +7,7 @@ import (
 
 func TestRunAllProtocols(t *testing.T) {
 	for _, engine := range []string{"agent", "count"} {
-		for _, proto := range []string{"pll", "pll-sym", "angluin", "lottery", "maxid"} {
+		for _, proto := range []string{"pll", "pll-sym", "angluin", "lottery", "maxid", "epidemic"} {
 			args := []string{"-protocol", proto, "-engine", engine,
 				"-n", "64", "-seed", "3", "-verify", "2000"}
 			if err := run(args); err != nil {
@@ -52,6 +52,24 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run([]string{"-badflag"}); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestListProtocols(t *testing.T) {
+	var buf strings.Builder
+	printCatalog(&buf)
+	out := buf.String()
+	for _, key := range []string{"pll", "pll-sym", "angluin", "lottery", "maxid", "epidemic"} {
+		if !strings.Contains(out, key) {
+			t.Errorf("catalog listing is missing %q:\n%s", key, out)
+		}
+	}
+	if !strings.Contains(out, "-m:") {
+		t.Errorf("catalog listing does not document the m parameter:\n%s", out)
+	}
+	// The flag itself must succeed without running anything.
+	if err := run([]string{"-list-protocols"}); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -1,0 +1,109 @@
+// Command popprotod serves population-protocol simulations over HTTP: the
+// protocol registry as a catalog, leader elections and epidemic coverage
+// runs as cached jobs, and census trajectories as server-sent events.
+//
+// Usage:
+//
+//	popprotod [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-n N]
+//
+// Endpoints (see API.md for schemas):
+//
+//	GET    /v1/protocols        protocol catalog with parameter docs
+//	POST   /v1/jobs             submit a job
+//	GET    /v1/jobs/{id}        job status and result
+//	DELETE /v1/jobs/{id}        cancel a job
+//	GET    /v1/jobs/{id}/trace  census trajectory (SSE)
+//	GET    /v1/health           liveness and cache counters
+//
+// Identical job specs are served from an LRU result cache: simulations
+// are deterministic functions of their canonical spec, so the second
+// request for an election is free. The server drains gracefully on
+// SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"popproto/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "popprotod:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled (or the listener fails). When ready is
+// non-nil the bound address is sent on it once the server is listening,
+// which lets tests use "-addr 127.0.0.1:0".
+func run(ctx context.Context, args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("popprotod", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "simulation worker pool size (0 = NumCPU, capped at 8)")
+	cache := fs.Int("cache", 0, "finished-job LRU cache capacity (0 = 256)")
+	queue := fs.Int("queue", 0, "queued-job limit before 429s (0 = 256)")
+	maxN := fs.Int("max-n", 0, "largest accepted population size on the count engine (0 = 2e8)")
+	maxNAgent := fs.Int("max-n-agent", 0, "largest accepted population size on the agent engine (0 = 1e7)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mgr := service.NewManager(service.Options{
+		Workers:   *workers,
+		CacheSize: *cache,
+		QueueSize: *queue,
+		MaxN:      *maxN,
+		MaxNAgent: *maxNAgent,
+	})
+	server := &http.Server{
+		Handler:           service.NewHandler(mgr),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		mgr.Close()
+		return err
+	}
+	log.Printf("popprotod listening on %s", ln.Addr())
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- server.Serve(ln)
+	}()
+
+	select {
+	case err := <-errc:
+		mgr.Close()
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("shutting down (draining for up to %v)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = server.Shutdown(shutdownCtx)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Long-lived SSE streams may outlast the drain window.
+		err = server.Close()
+	}
+	mgr.Close()
+	return err
+}

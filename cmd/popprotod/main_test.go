@@ -1,0 +1,102 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke boots the real server on an ephemeral port, runs a tiny
+// election through the HTTP API, and shuts down gracefully.
+func TestServeSmoke(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	}
+
+	resp, err := http.Get(base + "/v1/protocols")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"pll"`) {
+		t.Fatalf("GET /v1/protocols = %d %s", resp.StatusCode, body)
+	}
+
+	resp, err = http.Post(base+"/v1/jobs", "application/json",
+		strings.NewReader(`{"protocol": "pll", "n": 2000, "engine": "count", "seed": 5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		Job struct {
+			ID    string `json:"id"`
+			State string `json:"state"`
+		} `json:"job"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || submitted.Job.ID == "" {
+		t.Fatalf("POST /v1/jobs = %d %+v", resp.StatusCode, submitted)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + submitted.Job.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var view struct {
+			State  string `json:"state"`
+			Result *struct {
+				Leaders int `json:"leaders"`
+			} `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if view.State == "done" {
+			if view.Result == nil || view.Result.Leaders != 1 {
+				t.Fatalf("job finished with %+v, want one leader", view.Result)
+			}
+			break
+		}
+		if view.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("job state %q", view.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-nope"}, nil); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,4 +1,4 @@
-// Comparison: race every protocol in the repository on the same
+// Comparison: race every election protocol in the registry on the same
 // populations — a miniature, live version of the paper's Table 1.
 //
 //	go run ./examples/comparison [-quick]
@@ -8,9 +8,7 @@ import (
 	"flag"
 	"fmt"
 
-	"popproto/internal/baseline"
-	"popproto/internal/core"
-	"popproto/internal/pp"
+	"popproto/internal/registry"
 	"popproto/internal/stats"
 	"popproto/internal/table"
 )
@@ -25,60 +23,27 @@ func main() {
 		sizes = []int{64, 128, 256}
 		repetitions = 3
 	}
+	nMax := sizes[len(sizes)-1]
 
-	cols := []string{"protocol", fmt.Sprintf("states (n=%d)", sizes[len(sizes)-1])}
+	cols := []string{"protocol", fmt.Sprintf("states (n=%d)", nMax)}
 	for _, n := range sizes {
 		cols = append(cols, fmt.Sprintf("t̄(%d)", n))
 	}
 	tbl := table.New(cols...)
 
-	rows := []struct {
-		name    string
-		states  func(n int) int
-		measure func(n int) float64
-	}{
-		{
-			name:   "PLL (this paper)",
-			states: func(n int) int { return core.NewParams(n).StateSpaceSize() },
-			measure: func(n int) float64 {
-				return meanTime[core.State](core.NewForN(n), n)
-			},
-		},
-		{
-			name:   "PLL symmetric (§4)",
-			states: func(n int) int { return core.NewParams(n).StateSpaceSize() * 8 },
-			measure: func(n int) float64 {
-				return meanTime[core.SymState](core.NewSymmetricForN(n), n)
-			},
-		},
-		{
-			name:   "Angluin 2006 (2 states)",
-			states: func(int) int { return 2 },
-			measure: func(n int) float64 {
-				return meanTime[baseline.AngluinState](baseline.Angluin{}, n)
-			},
-		},
-		{
-			name:   "Lottery (Ali+17 style)",
-			states: func(n int) int { return baseline.NewLottery(n).StateCount() },
-			measure: func(n int) float64 {
-				return meanTime[baseline.LotteryState](baseline.NewLottery(n), n)
-			},
-		},
-		{
-			name:   "MaxID (MST18 style)",
-			states: func(n int) int { return baseline.NewMaxID(n).StateCount() },
-			measure: func(n int) float64 {
-				return meanTime[baseline.MaxIDState](baseline.NewMaxID(n), n)
-			},
-		},
-	}
-
 	fmt.Printf("mean parallel stabilization time over %d runs per cell\n\n", repetitions)
-	for _, row := range rows {
-		cells := []string{row.name, fmt.Sprintf("%d", row.states(sizes[len(sizes)-1]))}
+	for _, entry := range registry.Entries() {
+		if entry.Target != 1 {
+			// The epidemic coverage workload is not an election; Table 1
+			// compares electors only.
+			continue
+		}
+		cells := []string{
+			fmt.Sprintf("%s (%s states, %s time)", entry.Key, entry.States, entry.Time),
+			fmt.Sprintf("%d", entry.StateCount(nMax, 0)),
+		}
 		for _, n := range sizes {
-			cells = append(cells, fmt.Sprintf("%.1f", row.measure(n)))
+			cells = append(cells, fmt.Sprintf("%.1f", meanTime(entry.Key, n)))
 		}
 		tbl.AddRow(cells...)
 	}
@@ -87,13 +52,16 @@ func main() {
 	fmt.Println("and how MaxID matches PLL's speed only by spending Θ(n²) states.")
 }
 
-func meanTime[S comparable](proto pp.Protocol[S], n int) float64 {
-	budget := 200*uint64(n)*uint64(n) + 1_000_000
-	results := pp.MeasureStabilization[S](proto, n, repetitions, 7, budget, 0)
+func meanTime(protocol string, n int) float64 {
+	results, err := registry.Measure(registry.Spec{Protocol: protocol, N: n, Seed: 7},
+		repetitions, 0, 0)
+	if err != nil {
+		panic(err)
+	}
 	times := make([]float64, len(results))
 	for i, r := range results {
 		if !r.Stabilized {
-			panic(fmt.Sprintf("%s did not stabilize at n=%d", proto.Name(), n))
+			panic(fmt.Sprintf("%s did not stabilize at n=%d", protocol, n))
 		}
 		times[i] = r.ParallelTime
 	}

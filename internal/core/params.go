@@ -108,6 +108,18 @@ func NewParamsWithM(n, m int) (Params, error) {
 	return derive(n, m), nil
 }
 
+// ParamsFor returns parameters for a population of size n with an
+// explicitly chosen knowledge parameter m, where m = 0 selects the
+// canonical m = max(1, ⌈lg n⌉). It is the error-returning constructor the
+// command-line tools and the protocol registry share: invalid sizes come
+// back as ErrInvalidParams instead of the panics of NewParams.
+func ParamsFor(n, m int) (Params, error) {
+	if m == 0 {
+		m = max(CeilLog2(n), 1)
+	}
+	return NewParamsWithM(n, m)
+}
+
 // NewParamsUnchecked returns parameters without validating m ≥ log₂ n.
 // Undersized m makes the count-up clock tick too fast for epidemics to
 // complete, which is precisely the "synchronization fails" regime the paper

@@ -1,0 +1,84 @@
+package epidemic
+
+import "popproto/internal/pp"
+
+// SIState is the agent state of the SI protocol: pristine, susceptible, or
+// infected.
+type SIState uint8
+
+const (
+	// Virgin marks an agent that has not interacted yet (the X status of
+	// the paper's protocols); the population protocol model forces a
+	// uniform initial state, so infection seeds are minted from the first
+	// Virgin×Virgin interactions rather than planted at time zero.
+	Virgin SIState = iota
+	// Susceptible marks an initialized agent that has not heard the rumor.
+	Susceptible
+	// Infected marks an agent the epidemic has reached.
+	Infected
+)
+
+// String implements fmt.Stringer; the values are the census keys the
+// registry reports.
+func (s SIState) String() string {
+	switch s {
+	case Virgin:
+		return "V"
+	case Susceptible:
+		return "S"
+	default:
+		return "I"
+	}
+}
+
+// SI is the one-way epidemic of Lemma 2 packaged as a pp.Protocol, so the
+// registry and the simulation service can run the paper's workhorse
+// sub-process as a standalone coverage workload on either engine.
+//
+// Every agent starts Virgin. An interaction of two Virgin agents mints an
+// infection seed (initiator infected, responder susceptible); any other
+// interaction first initializes Virgin participants to Susceptible and
+// then spreads the infection one way: a susceptible participant becomes
+// infected when its partner is infected. Because seeds are only minted
+// while uninitialized pairs remain, the process behaves like the paper's
+// epidemic with a handful of early sources and completes in Θ(log n)
+// parallel time.
+//
+// The output function inverts the usual convention: agents the epidemic
+// has NOT reached output Leader, so Leaders() counts the uncovered
+// remainder and the run stabilizes — in the pp.Runner sense of
+// RunUntilLeaders — when it hits the registry target of zero.
+type SI struct{}
+
+// Name implements pp.Protocol.
+func (SI) Name() string { return "Epidemic-SI" }
+
+// InitialState implements pp.Protocol.
+func (SI) InitialState() SIState { return Virgin }
+
+// Output implements pp.Protocol: uncovered agents (Virgin or Susceptible)
+// output Leader, infected agents output Follower.
+func (SI) Output(s SIState) pp.Role {
+	if s == Infected {
+		return pp.Follower
+	}
+	return pp.Leader
+}
+
+// Transition implements pp.Protocol.
+func (SI) Transition(a, b SIState) (SIState, SIState) {
+	if a == Virgin && b == Virgin {
+		return Infected, Susceptible
+	}
+	if a == Virgin {
+		a = Susceptible
+	}
+	if b == Virgin {
+		b = Susceptible
+	}
+	// One-way epidemic: γ ∈ V' becomes infected when its partner is.
+	if a == Infected || b == Infected {
+		return Infected, Infected
+	}
+	return a, b
+}

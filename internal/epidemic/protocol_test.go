@@ -1,0 +1,55 @@
+package epidemic_test
+
+import (
+	"math"
+	"testing"
+
+	"popproto/internal/epidemic"
+	"popproto/internal/pp"
+)
+
+func TestSICoversPopulation(t *testing.T) {
+	for _, engine := range pp.Engines() {
+		t.Run(engine.String(), func(t *testing.T) {
+			const n = 2000
+			sim := pp.NewRunner[epidemic.SIState](engine, epidemic.SI{}, n, 11)
+			if got := sim.Leaders(); got != n {
+				t.Fatalf("initial uncovered count = %d, want %d", got, n)
+			}
+			budget := uint64(200 * n * int(math.Ceil(math.Log2(n))))
+			if _, ok := sim.RunUntilLeaders(0, budget); !ok {
+				t.Fatalf("epidemic did not cover n=%d within %d steps (%d uncovered)",
+					n, budget, sim.Leaders())
+			}
+			if got := sim.Census()[epidemic.Infected]; got != n {
+				t.Errorf("infected census = %d, want %d", got, n)
+			}
+			// Full coverage is absorbing: no output may change afterwards.
+			if !sim.VerifyStable(uint64(10 * n)) {
+				t.Error("outputs changed after full coverage")
+			}
+		})
+	}
+}
+
+func TestSITransitionTable(t *testing.T) {
+	var p epidemic.SI
+	cases := []struct {
+		a, b, wantA, wantB epidemic.SIState
+	}{
+		{epidemic.Virgin, epidemic.Virgin, epidemic.Infected, epidemic.Susceptible},
+		{epidemic.Virgin, epidemic.Susceptible, epidemic.Susceptible, epidemic.Susceptible},
+		{epidemic.Virgin, epidemic.Infected, epidemic.Infected, epidemic.Infected},
+		{epidemic.Infected, epidemic.Virgin, epidemic.Infected, epidemic.Infected},
+		{epidemic.Susceptible, epidemic.Infected, epidemic.Infected, epidemic.Infected},
+		{epidemic.Susceptible, epidemic.Susceptible, epidemic.Susceptible, epidemic.Susceptible},
+		{epidemic.Infected, epidemic.Infected, epidemic.Infected, epidemic.Infected},
+	}
+	for _, c := range cases {
+		gotA, gotB := p.Transition(c.a, c.b)
+		if gotA != c.wantA || gotB != c.wantB {
+			t.Errorf("Transition(%v, %v) = (%v, %v), want (%v, %v)",
+				c.a, c.b, gotA, gotB, c.wantA, c.wantB)
+		}
+	}
+}

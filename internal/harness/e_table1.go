@@ -5,8 +5,7 @@ import (
 	"strings"
 
 	"popproto/internal/asciichart"
-	"popproto/internal/baseline"
-	"popproto/internal/core"
+	"popproto/internal/registry"
 	"popproto/internal/stats"
 	"popproto/internal/table"
 )
@@ -21,50 +20,53 @@ type protocolRow struct {
 	measure func(cfg Config, n, rep int, seed uint64) (meanTime float64, states int, ok bool)
 }
 
+// table1Names maps registry keys to the display names Table 1 uses.
+var table1Names = map[string]string{
+	"pll":     "PLL (this work)",
+	"pll-sym": "PLL symmetric (§4)",
+	"angluin": "Angluin et al. 2006",
+	"lottery": "Lottery (Ali+17 style)",
+	"maxid":   "MaxID (MST18 style)",
+}
+
+// table1Rows builds the contenders from the protocol registry: every
+// election entry races with its registry-provided step budget and
+// states-per-agent count, so adding a protocol to the registry adds its
+// Table 1 row.
 func table1Rows() []protocolRow {
-	return []protocolRow{
-		{
-			name: "PLL (this work)", paperStates: "O(log n)", paperTime: "O(log n)",
+	var rows []protocolRow
+	for _, entry := range registry.Entries() {
+		if entry.Target != 1 {
+			// The epidemic coverage workload is not an election.
+			continue
+		}
+		name := table1Names[entry.Key]
+		if name == "" {
+			name = entry.Key
+		}
+		rows = append(rows, protocolRow{
+			name:        name,
+			paperStates: entry.States,
+			paperTime:   entry.Time,
 			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
-				p := core.NewForN(n)
-				times, ok := measureTimes[core.State](cfg.Engine, p, n, rep, seed, logBudget(n), cfg.Workers)
-				return stats.Mean(times), p.Params().StateSpaceSize(), ok
+				results, err := registry.Measure(registry.Spec{
+					Protocol: entry.Key, N: n, Engine: cfg.Engine, Seed: seed,
+				}, rep, cfg.Workers, entry.StepBudget(n))
+				if err != nil {
+					// Specs here are registry-generated; failure is a bug.
+					panic(fmt.Sprintf("table1: %v", err))
+				}
+				times := make([]float64, len(results))
+				allOK := true
+				for i, r := range results {
+					times[i] = r.ParallelTime
+					allOK = allOK && r.Stabilized
+				}
+				return stats.Mean(times), entry.StateCount(n, 0), allOK
 			},
-		},
-		{
-			name: "PLL symmetric (§4)", paperStates: "O(log n)", paperTime: "O(log n)",
-			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
-				p := core.NewSymmetricForN(n)
-				times, ok := measureTimes[core.SymState](cfg.Engine, p, n, rep, seed, 40*logBudget(n), cfg.Workers)
-				// Coin and duel sub-states multiply the Table 3 count by
-				// the constant 4 (coins) + 4 (duels).
-				return stats.Mean(times), p.Params().StateSpaceSize() * 8, ok
-			},
-		},
-		{
-			name: "Angluin et al. 2006", paperStates: "O(1)", paperTime: "O(n)",
-			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
-				times, ok := measureTimes[baseline.AngluinState](cfg.Engine, baseline.Angluin{}, n, rep, seed, linearBudget(n), cfg.Workers)
-				return stats.Mean(times), baseline.Angluin{}.StateCount(), ok
-			},
-		},
-		{
-			name: "Lottery (Ali+17 style)", paperStates: "O(log n)", paperTime: "Θ(n) [simplified; orig. polylog]",
-			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
-				p := baseline.NewLottery(n)
-				times, ok := measureTimes[baseline.LotteryState](cfg.Engine, p, n, rep, seed, linearBudget(n), cfg.Workers)
-				return stats.Mean(times), p.StateCount(), ok
-			},
-		},
-		{
-			name: "MaxID (MST18 style)", paperStates: "poly(n)", paperTime: "O(log n)",
-			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
-				p := baseline.NewMaxID(n)
-				times, ok := measureTimes[baseline.MaxIDState](cfg.Engine, p, n, rep, seed, linearBudget(n), cfg.Workers)
-				return stats.Mean(times), p.StateCount(), ok
-			},
-		},
+		})
 	}
+	return rows
 }
 
 // table1Experiment regenerates Table 1 empirically: the states/time

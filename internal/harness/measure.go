@@ -1,8 +1,8 @@
 package harness
 
 import (
-	"popproto/internal/core"
 	"popproto/internal/pp"
+	"popproto/internal/registry"
 	"popproto/internal/stats"
 )
 
@@ -17,15 +17,12 @@ func summarizeOr(xs []float64) stats.Summary {
 
 // logBudget is the step cap for protocols with (poly)logarithmic expected
 // time: thousands of parallel-time log-factors beyond the expectation.
-func logBudget(n int) uint64 {
-	m := core.CeilLog2(n) + 1
-	return uint64(4000) * uint64(n) * uint64(m)
-}
+// The definition lives in the registry (which also budgets service jobs
+// with it) so the two cannot drift.
+func logBudget(n int) uint64 { return registry.LogBudget(n) }
 
 // linearBudget is the step cap for Θ(n)-parallel-time protocols.
-func linearBudget(n int) uint64 {
-	return 100*uint64(n)*uint64(n) + 100_000
-}
+func linearBudget(n int) uint64 { return registry.LinearBudget(n) }
 
 // runUntil advances sim in checkEvery-step slices until pred holds or the
 // step budget is exhausted, returning the step count at which pred was

@@ -1,0 +1,40 @@
+package pp_test
+
+import (
+	"strings"
+	"testing"
+
+	"popproto/internal/pp"
+)
+
+// TestParseEngineRoundTrip: every engine's String spelling parses back to
+// itself.
+func TestParseEngineRoundTrip(t *testing.T) {
+	for _, e := range pp.Engines() {
+		got, err := pp.ParseEngine(e.String())
+		if err != nil {
+			t.Errorf("ParseEngine(%q): %v", e.String(), err)
+		}
+		if got != e {
+			t.Errorf("ParseEngine(%q) = %v, want %v", e.String(), got, e)
+		}
+	}
+}
+
+// TestParseEngineErrorListsValidNames: the error for an unknown engine
+// must enumerate every valid spelling.
+func TestParseEngineErrorListsValidNames(t *testing.T) {
+	_, err := pp.ParseEngine("quantum")
+	if err == nil {
+		t.Fatal("unknown engine accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"quantum"`) {
+		t.Errorf("error %q does not name the rejected input", msg)
+	}
+	for _, e := range pp.Engines() {
+		if !strings.Contains(msg, e.String()) {
+			t.Errorf("error %q does not list valid engine %q", msg, e.String())
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package pp
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Runner is the observable surface shared by the two simulation engines:
 // the per-agent Simulator and the census-based CountSimulator. Experiments,
@@ -82,15 +85,19 @@ func (e Engine) String() string {
 	}
 }
 
-// ParseEngine parses the command-line spelling of an engine name.
+// ParseEngine parses the command-line spelling of an engine name. The
+// error for an unknown name enumerates the valid spellings, derived from
+// Engines so it cannot drift as engines are added.
 func ParseEngine(s string) (Engine, error) {
-	switch s {
-	case "agent":
-		return EngineAgent, nil
-	case "count":
-		return EngineCount, nil
+	engines := Engines()
+	names := make([]string, len(engines))
+	for i, e := range engines {
+		if s == e.String() {
+			return e, nil
+		}
+		names[i] = e.String()
 	}
-	return 0, fmt.Errorf("pp: unknown engine %q (want agent or count)", s)
+	return 0, fmt.Errorf("pp: unknown engine %q (valid engines: %s)", s, strings.Join(names, ", "))
 }
 
 // Engines returns all available engines, in declaration order.

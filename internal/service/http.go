@@ -1,0 +1,207 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"popproto/internal/registry"
+)
+
+// maxBodyBytes bounds POST bodies; a job spec is a handful of scalars.
+const maxBodyBytes = 1 << 20
+
+// NewHandler returns the popprotod HTTP API on top of m:
+//
+//	GET    /v1/protocols        the protocol catalog with parameter docs
+//	POST   /v1/jobs             submit a job (JobSpec JSON body)
+//	GET    /v1/jobs/{id}        job status and result
+//	DELETE /v1/jobs/{id}        request cancellation
+//	GET    /v1/jobs/{id}/trace  census trajectory as server-sent events
+//	GET    /v1/health           liveness plus cache/pool counters
+//
+// Every error response is JSON of the form {"error": "..."}; invalid
+// specs map to 400, unknown jobs to 404, a full queue to 429, and a
+// shutting-down server to 503.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/protocols", handleProtocols)
+	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		withJob(m, w, r, func(j *Job) {
+			writeJSON(w, http.StatusOK, j.View())
+		})
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		withJob(m, w, r, func(j *Job) {
+			m.Cancel(j.ID)
+			writeJSON(w, http.StatusAccepted, j.View())
+		})
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		withJob(m, w, r, func(j *Job) {
+			handleTrace(w, r, j)
+		})
+	})
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+			Stats  Stats  `json:"stats"`
+		}{"ok", m.Stats()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}
+
+// protocolDoc is the catalog rendering of a registry entry.
+type protocolDoc struct {
+	Key     string     `json:"key"`
+	Summary string     `json:"summary"`
+	States  string     `json:"states"`
+	Time    string     `json:"time"`
+	Target  int        `json:"target"`
+	Params  []paramDoc `json:"params,omitempty"`
+}
+
+type paramDoc struct {
+	Name string `json:"name"`
+	Doc  string `json:"doc"`
+}
+
+func handleProtocols(w http.ResponseWriter, _ *http.Request) {
+	entries := registry.Entries()
+	docs := make([]protocolDoc, len(entries))
+	for i, e := range entries {
+		d := protocolDoc{
+			Key:     e.Key,
+			Summary: e.Summary,
+			States:  e.States,
+			Time:    e.Time,
+			Target:  e.Target,
+		}
+		for _, p := range e.Params {
+			d.Params = append(d.Params, paramDoc{Name: p.Name, Doc: p.Doc})
+		}
+		docs[i] = d
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Protocols []protocolDoc `json:"protocols"`
+	}{docs})
+}
+
+// submitResponse is the POST /v1/jobs body: the job plus whether it was
+// answered from the finished-job cache.
+type submitResponse struct {
+	Job    JobView `json:"job"`
+	Cached bool    `json:"cached"`
+}
+
+func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec JobSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
+		return
+	}
+	job, cached, err := m.Submit(spec)
+	switch {
+	case errors.Is(err, registry.ErrBadSpec):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrBusy):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, submitResponse{Job: job.View(), Cached: cached})
+}
+
+// withJob resolves the {id} path value and 404s unknown jobs.
+func withJob(m *Manager, w http.ResponseWriter, r *http.Request, fn func(*Job)) {
+	id := r.PathValue("id")
+	job, ok := m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such job %q", id)
+		return
+	}
+	fn(job)
+}
+
+// handleTrace streams the job's census trajectory as server-sent events:
+// one "census" event per snapshot (replayed from the stored trajectory,
+// then live as the run progresses) and a final "done" event carrying the
+// job view once the job reaches a terminal state.
+func handleTrace(w http.ResponseWriter, r *http.Request, j *Job) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	replay, live, cancel := j.Subscribe()
+	defer cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	for _, snap := range replay {
+		if !emit("census", snap) {
+			return
+		}
+	}
+	for {
+		select {
+		case snap, open := <-live:
+			if !open {
+				emit("done", j.View())
+				return
+			}
+			if !emit("census", snap) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package service
+
+import "container/list"
+
+// lru is a minimal least-recently-used map from canonical job keys to
+// finished jobs. It is not safe for concurrent use; the Manager guards it
+// with its own mutex. onEvict runs synchronously when an entry falls out,
+// so the Manager can drop the evicted job from its id index too.
+type lru struct {
+	cap     int
+	order   *list.List // front = most recently used; values are *lruEntry
+	entries map[string]*list.Element
+	onEvict func(*Job)
+}
+
+type lruEntry struct {
+	key string
+	job *Job
+}
+
+func newLRU(capacity int, onEvict func(*Job)) *lru {
+	return &lru{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+		onEvict: onEvict,
+	}
+}
+
+// get returns the cached job for key and marks it most recently used.
+func (c *lru) get(key string) (*Job, bool) {
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).job, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when over capacity.
+func (c *lru) put(key string, job *Job) {
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*lruEntry).job = job
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&lruEntry{key: key, job: job})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		e := oldest.Value.(*lruEntry)
+		delete(c.entries, e.key)
+		if c.onEvict != nil {
+			c.onEvict(e.job)
+		}
+	}
+}
+
+// remove drops key without running the eviction hook.
+func (c *lru) remove(key string) {
+	if el, ok := c.entries[key]; ok {
+		c.order.Remove(el)
+		delete(c.entries, key)
+	}
+}
+
+func (c *lru) len() int { return c.order.Len() }

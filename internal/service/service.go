@@ -1,0 +1,707 @@
+// Package service runs population-protocol simulations as managed jobs:
+// the layer between the protocol registry and the popprotod HTTP server.
+//
+// A job is described by a JobSpec (protocol, n, engine, seed, knobs). The
+// Manager canonicalizes the spec, derives a deterministic seed when none
+// is given, and runs the job on a bounded worker pool. Because every run
+// is a deterministic function of its canonical spec (see the registry's
+// determinism tests), finished jobs are cached in an LRU keyed by that
+// spec: identical requests — the hot path when the same elections are
+// requested over and over — are answered without simulating anything.
+//
+// While a job runs, the worker records a census-snapshot trajectory
+// (decimated to a bounded length) that subscribers can stream; the HTTP
+// layer forwards it as server-sent events.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"popproto/internal/pp"
+	"popproto/internal/registry"
+)
+
+// Service-level submission failures, distinguished so the HTTP layer can
+// map them to status codes (429/503) separate from spec validation 400s.
+var (
+	// ErrBusy reports a full job queue; the caller should retry later.
+	ErrBusy = errors.New("service: job queue is full")
+	// ErrClosed reports submission to a manager that has been shut down.
+	ErrClosed = errors.New("service: manager is closed")
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// terminal reports whether no further transitions are possible.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// JobSpec is the wire-format job description (the POST /v1/jobs body).
+// Zero values are meaningful defaults, resolved by canonicalization:
+// engine "" selects the census engine (the only practical one at large n),
+// seed 0 derives a seed deterministically from the rest of the spec, and
+// maxParallelTime 0 selects the protocol's default step budget.
+type JobSpec struct {
+	// Protocol is a registry key (GET /v1/protocols lists them).
+	Protocol string `json:"protocol"`
+	// N is the population size.
+	N int `json:"n"`
+	// Engine is "count" or "agent" ("" = "count").
+	Engine string `json:"engine,omitempty"`
+	// Seed seeds the scheduler; 0 derives one from the canonical spec, so
+	// omitting it still yields a deterministic, cacheable job.
+	Seed uint64 `json:"seed,omitempty"`
+	// M is the PLL knowledge parameter (0 = canonical ⌈lg n⌉; rejected
+	// for protocols without an m).
+	M int `json:"m,omitempty"`
+	// MaxParallelTime caps the run, in parallel time units (0 = the
+	// protocol's registry default budget; values beyond that default are
+	// clamped to it, so the override can only shorten a run).
+	MaxParallelTime float64 `json:"maxParallelTime,omitempty"`
+	// Verify, when nonzero, runs that many extra interactions after
+	// stabilization and reports whether any output changed.
+	Verify uint64 `json:"verify,omitempty"`
+}
+
+// key renders the canonical cache key. Call only on canonicalized specs.
+func (s JobSpec) key() string {
+	return fmt.Sprintf("%s n=%d engine=%s seed=%d m=%d maxpt=%g verify=%d",
+		s.Protocol, s.N, s.Engine, s.Seed, s.M, s.MaxParallelTime, s.Verify)
+}
+
+// jobID derives the public job id from the canonical key, so identical
+// specs map to the same id and re-submissions land on the same job.
+func jobID(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("j%016x", h.Sum64())
+}
+
+// deriveSeed maps a canonical spec (minus the seed) to a deterministic
+// scheduler seed.
+func deriveSeed(s JobSpec) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed|%s|%d|%s|%d", s.Protocol, s.N, s.Engine, s.M)
+	return h.Sum64()
+}
+
+// censusCap bounds the number of distinct states reported per census in
+// results and snapshots; protocols like MaxID have Θ(n) live states and
+// would otherwise dominate every payload.
+const censusCap = 32
+
+// Snapshot is one point of a job's census trajectory.
+type Snapshot struct {
+	Step         uint64  `json:"step"`
+	ParallelTime float64 `json:"parallelTime"`
+	Leaders      int     `json:"leaders"`
+	// Census holds the censusCap most populous states; OmittedStates and
+	// OmittedAgents account for the truncated tail.
+	Census        map[string]int `json:"census"`
+	OmittedStates int            `json:"omittedStates,omitempty"`
+	OmittedAgents int            `json:"omittedAgents,omitempty"`
+}
+
+// Result is a finished job's outcome.
+type Result struct {
+	// Stabilized reports whether the run reached the protocol's target
+	// leader count within its step budget.
+	Stabilized bool `json:"stabilized"`
+	// Leaders is the final leader count (for the epidemic workload: the
+	// number of agents never reached).
+	Leaders int `json:"leaders"`
+	// Steps is the interaction count at which the run ended; when
+	// Stabilized it is the exact stabilization step.
+	Steps        uint64  `json:"steps"`
+	ParallelTime float64 `json:"parallelTime"`
+	// LiveStates is the number of distinct states in the final census
+	// (before truncation).
+	LiveStates    int            `json:"liveStates"`
+	Census        map[string]int `json:"census"`
+	OmittedStates int            `json:"omittedStates,omitempty"`
+	OmittedAgents int            `json:"omittedAgents,omitempty"`
+	// Stable is set when the spec requested verification: whether no
+	// output changed over the extra interactions.
+	Stable *bool `json:"stable,omitempty"`
+	// Description is the registry's human description of the protocol
+	// instance.
+	Description string `json:"description"`
+	// WallMillis is the wall-clock simulation time. It is reported for
+	// operators and excluded from the deterministic surface.
+	WallMillis int64 `json:"wallMillis"`
+}
+
+// topCensus returns the k most populous states (in registry.SortedCensus
+// order, so truncation is deterministic and agrees with the registry's
+// census rendering) and the number of states and agents truncated away.
+// Censuses here are at most a few thousand entries (the census engine's
+// live-state table), so a full sort is fine.
+func topCensus(census map[string]int, k int) (top map[string]int, omittedStates, omittedAgents int) {
+	if len(census) <= k {
+		return census, 0, 0
+	}
+	entries := registry.SortedCensus(census)
+	top = make(map[string]int, k)
+	for _, e := range entries[:k] {
+		top[e.State] = e.Count
+	}
+	for _, e := range entries[k:] {
+		omittedStates++
+		omittedAgents += e.Count
+	}
+	return top, omittedStates, omittedAgents
+}
+
+// Job is one managed simulation. All exported methods are safe for
+// concurrent use.
+type Job struct {
+	// ID is the public identifier, derived from the canonical spec.
+	ID string
+
+	spec   JobSpec       // canonicalized
+	rspec  registry.Spec // resolved registry spec
+	target int
+	budget uint64
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     State
+	err       string
+	result    *Result
+	snapshots []Snapshot
+	chunk     uint64 // snapshot cadence in steps; doubles on decimation
+	maxSnaps  int
+	// subs holds the live subscriptions. Channels are closed ONLY by
+	// finishLocked, which runs in the job's worker goroutine — the same
+	// goroutine as record's fanout sends — so a send can never race a
+	// close. Subscription cancel only deletes the entry.
+	subs map[chan Snapshot]struct{}
+	done chan struct{}
+
+	created, started, finished time.Time
+}
+
+// JobView is the JSON rendering of a job's current state.
+type JobView struct {
+	ID          string     `json:"id"`
+	State       State      `json:"state"`
+	Spec        JobSpec    `json:"spec"`
+	BudgetSteps uint64     `json:"budgetSteps"`
+	Error       string     `json:"error,omitempty"`
+	Result      *Result    `json:"result,omitempty"`
+	Snapshots   int        `json:"snapshots"`
+	Created     time.Time  `json:"created"`
+	Started     *time.Time `json:"started,omitempty"`
+	Finished    *time.Time `json:"finished,omitempty"`
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the job's result, or nil while it is not done.
+func (j *Job) Result() *Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// View renders the job for JSON responses.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:          j.ID,
+		State:       j.state,
+		Spec:        j.spec,
+		BudgetSteps: j.budget,
+		Error:       j.err,
+		Result:      j.result,
+		Snapshots:   len(j.snapshots),
+		Created:     j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// Subscribe returns the snapshots recorded so far plus a channel of
+// subsequent ones; the channel is closed when the job finishes. For a
+// finished job the replay holds the full stored trajectory and the channel
+// is already closed. The returned cancel function stops delivery (it does
+// NOT close the channel — only job completion does, so the delivering
+// goroutine can never send on a closed channel); it is safe to call more
+// than once. A consumer that cancels early must stop reading on its own
+// signal, as the HTTP trace handler does via the request context.
+func (j *Job) Subscribe() (replay []Snapshot, live <-chan Snapshot, cancel func()) {
+	ch := make(chan Snapshot, 256)
+	j.mu.Lock()
+	replay = append([]Snapshot(nil), j.snapshots...)
+	if j.state.terminal() {
+		j.mu.Unlock()
+		close(ch)
+		return replay, ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return replay, ch, func() {
+		j.mu.Lock()
+		delete(j.subs, ch) // no-op after finishLocked set subs to nil
+		j.mu.Unlock()
+	}
+}
+
+// begin moves a queued job to running, or reports false if it was
+// canceled while waiting in the queue.
+func (j *Job) begin() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.ctx.Err() != nil || j.state != StateQueued {
+		j.finishLocked(StateCanceled, "canceled while queued")
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// record appends a census snapshot and fans it out to subscribers without
+// blocking the simulation (slow subscribers miss snapshots rather than
+// stalling the run). When the stored trajectory exceeds its cap it is
+// decimated — every other point dropped, cadence doubled — keeping it
+// bounded and logarithmically spaced for long runs.
+func (j *Job) record(el registry.Election) {
+	census, omitStates, omitAgents := topCensus(el.Census(), censusCap)
+	snap := Snapshot{
+		Step:          el.Steps(),
+		ParallelTime:  el.ParallelTime(),
+		Leaders:       el.Leaders(),
+		Census:        census,
+		OmittedStates: omitStates,
+		OmittedAgents: omitAgents,
+	}
+	j.mu.Lock()
+	j.snapshots = append(j.snapshots, snap)
+	if len(j.snapshots) > j.maxSnaps {
+		kept := j.snapshots[:0]
+		for i := 0; i < len(j.snapshots); i += 2 {
+			kept = append(kept, j.snapshots[i])
+		}
+		j.snapshots = kept
+		j.chunk *= 2
+	}
+	fanout := make([]chan Snapshot, 0, len(j.subs))
+	for ch := range j.subs {
+		fanout = append(fanout, ch)
+	}
+	j.mu.Unlock()
+	for _, ch := range fanout {
+		select {
+		case ch <- snap:
+		default:
+		}
+	}
+}
+
+// finishLocked transitions to a terminal state, closing the done channel
+// and every live subscription. Callers hold j.mu.
+func (j *Job) finishLocked(state State, errMsg string) {
+	if j.state.terminal() {
+		return
+	}
+	j.state = state
+	j.err = errMsg
+	j.finished = time.Now()
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = nil
+	close(j.done)
+	j.cancel() // release the context's resources
+}
+
+func (j *Job) finish(state State, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finishLocked(state, errMsg)
+}
+
+func (j *Job) complete(res *Result) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.result = res
+	j.finishLocked(StateDone, "")
+}
+
+// Options configures a Manager. Zero values select the documented
+// defaults.
+type Options struct {
+	// Workers is the simulation worker-pool size (default NumCPU, capped
+	// at 8: jobs are single-threaded and memory-bound, not I/O-bound).
+	Workers int
+	// CacheSize is the finished-job LRU capacity (default 256).
+	CacheSize int
+	// QueueSize bounds the number of queued-but-not-running jobs; beyond
+	// it Submit returns ErrBusy (default 256).
+	QueueSize int
+	// MaxN bounds accepted population sizes on the census engine
+	// (default 200 million, ~50% above the largest benchmarked
+	// population; the census engine's memory is Θ(live states), not
+	// Θ(n), so huge n is safe there).
+	MaxN int
+	// MaxNAgent bounds population sizes on the per-agent engine, whose
+	// memory and per-interaction work are Θ(n) (default 10 million —
+	// beyond that a single job would hold gigabytes and a worker for
+	// hours).
+	MaxNAgent int
+	// MaxSnapshots bounds each job's stored trajectory (default 256).
+	MaxSnapshots int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = min(runtime.NumCPU(), 8)
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 256
+	}
+	if o.QueueSize <= 0 {
+		o.QueueSize = 256
+	}
+	if o.MaxN <= 0 {
+		o.MaxN = 200_000_000
+	}
+	if o.MaxNAgent <= 0 {
+		o.MaxNAgent = 10_000_000
+	}
+	if o.MaxSnapshots <= 0 {
+		o.MaxSnapshots = 256
+	}
+	return o
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits counts submissions answered from the finished-job cache,
+	// Joined those attached to an identical in-flight job, and Misses
+	// those that started a fresh simulation.
+	Hits, Joined, Misses uint64
+	// Jobs is the number of indexed jobs (live + cached), Cached the
+	// LRU's current size.
+	Jobs, Cached int
+}
+
+// Manager owns the worker pool, the job index and the result cache.
+type Manager struct {
+	opts  Options
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu                   sync.Mutex
+	jobs                 map[string]*Job
+	cache                *lru
+	hits, joined, misses uint64
+	closed               bool
+}
+
+// NewManager starts a manager with opts' worker pool.
+func NewManager(opts Options) *Manager {
+	opts = opts.withDefaults()
+	m := &Manager{
+		opts:  opts,
+		queue: make(chan *Job, opts.QueueSize),
+		jobs:  make(map[string]*Job),
+	}
+	m.cache = newLRU(opts.CacheSize, func(j *Job) { delete(m.jobs, j.ID) })
+	m.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go m.worker()
+	}
+	return m
+}
+
+// Close stops accepting jobs, cancels everything queued or running, and
+// waits for the workers to exit.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		m.wg.Wait()
+		return
+	}
+	m.closed = true
+	for _, j := range m.jobs {
+		j.cancel()
+	}
+	close(m.queue)
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Canonicalize resolves a JobSpec's defaults (engine, seed, budget) and
+// validates it against the registry and the manager's limits, returning
+// the canonical spec, the resolved registry spec, the stabilization
+// target, and the step budget. Errors wrap registry.ErrBadSpec.
+func (m *Manager) Canonicalize(spec JobSpec) (JobSpec, registry.Spec, int, uint64, error) {
+	if spec.Engine == "" {
+		spec.Engine = pp.EngineCount.String()
+	}
+	engine, err := pp.ParseEngine(spec.Engine)
+	if err != nil {
+		return JobSpec{}, registry.Spec{}, 0, 0, fmt.Errorf("%w: %v", registry.ErrBadSpec, err)
+	}
+	if spec.N > m.opts.MaxN {
+		return JobSpec{}, registry.Spec{}, 0, 0, fmt.Errorf(
+			"%w: population size %d exceeds this server's limit of %d",
+			registry.ErrBadSpec, spec.N, m.opts.MaxN)
+	}
+	if engine == pp.EngineAgent && spec.N > m.opts.MaxNAgent {
+		return JobSpec{}, registry.Spec{}, 0, 0, fmt.Errorf(
+			"%w: population size %d exceeds this server's per-agent-engine limit of %d (use the count engine for large n)",
+			registry.ErrBadSpec, spec.N, m.opts.MaxNAgent)
+	}
+	if spec.MaxParallelTime < 0 {
+		return JobSpec{}, registry.Spec{}, 0, 0, fmt.Errorf(
+			"%w: negative maxParallelTime %g", registry.ErrBadSpec, spec.MaxParallelTime)
+	}
+	if spec.Seed == 0 {
+		spec.Seed = deriveSeed(spec)
+	}
+	rspec := registry.Spec{
+		Protocol: spec.Protocol,
+		N:        spec.N,
+		Engine:   engine,
+		Seed:     spec.Seed,
+		M:        spec.M,
+	}
+	entry, err := registry.Validate(rspec)
+	if err != nil {
+		return JobSpec{}, registry.Spec{}, 0, 0, err
+	}
+	budget := entry.StepBudget(spec.N)
+	if spec.MaxParallelTime > 0 {
+		// The override can only shorten the run: the registry default is
+		// already thousands of expected stabilization times, and an
+		// uncapped client value would let one request pin a worker
+		// near-forever (and overflow the float→uint64 conversion).
+		if steps := spec.MaxParallelTime * float64(spec.N); steps < float64(budget) {
+			budget = uint64(steps)
+		}
+	}
+	return spec, rspec, entry.Target, budget, nil
+}
+
+// Submit canonicalizes spec and returns the job serving it: a cached
+// finished job (cached = true), an identical job already in flight, or a
+// freshly queued one. It fails with ErrBusy when the queue is full and an
+// error wrapping registry.ErrBadSpec when the spec is invalid.
+func (m *Manager) Submit(spec JobSpec) (job *Job, cached bool, err error) {
+	canon, rspec, target, budget, err := m.Canonicalize(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	key := canon.key()
+	id := jobID(key)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrClosed
+	}
+	if j, ok := m.cache.get(key); ok {
+		if j.State() != StateCanceled {
+			m.hits++
+			return j, true, nil
+		}
+		// A canceled job is the one terminal state that does not
+		// represent the spec's deterministic outcome: re-run it.
+		m.cache.remove(key)
+		delete(m.jobs, j.ID)
+	}
+	if j, ok := m.jobs[id]; ok && !j.State().terminal() {
+		m.joined++
+		return j, false, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	j := &Job{
+		ID:       id,
+		spec:     canon,
+		rspec:    rspec,
+		target:   target,
+		budget:   budget,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StateQueued,
+		chunk:    uint64(canon.N), // one parallel-time unit between snapshots
+		maxSnaps: m.opts.MaxSnapshots,
+		subs:     make(map[chan Snapshot]struct{}),
+		done:     make(chan struct{}),
+		created:  time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		cancel()
+		return nil, false, ErrBusy
+	}
+	m.jobs[id] = j
+	m.misses++
+	return j, false, nil
+}
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of the job with the given id, reporting
+// whether the job exists. Finished jobs are unaffected.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	m.mu.Unlock()
+	if ok {
+		j.cancel()
+	}
+	return ok
+}
+
+// Stats returns current cache and pool counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{
+		Hits:   m.hits,
+		Joined: m.joined,
+		Misses: m.misses,
+		Jobs:   len(m.jobs),
+		Cached: m.cache.len(),
+	}
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for job := range m.queue {
+		m.runJob(job)
+	}
+}
+
+// runJob executes one job to a terminal state and indexes the outcome.
+func (m *Manager) runJob(j *Job) {
+	if !j.begin() {
+		m.index(j)
+		return
+	}
+	start := time.Now()
+	el, err := registry.New(j.rspec)
+	if err != nil {
+		// The spec was validated at submission; a failure here is an
+		// internal inconsistency, reported on the job rather than killing
+		// the worker.
+		j.finish(StateFailed, err.Error())
+		m.index(j)
+		return
+	}
+
+	j.record(el) // the initial configuration, so every trace has ≥ 2 points
+	canceled := false
+	for el.Leaders() > j.target && el.Steps() < j.budget {
+		if j.ctx.Err() != nil {
+			canceled = true
+			break
+		}
+		next := min(el.Steps()+j.snapshotChunk(), j.budget)
+		el.RunUntilLeaders(j.target, next)
+		j.record(el)
+	}
+	if canceled {
+		j.finish(StateCanceled, "canceled")
+		m.index(j)
+		return
+	}
+	if last := el.Steps(); j.snapshotCount() == 1 || j.lastSnapshotStep() != last {
+		// Runs that stabilize inside the first chunk still get a final
+		// snapshot distinct from the initial one.
+		j.record(el)
+	}
+
+	res := &Result{
+		Stabilized:   el.Leaders() <= j.target,
+		Leaders:      el.Leaders(),
+		Steps:        el.Steps(),
+		ParallelTime: el.ParallelTime(),
+		LiveStates:   el.LiveStates(),
+		Description:  el.Description(),
+	}
+	if j.spec.Verify > 0 && res.Stabilized {
+		stable := el.VerifyStable(j.spec.Verify)
+		res.Stable = &stable
+	}
+	res.Census, res.OmittedStates, res.OmittedAgents = topCensus(el.Census(), censusCap)
+	res.WallMillis = time.Since(start).Milliseconds()
+	j.complete(res)
+	m.index(j)
+}
+
+func (j *Job) snapshotChunk() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.chunk
+}
+
+func (j *Job) snapshotCount() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.snapshots)
+}
+
+func (j *Job) lastSnapshotStep() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.snapshots) == 0 {
+		return 0
+	}
+	return j.snapshots[len(j.snapshots)-1].Step
+}
+
+// index files a terminal job in the finished-job cache (evicting the
+// oldest entries, and with them their id index).
+func (m *Manager) index(j *Job) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cache.put(j.spec.key(), j)
+}

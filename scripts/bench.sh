@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench.sh — run the key performance benchmarks and record the results as
+# a dated JSON summary, so the repo accumulates a perf trajectory.
+#
+# Usage:
+#   scripts/bench.sh [output.json]
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 1x: one run per case,
+#               the large-n elections already take ~20 s each)
+#   BENCH_RE    benchmark regex (default: engine head-to-head + large-n)
+#   POPPROTO_BENCH_XL=1 additionally runs the 10^8-agent cases
+#
+# The JSON is an object {date, go, commit, benchtime, benchmarks: [...]},
+# one entry per benchmark line with every reported metric (ns/op, B/op,
+# allocs/op, and custom metrics like parallel-time/op and max-heap-MiB).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_$(date -u +%Y-%m-%d).json}
+BENCH_RE=${BENCH_RE:-'Engines_|LargeN_'}
+BENCHTIME=${BENCHTIME:-1x}
+
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+echo "running benchmarks matching /${BENCH_RE}/ with -benchtime ${BENCHTIME}..." >&2
+go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" \
+  -timeout 120m . | tee "$RAW" >&2
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    -v go_version="$(go version | awk '{print $3}')" \
+    -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+    -v benchtime="$BENCHTIME" '
+BEGIN {
+  printf "{\n  \"date\": \"%s\",\n  \"go\": \"%s\",\n  \"commit\": \"%s\",\n", date, go_version, commit
+  printf "  \"benchtime\": \"%s\",\n  \"benchmarks\": [", benchtime
+  first = 1
+}
+/^Benchmark/ {
+  name = $1
+  iters = $2
+  if (!first) printf ","
+  first = 0
+  printf "\n    {\"name\": \"%s\", \"iterations\": %s", name, iters
+  # Remaining fields come in value-unit pairs (ns/op, B/op, allocs/op,
+  # plus any b.ReportMetric custom units).
+  for (i = 3; i + 1 <= NF; i += 2) {
+    unit = $(i + 1)
+    gsub(/"/, "", unit)
+    printf ", \"%s\": %s", unit, $i
+  }
+  printf "}"
+}
+END { printf "\n  ]\n}\n" }
+' "$RAW" > "$OUT"
+
+echo "wrote $OUT" >&2

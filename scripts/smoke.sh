@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# smoke.sh — end-to-end smoke test of the popprotod HTTP service, as run
+# by CI: start the server, submit a PLL election at n=10^5 on the census
+# engine, assert exactly one leader, and assert the identical resubmission
+# is served from the result cache.
+#
+# Usage: scripts/smoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT=${1:-8099}
+BASE="http://127.0.0.1:${PORT}"
+SPEC='{"protocol": "pll", "n": 100000, "engine": "count", "seed": 42}'
+
+BIN=$(mktemp -d)/popprotod
+go build -o "$BIN" ./cmd/popprotod
+
+"$BIN" -addr "127.0.0.1:${PORT}" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -fs "$BASE/v1/health" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fs "$BASE/v1/health" >/dev/null || { echo "server never came up" >&2; exit 1; }
+
+echo "catalog:" >&2
+curl -fs "$BASE/v1/protocols" | jq -r '.protocols[].key' >&2
+
+ID=$(curl -fs -X POST -d "$SPEC" "$BASE/v1/jobs" | jq -r '.job.id')
+echo "submitted job $ID" >&2
+
+STATE=queued
+for _ in $(seq 1 300); do
+  STATE=$(curl -fs "$BASE/v1/jobs/$ID" | jq -r '.state')
+  [ "$STATE" = done ] || [ "$STATE" = failed ] && break
+  sleep 0.2
+done
+[ "$STATE" = done ] || { echo "job ended in state $STATE" >&2; exit 1; }
+
+LEADERS=$(curl -fs "$BASE/v1/jobs/$ID" | jq -r '.result.leaders')
+[ "$LEADERS" = 1 ] || { echo "expected 1 leader, got $LEADERS" >&2; exit 1; }
+echo "election stabilized with exactly one leader" >&2
+
+CACHED=$(curl -fs -X POST -d "$SPEC" "$BASE/v1/jobs" | jq -r '.cached')
+[ "$CACHED" = true ] || { echo "identical resubmission not served from cache" >&2; exit 1; }
+echo "identical resubmission served from cache" >&2
+
+# The SSE trace must replay at least two census snapshots.
+SNAPSHOTS=$(curl -fs -N --max-time 10 "$BASE/v1/jobs/$ID/trace" | grep -c '^event: census' || true)
+[ "$SNAPSHOTS" -ge 2 ] || { echo "trace replayed $SNAPSHOTS snapshots, want >= 2" >&2; exit 1; }
+echo "trace replayed $SNAPSHOTS census snapshots" >&2
+
+echo "smoke test passed" >&2
