@@ -374,11 +374,54 @@ func BenchmarkMicro_PLLCountStep(b *testing.B) {
 	}
 }
 
+// BenchmarkMicro_PLLBatchRun measures the batch engine's amortized
+// per-interaction cost in round mode (Step() alone cannot: a single step
+// is below the round threshold).
+func BenchmarkMicro_PLLBatchRun(b *testing.B) {
+	const n = 1 << 20
+	sim := pp.NewBatchSimulator[core.State](core.NewForN(n), n, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.RunSteps(1024)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(sim.Steps()), "ns/interaction")
+}
+
 func BenchmarkMicro_SymmetricStep(b *testing.B) {
 	sim := pp.NewSimulator[core.SymState](core.NewSymmetricForN(4096), 4096, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sim.Step()
+	}
+}
+
+// --- BenchmarkPLL: the headline engine race -------------------------------
+
+// BenchmarkPLL runs one full PLL election at n = 10⁷ per iteration on the
+// census engine and on the batch engine — the workload behind the Table 1/2
+// sweeps — reporting parallel time and wall-clock per simulated interaction
+// alongside ns/op. Election lengths are random (the 2-leader count-up
+// plateau's duration varies by an order of magnitude between seeds), so
+// ns/interaction is the realization-independent comparison; identical seeds
+// are used for both engines. Run with -benchtime=1x for one election per
+// engine.
+func BenchmarkPLL(b *testing.B) {
+	const n = 10_000_000
+	for _, engine := range []pp.Engine{pp.EngineCount, pp.EngineBatch} {
+		b.Run(fmt.Sprintf("n=%d/engine=%s", n, engine), func(b *testing.B) {
+			proto := core.NewForN(n)
+			var totalPT, totalInts float64
+			for i := 0; i < b.N; i++ {
+				sim := pp.NewRunner[core.State](engine, proto, n, uint64(i)+1)
+				if _, ok := sim.RunUntilLeaders(1, logBudget(n)); !ok {
+					b.Fatalf("iteration %d did not stabilize", i)
+				}
+				totalPT += sim.ParallelTime()
+				totalInts += float64(sim.Steps())
+			}
+			b.ReportMetric(totalPT/float64(b.N), "parallel-time/op")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/totalInts, "ns/interaction")
+		})
 	}
 }
 
@@ -446,6 +489,39 @@ func BenchmarkLargeN_PLL_CountEngine(b *testing.B) {
 			b.ReportMetric(total/float64(b.N), "parallel-time/op")
 		})
 	}
+}
+
+func BenchmarkLargeN_PLL_BatchEngine(b *testing.B) {
+	for _, n := range []int{10_000_000, 100_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			xlGuard(b, n)
+			proto := core.NewForN(n)
+			var total, maxHeap, maxLive float64
+			for i := 0; i < b.N; i++ {
+				sim := pp.NewBatchSimulator[core.State](proto, n, uint64(i)+1)
+				if _, ok := sim.RunUntilLeaders(1, logBudget(n)); !ok {
+					b.Fatalf("iteration %d did not stabilize", i)
+				}
+				total += sim.ParallelTime()
+				b.StopTimer()
+				maxHeap = max(maxHeap, liveHeapMiB(sim))
+				maxLive = max(maxLive, float64(sim.LiveStates()))
+				b.StartTimer()
+			}
+			b.ReportMetric(maxHeap, "max-heap-MiB")
+			b.ReportMetric(maxLive, "live-states")
+			b.ReportMetric(total/float64(b.N), "parallel-time/op")
+		})
+	}
+}
+
+// BenchmarkTable1_PLL_XL is the first Table 1 row at n = 10⁸: a full PLL
+// election at the hundred-million-agent scale, practical only on the batch
+// engine (set POPPROTO_BENCH_XL=1 to run).
+func BenchmarkTable1_PLL_XL(b *testing.B) {
+	const n = 100_000_000
+	xlGuard(b, n)
+	electionBench[core.State](b, pp.EngineBatch, core.NewForN(n), n, logBudget(n))
 }
 
 func BenchmarkLargeN_Angluin_CountEngine(b *testing.B) {

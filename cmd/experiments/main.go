@@ -35,7 +35,10 @@ func run(args []string) error {
 	quick := fs.Bool("quick", false, "smoke-test scale (small n, few repetitions)")
 	seed := fs.Uint64("seed", harness.DefaultConfig().Seed, "master seed")
 	workers := fs.Int("workers", 0, "simulation workers (0 = NumCPU)")
-	engine := fs.String("engine", "agent", "simulation engine for election sweeps: agent (per-agent states) | count (census, for large n)")
+	// Derived from pp.Engines, so the help text cannot drift as engines
+	// are added.
+	engine := fs.String("engine", "agent",
+		"simulation engine for election sweeps: "+strings.Join(pp.EngineNames(), " | "))
 	out := fs.String("out", "", "also write the combined report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err

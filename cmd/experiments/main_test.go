@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"popproto/internal/pp"
 )
 
 func TestListFlag(t *testing.T) {
@@ -42,5 +44,22 @@ func TestQuickSingleExperimentWithOutput(t *testing.T) {
 	}
 	if !strings.Contains(string(data), "[PASS]") {
 		t.Fatalf("report has no passing verdicts:\n%s", data)
+	}
+}
+
+// TestEngineFlagAcceptsAllEngines: the -engine flag (whose usage string is
+// derived from pp.Engines) must parse every declared engine name. The
+// bogus experiment id stops the run right after engine parsing, so the
+// check stays cheap: an unknown-experiment error proves the engine parsed.
+func TestEngineFlagAcceptsAllEngines(t *testing.T) {
+	for _, name := range pp.EngineNames() {
+		err := run([]string{"-engine", name, "nope"})
+		if err == nil || !strings.Contains(err.Error(), "unknown experiment") {
+			t.Errorf("engine %q: got %v, want unknown-experiment error", name, err)
+		}
+	}
+	if err := run([]string{"-engine", "quantum", "nope"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown engine") {
+		t.Errorf("bogus engine: got %v, want unknown-engine error", err)
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"popproto/internal/asciichart"
 	"popproto/internal/pp"
@@ -38,7 +39,10 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("leaderelect", flag.ContinueOnError)
 	protocol := fs.String("protocol", "pll", "protocol registry key (see -list-protocols)")
-	engineName := fs.String("engine", "agent", "simulation engine: agent | count (census-based, for large n)")
+	// The usage string is derived from pp.Engines, so adding an engine can
+	// never leave stale help text here.
+	engineName := fs.String("engine", "agent",
+		"simulation engine: "+strings.Join(pp.EngineNames(), " | ")+" (census-based engines scale to large n)")
 	list := fs.Bool("list-protocols", false, "print the protocol catalog with parameter docs and exit")
 	n := fs.Int("n", 10000, "population size")
 	seed := fs.Uint64("seed", 1, "scheduler seed")
@@ -84,6 +88,11 @@ func printCatalog(w io.Writer) {
 		fmt.Fprintf(w, "%-10s %s\n", e.Key, e.Summary)
 		fmt.Fprintf(w, "           states %s, expected time %s, stabilizes at %d leader(s)\n",
 			e.States, e.Time, e.Target)
+		engines := make([]string, 0, 3)
+		for _, eng := range e.SuitableEngines() {
+			engines = append(engines, eng.String())
+		}
+		fmt.Fprintf(w, "           engines (best first): %s\n", strings.Join(engines, ", "))
 		for _, p := range e.Params {
 			fmt.Fprintf(w, "           -%s: %s\n", p.Name, p.Doc)
 		}

@@ -3,10 +3,14 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"popproto/internal/pp"
 )
 
 func TestRunAllProtocols(t *testing.T) {
-	for _, engine := range []string{"agent", "count"} {
+	// Derived from pp.Engines so this sweep picks up new engines on its
+	// own, like the flag usage text does.
+	for _, engine := range pp.EngineNames() {
 		for _, proto := range []string{"pll", "pll-sym", "angluin", "lottery", "maxid", "epidemic"} {
 			args := []string{"-protocol", proto, "-engine", engine,
 				"-n", "64", "-seed", "3", "-verify", "2000"}
@@ -78,5 +82,15 @@ func TestRunBudgetExhaustion(t *testing.T) {
 	err := run([]string{"-protocol", "angluin", "-n", "512", "-max-parallel", "0.05"})
 	if err == nil || !strings.Contains(err.Error(), "no stabilization") {
 		t.Fatalf("want stabilization failure, got %v", err)
+	}
+}
+
+// TestCatalogListsEngines: -list-protocols must name the suitable engines
+// for every entry, so users can pick without reading source.
+func TestCatalogListsEngines(t *testing.T) {
+	var buf strings.Builder
+	printCatalog(&buf)
+	if !strings.Contains(buf.String(), "engines (best first): batch, count, agent") {
+		t.Fatalf("catalog does not list engine suitability:\n%s", buf.String())
 	}
 }

@@ -53,6 +53,23 @@ func ksAcross[S comparable](
 	return stats.KSTwoSample(agent, count)
 }
 
+// ksPairs KS-tests the batch engine's stabilization times against each of
+// the other engines on the same protocol, failing t on any rejection.
+func ksPairs[S comparable](
+	t *testing.T, proto pp.Protocol[S], n, reps int, budget uint64,
+) {
+	t.Helper()
+	batch := stabilizationTimes(t, pp.EngineBatch, proto, n, reps, 5, budget)
+	for _, ref := range []pp.Engine{pp.EngineAgent, pp.EngineCount} {
+		times := stabilizationTimes(t, ref, proto, n, reps, 1+uint64(ref), budget)
+		ks := stats.KSTwoSample(batch, times)
+		if ks.P < 0.001 {
+			t.Errorf("batch vs %s stabilization times differ: D=%.4f p=%.6f",
+				ref, ks.Stat, ks.P)
+		}
+	}
+}
+
 func TestEngineEquivalencePLL(t *testing.T) {
 	n := 96
 	ks := ksAcross[core.State](t, core.NewForN(n), n, 200, logBudget(n))
@@ -76,6 +93,72 @@ func TestEngineEquivalenceAngluin(t *testing.T) {
 	if ks.P < 0.001 {
 		t.Fatalf("Angluin stabilization times distinguish the engines: D=%.4f p=%.6f",
 			ks.Stat, ks.P)
+	}
+}
+
+// The batch engine must match both other engines on every fixture class:
+// the two-state duel (heavy collision-free rounds), PLL (mixed rounds and
+// per-interaction fallback) and Angluin (rounds early, geometric no-op
+// skipping late).
+
+func TestEngineEquivalenceBatchDuel(t *testing.T) {
+	const n = 256
+	ksPairs[bool](t, pptest.Duel{}, n, 200, linearBudget(n))
+}
+
+func TestEngineEquivalenceBatchPLL(t *testing.T) {
+	const n = 96
+	ksPairs[core.State](t, core.NewForN(n), n, 200, logBudget(n))
+}
+
+func TestEngineEquivalenceBatchAngluin(t *testing.T) {
+	const n = 64
+	ksPairs[baseline.AngluinState](t, baseline.Angluin{}, n, 200, linearBudget(n))
+}
+
+// TestEngineEquivalenceBatchChiSquare complements the KS tests with a
+// two-sample χ² over pooled-quantile bins, batch vs agent, on the Angluin
+// fixture.
+func TestEngineEquivalenceBatchChiSquare(t *testing.T) {
+	const (
+		n    = 64
+		reps = 240
+		bins = 6
+	)
+	budget := linearBudget(n)
+	agent := stabilizationTimes(t, pp.EngineAgent, baseline.Angluin{}, n, reps, 13, budget)
+	batch := stabilizationTimes(t, pp.EngineBatch, baseline.Angluin{}, n, reps, 14, budget)
+
+	pooled := append(append([]float64(nil), agent...), batch...)
+	edges := make([]float64, bins-1)
+	for i := range edges {
+		edges[i] = stats.Quantile(pooled, float64(i+1)/bins)
+	}
+	binOf := func(v float64) int {
+		b := 0
+		for b < len(edges) && v > edges[b] {
+			b++
+		}
+		return b
+	}
+	oa := make([]float64, bins)
+	ob := make([]float64, bins)
+	for i := range agent {
+		oa[binOf(agent[i])]++
+		ob[binOf(batch[i])]++
+	}
+	stat := 0.0
+	for i := range oa {
+		if oa[i]+ob[i] == 0 {
+			continue
+		}
+		d := oa[i] - ob[i]
+		stat += d * d / (oa[i] + ob[i])
+	}
+	p := stats.GammaQ(float64(bins-1)/2, stat/2)
+	if p < 0.001 {
+		t.Fatalf("batch-engine times distinguish the engines: χ²=%.2f p=%.5f (agent %v, batch %v)",
+			stat, p, oa, ob)
 	}
 }
 

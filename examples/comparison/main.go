@@ -7,17 +7,31 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 
+	"popproto/internal/pp"
 	"popproto/internal/registry"
 	"popproto/internal/stats"
 	"popproto/internal/table"
 )
 
-var repetitions = 10
+var (
+	repetitions = 10
+	engine      pp.Engine
+)
 
 func main() {
 	quick := flag.Bool("quick", false, "smoke-test scale (tiny populations, few repetitions)")
+	engineName := flag.String("engine", "agent",
+		"simulation engine: "+strings.Join(pp.EngineNames(), " | "))
 	flag.Parse()
+	eng, err := pp.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "comparison:", err)
+		os.Exit(1)
+	}
+	engine = eng
 	sizes := []int{256, 1024, 4096}
 	if *quick {
 		sizes = []int{64, 128, 256}
@@ -53,7 +67,7 @@ func main() {
 }
 
 func meanTime(protocol string, n int) float64 {
-	results, err := registry.Measure(registry.Spec{Protocol: protocol, N: n, Seed: 7},
+	results, err := registry.Measure(registry.Spec{Protocol: protocol, N: n, Engine: engine, Seed: 7},
 		repetitions, 0, 0)
 	if err != nil {
 		panic(err)

@@ -1,0 +1,1049 @@
+package pp
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tuning constants of the batch engine's collision-free round policy. Like
+// the census engine's constants they affect only wall-clock cost, never the
+// sampled distribution: every path realizes the exact uniform-scheduler
+// Markov chain.
+const (
+	// batchRoundMinN is the smallest population for which collision-free
+	// rounds are attempted by default. Below it a round covers only a
+	// handful of interactions (E[round] ≈ 0.89·√n) and the per-interaction
+	// path is cheaper.
+	batchRoundMinN = 64
+	// batchMinRound is the smallest remaining step budget worth opening a
+	// round for; shorter advances use the per-interaction path.
+	batchMinRound = 8
+	// batchDenseStatesMax bounds the dense transition-outcome matrix (and
+	// with it round mode itself) to protocols whose runs observe at most
+	// this many distinct states; the matrix then costs at most
+	// batchDenseStatesMax² packed words (8 MiB).
+	batchDenseStatesMax = 1024
+	// batchAutoLiveMin/Max clamp the automatic live-state cap for round
+	// mode, derived from the expected round length (see maxLiveForRounds).
+	batchAutoLiveMin = 32
+	batchAutoLiveMax = 512
+	// batchNoopRoundStreak is the number of consecutive all-no-op rounds
+	// after which the engine hands the census to the geometric no-op
+	// skipper: a round of Θ(√n) no-ops is evidence the census is inert and
+	// the exact geometric law can jump whole Θ(n²) stretches at once.
+	batchNoopRoundStreak = 2
+	// batchResidualCutoff is the remaining-sample floor below which the
+	// multivariate draws switch from per-state hypergeometric conditionals
+	// to placing the remaining samples one agent at a time (the equivalent
+	// sequential revelation of the same without-replacement law). The
+	// switch also triggers once the remaining sample is small relative to
+	// the remaining states (batchResidualPerState expected samples per
+	// state), so a long flat census tail costs O(samples) draws instead of
+	// O(states) hypergeometric setups.
+	batchResidualCutoff   = 24
+	batchResidualPerState = 2
+	// batchSurvivalFloor is where the precomputed birthday survival table
+	// stops: the smallest uniform draw is 2⁻⁵³ ≈ 1.1e-16, so tabulating
+	// P[first t interactions collision-free] down to 1e-18 covers every
+	// reachable round length.
+	batchSurvivalFloor = 1e-18
+)
+
+// denseEmpty marks an unfilled cell of the dense transition matrix. Cells
+// pack the two outcome indexes as uint16s (states in round mode are capped
+// at batchDenseStatesMax = 1024 ≤ 65534), halving the matrix's cache
+// footprint versus a naive pair of int32s.
+const denseEmpty = ^uint32(0)
+
+// BatchDebug counts round work items (temporary instrumentation).
+var BatchDebug struct{ Rounds, Ints, Cells, HRUA, Resid uint64 }
+
+// roundCell is one aggregated interaction cell of a round: m interactions
+// of the ordered state pair (p, q).
+type roundCell struct {
+	p, q int32
+	m    int64
+}
+
+// BatchSimulator executes one population under a protocol in collision-free
+// rounds, the third simulation engine (EngineBatch). It represents the
+// configuration as a census like CountSimulator, but instead of sampling
+// one interacting state pair at a time it simulates the uniform scheduler
+// in batches:
+//
+//  1. Draw the round length T — the number of leading interactions in which
+//     no agent participates twice — from the exact birthday law over agent
+//     slots: P[first t interactions collision-free] = n⁽²ᵗ⁾/(n(n−1))ᵗ,
+//     precomputed as a survival table and sampled by inverse CDF.
+//  2. The 2T slots of a collision-free block hold a uniformly random
+//     ordered sample of agents without replacement, so the participants'
+//     state counts follow the multivariate hypergeometric law of the
+//     census; the split into initiator and responder slots is a second
+//     hypergeometric split, and the pairing of initiator states with
+//     responder states a third family of conditional hypergeometric draws
+//     (a uniformly random matching of the two multisets).
+//  3. Because each participant interacts exactly once in the block,
+//     transitions cannot interfere: each ordered state pair (p, q) drawn m
+//     times is applied in aggregate — census moved by counts, leader and
+//     role-change accounting scaled by m — in O(1) per pair instead of
+//     O(m).
+//  4. The single colliding interaction that ends the round is resolved
+//     exactly: conditioned on the collision, the repeated agent is uniform
+//     over the 2T updated participants (whose post-transition states the
+//     round tracked) or the fresh agents, with the closed-form probability
+//     (n−1)/(2n−u−1) of colliding on the initiator slot.
+//
+// Per-interaction cost is therefore sub-constant wherever the census is
+// concentrated: a round covers Θ(√n) interactions with O(states in sample)
+// draws. Two fallbacks bound the cost everywhere else — populations or
+// configurations whose live-state support is too wide for aggregate draws
+// to amortize fall back to the census engine's O(log k) per-interaction
+// path, and a streak of all-no-op rounds hands over to its exact geometric
+// no-op skipping — so the engine is never worse than EngineCount by more
+// than a constant factor and is dramatically faster in the reaction-dense
+// phases (epidemics, coin flips, count-up plateaus) that dominate PLL runs.
+//
+// All paths sample the exact chain, so any policy mix is
+// distribution-preserving; the engine-equivalence tests certify this
+// against both other engines.
+//
+// A BatchSimulator is not safe for concurrent use; run one per goroutine.
+type BatchSimulator[S comparable] struct {
+	cs       CountSimulator[S] // census core; also the fallback engine
+	fenDirty bool              // round mode defers Fenwick maintenance
+
+	// Round policy (see TuneRounds). expRound caches 0.886·√n, the
+	// asymptotic expected round length.
+	minRoundN  int
+	maxLive    int
+	expRound   float64
+	noopRounds int
+
+	// survival[t] = P[first t interactions are collision-free], built
+	// lazily, immutable afterwards (clones share it).
+	survival []float64
+
+	// Dense transition memo: dense[i*denseStride+j] packs the outcome
+	// state indexes of the ordered pair (i, j); denseEmpty = unfilled.
+	dense       []uint32
+	denseStride int
+
+	// Per-state scratch, indexed by dense state index and reset sparsely
+	// after each round via the index lists.
+	order      []int32 // all state indexes, kept roughly sorted by count desc
+	part       []int64 // participants drawn per state (the multiset D)
+	ini        []int64 // initiator-slot split of part
+	rcnt       []int64 // responder pool remaining during matching
+	post       []int64 // post-transition state multiset of participants
+	sampledIdx []int32 // states with part > 0, in draw order
+	postIdx    []int32 // states with post > 0
+	poolIdx    []int32 // matching's compacted responder pool
+	cumW       []int64 // residual sampling: suffix prefix sums
+	bucketIdx  []int32 // residual sampling: 256-bucket jump table into cumW
+	residShift uint    // residual sampling: bucket width log2
+
+	// The round's interaction cells (ordered state pair → multiplicity),
+	// kept for the exact first-hit replay, plus the colliding pair.
+	cells        []roundCell
+	collP, collQ int32
+	reactive     uint64
+
+	// Census snapshot for first-hit replay when a round could cross the
+	// caller's leader target.
+	snapCounts  []int64
+	snapLeaders int
+	snapLive    int
+	snapRole    uint64
+
+	replayBuf []uint64
+}
+
+// NewBatchSimulator creates a census of n agents, all in the protocol's
+// initial state, with the scheduler seeded by seed. It panics if n < 1.
+func NewBatchSimulator[S comparable](proto Protocol[S], n int, seed uint64) *BatchSimulator[S] {
+	b := &BatchSimulator[S]{
+		cs:        *NewCountSimulator(proto, n, seed),
+		minRoundN: batchRoundMinN,
+		expRound:  0.886 * math.Sqrt(float64(n)),
+	}
+	return b
+}
+
+// TuneRounds overrides the engine's adaptive round policy: populations of
+// at least minN agents use collision-free rounds while at most maxLive
+// distinct states are occupied. Zero restores the default for either
+// value. Any setting is distribution-preserving — the policy trades only
+// wall-clock time — which is why the knob is safe to expose for tests and
+// benchmarks.
+func (b *BatchSimulator[S]) TuneRounds(minN, maxLive int) {
+	b.minRoundN = minN
+	if minN <= 0 {
+		b.minRoundN = batchRoundMinN
+	}
+	b.maxLive = maxLive
+}
+
+// --- Observable surface (delegated to the census core) -------------------
+
+// N returns the population size.
+func (b *BatchSimulator[S]) N() int { return b.cs.n }
+
+// Steps returns the number of interactions executed so far, including
+// those processed in aggregate.
+func (b *BatchSimulator[S]) Steps() uint64 { return b.cs.steps }
+
+// ParallelTime returns steps divided by n, the paper's time measure.
+func (b *BatchSimulator[S]) ParallelTime() float64 { return b.cs.ParallelTime() }
+
+// Leaders returns the current number of agents whose output is Leader.
+func (b *BatchSimulator[S]) Leaders() int { return b.cs.leaders }
+
+// RoleChanges returns the cumulative number of agent output changes
+// (L→F or F→L) observed since construction.
+func (b *BatchSimulator[S]) RoleChanges() uint64 { return b.cs.roleChanges }
+
+// LiveStates returns the number of distinct states with nonzero count.
+func (b *BatchSimulator[S]) LiveStates() int { return b.cs.live }
+
+// Count returns the current multiplicity of state s.
+func (b *BatchSimulator[S]) Count(s S) int { return b.cs.Count(s) }
+
+// Census returns the multiset of current agent states.
+func (b *BatchSimulator[S]) Census() map[S]int { return b.cs.Census() }
+
+// ForEach calls f once per agent with synthetic ids, like the census
+// engine (agents are anonymous; see CountSimulator.ForEach).
+func (b *BatchSimulator[S]) ForEach(f func(id int, state S)) { b.cs.ForEach(f) }
+
+// TrackStates enables recording of every distinct agent state observed
+// from now on. While tracking is active the engine leaves round mode (the
+// aggregate paths do not attribute observations), so tracking costs the
+// census engine's per-event rate.
+func (b *BatchSimulator[S]) TrackStates() { b.cs.TrackStates() }
+
+// DistinctStates returns the number of distinct agent states observed
+// since TrackStates was enabled, or 0 if tracking is disabled.
+func (b *BatchSimulator[S]) DistinctStates() int { return b.cs.DistinctStates() }
+
+// --- Chain driving -------------------------------------------------------
+
+// Step executes one uniformly random interaction.
+func (b *BatchSimulator[S]) Step() { b.advance(b.cs.steps+1, -1) }
+
+// RunSteps executes k uniformly random interactions.
+func (b *BatchSimulator[S]) RunSteps(k uint64) {
+	limit := b.cs.steps + k
+	for b.cs.steps < limit {
+		b.advance(limit, -1)
+	}
+}
+
+// RunUntilLeaders runs random interactions until at most target leaders
+// remain or maxSteps total interactions have been executed, returning the
+// total step count at return and whether the target was reached. The
+// reported step count is the exact first-hit time of the underlying chain:
+// a round whose aggregate crosses the target is replayed interaction by
+// interaction (in the exchangeable order of its collision-free block) to
+// locate the crossing, so the semantics match the other engines exactly.
+func (b *BatchSimulator[S]) RunUntilLeaders(target int, maxSteps uint64) (steps uint64, ok bool) {
+	cs := &b.cs
+	if cs.n == 1 {
+		return cs.steps, cs.leaders <= target
+	}
+	for cs.leaders > target {
+		if cs.steps >= maxSteps {
+			return cs.steps, false
+		}
+		b.advance(maxSteps, target)
+	}
+	return cs.steps, true
+}
+
+// VerifyStable runs extra random interactions and reports whether any
+// agent's output changed during them. Aggregate role accounting is exact,
+// so the check matches the other engines.
+func (b *BatchSimulator[S]) VerifyStable(extra uint64) bool {
+	if b.cs.n == 1 {
+		return true
+	}
+	before := b.cs.roleChanges
+	b.RunSteps(extra)
+	return b.cs.roleChanges == before
+}
+
+// Clone returns an independent deep copy of the simulator, including the
+// scheduler position: the original and the clone produce identical futures
+// until their schedules diverge.
+func (b *BatchSimulator[S]) Clone() *BatchSimulator[S] {
+	d := &BatchSimulator[S]{
+		cs:         *b.cs.Clone(),
+		fenDirty:   b.fenDirty,
+		minRoundN:  b.minRoundN,
+		maxLive:    b.maxLive,
+		expRound:   b.expRound,
+		noopRounds: b.noopRounds,
+		survival:   b.survival, // immutable once built
+		// The draw order is chain state: it decides which state gets which
+		// conditional draw, so a clone must inherit it to reproduce the
+		// original's future exactly (ties would otherwise sort differently).
+		order: append([]int32(nil), b.order...),
+	}
+	// The dense memo and the remaining scratch buffers carry no chain
+	// state and are rebuilt on demand (refilling the memo consumes no
+	// randomness, so the clone's future is identical).
+	return d
+}
+
+// CloneRunner implements Runner.
+func (b *BatchSimulator[S]) CloneRunner() Runner[S] { return b.Clone() }
+
+// advance executes scheduler steps until at least one interaction has been
+// applied or the step counter reaches limit. target >= 0 asks for exact
+// first-hit semantics on the leader count (RunUntilLeaders); target < 0
+// runs oblivious to leaders (RunSteps).
+func (b *BatchSimulator[S]) advance(limit uint64, target int) {
+	cs := &b.cs
+	if cs.n < 2 {
+		panic("pp: a population of 1 cannot interact")
+	}
+	if limit-cs.steps >= batchMinRound && b.roundOK() {
+		b.round(limit, target)
+		return
+	}
+	b.ensureFen()
+	cs.advance(limit)
+}
+
+// roundOK reports whether the next advance should open a collision-free
+// round. Any answer is correct; this is purely a cost model.
+func (b *BatchSimulator[S]) roundOK() bool {
+	cs := &b.cs
+	if cs.batched || cs.seen != nil || cs.n < b.minRoundN {
+		return false
+	}
+	if len(cs.states) > batchDenseStatesMax {
+		return false
+	}
+	return cs.live <= b.maxLiveForRounds()
+}
+
+// maxLiveForRounds is the live-state cap above which aggregate draws stop
+// amortizing: about half the expected round length, so a typical round
+// still draws several interactions per occupied state.
+func (b *BatchSimulator[S]) maxLiveForRounds() int {
+	if b.maxLive > 0 {
+		return b.maxLive
+	}
+	m := int(b.expRound / 2)
+	if m < batchAutoLiveMin {
+		return batchAutoLiveMin
+	}
+	if m > batchAutoLiveMax {
+		return batchAutoLiveMax
+	}
+	return m
+}
+
+// --- Birthday round length ----------------------------------------------
+
+// ensureSurvival builds the survival table of the birthday law:
+// survival[t] = P[the first t interactions are collision-free] =
+// ∏_{s=1..t} (n−2s+2)(n−2s+1) / (n(n−1)), tabulated until it falls below
+// batchSurvivalFloor (or every agent is used).
+func (b *BatchSimulator[S]) ensureSurvival() {
+	if b.survival != nil {
+		return
+	}
+	n := b.cs.n
+	nn := float64(n) * float64(n-1)
+	surv := make([]float64, 1, int(5*b.expRound)+2)
+	surv[0] = 1
+	p := 1.0
+	for t := 1; 2*t <= n; t++ {
+		nu := float64(n - 2*(t-1))
+		p *= nu * (nu - 1) / nn
+		if p < batchSurvivalFloor {
+			break
+		}
+		surv = append(surv, p)
+	}
+	b.survival = surv
+}
+
+// sampleRoundLength draws the number of collision-free interactions to
+// process, capped by the remaining step budget. collided reports whether
+// the round ends in a colliding interaction (false only at the cap, where
+// the rest of the block is deferred: the first `remaining` interactions of
+// a collision-free block are themselves an exact chain segment).
+func (b *BatchSimulator[S]) sampleRoundLength(remaining uint64) (f uint64, collided bool) {
+	b.ensureSurvival()
+	surv := b.survival
+	u := 1 - b.cs.rand.Float64() // in (0, 1], so T is finite
+	// T = largest t with surv[t] >= u (binary search for the first smaller
+	// entry). u below the table floor cannot occur: the floor is under the
+	// smallest representable uniform except when the table ends at the
+	// all-agents-used boundary, where T = n/2 is the correct answer.
+	lo, hi := 1, len(surv)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if surv[mid] < u {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	t := uint64(lo - 1)
+	if t >= remaining {
+		return remaining, false
+	}
+	return t, true
+}
+
+// --- The round -----------------------------------------------------------
+
+// round processes one collision-free round (plus its colliding
+// interaction, unless the step budget truncates the block first).
+func (b *BatchSimulator[S]) round(limit uint64, target int) {
+	cs := &b.cs
+	roundStart := cs.steps
+	f, collided := b.sampleRoundLength(limit - roundStart)
+	slots := 2 * f
+
+	// Snapshot for exact first-hit replay if this round could cross the
+	// caller's leader target.
+	snapped := target >= 0 && cs.leaders > target
+	if snapped {
+		b.snapshot()
+	}
+
+	b.refreshOrder()
+	b.sampleParticipants(slots)
+	BatchDebug.Rounds++
+	BatchDebug.Ints += f
+	b.splitInitiators(f, slots)
+	b.matchAndApply(f)
+	if collided {
+		b.collide(f)
+	}
+	if collided {
+		cs.steps = roundStart + f + 1
+	} else {
+		cs.steps = roundStart + f
+	}
+
+	if snapped && cs.leaders <= target {
+		b.replayFirstHit(target, roundStart, collided)
+	}
+
+	// All-no-op rounds indicate an inert census: hand over to the exact
+	// geometric no-op skipper after a short streak.
+	if b.reactive == 0 {
+		b.noopRounds++
+		if b.noopRounds >= batchNoopRoundStreak {
+			b.noopRounds = 0
+			cs.noopStreak = 0
+			cs.batched = true
+		}
+	} else {
+		b.noopRounds = 0
+	}
+
+	b.resetRound()
+}
+
+// refreshOrder maintains b.order, all state indexes sorted by count
+// descending. The census drifts slowly between rounds, so an insertion
+// pass over the previous order is nearly linear.
+func (b *BatchSimulator[S]) refreshOrder() {
+	cs := &b.cs
+	for len(b.order) < len(cs.states) {
+		b.order = append(b.order, int32(len(b.order)))
+	}
+	counts := cs.counts
+	order := b.order
+	for i := 1; i < len(order); i++ {
+		v := order[i]
+		c := counts[v]
+		j := i
+		for j > 0 && counts[order[j-1]] < c {
+			order[j] = order[j-1]
+			j--
+		}
+		order[j] = v
+	}
+}
+
+// sampleParticipants draws the participants' state multiset D: a
+// multivariate hypergeometric sample of `slots` agents from the census,
+// materialized by conditional hypergeometric draws in descending count
+// order (so the loop exits as soon as the sample is exhausted).
+func (b *BatchSimulator[S]) sampleParticipants(slots uint64) {
+	cs := &b.cs
+	b.growScratch()
+	b.sampledIdx = b.sampledIdx[:0]
+	mrem := slots
+	wrem := uint64(cs.n)
+	visitedLive := 0
+	oi := 0
+	for ; oi < len(b.order); oi++ {
+		if mrem <= batchResidualCutoff ||
+			mrem <= uint64(batchResidualPerState*(cs.live-visitedLive)) {
+			break
+		}
+		si := b.order[oi]
+		c := uint64(cs.counts[si])
+		if c == 0 {
+			continue
+		}
+		visitedLive++
+		var d uint64
+		if c == wrem {
+			d = mrem // only this state remains in the population
+		} else {
+			d = cs.rand.Hypergeometric(mrem, c, wrem)
+		}
+		wrem -= c
+		if d > 0 {
+			b.part[si] = int64(d)
+			b.sampledIdx = append(b.sampledIdx, si)
+			mrem -= d
+		}
+	}
+	if mrem == 0 {
+		return
+	}
+	// Residual: place the last samples agent by agent over the remaining
+	// (descending-count) suffix — binary search on its prefix sums, with
+	// the taken-slot trick for without-replacement exactness (a slot
+	// offset below the already-placed count means that agent was drawn
+	// before; redraws are ~never needed since placed ≪ suffix mass).
+	suffix := b.order[oi:]
+	w := b.buildResidualIndex(suffix, func(si int32) int64 { return cs.counts[si] })
+	for ; mrem > 0; mrem-- {
+		for {
+			si, slot := b.residualDraw(suffix, uint64(w))
+			if slot < b.part[si] {
+				continue // slot already taken: redraw
+			}
+			b.part[si]++
+			break
+		}
+	}
+	// Rebuild the sampled list in census order: residual placement visits
+	// states in draw order, but the split and matching stages lean on a
+	// descending-count order for their early exits and short walks.
+	b.sampledIdx = b.sampledIdx[:0]
+	for _, si := range b.order {
+		if b.part[si] > 0 {
+			b.sampledIdx = append(b.sampledIdx, si)
+		}
+	}
+}
+
+// buildResidualIndex fills cumW with prefix sums of the suffix weights and
+// a 256-bucket jump table over the value range, so each residual draw
+// starts its scan at most a bucket's width from its target.
+func (b *BatchSimulator[S]) buildResidualIndex(suffix []int32, weight func(int32) int64) int64 {
+	cum := b.cumW[:0]
+	var w int64
+	for _, si := range suffix {
+		w += weight(si)
+		cum = append(cum, w)
+	}
+	b.cumW = cum
+	shift := uint(0)
+	for w>>shift >= 256 {
+		shift++
+	}
+	b.residShift = shift
+	if cap(b.bucketIdx) < 257 {
+		b.bucketIdx = make([]int32, 257)
+	}
+	idx := b.bucketIdx[:257]
+	j := int32(0)
+	for bkt := 0; bkt < 256; bkt++ {
+		lo := int64(bkt) << shift
+		for int(j) < len(cum) && cum[j] <= lo {
+			j++
+		}
+		idx[bkt] = j
+	}
+	idx[256] = int32(len(cum))
+	return w
+}
+
+// residualDraw maps one uniform agent draw over [0, w) to its state and
+// within-state slot via the jump table.
+func (b *BatchSimulator[S]) residualDraw(suffix []int32, w uint64) (int32, int64) {
+	t := int64(b.cs.rand.Uint64n(w))
+	cum := b.cumW
+	j := int(b.bucketIdx[t>>b.residShift])
+	for cum[j] <= t {
+		j++
+	}
+	var before int64
+	if j > 0 {
+		before = cum[j-1]
+	}
+	return suffix[j], t - before
+}
+
+// splitInitiators splits the participant multiset into initiator and
+// responder slots: a hypergeometric split of f of the `slots` sampled
+// agents into initiator positions.
+func (b *BatchSimulator[S]) splitInitiators(f, slots uint64) {
+	cs := &b.cs
+	frem := f
+	drem := slots
+	oi := 0
+	for ; oi < len(b.sampledIdx); oi++ {
+		if frem < drem &&
+			(frem <= batchResidualCutoff ||
+				frem <= uint64(batchResidualPerState*(len(b.sampledIdx)-oi))) {
+			break
+		}
+		si := b.sampledIdx[oi]
+		ds := uint64(b.part[si])
+		var is uint64
+		switch {
+		case frem == 0:
+		case ds == drem:
+			is = frem
+		default:
+			is = cs.rand.Hypergeometric(frem, ds, drem)
+		}
+		b.ini[si] = int64(is)
+		b.rcnt[si] = int64(ds - is)
+		frem -= is
+		drem -= ds
+	}
+	if oi == len(b.sampledIdx) {
+		return
+	}
+	// Residual: the remaining states start all-responder, then the last
+	// initiator slots are assigned one at a time over the suffix — binary
+	// search on its participant prefix sums, taken-slot redraws for
+	// without-replacement exactness (an offset below the already-assigned
+	// count means that slot is an initiator already).
+	suffix := b.sampledIdx[oi:]
+	for _, si := range suffix {
+		b.ini[si] = 0
+		b.rcnt[si] = b.part[si]
+	}
+	w := b.buildResidualIndex(suffix, func(si int32) int64 { return b.part[si] })
+	if frem > uint64(w)/2 {
+		// Assign the minority side so taken-slot redraws stay rare: mark
+		// responders instead and flip.
+		for rrem := uint64(w) - frem; rrem > 0; rrem-- {
+			for {
+				si, slot := b.residualDraw(suffix, uint64(w))
+				if slot < b.part[si]-b.rcnt[si] {
+					continue // slot already marked responder: redraw
+				}
+				b.rcnt[si]--
+				break
+			}
+		}
+		for _, si := range suffix {
+			marked := b.part[si] - b.rcnt[si] // responders marked above
+			b.ini[si] = b.rcnt[si]            // the rest are initiators
+			b.rcnt[si] = marked
+		}
+		return
+	}
+	for ; frem > 0; frem-- {
+		for {
+			si, slot := b.residualDraw(suffix, uint64(w))
+			if slot < b.ini[si] {
+				continue // slot already an initiator: redraw
+			}
+			b.ini[si]++
+			b.rcnt[si]--
+			break
+		}
+	}
+}
+
+// matchAndApply pairs initiator states with responder states — a uniformly
+// random matching of the two multisets, drawn by conditional
+// hypergeometrics — and applies each resulting ordered state pair in
+// aggregate. The responder pool is kept as a compacted list (exhausted
+// states swap-removed) in descending-count order, so the per-initiator
+// sweep touches only live pool entries and usually exits after the heavy
+// head.
+func (b *BatchSimulator[S]) matchAndApply(f uint64) {
+	cs := &b.cs
+	b.reactive = 0
+	pool := b.poolIdx[:0]
+	for _, q := range b.sampledIdx {
+		if b.rcnt[q] > 0 {
+			pool = append(pool, q)
+		}
+	}
+	poolRem := f
+	for _, p := range b.sampledIdx {
+		ip := uint64(b.ini[p])
+		if ip == 0 {
+			continue
+		}
+		prem := poolRem
+		poolRem -= ip
+		if ip <= batchResidualCutoff && len(pool) > 1 {
+			// Small initiator group: draw each partner with a categorical
+			// walk over the pool (the sequential revelation of the same
+			// matching law) instead of sweeping every pool state.
+			for ; ip > 0; ip-- {
+				t := int64(cs.rand.Uint64n(prem))
+				prem--
+				for qi := 0; qi < len(pool); qi++ {
+					q := pool[qi]
+					rq := b.rcnt[q]
+					if t < rq {
+						b.rcnt[q] = rq - 1
+						b.applyCell(p, q, 1)
+						if rq == 1 {
+							pool[qi] = pool[len(pool)-1]
+							pool = pool[:len(pool)-1]
+						}
+						break
+					}
+					t -= rq
+				}
+			}
+			continue
+		}
+		for qi := 0; qi < len(pool) && ip > 0; {
+			q := pool[qi]
+			rq := uint64(b.rcnt[q])
+			var m uint64
+			if rq == prem {
+				m = ip
+			} else {
+				m = cs.rand.Hypergeometric(ip, rq, prem)
+			}
+			prem -= rq
+			if m > 0 {
+				rq -= m
+				b.rcnt[q] = int64(rq)
+				ip -= m
+				b.applyCell(p, q, int64(m))
+			}
+			if rq == 0 {
+				// Swap-remove the exhausted state; the order of the
+				// remaining pool is still a deterministic function of the
+				// draw history, which is all exactness needs.
+				pool[qi] = pool[len(pool)-1]
+				pool = pool[:len(pool)-1]
+				continue
+			}
+			qi++
+		}
+	}
+	b.poolIdx = pool[:0]
+}
+
+// applyCell records and applies m interactions of the ordered state pair
+// (p, q) in aggregate.
+func (b *BatchSimulator[S]) applyCell(p, q int32, m int64) {
+	i2, j2 := b.outcome(p, q)
+	b.cells = append(b.cells, roundCell{p, q, m})
+	BatchDebug.Cells++
+	b.notePost(i2, m)
+	b.notePost(j2, m)
+	if i2 != p || j2 != q {
+		b.reactive += uint64(m)
+		b.moveMany(p, i2, m)
+		b.moveMany(q, j2, m)
+	}
+}
+
+// notePost accumulates the post-transition state multiset of the round's
+// participants (the collision resolver samples the repeated agent's
+// current state from it).
+func (b *BatchSimulator[S]) notePost(s int32, m int64) {
+	if int(s) >= len(b.post) {
+		b.post = append(b.post, make([]int64, int(s)+1-len(b.post))...)
+	}
+	if b.post[s] == 0 {
+		b.postIdx = append(b.postIdx, s)
+	}
+	b.post[s] += m
+}
+
+// moveMany relocates m agents from state index `from` to `to`, scaling the
+// census, leader and role accounting that moveOne does per agent.
+func (b *BatchSimulator[S]) moveMany(from, to int32, m int64) {
+	if from == to {
+		return
+	}
+	b.bump(from, -m)
+	b.bump(to, m)
+	if b.cs.isLeader[from] != b.cs.isLeader[to] {
+		b.cs.roleChanges += uint64(m)
+	}
+}
+
+// bump shifts a state's multiplicity without maintaining the Fenwick table
+// (deferred until a fallback path needs it; see ensureFen).
+func (b *BatchSimulator[S]) bump(i int32, d int64) {
+	cs := &b.cs
+	old := cs.counts[i]
+	cs.counts[i] = old + d
+	switch {
+	case old == 0 && d > 0:
+		cs.live++
+	case old+d == 0 && d < 0:
+		cs.live--
+	}
+	if cs.isLeader[i] {
+		cs.leaders += int(d)
+	}
+	b.fenDirty = true
+}
+
+// collide resolves the colliding interaction that ends a round of f
+// collision-free interactions, exactly: with probability (n−1)/(2n−u−1)
+// the collision is on the initiator slot (the initiator is one of the u =
+// 2f used agents, in its post-transition state; the responder is uniform
+// over the other n−1 agents), otherwise on the responder slot (fresh
+// initiator, used responder).
+func (b *BatchSimulator[S]) collide(f uint64) {
+	cs := &b.cs
+	n := uint64(cs.n)
+	u := 2 * f
+	pInit := float64(n-1) / float64(2*n-u-1)
+	var ai, bi int32
+	if cs.rand.Float64() < pInit {
+		ai = b.samplePost(u)
+		bi = b.sampleCensusExcluding(ai)
+	} else {
+		ai = b.sampleUnused(n - u)
+		bi = b.samplePost(u)
+	}
+	b.collP, b.collQ = ai, bi
+	b.applyOne(ai, bi)
+}
+
+// samplePost draws a state from the participants' post-transition multiset
+// (total weight u), i.e. the current state of a uniformly random used
+// agent.
+func (b *BatchSimulator[S]) samplePost(u uint64) int32 {
+	t := int64(b.cs.rand.Uint64n(u))
+	for _, s := range b.postIdx {
+		if t < b.post[s] {
+			return s
+		}
+		t -= b.post[s]
+	}
+	panic("pp: post multiset underflow")
+}
+
+// sampleCensusExcluding draws a state from the current census with one
+// instance of state `excl` removed — the uniform law of the second agent
+// of an interaction given the first.
+func (b *BatchSimulator[S]) sampleCensusExcluding(excl int32) int32 {
+	cs := &b.cs
+	t := int64(cs.rand.Uint64n(uint64(cs.n - 1)))
+	for i, c := range cs.counts {
+		if int32(i) == excl {
+			c--
+		}
+		if t < c {
+			return int32(i)
+		}
+		t -= c
+	}
+	panic("pp: census underflow")
+}
+
+// sampleUnused draws a state from the multiset of agents that did not
+// participate in the round (current census minus the post multiset).
+func (b *BatchSimulator[S]) sampleUnused(total uint64) int32 {
+	cs := &b.cs
+	t := int64(cs.rand.Uint64n(total))
+	for i, c := range cs.counts {
+		if int(i) < len(b.post) {
+			c -= b.post[i]
+		}
+		if t < c {
+			return int32(i)
+		}
+		t -= c
+	}
+	panic("pp: unused multiset underflow")
+}
+
+// applyOne applies a single interaction of the ordered state pair (i, j)
+// through the round bookkeeping (no Fenwick maintenance).
+func (b *BatchSimulator[S]) applyOne(i, j int32) {
+	i2, j2 := b.outcome(i, j)
+	if i2 != i || j2 != j {
+		b.reactive++
+		b.moveMany(i, i2, 1)
+		b.moveMany(j, j2, 1)
+	}
+}
+
+// replayFirstHit rolls the census back to the start of the round and
+// replays its interactions one at a time, in a uniformly random order, to
+// stop the chain at the exact step where the leader count first reached
+// the target. The slots of a collision-free block are exchangeable, so a
+// uniform shuffle of its interaction multiset is the correct conditional
+// order; the colliding interaction is by construction the round's last.
+func (b *BatchSimulator[S]) replayFirstHit(target int, roundStart uint64, collided bool) {
+	cs := &b.cs
+	// Roll back.
+	copy(cs.counts, b.snapCounts)
+	for i := len(b.snapCounts); i < len(cs.counts); i++ {
+		cs.counts[i] = 0
+	}
+	cs.leaders = b.snapLeaders
+	cs.live = b.snapLive
+	cs.roleChanges = b.snapRole
+	b.fenDirty = true
+
+	// Expand the round's cells into single interactions.
+	buf := b.replayBuf[:0]
+	for _, c := range b.cells {
+		pq := uint64(uint32(c.p))<<32 | uint64(uint32(c.q))
+		for k := int64(0); k < c.m; k++ {
+			buf = append(buf, pq)
+		}
+	}
+	b.replayBuf = buf
+
+	steps := roundStart
+	for t := range buf {
+		// Lazy Fisher–Yates: fix position t, then apply it.
+		j := t + int(cs.rand.Uint64n(uint64(len(buf)-t)))
+		buf[t], buf[j] = buf[j], buf[t]
+		b.applyOne(int32(buf[t]>>32), int32(uint32(buf[t])))
+		steps++
+		if cs.leaders <= target {
+			cs.steps = steps
+			return
+		}
+	}
+	if collided {
+		// The free block alone did not reach the target, so the colliding
+		// interaction (the round's last) did.
+		b.applyOne(b.collP, b.collQ)
+		steps++
+	}
+	cs.steps = steps
+}
+
+// snapshot saves the census and its derived counters for replayFirstHit.
+func (b *BatchSimulator[S]) snapshot() {
+	cs := &b.cs
+	if cap(b.snapCounts) < len(cs.counts) {
+		b.snapCounts = make([]int64, len(cs.counts))
+	}
+	b.snapCounts = b.snapCounts[:len(cs.counts)]
+	copy(b.snapCounts, cs.counts)
+	b.snapLeaders = cs.leaders
+	b.snapLive = cs.live
+	b.snapRole = cs.roleChanges
+}
+
+// resetRound sparsely clears the per-round scratch.
+func (b *BatchSimulator[S]) resetRound() {
+	for _, si := range b.sampledIdx {
+		b.part[si] = 0
+		b.ini[si] = 0
+		b.rcnt[si] = 0
+	}
+	for _, si := range b.postIdx {
+		b.post[si] = 0
+	}
+	b.sampledIdx = b.sampledIdx[:0]
+	b.postIdx = b.postIdx[:0]
+	b.cells = b.cells[:0]
+	b.collP, b.collQ = -1, -1
+}
+
+// growScratch sizes the per-state scratch to the state table.
+func (b *BatchSimulator[S]) growScratch() {
+	k := len(b.cs.states)
+	for _, s := range []*[]int64{&b.part, &b.ini, &b.rcnt, &b.post} {
+		if len(*s) < k {
+			*s = append(*s, make([]int64, k-len(*s))...)
+		}
+	}
+}
+
+// outcome returns the transition outcome for the ordered state index pair
+// (i, j) through the dense memo matrix. Transitions are pure and indexes
+// never reassigned, so a hit costs one array load.
+func (b *BatchSimulator[S]) outcome(i, j int32) (int32, int32) {
+	if int(i) >= b.denseStride || int(j) >= b.denseStride {
+		b.growDense()
+	}
+	idx := int(i)*b.denseStride + int(j)
+	v := b.dense[idx]
+	if v == denseEmpty {
+		cs := &b.cs
+		a, c := cs.states[i], cs.states[j]
+		a2, c2 := cs.proto.Transition(a, c)
+		i2, j2 := int(i), int(j)
+		if a2 != a {
+			i2 = cs.stateIndex(a2)
+		}
+		if c2 != c {
+			j2 = cs.stateIndex(c2)
+		}
+		v = uint32(i2)<<16 | uint32(j2)
+		b.dense[idx] = v
+	}
+	return int32(v >> 16), int32(v & 0xffff)
+}
+
+// growDense (re)sizes the dense memo matrix to the next power of two that
+// fits the state table, copying filled rows over.
+func (b *BatchSimulator[S]) growDense() {
+	k := len(b.cs.states)
+	stride := 64
+	for stride < k {
+		stride *= 2
+	}
+	next := make([]uint32, stride*stride)
+	for i := range next {
+		next[i] = denseEmpty
+	}
+	for i := 0; i < b.denseStride; i++ {
+		copy(next[i*stride:i*stride+b.denseStride], b.dense[i*b.denseStride:(i+1)*b.denseStride])
+	}
+	b.dense = next
+	b.denseStride = stride
+}
+
+// ensureFen rebuilds the census core's Fenwick table after round mode
+// deferred its maintenance, so the per-interaction and geometric fallback
+// paths see a coherent cumulative-weight table.
+func (b *BatchSimulator[S]) ensureFen() {
+	if !b.fenDirty {
+		return
+	}
+	cs := &b.cs
+	if cap(cs.fen) < len(cs.counts)+1 {
+		cs.fen = make([]int64, len(cs.counts)+1)
+	}
+	cs.fen = cs.fen[:len(cs.counts)+1]
+	cs.fen[0] = 0
+	copy(cs.fen[1:], cs.counts)
+	for i := 1; i < len(cs.fen); i++ {
+		if j := i + i&(-i); j < len(cs.fen) {
+			cs.fen[j] += cs.fen[i]
+		}
+	}
+	cs.fenTop = 1
+	for cs.fenTop*2 <= len(cs.states) {
+		cs.fenTop *= 2
+	}
+	b.fenDirty = false
+}
+
+// String identifies the engine in test names and errors.
+func (b *BatchSimulator[S]) String() string {
+	return fmt.Sprintf("BatchSimulator(n=%d, steps=%d)", b.cs.n, b.cs.steps)
+}

@@ -2,7 +2,6 @@ package pp
 
 import (
 	"fmt"
-	"math"
 	"sort"
 
 	"popproto/internal/rng"
@@ -388,16 +387,7 @@ func (c *CountSimulator[S]) advanceBatched(limit uint64) {
 	remaining := limit - c.steps
 	var skip uint64
 	if wc < total {
-		p := float64(wc) / float64(total)
-		u := 1.0 - c.rand.Float64() // in (0, 1]
-		// Inverse-CDF geometric via log1p: accurate down to p ≈ 1e-300,
-		// where the naive ln(1−p) underflows to ln(1) = 0.
-		t := math.Log(u) / math.Log1p(-p)
-		if !(t < float64(remaining)) { // also catches +Inf
-			c.steps = limit
-			return
-		}
-		skip = uint64(t)
+		skip = c.rand.Geometric(float64(wc) / float64(total))
 		if skip >= remaining {
 			c.steps = limit
 			return

@@ -71,6 +71,15 @@ const (
 	// carry poly(n) distinct values (MaxID) the observed-state table grows
 	// toward Θ(n) and the per-agent engine is the better choice.
 	EngineCount
+	// EngineBatch is the collision-free round engine (BatchSimulator): the
+	// census representation of EngineCount plus aggregate simulation of
+	// Θ(√n) interactions per round via birthday-law round lengths and
+	// hypergeometric slot assignment, making per-interaction cost
+	// sub-constant in reaction-dense phases. It falls back to the census
+	// engine's per-interaction and geometric no-op paths where rounds do
+	// not pay, so it is the fastest choice for small-state-space protocols
+	// at large n (PLL, Angluin, Lottery from n ≈ 10⁶ up).
+	EngineBatch
 )
 
 // String implements fmt.Stringer; the values round-trip through ParseEngine.
@@ -80,9 +89,21 @@ func (e Engine) String() string {
 		return "agent"
 	case EngineCount:
 		return "count"
+	case EngineBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("Engine(%d)", uint8(e))
 	}
+}
+
+// Valid reports whether e is one of the declared engines.
+func (e Engine) Valid() bool {
+	for _, v := range Engines() {
+		if e == v {
+			return true
+		}
+	}
+	return false
 }
 
 // ParseEngine parses the command-line spelling of an engine name. The
@@ -101,22 +122,39 @@ func ParseEngine(s string) (Engine, error) {
 }
 
 // Engines returns all available engines, in declaration order.
-func Engines() []Engine { return []Engine{EngineAgent, EngineCount} }
+func Engines() []Engine { return []Engine{EngineAgent, EngineCount, EngineBatch} }
+
+// EngineNames returns the command-line spellings of all engines, in
+// declaration order — the single source for flag usage strings and
+// catalogs, so help text cannot drift as engines are added.
+func EngineNames() []string {
+	engines := Engines()
+	names := make([]string, len(engines))
+	for i, e := range engines {
+		names[i] = e.String()
+	}
+	return names
+}
 
 // NewRunner constructs a fresh population of n agents in the protocol's
 // initial state on the selected engine, with the scheduler seeded by seed.
-// The two engines realize the same Markov chain: for a fixed engine a seed
+// All engines realize the same Markov chain: for a fixed engine a seed
 // reproduces the run exactly, and across engines all observable
 // distributions agree (see the engine-equivalence tests).
 func NewRunner[S comparable](engine Engine, proto Protocol[S], n int, seed uint64) Runner[S] {
-	if engine == EngineCount {
+	switch engine {
+	case EngineCount:
 		return NewCountSimulator(proto, n, seed)
+	case EngineBatch:
+		return NewBatchSimulator(proto, n, seed)
+	default:
+		return NewSimulator(proto, n, seed)
 	}
-	return NewSimulator(proto, n, seed)
 }
 
-// Both engines implement Runner.
+// All engines implement Runner.
 var (
 	_ Runner[bool] = (*Simulator[bool])(nil)
 	_ Runner[bool] = (*CountSimulator[bool])(nil)
+	_ Runner[bool] = (*BatchSimulator[bool])(nil)
 )

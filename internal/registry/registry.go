@@ -80,6 +80,13 @@ type Entry struct {
 	// Params documents the protocol-specific Spec knobs beyond
 	// n/engine/seed.
 	Params []ParamDoc
+	// CensusFriendly reports whether the protocol's runs visit few enough
+	// distinct states for the census-based engines (count, batch) to pay:
+	// true for every entry except MaxID, whose Θ(n) random identifiers
+	// grow the census toward one state per agent. Every engine remains
+	// *valid* for every entry — this is advisory sizing metadata, surfaced
+	// by the catalog listings and used for the engine recommendation.
+	CensusFriendly bool
 
 	// check validates the protocol-specific Spec knobs; nil means the
 	// entry takes none beyond the shared fields (then noM applies).
@@ -93,6 +100,31 @@ type Entry struct {
 // with knowledge parameter m (0 = canonical), counted as Table 1 counts
 // them.
 func (e Entry) StateCount(n, m int) int { return e.stateCount(n, m) }
+
+// RecommendedEngine returns the engine best suited to this entry at
+// population size n: the per-agent engine for census-hostile protocols
+// (MaxID) and for small populations, where its flat per-interaction cost
+// wins, and the batch engine beyond that, where collision-free rounds and
+// no-op skipping dominate. Any engine is valid; this is the default a
+// frontend should pick when the caller does not care.
+func (e Entry) RecommendedEngine(n int) pp.Engine {
+	if !e.CensusFriendly {
+		return pp.EngineAgent
+	}
+	if n < 1<<16 {
+		return pp.EngineAgent
+	}
+	return pp.EngineBatch
+}
+
+// SuitableEngines returns the engines that scale to large n for this
+// entry, in preference order (all engines are valid at any size).
+func (e Entry) SuitableEngines() []pp.Engine {
+	if !e.CensusFriendly {
+		return []pp.Engine{pp.EngineAgent}
+	}
+	return []pp.Engine{pp.EngineBatch, pp.EngineCount, pp.EngineAgent}
+}
 
 // StepBudget returns a generous default interaction budget for a
 // population of size n: thousands of expected stabilization times. Runs
@@ -147,11 +179,12 @@ var catalog []Entry
 func init() {
 	catalog = []Entry{
 		{
-			Key:     "pll",
-			Summary: "PLL, the paper's protocol (Algorithm 1): QuickElimination, two Tournaments, BackUp",
-			States:  "O(log n)",
-			Time:    "O(log n)",
-			Target:  1,
+			Key:            "pll",
+			CensusFriendly: true,
+			Summary:        "PLL, the paper's protocol (Algorithm 1): QuickElimination, two Tournaments, BackUp",
+			States:         "O(log n)",
+			Time:           "O(log n)",
+			Target:         1,
 			Params: []ParamDoc{{
 				Name: "m",
 				Doc:  "knowledge parameter m ≥ ⌈lg n⌉ with m = Θ(log n); 0 = canonical ⌈lg n⌉",
@@ -176,11 +209,12 @@ func init() {
 			budget: LogBudget,
 		},
 		{
-			Key:     "pll-sym",
-			Summary: "symmetric PLL variant (§4): follower-minted fair coins, symmetric duels",
-			States:  "O(log n)",
-			Time:    "O(log n)",
-			Target:  1,
+			Key:            "pll-sym",
+			CensusFriendly: true,
+			Summary:        "symmetric PLL variant (§4): follower-minted fair coins, symmetric duels",
+			States:         "O(log n)",
+			Time:           "O(log n)",
+			Target:         1,
 			Params: []ParamDoc{{
 				Name: "m",
 				Doc:  "knowledge parameter m ≥ ⌈lg n⌉ with m = Θ(log n); 0 = canonical ⌈lg n⌉",
@@ -206,11 +240,12 @@ func init() {
 			budget: scaled(40, LogBudget),
 		},
 		{
-			Key:     "angluin",
-			Summary: "Angluin et al. 2006 folklore protocol: two states, leaders duel",
-			States:  "O(1)",
-			Time:    "O(n)",
-			Target:  1,
+			Key:            "angluin",
+			CensusFriendly: true,
+			Summary:        "Angluin et al. 2006 folklore protocol: two states, leaders duel",
+			States:         "O(1)",
+			Time:           "O(n)",
+			Target:         1,
 			build: func(spec Spec) (Election, error) {
 				if err := noM(spec); err != nil {
 					return nil, err
@@ -222,11 +257,12 @@ func init() {
 			budget:     LinearBudget,
 		},
 		{
-			Key:     "lottery",
-			Summary: "lottery election in the style of Alistarh et al. 2017: geometric levels, max epidemic, residual duels",
-			States:  "O(log n)",
-			Time:    "Θ(n) (simplified; orig. polylog)",
-			Target:  1,
+			Key:            "lottery",
+			CensusFriendly: true,
+			Summary:        "lottery election in the style of Alistarh et al. 2017: geometric levels, max epidemic, residual duels",
+			States:         "O(log n)",
+			Time:           "Θ(n) (simplified; orig. polylog)",
+			Target:         1,
 			build: func(spec Spec) (Election, error) {
 				if err := noM(spec); err != nil {
 					return nil, err
@@ -240,11 +276,12 @@ func init() {
 			budget:     LinearBudget,
 		},
 		{
-			Key:     "maxid",
-			Summary: "MST18-style max-identifier election: random IDs, max epidemic",
-			States:  "poly(n)",
-			Time:    "O(log n)",
-			Target:  1,
+			Key:            "maxid",
+			CensusFriendly: false,
+			Summary:        "MST18-style max-identifier election: random IDs, max epidemic",
+			States:         "poly(n)",
+			Time:           "O(log n)",
+			Target:         1,
 			build: func(spec Spec) (Election, error) {
 				if err := noM(spec); err != nil {
 					return nil, err
@@ -257,11 +294,12 @@ func init() {
 			budget:     LogBudget,
 		},
 		{
-			Key:     "epidemic",
-			Summary: "one-way SI epidemic (Lemma 2) as a coverage workload; leaders = agents not yet reached, stabilizes at 0",
-			States:  "O(1)",
-			Time:    "O(log n)",
-			Target:  0,
+			Key:            "epidemic",
+			CensusFriendly: true,
+			Summary:        "one-way SI epidemic (Lemma 2) as a coverage workload; leaders = agents not yet reached, stabilizes at 0",
+			States:         "O(1)",
+			Time:           "O(log n)",
+			Target:         0,
 			build: func(spec Spec) (Election, error) {
 				if err := noM(spec); err != nil {
 					return nil, err
@@ -311,9 +349,9 @@ func validate(spec Spec) (Entry, error) {
 	if spec.N < MinN {
 		return Entry{}, fmt.Errorf("%w: population size %d < %d", ErrBadSpec, spec.N, MinN)
 	}
-	switch spec.Engine {
-	case pp.EngineAgent, pp.EngineCount:
-	default:
+	// Derived from pp.Engines, so a new engine is accepted here the moment
+	// it exists rather than when someone remembers this switch.
+	if !spec.Engine.Valid() {
 		return Entry{}, fmt.Errorf("%w: unknown engine %v", ErrBadSpec, spec.Engine)
 	}
 	return entry, nil

@@ -190,3 +190,34 @@ func TestCensusString(t *testing.T) {
 		t.Errorf("CensusString = %q, want %q", got, want)
 	}
 }
+
+// TestEngineSuitability: the advisory engine metadata must keep every
+// engine valid while steering big populations to the census-based engines
+// (and MaxID away from them).
+func TestEngineSuitability(t *testing.T) {
+	for _, e := range registry.Entries() {
+		suited := e.SuitableEngines()
+		if len(suited) == 0 {
+			t.Fatalf("%s: no suitable engines", e.Key)
+		}
+		rec := e.RecommendedEngine(10_000_000)
+		if e.Key == "maxid" {
+			if rec != pp.EngineAgent {
+				t.Errorf("maxid recommends %v at n=10^7, want agent", rec)
+			}
+		} else {
+			if rec != pp.EngineBatch {
+				t.Errorf("%s recommends %v at n=10^7, want batch", e.Key, rec)
+			}
+			if e.RecommendedEngine(100) != pp.EngineAgent {
+				t.Errorf("%s recommends %v at n=100, want agent", e.Key, e.RecommendedEngine(100))
+			}
+		}
+		// Suitability is advisory: every declared engine validates.
+		for _, eng := range pp.Engines() {
+			if _, err := registry.Validate(registry.Spec{Protocol: e.Key, N: 64, Engine: eng}); err != nil {
+				t.Errorf("%s on %v rejected: %v", e.Key, eng, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package rng
+
+import "math"
+
+// binvCutoff is the n·min(p,1−p) threshold below which Binomial uses the
+// sequential-search inversion sampler (BINV). Above it the expected
+// inversion loop length makes the constant-time BTPE rejection sampler the
+// better choice. 30 is the classic crossover from Kachitvichyanukul &
+// Schmeiser (1988).
+const binvCutoff = 30.0
+
+// Binomial returns a sample from the binomial distribution Bin(n, p): the
+// number of successes in n independent trials of probability p. It panics
+// unless 0 <= p <= 1.
+//
+// Two exact samplers back it, selected by the expected count: inversion
+// (BINV) when n·min(p,1−p) < 30, and the BTPE tent-plus-tails rejection
+// algorithm of Kachitvichyanukul & Schmeiser otherwise, so the cost is
+// O(n·p) for small means and O(1) for large ones.
+func (r *Source) Binomial(n uint64, p float64) uint64 {
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic("rng: Binomial needs 0 <= p <= 1")
+	}
+	switch {
+	case p == 0 || n == 0:
+		return 0
+	case p == 1:
+		return n
+	case p > 0.5:
+		// Both samplers assume p <= 1/2; count failures instead.
+		return n - r.binomial(n, 1-p)
+	default:
+		return r.binomial(n, p)
+	}
+}
+
+// binomial dispatches between the two samplers. Callers guarantee
+// 0 < p <= 1/2 and n >= 1.
+func (r *Source) binomial(n uint64, p float64) uint64 {
+	if float64(n)*p < binvCutoff {
+		return r.binomialInversion(n, p)
+	}
+	return r.binomialBTPE(n, p)
+}
+
+// binomialInversion is the BINV sequential-search sampler: walk the pmf
+// from 0 upward, subtracting each probability from a uniform until it is
+// exhausted. Expected cost O(n·p + 1).
+func (r *Source) binomialInversion(n uint64, p float64) uint64 {
+	q := 1 - p
+	s := p / q
+	a := float64(n+1) * s
+	// bound truncates the astronomically unlikely far tail so float
+	// round-off in the pmf recurrence can never loop past the support.
+	np := float64(n) * p
+	bound := uint64(math.Min(float64(n), np+10*math.Sqrt(np*q+1)))
+	for {
+		f := math.Pow(q, float64(n)) // pmf at 0; > 0 because n·p < 30 bounds n·|log q|
+		u := r.Float64()
+		var x uint64
+		for u > f {
+			if x > bound {
+				break // restart: accumulated round-off ate the tail
+			}
+			u -= f
+			x++
+			f *= a/float64(x) - s
+		}
+		if x <= bound {
+			return x
+		}
+	}
+}
+
+// binomialBTPE is the BTPE rejection sampler (Kachitvichyanukul &
+// Schmeiser, "Binomial random variate generation", CACM 31(2), 1988): a
+// triangle + parallelogram + two exponential tails majorizing hat over the
+// scaled pmf, with squeeze tests so most draws cost two uniforms and a few
+// multiplications. Callers guarantee 0 < p <= 1/2 and n·p >= 30.
+func (r *Source) binomialBTPE(n uint64, p float64) uint64 {
+	// Step 0: set up the hat function's four regions.
+	nf := float64(n)
+	q := 1 - p
+	npq := nf * p * q
+	fm := nf*p + p
+	m := math.Floor(fm) // mode
+	p1 := math.Floor(2.195*math.Sqrt(npq)-4.6*q) + 0.5
+	xm := m + 0.5
+	xl := xm - p1
+	xr := xm + p1
+	c := 0.134 + 20.5/(15.3+m)
+	al := (fm - xl) / (fm - xl*p)
+	lamL := al * (1 + 0.5*al)
+	ar := (xr - fm) / (xr * q)
+	lamR := ar * (1 + 0.5*ar)
+	p2 := p1 * (1 + 2*c)
+	p3 := p2 + c/lamL
+	p4 := p3 + c/lamR
+
+	for {
+		// Step 1: pick a region by u, a vertical position by v.
+		u := r.Float64() * p4
+		v := r.Float64()
+		var y float64
+		switch {
+		case u <= p1:
+			// Triangular central region: accept immediately.
+			return uint64(xm - p1*v + u)
+		case u <= p2:
+			// Parallelogram: scale v to the hat height at x.
+			x := xl + (u-p1)/c
+			v = v*c + 1 - math.Abs(m-x+0.5)/p1
+			if v > 1 {
+				continue
+			}
+			y = math.Floor(x)
+		case u <= p3:
+			// Left exponential tail.
+			y = math.Floor(xl + math.Log(v)/lamL)
+			if y < 0 {
+				continue
+			}
+			v *= (u - p2) * lamL
+		default:
+			// Right exponential tail.
+			y = math.Floor(xr - math.Log(v)/lamR)
+			if y > nf {
+				continue
+			}
+			v *= (u - p3) * lamR
+		}
+
+		// Step 5: accept/reject y against the scaled pmf f(y)/f(m).
+		k := math.Abs(y - m)
+		if k <= 20 || k >= npq/2-1 {
+			// Evaluate the ratio exactly by the recurrence.
+			s := p / q
+			a := s * (nf + 1)
+			f := 1.0
+			switch {
+			case m < y:
+				for i := m + 1; i <= y; i++ {
+					f *= a/i - s
+				}
+			case m > y:
+				for i := y + 1; i <= m; i++ {
+					f /= a/i - s
+				}
+			}
+			if v <= f {
+				return uint64(y)
+			}
+			continue
+		}
+		// Squeeze: compare log v against a quadratic band around the
+		// normal approximation before paying for the full Stirling bound.
+		rho := (k / npq) * ((k*(k/3+0.625)+1.0/6)/npq + 0.5)
+		t := -k * k / (2 * npq)
+		alv := math.Log(v)
+		if alv < t-rho {
+			return uint64(y)
+		}
+		if alv > t+rho {
+			continue
+		}
+		// Final comparison via Stirling-corrected log pmf ratio.
+		x1 := y + 1
+		f1 := m + 1
+		z := nf + 1 - m
+		w := nf - y + 1
+		x2 := x1 * x1
+		f2 := f1 * f1
+		z2 := z * z
+		w2 := w * w
+		bound := xm*math.Log(f1/x1) +
+			(nf-m+0.5)*math.Log(z/w) +
+			(y-m)*math.Log(w*p/(x1*q)) +
+			stirlingCorrection(f1, f2) +
+			stirlingCorrection(z, z2) +
+			stirlingCorrection(x1, x2) +
+			stirlingCorrection(w, w2)
+		if alv <= bound {
+			return uint64(y)
+		}
+	}
+}
+
+// stirlingCorrection is the truncated Stirling-series correction term used
+// by BTPE's exact acceptance bound: (13860 − (462 − (132 − (99 −
+// 140/v²)/v²)/v²)/v²)/v/166320, evaluated with v² passed in.
+func stirlingCorrection(v, v2 float64) float64 {
+	return (13860 - (462-(132-(99-140/v2)/v2)/v2)/v2) / v / 166320
+}

@@ -1,0 +1,154 @@
+package rng
+
+import "math"
+
+// hypUrnCutoff is the size below which Hypergeometric simulates the urn
+// directly: if either min(good, bad) or min(sample, total−sample) is at
+// most this, the exact sequential draw costs at most hypUrnCutoff bounded
+// uniforms — cheaper than setting up a rejection sampler. The batch
+// simulation engine leans on this path: its census tails produce a stream
+// of draws with tiny good counts.
+const hypUrnCutoff = 32
+
+// Hypergeometric returns a sample from the hypergeometric distribution:
+// the number of "good" items in a uniformly random sample of the given
+// size, drawn without replacement from a population of total items of
+// which good are good. It panics unless good <= total and sample <= total.
+//
+// Three exact paths back it: a sequential urn simulation over the good
+// items when min(good, total−good) is small, one over the sample draws
+// when min(sample, total−sample) is small, and the HRUA ratio-of-uniforms
+// rejection sampler (Stadlober 1990) otherwise, so cost is O(min(all four
+// margins)) for skewed parameters and O(1) for central ones.
+func (r *Source) Hypergeometric(sample, good, total uint64) uint64 {
+	if good > total || sample > total {
+		panic("rng: Hypergeometric needs good <= total and sample <= total")
+	}
+	// Degenerate margins, then the singleton fast paths that dominate the
+	// batch engine's census tails: one draw (or one good item) is a single
+	// bounded-uniform comparison.
+	switch {
+	case sample == 0 || good == 0:
+		return 0
+	case good == total:
+		return sample
+	case sample == total:
+		return good
+	case sample == 1:
+		if r.Uint64n(total) < good {
+			return 1
+		}
+		return 0
+	case good == 1:
+		if r.Uint64n(total) < sample {
+			return 1
+		}
+		return 0
+	}
+
+	// Symmetry reductions: count the rarer item kind in the smaller side
+	// of the sample split, undoing the swaps on the way out.
+	k, bad := good, total-good
+	countedBad := bad < k
+	if countedBad {
+		k = bad // k = min(good, bad)
+	}
+	m := sample
+	sampledComplement := total-sample < m
+	if sampledComplement {
+		m = total - sample // m = min(sample, total − sample)
+	}
+
+	var x uint64
+	switch {
+	case k <= hypUrnCutoff:
+		// Reveal the k rare items one at a time: item i+1 is among the m
+		// sample slots with probability (m − drawn) / (total − i).
+		for i := uint64(0); i < k && x < m; i++ {
+			if r.Uint64n(total-i) < m-x {
+				x++
+			}
+		}
+	case m <= hypUrnCutoff:
+		// Reveal the m sample slots one at a time: slot i+1 holds a rare
+		// item with probability (k − drawn) / (total − i).
+		for i := uint64(0); i < m && x < k; i++ {
+			if r.Uint64n(total-i) < k-x {
+				x++
+			}
+		}
+	default:
+		x = r.hypergeometricHRUA(m, k, total)
+	}
+
+	// Undo the symmetry reductions: x counts the rarer kind in the smaller
+	// split; flip back to good items in the requested sample.
+	if countedBad {
+		x = m - x
+	}
+	if sampledComplement {
+		x = good - x
+	}
+	return x
+}
+
+// hypergeometricHRUA is Stadlober's ratio-of-uniforms rejection sampler
+// ("The ratio of uniforms approach for generating discrete random
+// variates", J. Comput. Appl. Math. 31, 1990) for the hypergeometric
+// distribution, with the log-pmf evaluated through the tabulated
+// lnFact (see lnfact.go), which keeps each probe to a few loads. Callers
+// guarantee m = min(sample, total−sample) and k = min(good, bad), both
+// above hypUrnCutoff.
+func (r *Source) hypergeometricHRUA(m, k, total uint64) uint64 {
+	const (
+		d1 = 1.7155277699214135 // 2·sqrt(2/e)
+		d2 = 0.8989161620588988 // 3 − 2·sqrt(3/e)
+	)
+	mf := float64(m)
+	kf := float64(k)
+	nf := float64(total)
+	maxKind := nf - kf
+
+	p := kf / nf
+	q := 1 - p
+	mu := mf * p // mean
+	// Half-width scale: std deviation of the hypergeometric plus a guard.
+	sigma := math.Sqrt((nf-mf)*mf*p*q/(nf-1) + 0.5)
+	d6 := mu + 0.5
+	d8 := d1*sigma + d2
+	mode := math.Floor((mf + 1) * (kf + 1) / (nf + 2))
+	d10 := lgammaSum(mode, kf-mode, mf-mode, maxKind-mf+mode)
+	// Upper support bound (exclusive), padded 16 sigmas for the hat.
+	d11 := math.Min(math.Min(mf, kf)+1, math.Floor(d6+16*sigma))
+
+	for {
+		x := r.Float64()
+		y := r.Float64()
+		if x == 0 {
+			continue
+		}
+		w := d6 + d8*(y-0.5)/x
+		if w < 0 || w >= d11 {
+			continue
+		}
+		z := math.Floor(w)
+		t := d10 - lgammaSum(z, kf-z, mf-z, maxKind-mf+z)
+		// Squeeze acceptance and rejection bounds around log of the
+		// ratio-of-uniforms acceptance test x² <= f(z)/f(mode).
+		if x*(4-x)-3 <= t {
+			return uint64(z)
+		}
+		if x*(x-t) >= 1 {
+			continue
+		}
+		if 2*math.Log(x) <= t {
+			return uint64(z)
+		}
+	}
+}
+
+// lgammaSum returns Σ ln(vᵢ!) over the four hypergeometric pmf factorial
+// arguments, through the tabulated-plus-Stirling lnFact.
+func lgammaSum(a, b, c, d float64) float64 {
+	return lnFact(a) + lnFact(b) + lnFact(c) + lnFact(d)
+}

@@ -1,0 +1,32 @@
+package rng
+
+import "math"
+
+// lnFactTabLen bounds the precomputed ln-factorial table (128 KiB). The
+// rejection samplers evaluate log-pmfs thousands of times per simulated
+// round, and their small arguments (sample-sized: at most a few thousand)
+// dominate; the table turns those math.Lgamma calls into array loads.
+const lnFactTabLen = 1 << 14
+
+var lnFactTab [lnFactTabLen]float64
+
+func init() {
+	for i := 1; i < lnFactTabLen; i++ {
+		v, _ := math.Lgamma(float64(i) + 1)
+		lnFactTab[i] = v
+	}
+}
+
+// lnFact returns ln(x!) for integer-valued x >= 0: tabulated below
+// lnFactTabLen, Stirling's series above it (absolute error < 1e-20 there,
+// far below the table's own lgamma precision).
+func lnFact(x float64) float64 {
+	if x < lnFactTabLen {
+		return lnFactTab[int(x)]
+	}
+	// ln Γ(x+1) by Stirling: (x+½)ln x − x + ½ln(2π) + 1/(12x) − 1/(360x³).
+	const halfLn2Pi = 0.9189385332046727
+	inv := 1 / x
+	inv2 := inv * inv
+	return (x+0.5)*math.Log(x) - x + halfLn2Pi + inv*(1.0/12-inv2*(1.0/360-inv2/1260))
+}

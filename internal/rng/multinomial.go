@@ -1,0 +1,86 @@
+package rng
+
+// Multinomial distributes n independent trials over len(weights) categories
+// with probabilities proportional to weights, writing the per-category
+// counts into dst (allocated when nil or too short) and returning it. It is
+// sampled exactly by conditional binomials: category i receives
+// Bin(remaining, wᵢ / Σ_{j>=i} wⱼ) of the remaining trials. It panics if
+// weights is empty, contains a negative or non-finite value, or sums to 0.
+func (r *Source) Multinomial(n uint64, weights []float64, dst []uint64) []uint64 {
+	if len(weights) == 0 {
+		panic("rng: Multinomial needs at least one category")
+	}
+	var total float64
+	for _, w := range weights {
+		if !(w >= 0) || w > 1e300 {
+			panic("rng: Multinomial weights must be finite and non-negative")
+		}
+		total += w
+	}
+	if total == 0 {
+		panic("rng: Multinomial weights sum to zero")
+	}
+	if cap(dst) < len(weights) {
+		dst = make([]uint64, len(weights))
+	}
+	dst = dst[:len(weights)]
+	lastNZ := 0
+	for i, w := range weights {
+		if w > 0 {
+			lastNZ = i
+		}
+	}
+	rem := n
+	for i, w := range weights {
+		switch {
+		case rem == 0 || w == 0:
+			dst[i] = 0
+		case i == lastNZ || w >= total:
+			// Last nonzero category (or all residual weight, when
+			// subtraction round-off left total <= w): takes the rest.
+			dst[i] = rem
+			rem = 0
+		default:
+			x := r.Binomial(rem, w/total)
+			dst[i] = x
+			rem -= x
+			total -= w
+		}
+	}
+	return dst
+}
+
+// MultiHypergeometric draws a uniformly random sample of the given size
+// without replacement from a population partitioned into categories with
+// the given counts, writing how many sampled items fall in each category
+// into dst (allocated when nil or too short) and returning it. It is
+// sampled exactly by conditional hypergeometrics. It panics if any count is
+// negative or sample exceeds the total population.
+func (r *Source) MultiHypergeometric(sample uint64, counts []int64, dst []int64) []int64 {
+	var total uint64
+	for _, c := range counts {
+		if c < 0 {
+			panic("rng: MultiHypergeometric needs non-negative counts")
+		}
+		total += uint64(c)
+	}
+	if sample > total {
+		panic("rng: MultiHypergeometric sample exceeds the population")
+	}
+	if cap(dst) < len(counts) {
+		dst = make([]int64, len(counts))
+	}
+	dst = dst[:len(counts)]
+	rem := sample
+	for i, c := range counts {
+		if rem == 0 {
+			dst[i] = 0
+			continue
+		}
+		x := r.Hypergeometric(rem, uint64(c), total)
+		dst[i] = int64(x)
+		rem -= x
+		total -= uint64(c)
+	}
+	return dst
+}

@@ -13,7 +13,10 @@
 // the population protocol model.
 package rng
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // Source is a xoshiro256++ pseudo random number generator.
 //
@@ -144,17 +147,25 @@ func (r *Source) Perm(n int) []int {
 }
 
 // Geometric returns the number of failures before the first success in a
-// sequence of Bernoulli(p) trials (support {0, 1, 2, ...}). It is used by
-// the epidemic jump simulator to skip over non-infecting interactions.
+// sequence of Bernoulli(p) trials (support {0, 1, 2, ...}). It is the
+// shared skip-length sampler of the batched no-op paths in the simulation
+// engines and the epidemic jump simulator. Draws beyond the uint64 range
+// (possible only for p below ~1e-18) saturate at math.MaxUint64.
 // It panics unless 0 < p <= 1.
 func (r *Source) Geometric(p float64) uint64 {
-	if p <= 0 || p > 1 {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
 		panic("rng: Geometric needs 0 < p <= 1")
 	}
 	if p == 1 {
 		return 0
 	}
 	// Inverse-CDF sampling: floor(ln(U) / ln(1-p)) with U in (0, 1].
+	// log1p keeps the denominator exact down to p ≈ 1e-300, where the
+	// naive ln(1−p) would underflow to ln(1) = 0.
 	u := 1.0 - r.Float64() // in (0, 1]
-	return uint64(logFloat(u) / logFloat(1.0-p))
+	t := math.Log(u) / math.Log1p(-p)
+	if !(t < 1<<63) { // also catches +Inf
+		return math.MaxUint64
+	}
+	return uint64(t)
 }

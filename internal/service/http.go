@@ -77,6 +77,10 @@ type protocolDoc struct {
 	Time    string     `json:"time"`
 	Target  int        `json:"target"`
 	Params  []paramDoc `json:"params,omitempty"`
+	// Engines lists the engines that scale to large n for this protocol,
+	// in preference order (every engine is accepted at any size within
+	// the server's limits).
+	Engines []string `json:"engines"`
 }
 
 type paramDoc struct {
@@ -97,6 +101,9 @@ func handleProtocols(w http.ResponseWriter, _ *http.Request) {
 		}
 		for _, p := range e.Params {
 			d.Params = append(d.Params, paramDoc{Name: p.Name, Doc: p.Doc})
+		}
+		for _, eng := range e.SuitableEngines() {
+			d.Engines = append(d.Engines, eng.String())
 		}
 		docs[i] = d
 	}

@@ -191,7 +191,7 @@ func TestSubmitValidationErrors(t *testing.T) {
 		{"unknown field", `{"protocol": "pll", "n": 100, "flux": 1}`, "unknown field"},
 		{"unknown protocol", `{"protocol": "paxos", "n": 100}`, "unknown protocol"},
 		{"n too small", `{"protocol": "pll", "n": 1}`, "population size"},
-		{"n over limit", `{"protocol": "pll", "n": 5000}`, "exceeds this server's limit"},
+		{"n over limit", `{"protocol": "pll", "n": 5000}`, "exceeds this server's count-engine limit"},
 		{"bad engine", `{"protocol": "pll", "n": 100, "engine": "gpu"}`, "unknown engine"},
 		{"m on m-less protocol", `{"protocol": "angluin", "n": 100, "m": 8}`, "takes no m"},
 		{"m too small", `{"protocol": "pll", "n": 900, "m": 2}`, "m ≥ log₂ n"},

@@ -62,7 +62,9 @@ type JobSpec struct {
 	Protocol string `json:"protocol"`
 	// N is the population size.
 	N int `json:"n"`
-	// Engine is "count" or "agent" ("" = "count").
+	// Engine is "count", "agent" or "batch" ("" = "count"; "batch" is the
+	// fastest census-based engine for small-state-space protocols at
+	// large n).
 	Engine string `json:"engine,omitempty"`
 	// Seed seeds the scheduler; 0 derives one from the canonical spec, so
 	// omitting it still yields a deterministic, cacheable job.
@@ -384,6 +386,11 @@ type Options struct {
 	// beyond that a single job would hold gigabytes and a worker for
 	// hours).
 	MaxNAgent int
+	// MaxNBatch bounds population sizes on the batch engine. Like the
+	// census engine its memory is Θ(live states), and its collision-free
+	// rounds make it the fastest engine at large n, so the default is
+	// MaxN (after defaulting, 200 million).
+	MaxNBatch int
 	// MaxSnapshots bounds each job's stored trajectory (default 256).
 	MaxSnapshots int
 }
@@ -403,6 +410,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxNAgent <= 0 {
 		o.MaxNAgent = 10_000_000
+	}
+	if o.MaxNBatch <= 0 {
+		o.MaxNBatch = o.MaxN
 	}
 	if o.MaxSnapshots <= 0 {
 		o.MaxSnapshots = 256
@@ -480,15 +490,10 @@ func (m *Manager) Canonicalize(spec JobSpec) (JobSpec, registry.Spec, int, uint6
 	if err != nil {
 		return JobSpec{}, registry.Spec{}, 0, 0, fmt.Errorf("%w: %v", registry.ErrBadSpec, err)
 	}
-	if spec.N > m.opts.MaxN {
+	if limit := m.engineLimit(engine); spec.N > limit {
 		return JobSpec{}, registry.Spec{}, 0, 0, fmt.Errorf(
-			"%w: population size %d exceeds this server's limit of %d",
-			registry.ErrBadSpec, spec.N, m.opts.MaxN)
-	}
-	if engine == pp.EngineAgent && spec.N > m.opts.MaxNAgent {
-		return JobSpec{}, registry.Spec{}, 0, 0, fmt.Errorf(
-			"%w: population size %d exceeds this server's per-agent-engine limit of %d (use the count engine for large n)",
-			registry.ErrBadSpec, spec.N, m.opts.MaxNAgent)
+			"%w: population size %d exceeds this server's %s-engine limit of %d (the census-based engines accept the largest populations)",
+			registry.ErrBadSpec, spec.N, engine, limit)
 	}
 	if spec.MaxParallelTime < 0 {
 		return JobSpec{}, registry.Spec{}, 0, 0, fmt.Errorf(
@@ -519,6 +524,20 @@ func (m *Manager) Canonicalize(spec JobSpec) (JobSpec, registry.Spec, int, uint6
 		}
 	}
 	return spec, rspec, entry.Target, budget, nil
+}
+
+// engineLimit returns the population cap for the given engine: per-agent
+// memory and work are Θ(n), the census-based engines (count, batch) are
+// Θ(live states).
+func (m *Manager) engineLimit(engine pp.Engine) int {
+	switch engine {
+	case pp.EngineAgent:
+		return m.opts.MaxNAgent
+	case pp.EngineBatch:
+		return m.opts.MaxNBatch
+	default:
+		return m.opts.MaxN
+	}
 }
 
 // Submit canonicalizes spec and returns the job serving it: a cached

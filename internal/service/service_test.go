@@ -444,3 +444,72 @@ func TestSubscribe(t *testing.T) {
 			total, last.OmittedAgents)
 	}
 }
+
+// TestBatchEngineJob runs a full election job on the batch engine and
+// checks the result and trajectory match the other engines' shape: exactly
+// one leader, at least two snapshots, a coherent census.
+func TestBatchEngineJob(t *testing.T) {
+	m := service.NewManager(service.Options{Workers: 2})
+	defer m.Close()
+
+	job, _, err := m.Submit(service.JobSpec{Protocol: "pll", N: 50_000, Engine: "batch", Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	res := job.Result()
+	if res == nil || !res.Stabilized || res.Leaders != 1 {
+		t.Fatalf("batch job result: %+v", res)
+	}
+	total := 0
+	for _, c := range res.Census {
+		total += c
+	}
+	if total+res.OmittedAgents != 50_000 {
+		t.Fatalf("census covers %d agents (+%d omitted), want 50000", total, res.OmittedAgents)
+	}
+	if job.View().Snapshots < 2 {
+		t.Fatalf("batch job trajectory has %d snapshots, want >= 2", job.View().Snapshots)
+	}
+}
+
+// TestPerEngineLimits: every engine enforces its own population cap, and
+// the error names the engine.
+func TestPerEngineLimits(t *testing.T) {
+	m := service.NewManager(service.Options{
+		Workers: 1, MaxN: 1000, MaxNAgent: 500, MaxNBatch: 700,
+	})
+	defer m.Close()
+
+	cases := []struct {
+		engine string
+		okN    int
+		badN   int
+	}{
+		{"agent", 500, 501},
+		{"batch", 700, 701},
+		{"count", 1000, 1001},
+	}
+	for _, tc := range cases {
+		if _, _, _, _, err := m.Canonicalize(service.JobSpec{
+			Protocol: "angluin", N: tc.okN, Engine: tc.engine,
+		}); err != nil {
+			t.Errorf("%s at its limit %d rejected: %v", tc.engine, tc.okN, err)
+		}
+		_, _, _, _, err := m.Canonicalize(service.JobSpec{
+			Protocol: "angluin", N: tc.badN, Engine: tc.engine,
+		})
+		if !errors.Is(err, registry.ErrBadSpec) {
+			t.Errorf("%s beyond its limit %d accepted (err=%v)", tc.engine, tc.badN, err)
+		}
+	}
+
+	// MaxNBatch defaults to MaxN when unset.
+	m2 := service.NewManager(service.Options{Workers: 1, MaxN: 1234})
+	defer m2.Close()
+	if _, _, _, _, err := m2.Canonicalize(service.JobSpec{
+		Protocol: "angluin", N: 1234, Engine: "batch",
+	}); err != nil {
+		t.Errorf("batch limit did not default to MaxN: %v", err)
+	}
+}

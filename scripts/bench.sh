@@ -8,8 +8,10 @@
 # Environment:
 #   BENCHTIME   go test -benchtime value (default 1x: one run per case,
 #               the large-n elections already take ~20 s each)
-#   BENCH_RE    benchmark regex (default: engine head-to-head + large-n)
+#   BENCH_RE    benchmark regex (default: the three-engine PLL race at
+#               n=10^7, the engine head-to-heads, and the large-n rows)
 #   POPPROTO_BENCH_XL=1 additionally runs the 10^8-agent cases
+#               (including the batch engine's Table 1 row at n=10^8)
 #
 # The JSON is an object {date, go, commit, benchtime, benchmarks: [...]},
 # one entry per benchmark line with every reported metric (ns/op, B/op,
@@ -18,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_$(date -u +%Y-%m-%d).json}
-BENCH_RE=${BENCH_RE:-'Engines_|LargeN_'}
+BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|Engines_|LargeN_|Table1_PLL_XL'}
 BENCHTIME=${BENCHTIME:-1x}
 
 RAW=$(mktemp)
