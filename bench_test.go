@@ -400,11 +400,13 @@ func BenchmarkMicro_SymmetricStep(b *testing.B) {
 // BenchmarkPLL runs one full PLL election at n = 10⁷ per iteration on the
 // census engine and on the batch engine — the workload behind the Table 1/2
 // sweeps — reporting parallel time and wall-clock per simulated interaction
-// alongside ns/op. Election lengths are random (the 2-leader count-up
-// plateau's duration varies by an order of magnitude between seeds), so
-// ns/interaction is the realization-independent comparison; identical seeds
-// are used for both engines. Run with -benchtime=1x for one election per
-// engine.
+// alongside ns/op. Election lengths are random and heavy-tailed (a run
+// that falls through to BackUp spends an order of magnitude longer in the
+// count-up plateau), and the engines draw independent realizations even
+// from the same seed, so ns/op compares two different elections;
+// ns/interaction is the realization-independent comparison, and
+// BenchmarkPLLWindow below fixes the simulated work exactly. Run with
+// -benchtime=1x for one election per engine.
 func BenchmarkPLL(b *testing.B) {
 	const n = 10_000_000
 	for _, engine := range []pp.Engine{pp.EngineCount, pp.EngineBatch} {
@@ -421,6 +423,27 @@ func BenchmarkPLL(b *testing.B) {
 			}
 			b.ReportMetric(totalPT/float64(b.N), "parallel-time/op")
 			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/totalInts, "ns/interaction")
+		})
+	}
+}
+
+// BenchmarkPLLWindow races the engines over identical simulated work: the
+// first 40 units of parallel time of a PLL run at n = 10⁷ (4×10⁸
+// interactions), the reaction-dense O(log n) window — epidemics, coin
+// flips, count-up — that the batch engine's collision-free rounds exist
+// for. Unlike full elections, the work here is fixed, so ns/op ratios are
+// directly comparable across engines.
+func BenchmarkPLLWindow(b *testing.B) {
+	const n = 10_000_000
+	const window = 40 * n
+	for _, engine := range []pp.Engine{pp.EngineCount, pp.EngineBatch} {
+		b.Run(fmt.Sprintf("n=%d/engine=%s", n, engine), func(b *testing.B) {
+			proto := core.NewForN(n)
+			for i := 0; i < b.N; i++ {
+				sim := pp.NewRunner[core.State](engine, proto, n, uint64(i)+1)
+				sim.RunSteps(window)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/(float64(b.N)*window), "ns/interaction")
 		})
 	}
 }

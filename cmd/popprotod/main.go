@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	popprotod [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-n N]
+//	popprotod [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-n N] [-max-n-batch N]
 //
 // Endpoints (see API.md for schemas):
 //
@@ -57,6 +57,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	queue := fs.Int("queue", 0, "queued-job limit before 429s (0 = 256)")
 	maxN := fs.Int("max-n", 0, "largest accepted population size on the count engine (0 = 2e8)")
 	maxNAgent := fs.Int("max-n-agent", 0, "largest accepted population size on the agent engine (0 = 1e7)")
+	maxNBatch := fs.Int("max-n-batch", 0, "largest accepted population size on the batch engine (0 = max-n)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,6 +69,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		QueueSize: *queue,
 		MaxN:      *maxN,
 		MaxNAgent: *maxNAgent,
+		MaxNBatch: *maxNBatch,
 	})
 	server := &http.Server{
 		Handler:           service.NewHandler(mgr),

@@ -30,9 +30,10 @@ type Config struct {
 	Workers int
 	// Engine selects the simulation engine for the election-time sweeps
 	// (Table 1/2, Theorem 1, trajectory, …). The zero value is the
-	// per-agent engine; the census engine (pp.EngineCount) reproduces the
-	// same distributions and reaches populations the per-agent engine
-	// cannot. Experiments that address individual agents (Bstart
+	// per-agent engine; the census engine (pp.EngineCount) and the
+	// collision-free round engine (pp.EngineBatch, the fastest at large n)
+	// reproduce the same distributions and reach populations the per-agent
+	// engine cannot. Experiments that address individual agents (Bstart
 	// constructions, coin audits) always use the per-agent engine.
 	Engine pp.Engine
 }

@@ -12,7 +12,7 @@ import (
 const (
 	// batchRoundMinN is the smallest population for which collision-free
 	// rounds are attempted by default. Below it a round covers only a
-	// handful of interactions (E[round] ≈ 0.89·√n) and the per-interaction
+	// handful of interactions (E[round] ≈ 0.63·√n) and the per-interaction
 	// path is cheaper.
 	batchRoundMinN = 64
 	// batchMinRound is the smallest remaining step budget worth opening a
@@ -112,8 +112,9 @@ type BatchSimulator[S comparable] struct {
 	cs       CountSimulator[S] // census core; also the fallback engine
 	fenDirty bool              // round mode defers Fenwick maintenance
 
-	// Round policy (see TuneRounds). expRound caches 0.886·√n, the
-	// asymptotic expected round length.
+	// Round policy (see TuneRounds). expRound caches √(πn/8) ≈ 0.627·√n,
+	// the asymptotic expected round length of the birthday law over
+	// ordered pairs of distinct agents.
 	minRoundN  int
 	maxLive    int
 	expRound   float64
@@ -164,7 +165,7 @@ func NewBatchSimulator[S comparable](proto Protocol[S], n int, seed uint64) *Bat
 	b := &BatchSimulator[S]{
 		cs:        *NewCountSimulator(proto, n, seed),
 		minRoundN: batchRoundMinN,
-		expRound:  0.886 * math.Sqrt(float64(n)),
+		expRound:  math.Sqrt(math.Pi * float64(n) / 8),
 	}
 	return b
 }
@@ -977,6 +978,14 @@ func (b *BatchSimulator[S]) growScratch() {
 // never reassigned, so a hit costs one array load.
 func (b *BatchSimulator[S]) outcome(i, j int32) (int32, int32) {
 	if int(i) >= b.denseStride || int(j) >= b.denseStride {
+		if len(b.cs.states) > 2*batchDenseStatesMax {
+			// A state-hungry protocol (MaxID) outgrew the dense matrix
+			// mid-round; route the overflow through the census engine's
+			// map memo instead of reallocating quadratically. Round mode
+			// itself shuts off at the next policy check.
+			out := b.cs.outcome(int(i), int(j))
+			return out.i2, out.j2
+		}
 		b.growDense()
 	}
 	idx := int(i)*b.denseStride + int(j)

@@ -161,3 +161,36 @@ func (tickerInternal) Transition(a, b tickerStateInternal) (tickerStateInternal,
 	}
 	return a, b
 }
+
+// wideProto's states are plain ints, so tests can register arbitrarily
+// many distinct states.
+type wideProto struct{}
+
+func (wideProto) Name() string                   { return "wide" }
+func (wideProto) InitialState() int              { return 0 }
+func (wideProto) Output(int) Role                { return Follower }
+func (wideProto) Transition(a, b int) (int, int) { return a + 1, b }
+
+// TestOutcomeMapFallback drives the dense-memo overflow branch directly: a
+// state table beyond 2·batchDenseStatesMax must route outcome lookups
+// through the census engine's map memo without growing the dense matrix.
+func TestOutcomeMapFallback(t *testing.T) {
+	b := NewBatchSimulator[int](wideProto{}, 100, 3)
+	cs := &b.cs
+	for s := 1; s <= 2*batchDenseStatesMax+8; s++ {
+		cs.stateIndex(s)
+	}
+	strideBefore := b.denseStride
+	i2, j2 := b.outcome(int32(2*batchDenseStatesMax+2), int32(2*batchDenseStatesMax+4))
+	if b.denseStride != strideBefore {
+		t.Fatalf("dense matrix grew (stride %d -> %d) instead of falling back",
+			strideBefore, b.denseStride)
+	}
+	// wideProto maps (a, b) -> (a+1, b): the initiator's outcome is the next
+	// registered state, the responder is unchanged.
+	wantI := cs.index[2*batchDenseStatesMax+3]
+	if int(i2) != wantI || int(j2) != 2*batchDenseStatesMax+4 {
+		t.Fatalf("fallback outcome = (%d, %d), want (%d, %d)", i2, j2,
+			wantI, 2*batchDenseStatesMax+4)
+	}
+}

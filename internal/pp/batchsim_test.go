@@ -345,3 +345,39 @@ func TestBatchRunnerSurface(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+// stateHungry mints a fresh state on every interaction (MaxID-like): the
+// dense memo must overflow to the map fallback and round mode must shut
+// itself off without losing exactness of the step accounting.
+type hungryState struct {
+	ID int
+}
+
+type stateHungry struct{}
+
+func (stateHungry) Name() string               { return "state-hungry" }
+func (stateHungry) InitialState() hungryState  { return hungryState{} }
+func (stateHungry) Output(hungryState) pp.Role { return pp.Follower }
+func (stateHungry) Transition(a, b hungryState) (hungryState, hungryState) {
+	m := a.ID
+	if b.ID > m {
+		m = b.ID
+	}
+	return hungryState{ID: m + 1}, hungryState{ID: m}
+}
+
+func TestBatchStateHungryFallback(t *testing.T) {
+	const n = 4096
+	sim := pp.NewBatchSimulator[hungryState](stateHungry{}, n, 17)
+	sim.RunSteps(40_000)
+	if sim.Steps() != 40_000 {
+		t.Fatalf("Steps() = %d, want 40000", sim.Steps())
+	}
+	total := 0
+	for _, c := range sim.Census() {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("census sums to %d, want %d", total, n)
+	}
+}

@@ -7,8 +7,8 @@
 //
 // The harness exists so that protocol tests state *what* configuration they
 // exercise instead of repeating engine-construction plumbing, and so that
-// every test parameterized this way runs unchanged on both simulation
-// engines (RunAllEngines).
+// every test parameterized this way runs unchanged on every simulation
+// engine (RunAllEngines).
 package pptest
 
 import (
@@ -74,8 +74,8 @@ func Run[S comparable](t *testing.T, tc TestCase[S], opname string,
 }
 
 // RunAllEngines executes action once per simulation engine, overriding
-// tc.Engine. Use it for behavior that must hold identically on both
-// engines. It reports whether every engine's subtest passed.
+// tc.Engine. Use it for behavior that must hold identically on every
+// engine. It reports whether each engine's subtest passed.
 func RunAllEngines[S comparable](t *testing.T, tc TestCase[S], opname string,
 	action func(t *testing.T, tc TestCase[S], sim pp.Runner[S])) bool {
 	t.Helper()

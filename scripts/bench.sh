@@ -20,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_$(date -u +%Y-%m-%d).json}
-BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|Engines_|LargeN_|Table1_PLL_XL'}
+BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|^BenchmarkPLLWindow$|Engines_|LargeN_|Table1_PLL_XL'}
 BENCHTIME=${BENCHTIME:-1x}
 
 RAW=$(mktemp)
