@@ -8,6 +8,7 @@
 package popproto
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -16,8 +17,10 @@ import (
 
 	"popproto/internal/baseline"
 	"popproto/internal/core"
+	"popproto/internal/ensemble"
 	"popproto/internal/epidemic"
 	"popproto/internal/pp"
+	"popproto/internal/registry"
 	"popproto/internal/rng"
 	"popproto/internal/trace"
 )
@@ -580,5 +583,35 @@ func benchName(n int) string {
 		return "n=16384"
 	default:
 		return "n"
+	}
+}
+
+// BenchmarkEnsemble_Table1Row is the ensemble-executor acceptance
+// benchmark: the PLL Table 1 row at n=10^5 with 50 replicates, run once
+// serially and once over all cores. The workers=max case is what the
+// harness's Table 1 and popprotod's /v1/experiments execute; comparing
+// the two sub-benchmarks' wall clock shows the multi-core speedup
+// (expect ≳ 3× at 8 cores — replication is embarrassingly parallel, the
+// remainder is the aggregator and allocator).
+func BenchmarkEnsemble_Table1Row(b *testing.B) {
+	const n, replicates = 100_000, 50
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := ensemble.Run(context.Background(), ensemble.Spec{
+					Registry:   registry.Spec{Protocol: "pll", N: n, Engine: pp.EngineCount, Seed: 42},
+					Replicates: replicates,
+				}, ensemble.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg := res.Aggregates
+				if agg.Stabilized != replicates {
+					b.Fatalf("%d/%d replicates stabilized", agg.Stabilized, replicates)
+				}
+				b.ReportMetric(agg.MeanParallelTime, "parallel-time/op")
+				b.ReportMetric((agg.CIHi-agg.CILo)/2, "ci95-half/op")
+			}
+		})
 	}
 }

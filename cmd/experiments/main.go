@@ -6,9 +6,13 @@
 // Usage:
 //
 //	experiments -list
-//	experiments [-quick] [-seed N] [-engine agent|count] [-out FILE] [ids...]
+//	experiments [-quick] [-seed N] [-engine agent|count|batch] [-replicates R] [-ci X] [-out FILE] [ids...]
 //
-// With no ids, every experiment runs in registry order.
+// With no ids, every experiment runs in registry order. -replicates and
+// -ci tune the ensemble-executed experiments (Table 1/2, Theorem 1):
+// -replicates overrides the per-cell ensemble size, and -ci stops each
+// ensemble early once the relative 95% CI half-width of the mean
+// stabilization time drops to the target.
 package main
 
 import (
@@ -39,9 +43,16 @@ func run(args []string) error {
 	// are added.
 	engine := fs.String("engine", "agent",
 		"simulation engine for election sweeps: "+strings.Join(pp.EngineNames(), " | "))
+	replicates := fs.Int("replicates", 0,
+		"override the replicate count per ensemble cell in Table 1/2 and Theorem 1 (0 = experiment defaults)")
+	ci := fs.Float64("ci", 0,
+		"ensemble early-stop target: relative 95% CI half-width of the mean time (0 = run every replicate)")
 	out := fs.String("out", "", "also write the combined report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *ci < 0 || *ci >= 1 {
+		return fmt.Errorf("-ci %g outside [0, 1)", *ci)
 	}
 
 	if *list {
@@ -55,7 +66,10 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := harness.Config{Quick: *quick, Seed: *seed, Workers: *workers, Engine: eng}
+	cfg := harness.Config{
+		Quick: *quick, Seed: *seed, Workers: *workers, Engine: eng,
+		Replicates: *replicates, CITarget: *ci,
+	}
 	selected := harness.All()
 	if fs.NArg() > 0 {
 		selected = selected[:0]

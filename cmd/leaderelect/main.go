@@ -8,6 +8,7 @@
 //	leaderelect -list-protocols
 //	leaderelect -protocol pll -n 100000 -seed 7 -trace 5
 //	leaderelect -protocol pll -engine count -n 100000000 -seed 7
+//	leaderelect -protocol pll -engine count -n 100000 -replicates 50
 //
 // The -engine flag selects the simulation engine: "agent" keeps one state
 // per agent; "count" keeps only the census (state multiplicities), which is
@@ -15,9 +16,16 @@
 //
 // With -trace k the leader count is printed every k units of parallel
 // time until stabilization.
+//
+// With -replicates R > 1 the command runs a multi-core Monte-Carlo
+// ensemble instead of a single election and reports the aggregate
+// statistics — mean stabilization time with a 95% CI, p50/p90/p99, the
+// survival curve (with -chart) — optionally stopping early once the CI
+// is tight enough (-ci).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -25,6 +33,7 @@ import (
 	"strings"
 
 	"popproto/internal/asciichart"
+	"popproto/internal/ensemble"
 	"popproto/internal/pp"
 	"popproto/internal/registry"
 )
@@ -49,8 +58,11 @@ func run(args []string) error {
 	m := fs.Int("m", 0, "knowledge parameter m for the PLL variants (0 = ⌈lg n⌉)")
 	budget := fs.Float64("max-parallel", 1e6, "give up after this much parallel time")
 	traceEvery := fs.Float64("trace", 0, "print the leader count every this many parallel time units (0 = off)")
-	chart := fs.Bool("chart", false, "render an ASCII chart of the leader count trajectory")
+	chart := fs.Bool("chart", false, "render an ASCII chart of the leader count trajectory (with -replicates: the survival curve)")
 	verify := fs.Uint64("verify", 0, "extra interactions to verify stability after election")
+	replicates := fs.Int("replicates", 1, "run a Monte-Carlo ensemble of this many elections and report aggregate statistics")
+	ciTarget := fs.Float64("ci", 0, "with -replicates: stop early once the relative 95% CI half-width of the mean time is <= this (0 = run all)")
+	workers := fs.Int("workers", 0, "ensemble simulation workers (0 = NumCPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -63,6 +75,19 @@ func run(args []string) error {
 	engine, err := pp.ParseEngine(*engineName)
 	if err != nil {
 		return err
+	}
+	if *ciTarget < 0 || *ciTarget >= 1 {
+		return fmt.Errorf("-ci %g outside [0, 1) (it is a relative CI half-width)", *ciTarget)
+	}
+	if *ciTarget > 0 && *replicates < 2 {
+		// A 1-replicate "ensemble" can never evaluate a CI target; demand
+		// the flag combination that can.
+		return fmt.Errorf("-ci needs -replicates > 1 (got %d)", *replicates)
+	}
+	if *replicates > 1 {
+		return electEnsemble(registry.Spec{
+			Protocol: *protocol, N: *n, Engine: engine, Seed: *seed, M: *m,
+		}, *replicates, *ciTarget, uint64(*budget*float64(*n)), *workers, *chart)
 	}
 
 	el, err := registry.New(registry.Spec{
@@ -79,6 +104,73 @@ func run(args []string) error {
 	fmt.Printf("%d agents, seed %d, %s engine\n", el.N(), *seed, engine)
 	maxSteps := uint64(*budget * float64(*n))
 	return elect(el, engine, maxSteps, *traceEvery, *chart, *verify)
+}
+
+// electEnsemble runs a Monte-Carlo ensemble of the spec and prints the
+// aggregate statistics the single-run path cannot give: mean parallel
+// stabilization time with a 95% confidence interval, tail quantiles, and
+// (with -chart) the empirical survival curve.
+func electEnsemble(spec registry.Spec, replicates int, ciTarget float64, maxSteps uint64, workers int, chart bool) error {
+	if _, err := registry.Validate(spec); err != nil {
+		return err
+	}
+	fmt.Printf("ensemble: %s n=%d engine=%s, %d replicates", spec.Protocol, spec.N, spec.Engine, replicates)
+	if ciTarget > 0 {
+		fmt.Printf(" (early stop at ±%.0f%% CI)", ciTarget*100)
+	}
+	fmt.Println()
+
+	// Progress: a line every ~10% of the requested replicates.
+	every := max(replicates/10, 1)
+	res, err := ensemble.Run(context.Background(), ensemble.Spec{
+		Registry:   spec,
+		Replicates: replicates,
+		Budget:     maxSteps,
+		CITarget:   ciTarget,
+	}, ensemble.Options{
+		Workers: workers,
+		OnUpdate: func(agg ensemble.Aggregates) {
+			if agg.Replicates%every == 0 || agg.Replicates == replicates {
+				fmt.Printf("  %4d/%d  mean t = %.2f ±%.2f  p50 %.2f  p90 %.2f\n",
+					agg.Replicates, replicates, agg.MeanParallelTime,
+					(agg.CIHi-agg.CILo)/2, agg.P50, agg.P90)
+			}
+		},
+	})
+	if err != nil {
+		return err
+	}
+	agg := res.Aggregates
+	fmt.Println()
+	if agg.EarlyStopped {
+		fmt.Printf("early stop: CI target reached after %d of %d replicates\n",
+			agg.Replicates, agg.Requested)
+	}
+	fmt.Printf("replicates   %d (base seed %d)\n", agg.Replicates, res.Spec.Registry.Seed)
+	fmt.Printf("stabilized   %d/%d (95%% CI for p: [%.3f, %.3f])\n",
+		agg.Stabilized, agg.Replicates, agg.StabilizedLo, agg.StabilizedHi)
+	fmt.Printf("mean time    %.3f ± %.3f parallel time (95%% CI [%.3f, %.3f], sd %.3f)\n",
+		agg.MeanParallelTime, (agg.CIHi-agg.CILo)/2, agg.CILo, agg.CIHi, agg.StdParallelTime)
+	fmt.Printf("quantiles    p50 %.3f   p90 %.3f   p99 %.3f   range [%.3f, %.3f]\n",
+		agg.P50, agg.P90, agg.P99, agg.MinParallelTime, agg.MaxParallelTime)
+	fmt.Printf("mean steps   %.0f\n", agg.MeanSteps)
+	if chart && len(agg.Survival) > 0 {
+		xs := make([]float64, len(agg.Survival))
+		ys := make([]float64, len(agg.Survival))
+		for i, p := range agg.Survival {
+			xs[i] = p.T
+			ys[i] = p.Frac
+		}
+		fmt.Print(asciichart.Plot(
+			[]asciichart.Series{{Name: "fraction of runs still electing", X: xs, Y: ys}},
+			asciichart.Options{Width: 64, Height: 12, XLabel: "parallel time", YLabel: "surviving"},
+		))
+	}
+	if agg.Stabilized < agg.Replicates {
+		return fmt.Errorf("%d of %d replicates did not stabilize within %d steps",
+			agg.Replicates-agg.Stabilized, agg.Replicates, maxSteps)
+	}
+	return nil
 }
 
 // printCatalog writes the registry with parameter docs, one protocol per

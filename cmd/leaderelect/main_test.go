@@ -94,3 +94,37 @@ func TestCatalogListsEngines(t *testing.T) {
 		t.Fatalf("catalog does not list engine suitability:\n%s", buf.String())
 	}
 }
+
+// TestRunEnsemble: the -replicates path runs a multi-replicate ensemble
+// and succeeds when every replicate elects.
+func TestRunEnsemble(t *testing.T) {
+	args := []string{"-protocol", "pll", "-engine", "count", "-n", "512",
+		"-seed", "3", "-replicates", "6", "-workers", "2"}
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	// With -chart the survival curve renders instead of the trajectory.
+	if err := run(append(args, "-chart")); err != nil {
+		t.Fatal(err)
+	}
+	// Early stopping with a loose target still succeeds.
+	if err := run([]string{"-protocol", "pll", "-engine", "count", "-n", "512",
+		"-replicates", "40", "-ci", "0.9"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunEnsembleRejectsBadSpec(t *testing.T) {
+	if err := run([]string{"-protocol", "nope", "-n", "64", "-replicates", "4"}); err == nil {
+		t.Fatal("unknown protocol accepted on the ensemble path")
+	}
+	// -ci on a single run can never engage: reject rather than print a
+	// meaningless ±0 interval.
+	if err := run([]string{"-protocol", "pll", "-n", "64", "-ci", "0.1"}); err == nil ||
+		!strings.Contains(err.Error(), "-replicates") {
+		t.Fatalf("-ci without -replicates accepted: %v", err)
+	}
+	if err := run([]string{"-protocol", "pll", "-n", "64", "-replicates", "4", "-ci", "1.5"}); err == nil {
+		t.Fatal("-ci >= 1 accepted")
+	}
+}

@@ -4,20 +4,27 @@
 //
 // Usage:
 //
-//	popprotod [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-n N] [-max-n-batch N]
+//	popprotod [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-n N] [-max-n-batch N] [-store FILE]
 //
 // Endpoints (see API.md for schemas):
 //
-//	GET    /v1/protocols        protocol catalog with parameter docs
-//	POST   /v1/jobs             submit a job
-//	GET    /v1/jobs/{id}        job status and result
-//	DELETE /v1/jobs/{id}        cancel a job
-//	GET    /v1/jobs/{id}/trace  census trajectory (SSE)
-//	GET    /v1/health           liveness and cache counters
+//	GET    /v1/protocols               protocol catalog with parameter docs
+//	POST   /v1/jobs                    submit a job
+//	GET    /v1/jobs/{id}               job status and result
+//	DELETE /v1/jobs/{id}               cancel a job
+//	GET    /v1/jobs/{id}/trace         census trajectory (SSE)
+//	POST   /v1/experiments             submit a Monte-Carlo ensemble
+//	GET    /v1/experiments/{id}        experiment status and aggregates
+//	DELETE /v1/experiments/{id}        cancel an experiment
+//	GET    /v1/experiments/{id}/stream live aggregates (SSE)
+//	GET    /v1/health                  liveness and cache counters
 //
 // Identical job specs are served from an LRU result cache: simulations
 // are deterministic functions of their canonical spec, so the second
-// request for an election is free. The server drains gracefully on
+// request for an election is free. With -store FILE, finished jobs and
+// experiments are additionally appended to a durable JSONL store and
+// served back across restarts — the LRU becomes a cache in front of the
+// store rather than the only copy. The server drains gracefully on
 // SIGINT/SIGTERM.
 package main
 
@@ -35,6 +42,7 @@ import (
 	"time"
 
 	"popproto/internal/service"
+	"popproto/internal/store"
 )
 
 func main() {
@@ -58,18 +66,40 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	maxN := fs.Int("max-n", 0, "largest accepted population size on the count engine (0 = 2e8)")
 	maxNAgent := fs.Int("max-n-agent", 0, "largest accepted population size on the agent engine (0 = 1e7)")
 	maxNBatch := fs.Int("max-n-batch", 0, "largest accepted population size on the batch engine (0 = max-n)")
+	storePath := fs.String("store", "", "durable JSONL result store; finished jobs and experiments survive restarts (empty = in-memory only)")
+	expWorkers := fs.Int("experiments", 0, "concurrently running experiments (0 = 1); each spawns up to -workers replicate goroutines of its own, so total simulation concurrency is about workers*(1+experiments)")
+	maxReplicates := fs.Int("max-replicates", 0, "largest accepted experiment ensemble size (0 = 1e5)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	var st *store.Store
+	if *storePath != "" {
+		var err error
+		st, err = store.Open(*storePath)
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		if dropped := st.Dropped(); dropped > 0 {
+			log.Printf("store %s: replayed %d results (%d torn/corrupt lines skipped)",
+				*storePath, st.Len(), dropped)
+		} else {
+			log.Printf("store %s: replayed %d results", *storePath, st.Len())
+		}
+	}
+
 	mgr := service.NewManager(service.Options{
-		Workers:   *workers,
-		CacheSize: *cache,
-		QueueSize: *queue,
-		MaxN:      *maxN,
-		MaxNAgent: *maxNAgent,
-		MaxNBatch: *maxNBatch,
+		Workers:           *workers,
+		CacheSize:         *cache,
+		QueueSize:         *queue,
+		MaxN:              *maxN,
+		MaxNAgent:         *maxNAgent,
+		MaxNBatch:         *maxNBatch,
+		Store:             st,
+		ExperimentWorkers: *expWorkers,
+		MaxReplicates:     *maxReplicates,
 	})
 	server := &http.Server{
 		Handler:           service.NewHandler(mgr),

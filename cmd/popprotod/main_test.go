@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -98,5 +99,105 @@ func TestServeSmoke(t *testing.T) {
 func TestRunRejectsBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-nope"}, nil); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// TestStoreSurvivesRestart boots the server with a durable store, runs
+// an experiment, restarts the process loop on the same store file, and
+// expects the experiment's aggregates to be served without re-running.
+func TestStoreSurvivesRestart(t *testing.T) {
+	storePath := filepath.Join(t.TempDir(), "results.jsonl")
+	expSpec := `{"protocol": "pll", "n": 2000, "engine": "count", "seed": 5, "replicates": 4}`
+
+	boot := func() (base string, cancel context.CancelFunc, done chan error) {
+		ctx, cancelCtx := context.WithCancel(context.Background())
+		ready := make(chan string, 1)
+		done = make(chan error, 1)
+		go func() {
+			done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-store", storePath}, ready)
+		}()
+		select {
+		case addr := <-ready:
+			return "http://" + addr, cancelCtx, done
+		case err := <-done:
+			t.Fatalf("server exited before listening: %v", err)
+			return "", nil, nil
+		}
+	}
+	getJSON := func(url string, out any) int {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return resp.StatusCode
+	}
+
+	base, cancel, done := boot()
+	resp, err := http.Post(base+"/v1/experiments", "application/json", strings.NewReader(expSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var submitted struct {
+		Experiment struct {
+			ID string `json:"id"`
+		} `json:"experiment"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := submitted.Experiment.ID
+
+	type expView struct {
+		State      string `json:"state"`
+		Restored   bool   `json:"restored"`
+		Aggregates *struct {
+			Replicates int     `json:"replicates"`
+			MeanSteps  float64 `json:"meanSteps"`
+		} `json:"aggregates"`
+	}
+	var view expView
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		getJSON(base+"/v1/experiments/"+id, &view)
+		if view.State == "done" {
+			break
+		}
+		if view.State == "failed" || time.Now().After(deadline) {
+			t.Fatalf("experiment state %q", view.State)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	wantMeanSteps := view.Aggregates.MeanSteps
+
+	// "Kill" the server and boot a fresh one on the same store.
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	base, cancel, done = boot()
+	defer func() {
+		cancel()
+		<-done
+	}()
+
+	var restored expView
+	if code := getJSON(base+"/v1/experiments/"+id, &restored); code != http.StatusOK {
+		t.Fatalf("GET restored experiment = %d", code)
+	}
+	if restored.State != "done" || restored.Aggregates == nil {
+		t.Fatalf("restored view = %+v", restored)
+	}
+	if !restored.Restored {
+		t.Error("restored experiment not marked restored")
+	}
+	if restored.Aggregates.MeanSteps != wantMeanSteps {
+		t.Errorf("restored meanSteps %g != original %g", restored.Aggregates.MeanSteps, wantMeanSteps)
 	}
 }

@@ -1,0 +1,177 @@
+package ensemble
+
+import (
+	"math"
+
+	"popproto/internal/stats"
+)
+
+// Replicate is the outcome of one independent run of an ensemble. It is
+// the per-run record streamed into the online aggregators; everything in
+// it is part of the deterministic surface (no wall-clock times).
+type Replicate struct {
+	// Rep is the 0-based replicate index.
+	Rep int `json:"rep"`
+	// Seed is the scheduler seed the replicate ran with
+	// (ReplicateSeed(base, Rep)).
+	Seed uint64 `json:"seed"`
+	// Steps is the interaction count at which the run ended; when
+	// Stabilized it is the exact stabilization step.
+	Steps uint64 `json:"steps"`
+	// ParallelTime is Steps divided by the population size.
+	ParallelTime float64 `json:"parallelTime"`
+	// Stabilized reports whether the run reached the protocol's target
+	// leader count within its step budget.
+	Stabilized bool `json:"stabilized"`
+	// Leaders is the leader count when the run ended.
+	Leaders int `json:"leaders"`
+}
+
+// SurvivalPoint is one point of the empirical survival curve: the
+// fraction of replicates whose parallel stabilization time exceeds T.
+type SurvivalPoint struct {
+	T    float64 `json:"t"`
+	Frac float64 `json:"frac"`
+}
+
+// Aggregates is the streaming statistical summary of an ensemble: what
+// the service stores, the SSE stream carries, and the paper-table
+// harness reports. Every field is a deterministic function of the
+// incorporated replicates (in replicate order), so identical specs
+// produce bit-identical aggregates regardless of worker count.
+type Aggregates struct {
+	// Replicates is the number of replicates incorporated so far;
+	// Requested is the ensemble size asked for. They differ while the
+	// ensemble streams and when early stopping triggered.
+	Replicates int `json:"replicates"`
+	Requested  int `json:"requested"`
+	// Stabilized counts incorporated replicates that reached the target,
+	// with a Wilson-score 95% interval on the underlying probability.
+	Stabilized   int     `json:"stabilized"`
+	StabilizedLo float64 `json:"stabilizedCILo"`
+	StabilizedHi float64 `json:"stabilizedCIHi"`
+	// Parallel stabilization time statistics over the incorporated
+	// replicates (Welford mean/variance; CI95 is the normal-approximation
+	// 95% confidence interval on the mean).
+	MeanParallelTime float64 `json:"meanParallelTime"`
+	StdParallelTime  float64 `json:"stdParallelTime"`
+	CILo             float64 `json:"ci95Lo"`
+	CIHi             float64 `json:"ci95Hi"`
+	// RelHalfWidth is the CI half-width divided by the mean — the early
+	// stopping criterion (see Spec.CITarget).
+	RelHalfWidth    float64 `json:"relHalfWidth"`
+	MinParallelTime float64 `json:"minParallelTime"`
+	MaxParallelTime float64 `json:"maxParallelTime"`
+	// Quantiles of parallel stabilization time from the mergeable sketch
+	// (exact below the sketch capacity of 256 replicates).
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	// MeanSteps is the mean interaction count.
+	MeanSteps float64 `json:"meanSteps"`
+	// Survival is the empirical survival curve of parallel time: the
+	// fraction of runs still unstabilized at time T, on a quantile grid.
+	Survival []SurvivalPoint `json:"survival,omitempty"`
+	// EarlyStopped reports that the CI target was met and the remaining
+	// replicates were skipped.
+	EarlyStopped bool `json:"earlyStopped,omitempty"`
+}
+
+// survivalGrid is the quantile grid the survival curve is rendered on.
+var survivalGrid = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1}
+
+// aggregator accumulates replicates online, in replicate order.
+type aggregator struct {
+	requested  int
+	count      int
+	stabilized int
+	mean, m2   float64 // Welford running mean and sum of squared deviations
+	min, max   float64
+	sumSteps   float64
+	sketch     *Sketch
+	early      bool
+}
+
+func newAggregator(requested int) *aggregator {
+	return &aggregator{
+		requested: requested,
+		min:       math.Inf(1),
+		max:       math.Inf(-1),
+		sketch:    newSketch(0),
+	}
+}
+
+// add incorporates one replicate. Callers must add in replicate order for
+// the bit-identical determinism guarantee (floating-point accumulation is
+// order-sensitive).
+func (a *aggregator) add(r Replicate) {
+	a.count++
+	if r.Stabilized {
+		a.stabilized++
+	}
+	x := r.ParallelTime
+	d := x - a.mean
+	a.mean += d / float64(a.count)
+	a.m2 += d * (x - a.mean)
+	a.min = math.Min(a.min, x)
+	a.max = math.Max(a.max, x)
+	a.sumSteps += float64(r.Steps)
+	a.sketch.Add(x)
+}
+
+// std returns the sample standard deviation (n−1 denominator).
+func (a *aggregator) std() float64 {
+	if a.count < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.count-1))
+}
+
+// relHalfWidth returns the 95% CI half-width of the mean relative to the
+// mean, or +Inf while it is undefined (fewer than two replicates, or a
+// nonpositive mean).
+func (a *aggregator) relHalfWidth() float64 {
+	if a.count < 2 || a.mean <= 0 {
+		return math.Inf(1)
+	}
+	return 1.96 * a.std() / math.Sqrt(float64(a.count)) / a.mean
+}
+
+// aggregates renders the current state as an Aggregates snapshot.
+func (a *aggregator) aggregates() Aggregates {
+	agg := Aggregates{
+		Replicates:   a.count,
+		Requested:    a.requested,
+		Stabilized:   a.stabilized,
+		EarlyStopped: a.early,
+	}
+	if a.count == 0 {
+		return agg
+	}
+	agg.StabilizedLo, agg.StabilizedHi = stats.WilsonCI(a.stabilized, a.count)
+	std := a.std()
+	half := 1.96 * std / math.Sqrt(float64(a.count))
+	agg.MeanParallelTime = a.mean
+	agg.StdParallelTime = std
+	agg.CILo = a.mean - half
+	agg.CIHi = a.mean + half
+	if a.mean > 0 {
+		agg.RelHalfWidth = half / a.mean
+	}
+	agg.MinParallelTime = a.min
+	agg.MaxParallelTime = a.max
+	// One flatten-and-sort of the sketch answers every quantile query:
+	// p50/p90/p99 first, then the survival grid.
+	qs := append([]float64{0.5, 0.9, 0.99}, survivalGrid...)
+	vals := a.sketch.Quantiles(qs)
+	agg.P50, agg.P90, agg.P99 = vals[0], vals[1], vals[2]
+	agg.MeanSteps = a.sumSteps / float64(a.count)
+	agg.Survival = make([]SurvivalPoint, 0, len(survivalGrid))
+	for i, q := range survivalGrid {
+		agg.Survival = append(agg.Survival, SurvivalPoint{
+			T:    vals[3+i],
+			Frac: 1 - q,
+		})
+	}
+	return agg
+}

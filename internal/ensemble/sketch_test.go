@@ -1,0 +1,129 @@
+package ensemble
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"popproto/internal/rng"
+)
+
+// trueQuantile is the reference: nearest-rank quantile of the full
+// sample.
+func trueQuantile(xs []float64, q float64) float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	idx := int(q * float64(len(sorted)))
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}
+
+// rankOf returns x's rank (fraction of sample <= x).
+func rankOf(xs []float64, x float64) float64 {
+	count := 0
+	for _, v := range xs {
+		if v <= x {
+			count++
+		}
+	}
+	return float64(count) / float64(len(xs))
+}
+
+func TestSketchExactBelowCap(t *testing.T) {
+	s := newSketch(256)
+	var xs []float64
+	r := rng.New(1)
+	for i := 0; i < 200; i++ {
+		x := r.Float64() * 100
+		xs = append(xs, x)
+		s.Add(x)
+	}
+	if s.Count() != 200 {
+		t.Fatalf("count = %d, want 200", s.Count())
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		got, want := s.Quantile(q), trueQuantile(xs, q)
+		if got != want {
+			t.Errorf("q=%g: sketch %g, exact %g (sketch below cap must be exact)", q, got, want)
+		}
+	}
+}
+
+func TestSketchApproximateAboveCap(t *testing.T) {
+	s := newSketch(256)
+	var xs []float64
+	r := rng.New(2)
+	for i := 0; i < 50_000; i++ {
+		// A skewed distribution: exponential-ish via -log(u).
+		x := -math.Log(r.Float64() + 1e-18)
+		xs = append(xs, x)
+		s.Add(x)
+	}
+	// Rank error, not value error: the estimate's rank in the true sample
+	// must be within a few percent of the target rank.
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		est := s.Quantile(q)
+		rank := rankOf(xs, est)
+		if math.Abs(rank-q) > 0.05 {
+			t.Errorf("q=%g: estimate %g has true rank %g (off by %g)", q, est, rank, math.Abs(rank-q))
+		}
+	}
+}
+
+func TestSketchDeterministic(t *testing.T) {
+	build := func() *Sketch {
+		s := newSketch(64)
+		r := rng.New(7)
+		for i := 0; i < 10_000; i++ {
+			s.Add(r.Float64())
+		}
+		return s
+	}
+	a, b := build(), build()
+	for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.999, 1} {
+		if a.Quantile(q) != b.Quantile(q) {
+			t.Errorf("q=%g: identical builds diverged: %g vs %g", q, a.Quantile(q), b.Quantile(q))
+		}
+	}
+}
+
+func TestSketchMerge(t *testing.T) {
+	r := rng.New(3)
+	var all []float64
+	a, b := newSketch(128), newSketch(128)
+	for i := 0; i < 5_000; i++ {
+		x := r.Float64() * 10
+		all = append(all, x)
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != 5_000 {
+		t.Fatalf("merged count = %d, want 5000", a.Count())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		est := a.Quantile(q)
+		rank := rankOf(all, est)
+		if math.Abs(rank-q) > 0.06 {
+			t.Errorf("merged q=%g: estimate %g has true rank %g", q, est, rank)
+		}
+	}
+}
+
+func TestSketchEmptyAndSingle(t *testing.T) {
+	s := newSketch(0)
+	if got := s.Quantile(0.5); got != 0 {
+		t.Errorf("empty sketch quantile = %g, want 0", got)
+	}
+	s.Add(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := s.Quantile(q); got != 42 {
+			t.Errorf("single-value sketch q=%g = %g, want 42", q, got)
+		}
+	}
+}

@@ -15,9 +15,11 @@ type protocolRow struct {
 	name        string
 	paperStates string
 	paperTime   string
-	// measure returns mean parallel stabilization time, the states-per-
-	// agent count for that n, and whether all runs stabilized.
-	measure func(cfg Config, n, rep int, seed uint64) (meanTime float64, states int, ok bool)
+	// measure runs an ensemble for one (protocol, n) cell and returns the
+	// mean parallel stabilization time, its 95% CI half-width, the
+	// states-per-agent count for that n, and whether all replicates
+	// stabilized.
+	measure func(cfg Config, n, rep int, seed uint64) (meanTime, ciHalf float64, states int, ok bool)
 }
 
 // table1Names maps registry keys to the display names Table 1 uses.
@@ -48,21 +50,12 @@ func table1Rows() []protocolRow {
 			name:        name,
 			paperStates: entry.States,
 			paperTime:   entry.Time,
-			measure: func(cfg Config, n, rep int, seed uint64) (float64, int, bool) {
-				results, err := registry.Measure(registry.Spec{
+			measure: func(cfg Config, n, rep int, seed uint64) (float64, float64, int, bool) {
+				agg := measureEnsemble(cfg, registry.Spec{
 					Protocol: entry.Key, N: n, Engine: cfg.Engine, Seed: seed,
-				}, rep, cfg.Workers, entry.StepBudget(n))
-				if err != nil {
-					// Specs here are registry-generated; failure is a bug.
-					panic(fmt.Sprintf("table1: %v", err))
-				}
-				times := make([]float64, len(results))
-				allOK := true
-				for i, r := range results {
-					times[i] = r.ParallelTime
-					allOK = allOK && r.Stabilized
-				}
-				return stats.Mean(times), entry.StateCount(n, 0), allOK
+				}, rep, entry.StepBudget(n))
+				allOK := agg.Stabilized == agg.Replicates
+				return agg.MeanParallelTime, ciHalf(agg), entry.StateCount(n, 0), allOK
 			},
 		})
 	}
@@ -99,11 +92,11 @@ func table1Experiment() Experiment {
 		for i, row := range rows {
 			cells := []string{row.name, row.paperStates, row.paperTime}
 			for j, n := range ns {
-				mean, states, ok := row.measure(cfg, n, rep, cfg.Seed+uint64(i*100+j))
+				mean, half, states, ok := row.measure(cfg, n, rep, cfg.Seed+uint64(i*100+j))
 				allOK[i] = allOK[i] && ok
 				data[i].times = append(data[i].times, mean)
 				data[i].states = append(data[i].states, float64(states))
-				cells = append(cells, f1(mean))
+				cells = append(cells, fmt.Sprintf("%s ±%s", f1(mean), f1(half)))
 			}
 			tbl.AddRow(cells...)
 		}
@@ -131,7 +124,8 @@ func table1Experiment() Experiment {
 		}
 
 		var body strings.Builder
-		fmt.Fprintf(&body, "Mean parallel stabilization time, %d repetitions per cell.\n\n", rep)
+		fmt.Fprintf(&body, "Mean parallel stabilization time ± 95%% CI half-width, "+
+			"%d replicates per cell (multi-core ensemble executor).\n\n", cellReps(cfg, rep))
 		body.WriteString(tbl.Markdown())
 		body.WriteString("\n")
 		body.WriteString(expTbl.Markdown())

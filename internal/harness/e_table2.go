@@ -5,9 +5,8 @@ import (
 	"math"
 	"strings"
 
-	"popproto/internal/baseline"
 	"popproto/internal/core"
-	"popproto/internal/stats"
+	"popproto/internal/registry"
 	"popproto/internal/table"
 )
 
@@ -31,12 +30,14 @@ func table2Experiment() Experiment {
 		var angPerN, pllPerLog []float64
 		minPLLRatio := math.Inf(1)
 		for i, n := range ns {
-			angTimes, _ := measureTimes[baseline.AngluinState](cfg.Engine, baseline.Angluin{}, n, rep,
-				cfg.Seed+uint64(i), linearBudget(n), cfg.Workers)
-			pllTimes, _ := measureTimes[core.State](cfg.Engine, core.NewForN(n), n, rep,
-				cfg.Seed+uint64(i)+7_777, logBudget(n), cfg.Workers)
-			ang := stats.Mean(angTimes)
-			pll := stats.Mean(pllTimes)
+			angAgg := measureEnsemble(cfg, registry.Spec{
+				Protocol: "angluin", N: n, Engine: cfg.Engine, Seed: cfg.Seed + uint64(i),
+			}, rep, linearBudget(n))
+			pllAgg := measureEnsemble(cfg, registry.Spec{
+				Protocol: "pll", N: n, Engine: cfg.Engine, Seed: cfg.Seed + uint64(i) + 7_777,
+			}, rep, logBudget(n))
+			ang := angAgg.MeanParallelTime
+			pll := pllAgg.MeanParallelTime
 			lg := float64(core.CeilLog2(n))
 			tbl.AddRowf(n, f1(ang), f3(ang/float64(n)), f1(pll), f2(pll/lg))
 			angPerN = append(angPerN, ang/float64(n))
@@ -50,7 +51,8 @@ func table2Experiment() Experiment {
 		angFirst, angLast := angPerN[0], angPerN[len(angPerN)-1]
 
 		var body strings.Builder
-		fmt.Fprintf(&body, "%d repetitions per cell; t̄ is mean parallel stabilization time.\n\n", rep)
+		fmt.Fprintf(&body, "%d replicates per cell (multi-core ensemble executor); "+
+			"t̄ is mean parallel stabilization time.\n\n", cellReps(cfg, rep))
 		body.WriteString(tbl.Markdown())
 		body.WriteString("\nA lower bound is *violated* only if the normalized time decays toward 0 as n grows.\n")
 

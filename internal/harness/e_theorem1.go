@@ -7,6 +7,7 @@ import (
 
 	"popproto/internal/asciichart"
 	"popproto/internal/core"
+	"popproto/internal/registry"
 	"popproto/internal/stats"
 	"popproto/internal/table"
 )
@@ -26,32 +27,33 @@ func theorem1Experiment() Experiment {
 		ns := sweepSizes(cfg, true)
 		rep := reps(cfg, 150)
 
-		tbl := table.New("n", "m", "mean parallel time", "95% CI", "median", "mean / lg n")
+		tbl := table.New("n", "m", "mean parallel time", "95% CI", "median", "p90", "mean / lg n")
 		xs := make([]float64, 0, len(ns))
 		ys := make([]float64, 0, len(ns))
 		ratioLo, ratioHi := math.Inf(1), math.Inf(-1)
 		allOK := true
 		for i, n := range ns {
 			proto := core.NewForN(n)
-			times, ok := measureTimes[core.State](cfg.Engine, proto, n, rep,
-				cfg.Seed+uint64(i), logBudget(n), cfg.Workers)
-			allOK = allOK && ok
-			s := stats.Summarize(times)
-			lo, hi := s.CI95()
+			agg := measureEnsemble(cfg, registry.Spec{
+				Protocol: "pll", N: n, Engine: cfg.Engine, Seed: cfg.Seed + uint64(i),
+			}, rep, logBudget(n))
+			allOK = allOK && agg.Stabilized == agg.Replicates
 			lg := float64(core.CeilLog2(n))
-			tbl.AddRowf(n, proto.Params().M, f2(s.Mean),
-				fmt.Sprintf("[%s, %s]", f2(lo), f2(hi)), f2(s.Median), f2(s.Mean/lg))
+			tbl.AddRowf(n, proto.Params().M, f2(agg.MeanParallelTime),
+				fmt.Sprintf("[%s, %s]", f2(agg.CILo), f2(agg.CIHi)),
+				f2(agg.P50), f2(agg.P90), f2(agg.MeanParallelTime/lg))
 			xs = append(xs, float64(n))
-			ys = append(ys, s.Mean)
-			ratioLo = math.Min(ratioLo, s.Mean/lg)
-			ratioHi = math.Max(ratioHi, s.Mean/lg)
+			ys = append(ys, agg.MeanParallelTime)
+			ratioLo = math.Min(ratioLo, agg.MeanParallelTime/lg)
+			ratioHi = math.Max(ratioHi, agg.MeanParallelTime/lg)
 		}
 
 		power := stats.PowerFit(xs, ys)
 		logFit := stats.FitLogX(xs, ys)
 
 		var body strings.Builder
-		fmt.Fprintf(&body, "%d repetitions per size; times in parallel time (steps / n).\n\n", rep)
+		fmt.Fprintf(&body, "%d replicates per size (multi-core ensemble executor); "+
+			"times in parallel time (steps / n).\n\n", cellReps(cfg, rep))
 		body.WriteString(tbl.Markdown())
 		body.WriteString("\nThe distribution is bimodal: most runs finish during QuickElimination " +
 			"(the low median), while runs whose lottery ties carry into the Tournament epochs " +
@@ -71,8 +73,8 @@ func theorem1Experiment() Experiment {
 			{
 				Claim: "every run elects exactly one leader (Theorem 1, probability 1)",
 				Pass:  allOK,
-				Detail: fmt.Sprintf("%d/%d sizes with all %d runs stabilized",
-					len(ns), len(ns), rep),
+				Detail: fmt.Sprintf("%d/%d sizes with all %d replicates stabilized",
+					len(ns), len(ns), cellReps(cfg, rep)),
 			},
 			{
 				Claim: "expected time grows logarithmically, not polynomially (Theorem 1)",

@@ -36,6 +36,14 @@ type Config struct {
 	// engine cannot. Experiments that address individual agents (Bstart
 	// constructions, coin audits) always use the per-agent engine.
 	Engine pp.Engine
+	// Replicates overrides the per-cell repetition count of the
+	// ensemble-executed experiments (Table 1/2, Theorem 1); 0 keeps each
+	// experiment's default. Raise it for tighter CIs, lower it for speed.
+	Replicates int
+	// CITarget, when positive, lets those ensembles stop early once the
+	// relative 95% CI half-width of the mean stabilization time reaches
+	// it — trading a fixed repetition count for a precision target.
+	CITarget float64
 }
 
 // DefaultConfig returns the configuration used by cmd/experiments.

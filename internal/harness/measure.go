@@ -1,6 +1,10 @@
 package harness
 
 import (
+	"context"
+	"fmt"
+
+	"popproto/internal/ensemble"
 	"popproto/internal/pp"
 	"popproto/internal/registry"
 	"popproto/internal/stats"
@@ -39,6 +43,45 @@ func runUntil[S comparable](
 		}
 		sim.RunSteps(checkEvery)
 	}
+}
+
+// measureEnsemble runs an ensemble of rep elections of the given registry
+// spec through the shared replication executor — multi-core fan-out,
+// Welford aggregation with 95% CIs, quantile sketch — and returns the
+// aggregates. cfg.Replicates overrides rep; cfg.CITarget enables early
+// stopping. The paper-table experiments (Table 1/2, Theorem 1) measure
+// through this, so their cells are the same aggregates popprotod's
+// /v1/experiments serves.
+func measureEnsemble(cfg Config, spec registry.Spec, rep int, budget uint64) ensemble.Aggregates {
+	if cfg.Replicates > 0 {
+		rep = cfg.Replicates
+	}
+	res, err := ensemble.Run(context.Background(), ensemble.Spec{
+		Registry:   spec,
+		Replicates: rep,
+		Budget:     budget,
+		CITarget:   cfg.CITarget,
+	}, ensemble.Options{Workers: cfg.Workers})
+	if err != nil {
+		// Specs here are harness-generated against the registry; failure is
+		// a bug, not a measurement.
+		panic(fmt.Sprintf("harness: ensemble %+v: %v", spec, err))
+	}
+	return res.Aggregates
+}
+
+// ciHalf returns the 95% CI half-width of an ensemble's mean.
+func ciHalf(agg ensemble.Aggregates) float64 {
+	return (agg.CIHi - agg.CILo) / 2
+}
+
+// cellReps reports the replicate count a report cell actually ran with
+// (the cfg override, or the experiment default).
+func cellReps(cfg Config, rep int) int {
+	if cfg.Replicates > 0 {
+		return cfg.Replicates
+	}
+	return rep
 }
 
 // measureTimes runs repCount independent elections on the selected engine

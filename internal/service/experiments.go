@@ -1,0 +1,478 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"popproto/internal/ensemble"
+	"popproto/internal/registry"
+	"popproto/internal/store"
+)
+
+// ExperimentSpec is the wire-format experiment description (the POST
+// /v1/experiments body): a job spec replicated Replicates times, with
+// optional CI-targeted early stopping. Zero values resolve like JobSpec's
+// (engine "" = count, seed 0 = derived) — and because the seed derivation
+// and the replicate-0 seed are shared with single jobs, an experiment's
+// replicate 0 is bit-identical to the job with the same spec.
+type ExperimentSpec struct {
+	// Protocol is a registry key (GET /v1/protocols lists them).
+	Protocol string `json:"protocol"`
+	// N is the population size.
+	N int `json:"n"`
+	// Engine is "count", "agent" or "batch" ("" = "count").
+	Engine string `json:"engine,omitempty"`
+	// Seed is the ensemble's base seed; replicate r runs with
+	// ensemble.ReplicateSeed(seed, r). 0 derives the base seed from the
+	// canonical spec.
+	Seed uint64 `json:"seed,omitempty"`
+	// M is the PLL knowledge parameter (0 = canonical ⌈lg n⌉).
+	M int `json:"m,omitempty"`
+	// MaxParallelTime caps each replicate, in parallel time units (0 =
+	// the protocol's registry default budget; larger values are clamped).
+	MaxParallelTime float64 `json:"maxParallelTime,omitempty"`
+	// Replicates is the ensemble size R (required, 1 ≤ R ≤ the server's
+	// max-replicates limit).
+	Replicates int `json:"replicates"`
+	// CI, when positive, enables early stopping: the ensemble stops once
+	// the relative 95% CI half-width of the mean parallel time is ≤ CI
+	// (after MinReplicates replicates). Must be < 1.
+	CI float64 `json:"ci,omitempty"`
+	// MinReplicates is the early-stop floor (0 = 16); ignored without CI.
+	MinReplicates int `json:"minReplicates,omitempty"`
+}
+
+// jobPart projects the experiment's shared fields onto a JobSpec so the
+// canonicalization (defaults, limits, budget clamping) is exactly the
+// single-job one.
+func (s ExperimentSpec) jobPart() JobSpec {
+	return JobSpec{
+		Protocol:        s.Protocol,
+		N:               s.N,
+		Engine:          s.Engine,
+		Seed:            s.Seed,
+		M:               s.M,
+		MaxParallelTime: s.MaxParallelTime,
+	}
+}
+
+// key renders the canonical experiment cache key. Call only on
+// canonicalized specs.
+func (s ExperimentSpec) key() string {
+	return fmt.Sprintf("%s r=%d ci=%g min=%d", s.jobPart().key(), s.Replicates, s.CI, s.MinReplicates)
+}
+
+// experimentID derives the public experiment id from the canonical key.
+func experimentID(key string) string {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return fmt.Sprintf("e%016x", h.Sum64())
+}
+
+// Experiment is one managed ensemble. All exported methods are safe for
+// concurrent use.
+type Experiment struct {
+	// ID is the public identifier, derived from the canonical spec.
+	ID string
+
+	spec  ExperimentSpec // canonicalized
+	espec ensemble.Spec  // resolved ensemble spec (budget, seeds)
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	state State
+	err   string
+	agg   *ensemble.Aggregates // latest streamed (or final) aggregates
+	// subs holds live aggregate subscriptions. Channels are closed ONLY
+	// by finishLocked, which runs on the experiment's worker goroutine —
+	// the same goroutine as the ensemble's OnUpdate fanout — so a send
+	// can never race a close (same discipline as Job.subs).
+	subs     map[chan ensemble.Aggregates]struct{}
+	done     chan struct{}
+	restored bool
+
+	created, started, finished time.Time
+	wallMillis                 int64
+}
+
+// ExperimentView is the JSON rendering of an experiment's current state.
+type ExperimentView struct {
+	ID          string         `json:"id"`
+	State       State          `json:"state"`
+	Spec        ExperimentSpec `json:"spec"`
+	BudgetSteps uint64         `json:"budgetSteps"`
+	Error       string         `json:"error,omitempty"`
+	// Aggregates is the streaming summary: present (and growing) while
+	// the ensemble runs, final once done.
+	Aggregates *ensemble.Aggregates `json:"aggregates,omitempty"`
+	// Restored marks an experiment served from the durable store after a
+	// restart.
+	Restored   bool       `json:"restored,omitempty"`
+	Created    time.Time  `json:"created"`
+	Started    *time.Time `json:"started,omitempty"`
+	Finished   *time.Time `json:"finished,omitempty"`
+	WallMillis int64      `json:"wallMillis,omitempty"`
+}
+
+// State returns the experiment's current lifecycle state.
+func (e *Experiment) State() State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state
+}
+
+// Done returns a channel closed when the experiment reaches a terminal
+// state.
+func (e *Experiment) Done() <-chan struct{} { return e.done }
+
+// Aggregates returns the latest aggregates, or nil before the first
+// replicate lands.
+func (e *Experiment) Aggregates() *ensemble.Aggregates {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.agg
+}
+
+// View renders the experiment for JSON responses.
+func (e *Experiment) View() ExperimentView {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	v := ExperimentView{
+		ID:          e.ID,
+		State:       e.state,
+		Spec:        e.spec,
+		BudgetSteps: e.espec.Budget,
+		Error:       e.err,
+		Aggregates:  e.agg,
+		Restored:    e.restored,
+		Created:     e.created,
+		WallMillis:  e.wallMillis,
+	}
+	if !e.started.IsZero() {
+		t := e.started
+		v.Started = &t
+	}
+	if !e.finished.IsZero() {
+		t := e.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// Subscribe returns the latest aggregates (nil before any) plus a channel
+// of subsequent aggregate updates; the channel is closed when the
+// experiment finishes. The returned cancel stops delivery without closing
+// the channel (only completion closes it), mirroring Job.Subscribe.
+func (e *Experiment) Subscribe() (latest *ensemble.Aggregates, live <-chan ensemble.Aggregates, cancel func()) {
+	ch := make(chan ensemble.Aggregates, 64)
+	e.mu.Lock()
+	latest = e.agg
+	if e.state.terminal() {
+		e.mu.Unlock()
+		close(ch)
+		return latest, ch, func() {}
+	}
+	e.subs[ch] = struct{}{}
+	e.mu.Unlock()
+	return latest, ch, func() {
+		e.mu.Lock()
+		delete(e.subs, ch)
+		e.mu.Unlock()
+	}
+}
+
+// begin moves a queued experiment to running, or reports false if it was
+// canceled while waiting in the queue.
+func (e *Experiment) begin() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.ctx.Err() != nil || e.state != StateQueued {
+		e.finishLocked(StateCanceled, "canceled while queued")
+		return false
+	}
+	e.state = StateRunning
+	e.started = time.Now()
+	return true
+}
+
+// update stores the latest aggregates and fans them out to subscribers
+// without blocking the ensemble (slow subscribers miss intermediate
+// updates rather than stalling the replication).
+func (e *Experiment) update(agg ensemble.Aggregates) {
+	e.mu.Lock()
+	cp := agg
+	e.agg = &cp
+	fanout := make([]chan ensemble.Aggregates, 0, len(e.subs))
+	for ch := range e.subs {
+		fanout = append(fanout, ch)
+	}
+	e.mu.Unlock()
+	for _, ch := range fanout {
+		select {
+		case ch <- agg:
+		default:
+		}
+	}
+}
+
+// finishLocked transitions to a terminal state, closing the done channel
+// and every live subscription. Callers hold e.mu.
+func (e *Experiment) finishLocked(state State, errMsg string) {
+	if e.state.terminal() {
+		return
+	}
+	e.state = state
+	e.err = errMsg
+	e.finished = time.Now()
+	for ch := range e.subs {
+		close(ch)
+	}
+	e.subs = nil
+	close(e.done)
+	e.cancel()
+}
+
+func (e *Experiment) finish(state State, errMsg string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.finishLocked(state, errMsg)
+}
+
+func (e *Experiment) complete(agg ensemble.Aggregates) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cp := agg
+	e.agg = &cp
+	e.finishLocked(StateDone, "")
+}
+
+// CanonicalizeExperiment resolves an ExperimentSpec's defaults and
+// validates it against the registry and the manager's limits, returning
+// the canonical spec and the resolved ensemble spec. Errors wrap
+// registry.ErrBadSpec.
+func (m *Manager) CanonicalizeExperiment(spec ExperimentSpec) (ExperimentSpec, ensemble.Spec, error) {
+	if spec.Replicates < 1 {
+		return ExperimentSpec{}, ensemble.Spec{}, fmt.Errorf(
+			"%w: experiment needs replicates >= 1 (got %d)", registry.ErrBadSpec, spec.Replicates)
+	}
+	if spec.Replicates > m.opts.MaxReplicates {
+		return ExperimentSpec{}, ensemble.Spec{}, fmt.Errorf(
+			"%w: %d replicates exceed this server's limit of %d",
+			registry.ErrBadSpec, spec.Replicates, m.opts.MaxReplicates)
+	}
+	if spec.CI < 0 || spec.CI >= 1 {
+		return ExperimentSpec{}, ensemble.Spec{}, fmt.Errorf(
+			"%w: ci target %g outside [0, 1) (it is a relative CI half-width; 0 disables early stopping)",
+			registry.ErrBadSpec, spec.CI)
+	}
+	if spec.MinReplicates < 0 {
+		return ExperimentSpec{}, ensemble.Spec{}, fmt.Errorf(
+			"%w: negative minReplicates %d", registry.ErrBadSpec, spec.MinReplicates)
+	}
+	canonJob, rspec, _, budget, err := m.Canonicalize(spec.jobPart())
+	if err != nil {
+		return ExperimentSpec{}, ensemble.Spec{}, err
+	}
+	spec.Engine = canonJob.Engine
+	spec.Seed = canonJob.Seed
+	if spec.CI > 0 && spec.MinReplicates == 0 {
+		spec.MinReplicates = ensemble.DefaultMinReplicates
+	}
+	if spec.CI == 0 {
+		spec.MinReplicates = 0
+	}
+	espec := ensemble.Spec{
+		Registry:      rspec,
+		Replicates:    spec.Replicates,
+		Budget:        budget,
+		CITarget:      spec.CI,
+		MinReplicates: spec.MinReplicates,
+		// The job trajectory cap doubles as the drive schedule's
+		// observation cap; sharing it keeps replicate 0 bit-identical to
+		// the single job.
+		ObsCap: m.opts.MaxSnapshots,
+	}
+	return spec, espec, nil
+}
+
+// SubmitExperiment canonicalizes spec and returns the experiment serving
+// it: a cached finished one (cached = true, possibly restored from the
+// durable store), an identical one already in flight, or a freshly
+// queued one. It fails with ErrBusy when the experiment queue is full
+// and an error wrapping registry.ErrBadSpec when the spec is invalid.
+func (m *Manager) SubmitExperiment(spec ExperimentSpec) (exp *Experiment, cached bool, err error) {
+	canon, espec, err := m.CanonicalizeExperiment(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	key := canon.key()
+	id := experimentID(key)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, false, ErrClosed
+	}
+	if e, ok := m.expCache.get(key); ok {
+		if e.State() != StateCanceled {
+			m.hits++
+			return e, true, nil
+		}
+		m.expCache.remove(key)
+		delete(m.exps, e.ID)
+	}
+	if e, ok := m.exps[id]; ok && !e.State().terminal() {
+		m.joined++
+		return e, false, nil
+	}
+	if e := m.restoreExperimentLocked(key); e != nil {
+		m.storeHits++
+		return e, true, nil
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Experiment{
+		ID:      id,
+		spec:    canon,
+		espec:   espec,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		subs:    make(map[chan ensemble.Aggregates]struct{}),
+		done:    make(chan struct{}),
+		created: time.Now(),
+	}
+	select {
+	case m.expQueue <- e:
+	default:
+		cancel()
+		return nil, false, ErrBusy
+	}
+	m.exps[id] = e
+	m.misses++
+	return e, false, nil
+}
+
+// GetExperiment returns the experiment with the given id, restoring it
+// from the durable store if it is no longer indexed in memory.
+func (m *Manager) GetExperiment(id string) (*Experiment, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.exps[id]; ok {
+		return e, true
+	}
+	if m.opts.Store != nil {
+		if rec, ok := m.opts.Store.GetByID(id); ok && rec.Kind == store.KindExperiment {
+			if e := m.restoreExperimentLocked(rec.Key); e != nil {
+				m.storeHits++
+				return e, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// CancelExperiment requests cancellation of the experiment with the
+// given id, reporting whether it exists. Finished experiments are
+// unaffected.
+func (m *Manager) CancelExperiment(id string) bool {
+	m.mu.Lock()
+	e, ok := m.exps[id]
+	m.mu.Unlock()
+	if ok {
+		e.cancel()
+	}
+	return ok
+}
+
+// restoreExperimentLocked reconstructs a finished experiment from the
+// durable store's record for key. Callers hold m.mu.
+func (m *Manager) restoreExperimentLocked(key string) *Experiment {
+	if m.opts.Store == nil {
+		return nil
+	}
+	rec, ok := m.opts.Store.Get(store.KindExperiment, key)
+	if !ok {
+		return nil
+	}
+	var spec ExperimentSpec
+	var agg ensemble.Aggregates
+	if json.Unmarshal(rec.Spec, &spec) != nil || json.Unmarshal(rec.Data, &agg) != nil {
+		return nil
+	}
+	canon, espec, err := m.CanonicalizeExperiment(spec)
+	if err != nil || canon.key() != key {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan struct{})
+	close(done)
+	e := &Experiment{
+		ID:       rec.ID,
+		spec:     canon,
+		espec:    espec,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StateDone,
+		agg:      &agg,
+		restored: true,
+		done:     done,
+		created:  rec.SavedAt,
+		started:  rec.SavedAt,
+		finished: rec.SavedAt,
+	}
+	m.exps[e.ID] = e
+	m.expCache.put(key, e)
+	return e
+}
+
+func (m *Manager) expWorker() {
+	defer m.expWg.Done()
+	for e := range m.expQueue {
+		m.runExperiment(e)
+	}
+}
+
+// runExperiment executes one experiment to a terminal state and indexes
+// the outcome.
+func (m *Manager) runExperiment(e *Experiment) {
+	if !e.begin() {
+		m.indexExperiment(e)
+		return
+	}
+	start := time.Now()
+	res, err := ensemble.Run(e.ctx, e.espec, ensemble.Options{
+		Workers:  m.opts.Workers,
+		OnUpdate: e.update,
+	})
+	e.mu.Lock()
+	e.wallMillis = time.Since(start).Milliseconds()
+	e.mu.Unlock()
+	switch {
+	case err == nil:
+		e.complete(res.Aggregates)
+		m.indexExperiment(e)
+		m.persist(store.KindExperiment, e.spec.key(), e.ID, e.spec, res.Aggregates)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		e.finish(StateCanceled, "canceled")
+		m.indexExperiment(e)
+	default:
+		e.finish(StateFailed, err.Error())
+		m.indexExperiment(e)
+	}
+}
+
+// indexExperiment files a terminal experiment in the finished-work cache.
+func (m *Manager) indexExperiment(e *Experiment) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.expCache.put(e.spec.key(), e)
+}

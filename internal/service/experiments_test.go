@@ -1,0 +1,339 @@
+package service_test
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"popproto/internal/ensemble"
+	"popproto/internal/registry"
+	"popproto/internal/service"
+	"popproto/internal/store"
+)
+
+// waitExpDone fails the test if the experiment does not reach a terminal
+// state in time.
+func waitExpDone(t *testing.T, e *service.Experiment) {
+	t.Helper()
+	select {
+	case <-e.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatalf("experiment %s still %s after 120s", e.ID, e.State())
+	}
+}
+
+func TestExperimentLifecycle(t *testing.T) {
+	m := service.NewManager(service.Options{Workers: 4})
+	defer m.Close()
+
+	exp, cached, err := m.SubmitExperiment(service.ExperimentSpec{
+		Protocol: "pll", N: 2000, Seed: 7, Replicates: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first submission reported cached")
+	}
+	waitExpDone(t, exp)
+	if exp.State() != service.StateDone {
+		t.Fatalf("state = %s, want done", exp.State())
+	}
+	agg := exp.Aggregates()
+	if agg == nil {
+		t.Fatal("done experiment has no aggregates")
+	}
+	if agg.Replicates != 8 || agg.Stabilized != 8 {
+		t.Errorf("aggregates = %+v, want 8/8 stabilized", agg)
+	}
+	if agg.MeanParallelTime <= 0 || agg.CIHi <= agg.CILo {
+		t.Errorf("implausible time statistics: %+v", agg)
+	}
+	view := exp.View()
+	if view.Started == nil || view.Finished == nil {
+		t.Error("missing started/finished timestamps")
+	}
+	if view.BudgetSteps == 0 {
+		t.Error("missing budget")
+	}
+
+	// Lookup and identical resubmission both land on the same experiment.
+	if got, ok := m.GetExperiment(exp.ID); !ok || got != exp {
+		t.Error("GetExperiment did not return the submitted experiment")
+	}
+	again, cached, err := m.SubmitExperiment(service.ExperimentSpec{
+		Protocol: "pll", N: 2000, Seed: 7, Replicates: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || again != exp {
+		t.Error("identical finished spec not served from cache")
+	}
+}
+
+// TestExperimentReplicate0MatchesJob is the seed-derivation satellite:
+// a single job with a spec and replicate 0 of an experiment with the
+// same spec must produce bit-identical results — both with an explicit
+// seed and with the seed omitted (derived).
+func TestExperimentReplicate0MatchesJob(t *testing.T) {
+	m := service.NewManager(service.Options{Workers: 2})
+	defer m.Close()
+
+	for name, seed := range map[string]uint64{"explicit": 123, "derived": 0} {
+		t.Run(name, func(t *testing.T) {
+			job, _, err := m.Submit(service.JobSpec{Protocol: "pll", N: 3000, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitDone(t, job)
+			if job.State() != service.StateDone {
+				t.Fatalf("job state = %s", job.State())
+			}
+			res := job.Result()
+
+			// A 1-replicate experiment: its only replicate is replicate 0,
+			// so every aggregate collapses to the single job's numbers.
+			exp, _, err := m.SubmitExperiment(service.ExperimentSpec{
+				Protocol: "pll", N: 3000, Seed: seed, Replicates: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			waitExpDone(t, exp)
+			if exp.State() != service.StateDone {
+				t.Fatalf("experiment state = %s (%s)", exp.State(), exp.View().Error)
+			}
+			agg := exp.Aggregates()
+
+			if exp.View().Spec.Seed != job.View().Spec.Seed {
+				t.Errorf("base seeds diverged: experiment %d, job %d",
+					exp.View().Spec.Seed, job.View().Spec.Seed)
+			}
+			if agg.MeanSteps != float64(res.Steps) {
+				t.Errorf("replicate 0 ran %g steps, job ran %d — not bit-identical",
+					agg.MeanSteps, res.Steps)
+			}
+			if agg.MeanParallelTime != res.ParallelTime {
+				t.Errorf("replicate 0 parallel time %g, job %g",
+					agg.MeanParallelTime, res.ParallelTime)
+			}
+			if (agg.Stabilized == 1) != res.Stabilized {
+				t.Errorf("stabilization verdicts diverged")
+			}
+		})
+	}
+}
+
+func TestExperimentValidation(t *testing.T) {
+	m := service.NewManager(service.Options{MaxReplicates: 100})
+	defer m.Close()
+
+	cases := []service.ExperimentSpec{
+		{Protocol: "pll", N: 1000},                                     // replicates missing
+		{Protocol: "pll", N: 1000, Replicates: -1},                     // negative
+		{Protocol: "pll", N: 1000, Replicates: 101},                    // over MaxReplicates
+		{Protocol: "pll", N: 1000, Replicates: 4, CI: 1.5},             // ci >= 1
+		{Protocol: "pll", N: 1000, Replicates: 4, CI: -0.1},            // negative ci
+		{Protocol: "pll", N: 1000, Replicates: 4, MinReplicates: -2},   // negative floor
+		{Protocol: "nope", N: 1000, Replicates: 4},                     // unknown protocol
+		{Protocol: "angluin", N: 1000, Replicates: 4, M: 3},            // m on m-less protocol
+		{Protocol: "pll", N: 1000, Replicates: 4, MaxParallelTime: -1}, // negative budget
+		{Protocol: "pll", N: 1000, Replicates: 4, Engine: "quantum"},   // bad engine
+	}
+	for _, spec := range cases {
+		if _, _, err := m.SubmitExperiment(spec); !errors.Is(err, registry.ErrBadSpec) {
+			t.Errorf("SubmitExperiment(%+v) error = %v, want ErrBadSpec", spec, err)
+		}
+	}
+}
+
+func TestExperimentCancel(t *testing.T) {
+	m := service.NewManager(service.Options{Workers: 2})
+	defer m.Close()
+
+	// A linear-time ensemble big enough to cancel mid-flight.
+	exp, _, err := m.SubmitExperiment(service.ExperimentSpec{
+		Protocol: "angluin", N: 100_000, Engine: "count", Replicates: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CancelExperiment(exp.ID) {
+		t.Fatal("CancelExperiment did not find the experiment")
+	}
+	waitExpDone(t, exp)
+	if exp.State() != service.StateCanceled {
+		t.Fatalf("state = %s, want canceled", exp.State())
+	}
+
+	// Cancellation is not the spec's deterministic outcome: resubmission
+	// re-runs rather than serving the canceled experiment.
+	again, cached, err := m.SubmitExperiment(service.ExperimentSpec{
+		Protocol: "angluin", N: 100_000, Engine: "count", Replicates: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached || again == exp {
+		t.Error("canceled experiment served from cache")
+	}
+	m.CancelExperiment(again.ID)
+	waitExpDone(t, again)
+}
+
+func TestExperimentEarlyStopThroughService(t *testing.T) {
+	m := service.NewManager(service.Options{Workers: 4})
+	defer m.Close()
+
+	exp, _, err := m.SubmitExperiment(service.ExperimentSpec{
+		Protocol: "pll", N: 1000, Seed: 3, Replicates: 64, CI: 0.9, MinReplicates: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitExpDone(t, exp)
+	agg := exp.Aggregates()
+	if exp.State() != service.StateDone || agg == nil {
+		t.Fatalf("state = %s, agg = %v", exp.State(), agg)
+	}
+	if !agg.EarlyStopped || agg.Replicates >= 64 {
+		t.Errorf("expected an early stop below 64 replicates: %+v", agg)
+	}
+}
+
+// TestStoreRoundTrip is the durability acceptance path: results computed
+// by one manager are served — bit-identically and without re-simulation —
+// by a fresh manager over the same store, for jobs and experiments alike.
+func TestStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	st, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	jobSpec := service.JobSpec{Protocol: "pll", N: 2000, Seed: 17}
+	expSpec := service.ExperimentSpec{Protocol: "pll", N: 2000, Seed: 17, Replicates: 6}
+
+	m1 := service.NewManager(service.Options{Workers: 4, Store: st})
+	job, _, err := m1.Submit(jobSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp, _, err := m1.SubmitExperiment(expSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	waitExpDone(t, exp)
+	wantSteps := job.Result().Steps
+	wantAgg := *exp.Aggregates()
+	jobID, expID := job.ID, exp.ID
+	m1.Close()
+	st.Close()
+
+	// "Restart": a fresh store replay and a fresh manager.
+	st2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if st2.Len() != 2 {
+		t.Fatalf("store replayed %d records, want 2", st2.Len())
+	}
+	m2 := service.NewManager(service.Options{Workers: 1, Store: st2})
+	defer m2.Close()
+
+	// Submit: answered from the store, marked cached, no simulation.
+	restored, cached, err := m2.Submit(jobSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("restored job not reported cached")
+	}
+	if restored.State() != service.StateDone || restored.Result() == nil {
+		t.Fatalf("restored job state = %s", restored.State())
+	}
+	if restored.Result().Steps != wantSteps {
+		t.Errorf("restored steps %d != original %d", restored.Result().Steps, wantSteps)
+	}
+	if !restored.View().Restored {
+		t.Error("restored job view not marked restored")
+	}
+	if restored.ID != jobID {
+		t.Errorf("restored job id %s != original %s", restored.ID, jobID)
+	}
+
+	// Get by id must also work (e.g. a client polling across the restart).
+	if _, ok := m2.GetExperiment(expID); !ok {
+		t.Fatal("experiment not restorable by id")
+	}
+	expRestored, cached, err := m2.SubmitExperiment(expSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Error("restored experiment not reported cached")
+	}
+	gotAgg := expRestored.Aggregates()
+	if gotAgg == nil {
+		t.Fatal("restored experiment has no aggregates")
+	}
+	if gotAgg.MeanSteps != wantAgg.MeanSteps || gotAgg.Replicates != wantAgg.Replicates ||
+		gotAgg.P50 != wantAgg.P50 || gotAgg.MeanParallelTime != wantAgg.MeanParallelTime {
+		t.Errorf("restored aggregates diverged:\n got %+v\nwant %+v", gotAgg, wantAgg)
+	}
+
+	stats := m2.Stats()
+	if stats.StoreHits < 2 {
+		t.Errorf("store hits = %d, want >= 2", stats.StoreHits)
+	}
+	if stats.Misses != 0 {
+		t.Errorf("restarted manager re-simulated: %d misses", stats.Misses)
+	}
+
+	// A restored job's trace subscription closes immediately (the
+	// trajectory is not persisted); the result is still served.
+	replay, live, cancel := restored.Subscribe()
+	defer cancel()
+	if len(replay) != 0 {
+		t.Errorf("restored job replayed %d snapshots, want 0", len(replay))
+	}
+	if _, open := <-live; open {
+		t.Error("restored job's live channel not closed")
+	}
+}
+
+// TestExperimentSubscribeStreams: a subscriber sees aggregates grow and
+// the channel close on completion.
+func TestExperimentSubscribeStreams(t *testing.T) {
+	m := service.NewManager(service.Options{Workers: 2})
+	defer m.Close()
+
+	exp, _, err := m.SubmitExperiment(service.ExperimentSpec{
+		Protocol: "pll", N: 2000, Seed: 5, Replicates: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, live, cancel := exp.Subscribe()
+	defer cancel()
+	var last ensemble.Aggregates
+	seen := 0
+	for agg := range live {
+		if agg.Replicates < last.Replicates {
+			t.Errorf("aggregates went backwards: %d after %d", agg.Replicates, last.Replicates)
+		}
+		last = agg
+		seen++
+	}
+	waitExpDone(t, exp)
+	if seen == 0 {
+		t.Error("no aggregate updates streamed")
+	}
+	if final := exp.Aggregates(); final.Replicates != 10 {
+		t.Errorf("final aggregates %+v, want 10 replicates", final)
+	}
+}

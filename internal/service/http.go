@@ -14,12 +14,16 @@ const maxBodyBytes = 1 << 20
 
 // NewHandler returns the popprotod HTTP API on top of m:
 //
-//	GET    /v1/protocols        the protocol catalog with parameter docs
-//	POST   /v1/jobs             submit a job (JobSpec JSON body)
-//	GET    /v1/jobs/{id}        job status and result
-//	DELETE /v1/jobs/{id}        request cancellation
-//	GET    /v1/jobs/{id}/trace  census trajectory as server-sent events
-//	GET    /v1/health           liveness plus cache/pool counters
+//	GET    /v1/protocols               the protocol catalog with parameter docs
+//	POST   /v1/jobs                    submit a job (JobSpec JSON body)
+//	GET    /v1/jobs/{id}               job status and result
+//	DELETE /v1/jobs/{id}               request cancellation
+//	GET    /v1/jobs/{id}/trace         census trajectory as server-sent events
+//	POST   /v1/experiments             submit an ensemble (ExperimentSpec body)
+//	GET    /v1/experiments/{id}        experiment status and aggregates
+//	DELETE /v1/experiments/{id}        request cancellation
+//	GET    /v1/experiments/{id}/stream live aggregates as server-sent events
+//	GET    /v1/health                  liveness plus cache/pool counters
 //
 // Every error response is JSON of the form {"error": "..."}; invalid
 // specs map to 400, unknown jobs to 404, a full queue to 429, and a
@@ -44,6 +48,25 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		withJob(m, w, r, func(j *Job) {
 			handleTrace(w, r, j)
+		})
+	})
+	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmitExperiment(m, w, r)
+	})
+	mux.HandleFunc("GET /v1/experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		withExperiment(m, w, r, func(e *Experiment) {
+			writeJSON(w, http.StatusOK, e.View())
+		})
+	})
+	mux.HandleFunc("DELETE /v1/experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
+		withExperiment(m, w, r, func(e *Experiment) {
+			m.CancelExperiment(e.ID)
+			writeJSON(w, http.StatusAccepted, e.View())
+		})
+	})
+	mux.HandleFunc("GET /v1/experiments/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		withExperiment(m, w, r, func(e *Experiment) {
+			handleExperimentStream(w, r, e)
 		})
 	})
 	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
@@ -148,6 +171,109 @@ func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
 		code = http.StatusOK
 	}
 	writeJSON(w, code, submitResponse{Job: job.View(), Cached: cached})
+}
+
+// submitExperimentResponse is the POST /v1/experiments body: the
+// experiment plus whether it was answered from the cache or the store.
+type submitExperimentResponse struct {
+	Experiment ExperimentView `json:"experiment"`
+	Cached     bool           `json:"cached"`
+}
+
+func handleSubmitExperiment(m *Manager, w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var spec ExperimentSpec
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid experiment spec: %v", err)
+		return
+	}
+	exp, cached, err := m.SubmitExperiment(spec)
+	switch {
+	case errors.Is(err, registry.ErrBadSpec):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, ErrBusy):
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	code := http.StatusAccepted
+	if cached {
+		code = http.StatusOK
+	}
+	writeJSON(w, code, submitExperimentResponse{Experiment: exp.View(), Cached: cached})
+}
+
+// withExperiment resolves the {id} path value and 404s unknown
+// experiments.
+func withExperiment(m *Manager, w http.ResponseWriter, r *http.Request, fn func(*Experiment)) {
+	id := r.PathValue("id")
+	exp, ok := m.GetExperiment(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such experiment %q", id)
+		return
+	}
+	fn(exp)
+}
+
+// handleExperimentStream streams the experiment's live aggregates as
+// server-sent events: one "aggregate" event with the latest summary (if
+// any), further "aggregate" events as replicates are incorporated, and a
+// final "done" event carrying the experiment view once it reaches a
+// terminal state.
+func handleExperimentStream(w http.ResponseWriter, r *http.Request, e *Experiment) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
+		return
+	}
+	latest, live, cancel := e.Subscribe()
+	defer cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	emit := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	if latest != nil {
+		if !emit("aggregate", latest) {
+			return
+		}
+	}
+	for {
+		select {
+		case agg, open := <-live:
+			if !open {
+				emit("done", e.View())
+				return
+			}
+			if !emit("aggregate", agg) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
 }
 
 // withJob resolves the {id} path value and 404s unknown jobs.

@@ -312,3 +312,155 @@ func TestDeleteCancelsJob(t *testing.T) {
 		t.Errorf("state = %s, want canceled", job.State())
 	}
 }
+
+// TestExperimentEndToEnd: submit an ensemble over HTTP, poll to
+// completion, check the aggregates, hit the cache on resubmission, and
+// read the SSE aggregate stream.
+func TestExperimentEndToEnd(t *testing.T) {
+	h := newTestHandler(t, service.Options{Workers: 4})
+	spec := `{"protocol": "pll", "n": 20000, "engine": "count", "seed": 42, "replicates": 6}`
+
+	var first struct {
+		Experiment service.ExperimentView `json:"experiment"`
+		Cached     bool                   `json:"cached"`
+	}
+	do(t, h, "POST", "/v1/experiments", spec, http.StatusAccepted, &first)
+	if first.Cached {
+		t.Error("first submission reported cached")
+	}
+	id := first.Experiment.ID
+	if id == "" {
+		t.Fatal("no experiment id in response")
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	var view service.ExperimentView
+	for {
+		do(t, h, "GET", "/v1/experiments/"+id, "", http.StatusOK, &view)
+		if view.State == service.StateDone {
+			break
+		}
+		if view.State == service.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("experiment did not complete: %+v", view)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if view.Aggregates == nil {
+		t.Fatal("done experiment has no aggregates")
+	}
+	agg := view.Aggregates
+	if agg.Replicates != 6 || agg.Stabilized != 6 {
+		t.Errorf("aggregates = %+v, want 6/6 stabilized", agg)
+	}
+	if agg.CIHi <= agg.CILo || agg.P99 < agg.P50 {
+		t.Errorf("implausible aggregate statistics: %+v", agg)
+	}
+	if len(agg.Survival) == 0 {
+		t.Error("no survival curve in the HTTP view")
+	}
+
+	// Identical spec served from cache with 200.
+	var second struct {
+		Experiment service.ExperimentView `json:"experiment"`
+		Cached     bool                   `json:"cached"`
+	}
+	do(t, h, "POST", "/v1/experiments", spec, http.StatusOK, &second)
+	if !second.Cached || second.Experiment.ID != id {
+		t.Errorf("resubmission not cached onto the same experiment: %+v", second)
+	}
+
+	// The SSE stream of a finished experiment replays the final
+	// aggregates and closes with a done event.
+	r := httptest.NewRequest("GET", "/v1/experiments/"+id+"/stream", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream status = %d (body: %s)", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	aggregates, done := 0, 0
+	for _, line := range strings.Split(w.Body.String(), "\n") {
+		switch line {
+		case "event: aggregate":
+			aggregates++
+		case "event: done":
+			done++
+		}
+	}
+	if aggregates < 1 || done != 1 {
+		t.Errorf("stream replayed %d aggregate and %d done events, want >=1 and 1", aggregates, done)
+	}
+}
+
+func TestExperimentValidationErrors(t *testing.T) {
+	h := newTestHandler(t, service.Options{})
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"replicates missing", `{"protocol": "pll", "n": 100}`, "replicates"},
+		{"ci out of range", `{"protocol": "pll", "n": 100, "replicates": 4, "ci": 2}`, "ci target"},
+		{"unknown protocol", `{"protocol": "paxos", "n": 100, "replicates": 4}`, "unknown protocol"},
+		{"unknown field", `{"protocol": "pll", "n": 100, "replicates": 4, "flux": 1}`, "unknown field"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var e errBody
+			do(t, h, "POST", "/v1/experiments", c.body, http.StatusBadRequest, &e)
+			if !strings.Contains(e.Error, c.wantErr) {
+				t.Errorf("error %q does not contain %q", e.Error, c.wantErr)
+			}
+		})
+	}
+
+	var e errBody
+	do(t, h, "GET", "/v1/experiments/edeadbeef", "", http.StatusNotFound, &e)
+	if !strings.Contains(e.Error, "no such experiment") {
+		t.Errorf("404 error = %q", e.Error)
+	}
+}
+
+// TestExperimentStreamLive subscribes to a running experiment over a
+// real HTTP connection and expects live aggregate events followed by a
+// done event.
+func TestExperimentStreamLive(t *testing.T) {
+	m := service.NewManager(service.Options{Workers: 2})
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(service.NewHandler(m))
+	t.Cleanup(srv.Close)
+
+	exp, _, err := m.SubmitExperiment(service.ExperimentSpec{
+		Protocol: "pll", N: 20_000, Seed: 9, Replicates: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/v1/experiments/" + exp.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	scanner := bufio.NewScanner(resp.Body)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	aggregates, done := 0, 0
+	for scanner.Scan() {
+		switch scanner.Text() {
+		case "event: aggregate":
+			aggregates++
+		case "event: done":
+			done++
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		t.Fatalf("reading stream: %v", err)
+	}
+	if aggregates < 1 || done != 1 {
+		t.Errorf("streamed %d aggregate and %d done events", aggregates, done)
+	}
+	<-exp.Done()
+	if exp.State() != service.StateDone {
+		t.Errorf("experiment state = %s", exp.State())
+	}
+}

@@ -2,24 +2,26 @@ package service
 
 import "container/list"
 
-// lru is a minimal least-recently-used map from canonical job keys to
-// finished jobs. It is not safe for concurrent use; the Manager guards it
-// with its own mutex. onEvict runs synchronously when an entry falls out,
-// so the Manager can drop the evicted job from its id index too.
-type lru struct {
+// lru is a minimal least-recently-used map from canonical spec keys to
+// finished work (jobs, experiments). It is not safe for concurrent use;
+// the Manager guards it with its own mutex. onEvict runs synchronously
+// when an entry falls out, so the Manager can drop the evicted value
+// from its id index too — with a durable store configured, eviction only
+// trims the in-memory cache, the store keeps the result.
+type lru[V any] struct {
 	cap     int
-	order   *list.List // front = most recently used; values are *lruEntry
+	order   *list.List // front = most recently used; values are *lruEntry[V]
 	entries map[string]*list.Element
-	onEvict func(*Job)
+	onEvict func(V)
 }
 
-type lruEntry struct {
+type lruEntry[V any] struct {
 	key string
-	job *Job
+	val V
 }
 
-func newLRU(capacity int, onEvict func(*Job)) *lru {
-	return &lru{
+func newLRU[V any](capacity int, onEvict func(V)) *lru[V] {
+	return &lru[V]{
 		cap:     capacity,
 		order:   list.New(),
 		entries: make(map[string]*list.Element, capacity),
@@ -27,42 +29,43 @@ func newLRU(capacity int, onEvict func(*Job)) *lru {
 	}
 }
 
-// get returns the cached job for key and marks it most recently used.
-func (c *lru) get(key string) (*Job, bool) {
+// get returns the cached value for key and marks it most recently used.
+func (c *lru[V]) get(key string) (V, bool) {
 	el, ok := c.entries[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry).job, true
+	return el.Value.(*lruEntry[V]).val, true
 }
 
 // put inserts or refreshes key, evicting the least recently used entry
 // when over capacity.
-func (c *lru) put(key string, job *Job) {
+func (c *lru[V]) put(key string, val V) {
 	if el, ok := c.entries[key]; ok {
-		el.Value.(*lruEntry).job = job
+		el.Value.(*lruEntry[V]).val = val
 		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = c.order.PushFront(&lruEntry{key: key, job: job})
+	c.entries[key] = c.order.PushFront(&lruEntry[V]{key: key, val: val})
 	for c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
-		e := oldest.Value.(*lruEntry)
+		e := oldest.Value.(*lruEntry[V])
 		delete(c.entries, e.key)
 		if c.onEvict != nil {
-			c.onEvict(e.job)
+			c.onEvict(e.val)
 		}
 	}
 }
 
 // remove drops key without running the eviction hook.
-func (c *lru) remove(key string) {
+func (c *lru[V]) remove(key string) {
 	if el, ok := c.entries[key]; ok {
 		c.order.Remove(el)
 		delete(c.entries, key)
 	}
 }
 
-func (c *lru) len() int { return c.order.Len() }
+func (c *lru[V]) len() int { return c.order.Len() }

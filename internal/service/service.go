@@ -12,10 +12,22 @@
 // While a job runs, the worker records a census-snapshot trajectory
 // (decimated to a bounded length) that subscribers can stream; the HTTP
 // layer forwards it as server-sent events.
+//
+// With a durable result store configured (Options.Store), the LRU is a
+// cache in front of the store rather than the source of truth: finished
+// jobs and experiments are appended to the store, and a submission that
+// misses both the cache and the in-flight index is answered from the
+// store — across restarts — before any simulation is scheduled.
+//
+// Beyond single jobs, the Manager runs *experiments*: parallel
+// Monte-Carlo ensembles of one spec (internal/ensemble) with streaming
+// aggregate updates and optional CI-targeted early stopping. See
+// experiments.go.
 package service
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -23,8 +35,10 @@ import (
 	"sync"
 	"time"
 
+	"popproto/internal/ensemble"
 	"popproto/internal/pp"
 	"popproto/internal/registry"
+	"popproto/internal/store"
 )
 
 // Service-level submission failures, distinguished so the HTTP layer can
@@ -96,11 +110,12 @@ func jobID(key string) string {
 }
 
 // deriveSeed maps a canonical spec (minus the seed) to a deterministic
-// scheduler seed.
+// scheduler seed. The derivation lives in the ensemble package so that a
+// seedless job and replicate 0 of a seedless experiment over the same
+// spec run with the same seed — and therefore produce bit-identical
+// results (ensemble.ReplicateSeed(base, 0) == base).
 func deriveSeed(s JobSpec) uint64 {
-	h := fnv.New64a()
-	fmt.Fprintf(h, "seed|%s|%d|%s|%d", s.Protocol, s.N, s.Engine, s.M)
-	return h.Sum64()
+	return ensemble.DeriveSeed(s.Protocol, s.N, s.Engine, s.M)
 }
 
 // censusCap bounds the number of distinct states reported per census in
@@ -189,8 +204,10 @@ type Job struct {
 	err       string
 	result    *Result
 	snapshots []Snapshot
-	chunk     uint64 // snapshot cadence in steps; doubles on decimation
 	maxSnaps  int
+	// restored marks a job reconstructed from the durable store after a
+	// restart: terminal from birth, with no stored trajectory.
+	restored bool
 	// subs holds the live subscriptions. Channels are closed ONLY by
 	// finishLocked, which runs in the job's worker goroutine — the same
 	// goroutine as record's fanout sends — so a send can never race a
@@ -203,16 +220,19 @@ type Job struct {
 
 // JobView is the JSON rendering of a job's current state.
 type JobView struct {
-	ID          string     `json:"id"`
-	State       State      `json:"state"`
-	Spec        JobSpec    `json:"spec"`
-	BudgetSteps uint64     `json:"budgetSteps"`
-	Error       string     `json:"error,omitempty"`
-	Result      *Result    `json:"result,omitempty"`
-	Snapshots   int        `json:"snapshots"`
-	Created     time.Time  `json:"created"`
-	Started     *time.Time `json:"started,omitempty"`
-	Finished    *time.Time `json:"finished,omitempty"`
+	ID          string  `json:"id"`
+	State       State   `json:"state"`
+	Spec        JobSpec `json:"spec"`
+	BudgetSteps uint64  `json:"budgetSteps"`
+	Error       string  `json:"error,omitempty"`
+	Result      *Result `json:"result,omitempty"`
+	Snapshots   int     `json:"snapshots"`
+	// Restored marks a job served from the durable store after a restart;
+	// its result is intact but its census trajectory is not retained.
+	Restored bool       `json:"restored,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
 }
 
 // State returns the job's current lifecycle state.
@@ -244,6 +264,7 @@ func (j *Job) View() JobView {
 		Error:       j.err,
 		Result:      j.result,
 		Snapshots:   len(j.snapshots),
+		Restored:    j.restored,
 		Created:     j.created,
 	}
 	if !j.started.IsZero() {
@@ -300,8 +321,10 @@ func (j *Job) begin() bool {
 // record appends a census snapshot and fans it out to subscribers without
 // blocking the simulation (slow subscribers miss snapshots rather than
 // stalling the run). When the stored trajectory exceeds its cap it is
-// decimated — every other point dropped, cadence doubled — keeping it
-// bounded and logarithmically spaced for long runs.
+// decimated — every other point dropped — keeping it bounded and
+// logarithmically spaced for long runs; the matching cadence doubling
+// lives in ensemble.Drive's chunk schedule, which runJob advances the
+// simulation with.
 func (j *Job) record(el registry.Election) {
 	census, omitStates, omitAgents := topCensus(el.Census(), censusCap)
 	snap := Snapshot{
@@ -320,7 +343,6 @@ func (j *Job) record(el registry.Election) {
 			kept = append(kept, j.snapshots[i])
 		}
 		j.snapshots = kept
-		j.chunk *= 2
 	}
 	fanout := make([]chan Snapshot, 0, len(j.subs))
 	for ch := range j.subs {
@@ -391,8 +413,23 @@ type Options struct {
 	// rounds make it the fastest engine at large n, so the default is
 	// MaxN (after defaulting, 200 million).
 	MaxNBatch int
-	// MaxSnapshots bounds each job's stored trajectory (default 256).
+	// MaxSnapshots bounds each job's stored trajectory (default 256). It
+	// is also the observation cap of the deterministic drive schedule
+	// (ensemble.Drive), so it is part of results' deterministic surface:
+	// change it and cached results for chunk-sensitive engines change.
 	MaxSnapshots int
+	// Store, when non-nil, persists finished jobs and experiments and
+	// serves them back across restarts; the LRU then caches in front of
+	// it instead of being the only copy.
+	Store *store.Store
+	// ExperimentWorkers bounds concurrently *running* experiments
+	// (default 1). Each running experiment fans its replicates over up to
+	// Workers simulation goroutines of its own, so the total simulation
+	// parallelism is roughly Workers × (1 + ExperimentWorkers).
+	ExperimentWorkers int
+	// MaxReplicates bounds an experiment's requested ensemble size
+	// (default 100_000).
+	MaxReplicates int
 }
 
 func (o Options) withDefaults() Options {
@@ -417,65 +454,100 @@ func (o Options) withDefaults() Options {
 	if o.MaxSnapshots <= 0 {
 		o.MaxSnapshots = 256
 	}
+	if o.ExperimentWorkers <= 0 {
+		o.ExperimentWorkers = 1
+	}
+	if o.MaxReplicates <= 0 {
+		o.MaxReplicates = 100_000
+	}
 	return o
 }
 
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
-	// Hits counts submissions answered from the finished-job cache,
-	// Joined those attached to an identical in-flight job, and Misses
-	// those that started a fresh simulation.
+	// Hits counts submissions answered from the finished-work cache,
+	// Joined those attached to an identical in-flight job or experiment,
+	// and Misses those that started a fresh simulation. Experiments share
+	// these counters with jobs.
 	Hits, Joined, Misses uint64
-	// Jobs is the number of indexed jobs (live + cached), Cached the
-	// LRU's current size.
-	Jobs, Cached int
+	// StoreHits counts submissions answered from the durable store after
+	// missing the in-memory cache (e.g. after a restart or an LRU
+	// eviction); StoreErrors counts failed persistence attempts.
+	StoreHits, StoreErrors uint64
+	// Jobs is the number of indexed jobs (live + cached), Cached the job
+	// LRU's current size. Experiments counts indexed experiments.
+	Jobs, Cached, Experiments int
+	// Stored is the number of results in the durable store (0 without
+	// one).
+	Stored int
 }
 
-// Manager owns the worker pool, the job index and the result cache.
+// Manager owns the worker pools, the job and experiment indexes, the
+// result cache, and the optional durable store behind it.
 type Manager struct {
 	opts  Options
 	queue chan *Job
 	wg    sync.WaitGroup
 
+	expQueue chan *Experiment
+	expWg    sync.WaitGroup
+
 	mu                   sync.Mutex
 	jobs                 map[string]*Job
-	cache                *lru
+	cache                *lru[*Job]
+	exps                 map[string]*Experiment
+	expCache             *lru[*Experiment]
 	hits, joined, misses uint64
+	storeHits, storeErrs uint64
 	closed               bool
 }
 
-// NewManager starts a manager with opts' worker pool.
+// NewManager starts a manager with opts' worker pools.
 func NewManager(opts Options) *Manager {
 	opts = opts.withDefaults()
 	m := &Manager{
-		opts:  opts,
-		queue: make(chan *Job, opts.QueueSize),
-		jobs:  make(map[string]*Job),
+		opts:     opts,
+		queue:    make(chan *Job, opts.QueueSize),
+		jobs:     make(map[string]*Job),
+		expQueue: make(chan *Experiment, opts.QueueSize),
+		exps:     make(map[string]*Experiment),
 	}
 	m.cache = newLRU(opts.CacheSize, func(j *Job) { delete(m.jobs, j.ID) })
+	m.expCache = newLRU(opts.CacheSize, func(e *Experiment) { delete(m.exps, e.ID) })
 	m.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go m.worker()
 	}
+	m.expWg.Add(opts.ExperimentWorkers)
+	for i := 0; i < opts.ExperimentWorkers; i++ {
+		go m.expWorker()
+	}
 	return m
 }
 
-// Close stops accepting jobs, cancels everything queued or running, and
-// waits for the workers to exit.
+// Close stops accepting work, cancels everything queued or running, and
+// waits for the workers to exit. It does not close the store: the store
+// belongs to the caller that opened it.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
 		m.wg.Wait()
+		m.expWg.Wait()
 		return
 	}
 	m.closed = true
 	for _, j := range m.jobs {
 		j.cancel()
 	}
+	for _, e := range m.exps {
+		e.cancel()
+	}
 	close(m.queue)
+	close(m.expQueue)
 	m.mu.Unlock()
 	m.wg.Wait()
+	m.expWg.Wait()
 }
 
 // Canonicalize resolves a JobSpec's defaults (engine, seed, budget) and
@@ -571,6 +643,12 @@ func (m *Manager) Submit(spec JobSpec) (job *Job, cached bool, err error) {
 		m.joined++
 		return j, false, nil
 	}
+	if j := m.restoreJobLocked(key); j != nil {
+		// Served from the durable store: a result computed before a
+		// restart (or evicted from the LRU) without re-simulating.
+		m.storeHits++
+		return j, true, nil
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	j := &Job{
@@ -582,7 +660,6 @@ func (m *Manager) Submit(spec JobSpec) (job *Job, cached bool, err error) {
 		ctx:      ctx,
 		cancel:   cancel,
 		state:    StateQueued,
-		chunk:    uint64(canon.N), // one parallel-time unit between snapshots
 		maxSnaps: m.opts.MaxSnapshots,
 		subs:     make(map[chan Snapshot]struct{}),
 		done:     make(chan struct{}),
@@ -599,12 +676,73 @@ func (m *Manager) Submit(spec JobSpec) (job *Job, cached bool, err error) {
 	return j, false, nil
 }
 
-// Get returns the job with the given id.
+// Get returns the job with the given id, restoring it from the durable
+// store if it is no longer indexed in memory.
 func (m *Manager) Get(id string) (*Job, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	j, ok := m.jobs[id]
-	return j, ok
+	if j, ok := m.jobs[id]; ok {
+		return j, true
+	}
+	if m.opts.Store != nil {
+		if rec, ok := m.opts.Store.GetByID(id); ok && rec.Kind == store.KindJob {
+			if j := m.restoreJobLocked(rec.Key); j != nil {
+				m.storeHits++
+				return j, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// restoreJobLocked reconstructs a finished job from the durable store's
+// record for key, indexing it like a freshly finished one. It returns
+// nil when there is no store, no record, or the record no longer decodes
+// against the current registry. Callers hold m.mu.
+func (m *Manager) restoreJobLocked(key string) *Job {
+	if m.opts.Store == nil {
+		return nil
+	}
+	rec, ok := m.opts.Store.Get(store.KindJob, key)
+	if !ok {
+		return nil
+	}
+	var spec JobSpec
+	var res Result
+	if json.Unmarshal(rec.Spec, &spec) != nil || json.Unmarshal(rec.Data, &res) != nil {
+		return nil
+	}
+	// Recompute the derived view fields (budget, target) from the
+	// canonical spec; a record that no longer validates — the registry
+	// changed underneath it — is not served.
+	canon, rspec, target, budget, err := m.Canonicalize(spec)
+	if err != nil || canon.key() != key {
+		return nil
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // terminal from birth
+	done := make(chan struct{})
+	close(done)
+	j := &Job{
+		ID:       rec.ID,
+		spec:     canon,
+		rspec:    rspec,
+		target:   target,
+		budget:   budget,
+		ctx:      ctx,
+		cancel:   cancel,
+		state:    StateDone,
+		result:   &res,
+		restored: true,
+		maxSnaps: m.opts.MaxSnapshots,
+		done:     done,
+		created:  rec.SavedAt,
+		started:  rec.SavedAt,
+		finished: rec.SavedAt,
+	}
+	m.jobs[j.ID] = j
+	m.cache.put(key, j)
+	return j
 }
 
 // Cancel requests cancellation of the job with the given id, reporting
@@ -619,17 +757,24 @@ func (m *Manager) Cancel(id string) bool {
 	return ok
 }
 
-// Stats returns current cache and pool counters.
+// Stats returns current cache, store and pool counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Stats{
-		Hits:   m.hits,
-		Joined: m.joined,
-		Misses: m.misses,
-		Jobs:   len(m.jobs),
-		Cached: m.cache.len(),
+	s := Stats{
+		Hits:        m.hits,
+		Joined:      m.joined,
+		Misses:      m.misses,
+		StoreHits:   m.storeHits,
+		StoreErrors: m.storeErrs,
+		Jobs:        len(m.jobs),
+		Cached:      m.cache.len(),
+		Experiments: len(m.exps),
 	}
+	if m.opts.Store != nil {
+		s.Stored = m.opts.Store.Len()
+	}
+	return s
 }
 
 func (m *Manager) worker() {
@@ -656,17 +801,15 @@ func (m *Manager) runJob(j *Job) {
 		return
 	}
 
-	j.record(el) // the initial configuration, so every trace has ≥ 2 points
-	canceled := false
-	for el.Leaders() > j.target && el.Steps() < j.budget {
-		if j.ctx.Err() != nil {
-			canceled = true
-			break
-		}
-		next := min(el.Steps()+j.snapshotChunk(), j.budget)
-		el.RunUntilLeaders(j.target, next)
-		j.record(el)
-	}
+	// ensemble.Drive owns the chunk schedule (one parallel-time unit,
+	// doubling on trajectory decimation): the census engines draw
+	// randomness differently at different RunUntilLeaders boundaries, so
+	// jobs and ensemble replicates must advance through the same driver
+	// for replicate 0 of an experiment to be bit-identical to the job.
+	// The observe callback records the initial configuration too, so
+	// every trace has ≥ 2 points.
+	canceled := ensemble.Drive(j.ctx, el, j.target, j.budget, j.maxSnaps,
+		func() { j.record(el) })
 	if canceled {
 		j.finish(StateCanceled, "canceled")
 		m.index(j)
@@ -694,12 +837,21 @@ func (m *Manager) runJob(j *Job) {
 	res.WallMillis = time.Since(start).Milliseconds()
 	j.complete(res)
 	m.index(j)
+	m.persist(store.KindJob, j.spec.key(), j.ID, j.spec, res)
 }
 
-func (j *Job) snapshotChunk() uint64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.chunk
+// persist appends a finished result to the durable store (best-effort:
+// a persistence failure is counted, not fatal — the in-memory result
+// still serves).
+func (m *Manager) persist(kind store.Kind, key, id string, spec, data any) {
+	if m.opts.Store == nil {
+		return
+	}
+	if err := m.opts.Store.Put(kind, key, id, spec, data); err != nil {
+		m.mu.Lock()
+		m.storeErrs++
+		m.mu.Unlock()
+	}
 }
 
 func (j *Job) snapshotCount() int {

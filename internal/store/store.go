@@ -1,0 +1,237 @@
+// Package store persists finished simulation results as an append-only
+// JSONL file: one self-describing record per line, indexed in memory by
+// canonical spec key and by public id.
+//
+// The store is popprotod's source of truth for finished work. The
+// service's LRU is a cache in front of it: a result evicted from the LRU
+// (or lost to a restart) is recovered from the store instead of being
+// re-simulated, which matters because large-population elections and
+// multi-replicate experiments cost minutes of CPU while a record costs
+// one line of JSON.
+//
+// Crash safety is by construction of the format. Every Put appends one
+// complete line and fsyncs before updating the index, so the file never
+// holds a record that was not durable. A crash mid-write leaves at most
+// one torn final line; Open detects it, truncates it away, and resumes
+// appending from the last intact record. Duplicate keys replay last-wins,
+// so rewriting a record is just appending a newer one.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Kind labels what a record's payload is.
+type Kind string
+
+const (
+	// KindJob records a single simulation job's Result.
+	KindJob Kind = "job"
+	// KindExperiment records an ensemble experiment's Aggregates.
+	KindExperiment Kind = "experiment"
+)
+
+// Record is one persisted result. Spec and Data are raw JSON so the
+// store stays agnostic of the service's payload types (and old records
+// survive payload evolution: unknown fields are simply ignored on
+// decode).
+type Record struct {
+	// Kind labels the payload ("job" or "experiment").
+	Kind Kind `json:"kind"`
+	// Key is the canonical spec key the result is a deterministic
+	// function of.
+	Key string `json:"key"`
+	// ID is the public identifier (the job/experiment id).
+	ID string `json:"id"`
+	// Spec is the canonical spec, JSON-encoded.
+	Spec json.RawMessage `json:"spec"`
+	// Data is the result payload, JSON-encoded.
+	Data json.RawMessage `json:"data"`
+	// SavedAt is when the record was appended (UTC).
+	SavedAt time.Time `json:"savedAt"`
+}
+
+// Store is an append-only JSONL result store. All methods are safe for
+// concurrent use.
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	byKey   map[string]Record // kind-scoped key → newest record
+	byID    map[string]Record
+	dropped int
+}
+
+// keyIndex scopes a canonical key by its kind, so a job and an
+// experiment with coincidentally equal keys cannot collide.
+func keyIndex(kind Kind, key string) string {
+	return string(kind) + "\x00" + key
+}
+
+// Open opens (creating if needed) the store at path and replays its
+// records into the in-memory index. A torn final line — the signature of
+// a crash mid-append — is truncated away; any other malformed line is
+// skipped and counted (see Dropped).
+func Open(path string) (*Store, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", path, err)
+	}
+	s := &Store{
+		f:     f,
+		path:  path,
+		byKey: make(map[string]Record),
+		byID:  make(map[string]Record),
+	}
+	intact, err := s.replay()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Truncate any torn tail so the next append starts on a fresh line.
+	if err := f.Truncate(intact); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: seeking %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// replay scans the file, indexing every intact record (last-wins per
+// key) and returning the byte offset just past the last intact line.
+func (s *Store) replay() (intact int64, err error) {
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return 0, fmt.Errorf("store: seeking %s: %w", s.path, err)
+	}
+	r := bufio.NewReader(s.f)
+	var offset int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if len(line) > 0 {
+				// Torn final line (no newline): a crash mid-append.
+				s.dropped++
+			}
+			return offset, nil
+		}
+		if err != nil {
+			return 0, fmt.Errorf("store: reading %s: %w", s.path, err)
+		}
+		lineLen := int64(len(line))
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			offset += lineLen
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.Kind == "" || rec.Key == "" || rec.ID == "" {
+			// Corrupt or foreign line: skip it but keep the offset moving so
+			// later intact records still replay.
+			s.dropped++
+			offset += lineLen
+			continue
+		}
+		s.byKey[keyIndex(rec.Kind, rec.Key)] = rec
+		s.byID[rec.ID] = rec
+		offset += lineLen
+	}
+}
+
+// Put appends a record for (kind, key, id) with the given spec and data
+// payloads and fsyncs it before indexing, so a record is visible only
+// once durable. Re-putting a key overwrites its index entry (last-wins).
+func (s *Store) Put(kind Kind, key, id string, spec, data any) error {
+	specRaw, err := json.Marshal(spec)
+	if err != nil {
+		return fmt.Errorf("store: encoding spec for %s: %w", id, err)
+	}
+	dataRaw, err := json.Marshal(data)
+	if err != nil {
+		return fmt.Errorf("store: encoding data for %s: %w", id, err)
+	}
+	rec := Record{
+		Kind:    kind,
+		Key:     key,
+		ID:      id,
+		Spec:    specRaw,
+		Data:    dataRaw,
+		SavedAt: time.Now().UTC(),
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("store: encoding record for %s: %w", id, err)
+	}
+	line = append(line, '\n')
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return fmt.Errorf("store: %s is closed", s.path)
+	}
+	if _, err := s.f.Write(line); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", s.path, err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", s.path, err)
+	}
+	s.byKey[keyIndex(kind, key)] = rec
+	s.byID[rec.ID] = rec
+	return nil
+}
+
+// Get returns the newest record for (kind, key).
+func (s *Store) Get(kind Kind, key string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byKey[keyIndex(kind, key)]
+	return rec, ok
+}
+
+// GetByID returns the newest record with the given public id.
+func (s *Store) GetByID(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.byID[id]
+	return rec, ok
+}
+
+// Len returns the number of distinct (kind, key) entries indexed.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.byKey)
+}
+
+// Dropped returns the number of lines skipped during replay (torn tail
+// or corruption).
+func (s *Store) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Path returns the backing file path.
+func (s *Store) Path() string { return s.path }
+
+// Close flushes and closes the backing file. Further Puts fail; reads
+// keep serving the in-memory index.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}

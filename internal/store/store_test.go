@@ -1,0 +1,183 @@
+package store_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"popproto/internal/store"
+)
+
+type payload struct {
+	Steps uint64 `json:"steps"`
+}
+
+func open(t *testing.T, path string) *store.Store {
+	t.Helper()
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t, filepath.Join(t.TempDir(), "results.jsonl"))
+
+	if err := s.Put(store.KindJob, "pll n=100", "j01", map[string]int{"n": 100}, payload{Steps: 42}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := s.Get(store.KindJob, "pll n=100")
+	if !ok {
+		t.Fatal("record not found by key")
+	}
+	var p payload
+	if err := json.Unmarshal(rec.Data, &p); err != nil || p.Steps != 42 {
+		t.Fatalf("payload round-trip: %v (%+v)", err, p)
+	}
+	if rec.ID != "j01" || rec.Kind != store.KindJob {
+		t.Errorf("record = %+v", rec)
+	}
+	if byID, ok := s.GetByID("j01"); !ok || byID.Key != "pll n=100" {
+		t.Errorf("GetByID = %+v, %v", byID, ok)
+	}
+	if _, ok := s.Get(store.KindExperiment, "pll n=100"); ok {
+		t.Error("job record served for the experiment kind")
+	}
+	if s.Len() != 1 {
+		t.Errorf("len = %d, want 1", s.Len())
+	}
+}
+
+func TestReplayAcrossReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		key := string(rune('a' + i))
+		if err := s.Put(store.KindJob, key, "j"+key, nil, payload{Steps: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Last-wins: overwrite one key.
+	if err := s.Put(store.KindJob, "a", "ja", nil, payload{Steps: 999}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	re := open(t, path)
+	if re.Len() != 10 {
+		t.Fatalf("replayed %d entries, want 10", re.Len())
+	}
+	rec, ok := re.Get(store.KindJob, "a")
+	if !ok {
+		t.Fatal("key a lost across reopen")
+	}
+	var p payload
+	if err := json.Unmarshal(rec.Data, &p); err != nil || p.Steps != 999 {
+		t.Errorf("last-wins violated: steps = %d, want 999 (%v)", p.Steps, err)
+	}
+	if re.Dropped() != 0 {
+		t.Errorf("clean file reported %d dropped lines", re.Dropped())
+	}
+}
+
+// TestTornTailRecovery simulates a crash mid-append: the torn final line
+// must be dropped and truncated away, the intact prefix preserved, and a
+// subsequent Put must land on a fresh line.
+func TestTornTailRecovery(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(store.KindJob, "intact", "j1", nil, payload{Steps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Simulate the crash: half a record, no trailing newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"kind":"job","key":"torn","id":"j2","sp`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	re := open(t, path)
+	if re.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1 (the torn tail)", re.Dropped())
+	}
+	if _, ok := re.Get(store.KindJob, "intact"); !ok {
+		t.Error("intact record lost to the torn tail")
+	}
+	if _, ok := re.Get(store.KindJob, "torn"); ok {
+		t.Error("torn record served")
+	}
+	// Appending after recovery must produce a parseable file.
+	if err := re.Put(store.KindJob, "after", "j3", nil, payload{Steps: 3}); err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+
+	final := open(t, path)
+	if final.Dropped() != 0 {
+		t.Errorf("post-recovery file still has %d bad lines", final.Dropped())
+	}
+	for _, key := range []string{"intact", "after"} {
+		if _, ok := final.Get(store.KindJob, key); !ok {
+			t.Errorf("record %q missing after recovery round-trip", key)
+		}
+	}
+}
+
+// TestCorruptMiddleLineSkipped: a corrupt line in the middle (bit rot,
+// concurrent writer) must not take down the records after it.
+func TestCorruptMiddleLineSkipped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	s, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put(store.KindJob, "first", "j1", nil, payload{Steps: 1})
+	s.Close()
+
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	f.WriteString("not json at all\n")
+	f.Close()
+
+	s2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Put(store.KindJob, "second", "j2", nil, payload{Steps: 2})
+	s2.Close()
+
+	re := open(t, path)
+	if re.Dropped() != 1 {
+		t.Errorf("dropped = %d, want 1", re.Dropped())
+	}
+	for _, key := range []string{"first", "second"} {
+		if _, ok := re.Get(store.KindJob, key); !ok {
+			t.Errorf("record %q lost around the corrupt line", key)
+		}
+	}
+}
+
+func TestClosedPutFails(t *testing.T) {
+	s := open(t, filepath.Join(t.TempDir(), "results.jsonl"))
+	s.Close()
+	if err := s.Put(store.KindJob, "k", "j", nil, nil); err == nil {
+		t.Error("Put on a closed store succeeded")
+	}
+	// Reads keep serving the index after Close.
+	if _, ok := s.Get(store.KindJob, "k"); ok {
+		t.Error("unexpected record")
+	}
+}

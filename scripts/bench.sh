@@ -9,7 +9,10 @@
 #   BENCHTIME   go test -benchtime value (default 1x: one run per case,
 #               the large-n elections already take ~20 s each)
 #   BENCH_RE    benchmark regex (default: the three-engine PLL race at
-#               n=10^7, the engine head-to-heads, and the large-n rows)
+#               n=10^7, the engine head-to-heads, the large-n rows, and
+#               the ensemble executor's Table 1 row — 50 replicates at
+#               n=10^5, serial vs all-core, whose wall-clock ratio is
+#               the multi-core replication speedup)
 #   POPPROTO_BENCH_XL=1 additionally runs the 10^8-agent cases
 #               (including the batch engine's Table 1 row at n=10^8)
 #
@@ -20,7 +23,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_$(date -u +%Y-%m-%d).json}
-BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|^BenchmarkPLLWindow$|Engines_|LargeN_|Table1_PLL_XL'}
+BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|^BenchmarkPLLWindow$|Engines_|LargeN_|Table1_PLL_XL|^BenchmarkEnsemble_'}
 BENCHTIME=${BENCHTIME:-1x}
 
 RAW=$(mktemp)

@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # smoke.sh — end-to-end smoke test of the popprotod HTTP service, as run
-# by CI: start the server, submit a PLL election at n=10^5 on the census
-# engine, assert exactly one leader, and assert the identical resubmission
-# is served from the result cache.
+# by CI: start the server with a durable result store, submit a PLL
+# election at n=10^5 on the census engine, assert exactly one leader and
+# a cache hit on the identical resubmission, run a replicated experiment
+# through /v1/experiments, then kill the server, restart it on the same
+# store, and assert both the job and the experiment are still served.
 #
 # Usage: scripts/smoke.sh [port]
 set -euo pipefail
@@ -11,19 +13,41 @@ cd "$(dirname "$0")/.."
 PORT=${1:-8099}
 BASE="http://127.0.0.1:${PORT}"
 SPEC='{"protocol": "pll", "n": 100000, "engine": "count", "seed": 42}'
+EXP_SPEC='{"protocol": "pll", "n": 100000, "engine": "count", "seed": 42, "replicates": 8}'
 
-BIN=$(mktemp -d)/popprotod
+WORKDIR=$(mktemp -d)
+BIN="$WORKDIR/popprotod"
+STORE="$WORKDIR/results.jsonl"
 go build -o "$BIN" ./cmd/popprotod
 
-"$BIN" -addr "127.0.0.1:${PORT}" &
-SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+SERVER_PID=
+start_server() {
+  "$BIN" -addr "127.0.0.1:${PORT}" -store "$STORE" &
+  SERVER_PID=$!
+  for _ in $(seq 1 50); do
+    curl -fs "$BASE/v1/health" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "server never came up" >&2
+  exit 1
+}
+stop_server() {
+  kill "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+}
+trap 'stop_server' EXIT
 
-for _ in $(seq 1 50); do
-  curl -fs "$BASE/v1/health" >/dev/null 2>&1 && break
-  sleep 0.2
-done
-curl -fs "$BASE/v1/health" >/dev/null || { echo "server never came up" >&2; exit 1; }
+wait_state() { # url
+  local state=
+  for _ in $(seq 1 300); do
+    state=$(curl -fs "$1" | jq -r '.state')
+    [ "$state" = done ] || [ "$state" = failed ] && break
+    sleep 0.2
+  done
+  echo "$state"
+}
+
+start_server
 
 echo "catalog:" >&2
 curl -fs "$BASE/v1/protocols" | jq -r '.protocols[].key' >&2
@@ -31,12 +55,7 @@ curl -fs "$BASE/v1/protocols" | jq -r '.protocols[].key' >&2
 ID=$(curl -fs -X POST -d "$SPEC" "$BASE/v1/jobs" | jq -r '.job.id')
 echo "submitted job $ID" >&2
 
-STATE=queued
-for _ in $(seq 1 300); do
-  STATE=$(curl -fs "$BASE/v1/jobs/$ID" | jq -r '.state')
-  [ "$STATE" = done ] || [ "$STATE" = failed ] && break
-  sleep 0.2
-done
+STATE=$(wait_state "$BASE/v1/jobs/$ID")
 [ "$STATE" = done ] || { echo "job ended in state $STATE" >&2; exit 1; }
 
 LEADERS=$(curl -fs "$BASE/v1/jobs/$ID" | jq -r '.result.leaders')
@@ -51,5 +70,44 @@ echo "identical resubmission served from cache" >&2
 SNAPSHOTS=$(curl -fs -N --max-time 10 "$BASE/v1/jobs/$ID/trace" | grep -c '^event: census' || true)
 [ "$SNAPSHOTS" -ge 2 ] || { echo "trace replayed $SNAPSHOTS snapshots, want >= 2" >&2; exit 1; }
 echo "trace replayed $SNAPSHOTS census snapshots" >&2
+
+# --- experiments: replicated Monte-Carlo ensemble with aggregates ---
+EID=$(curl -fs -X POST -d "$EXP_SPEC" "$BASE/v1/experiments" | jq -r '.experiment.id')
+echo "submitted experiment $EID" >&2
+
+ESTATE=$(wait_state "$BASE/v1/experiments/$EID")
+[ "$ESTATE" = done ] || { echo "experiment ended in state $ESTATE" >&2; exit 1; }
+
+AGG=$(curl -fs "$BASE/v1/experiments/$EID")
+REPLICATES=$(echo "$AGG" | jq -r '.aggregates.replicates')
+STABILIZED=$(echo "$AGG" | jq -r '.aggregates.stabilized')
+MEAN=$(echo "$AGG" | jq -r '.aggregates.meanParallelTime')
+[ "$REPLICATES" = 8 ] && [ "$STABILIZED" = 8 ] ||
+  { echo "experiment aggregates $STABILIZED/$REPLICATES, want 8/8" >&2; exit 1; }
+echo "experiment: 8/8 replicates elected, mean parallel time $MEAN" >&2
+
+# The SSE stream of the finished experiment replays aggregates + done.
+EVENTS=$(curl -fs -N --max-time 10 "$BASE/v1/experiments/$EID/stream" | grep -c '^event: ' || true)
+[ "$EVENTS" -ge 2 ] || { echo "experiment stream emitted $EVENTS events, want >= 2" >&2; exit 1; }
+echo "experiment stream replayed $EVENTS events" >&2
+
+# --- durability: kill the server, restart on the same store ---
+stop_server
+echo "server stopped; restarting on the same store..." >&2
+start_server
+
+RESTORED=$(curl -fs "$BASE/v1/experiments/$EID")
+RESTORED_STATE=$(echo "$RESTORED" | jq -r '.state')
+RESTORED_MEAN=$(echo "$RESTORED" | jq -r '.aggregates.meanParallelTime')
+[ "$RESTORED_STATE" = done ] || { echo "restored experiment state $RESTORED_STATE" >&2; exit 1; }
+[ "$RESTORED_MEAN" = "$MEAN" ] ||
+  { echo "restored mean $RESTORED_MEAN != original $MEAN" >&2; exit 1; }
+echo "experiment aggregates served after restart (mean $RESTORED_MEAN)" >&2
+
+JOB_CACHED=$(curl -fs -X POST -d "$SPEC" "$BASE/v1/jobs" | jq -r '.cached')
+JOB_RESTORED=$(curl -fs "$BASE/v1/jobs/$ID" | jq -r '.restored')
+[ "$JOB_CACHED" = true ] || { echo "job resubmission not served from store after restart" >&2; exit 1; }
+[ "$JOB_RESTORED" = true ] || { echo "restored job not marked restored" >&2; exit 1; }
+echo "job result served from the durable store after restart" >&2
 
 echo "smoke test passed" >&2
