@@ -22,6 +22,7 @@ import (
 	"popproto/internal/pp"
 	"popproto/internal/registry"
 	"popproto/internal/rng"
+	"popproto/internal/sweep"
 	"popproto/internal/trace"
 )
 
@@ -583,6 +584,41 @@ func benchName(n int) string {
 		return "n=16384"
 	default:
 		return "n"
+	}
+}
+
+// BenchmarkSweep_PLL_ScalingRow is the sweep-orchestration acceptance
+// benchmark: the Theorem 1 scaling check as one sweep — PLL across
+// n ∈ {10³, 10⁴, 10⁵} on the auto engine, 10 replicates per cell —
+// reporting the fitted a·lg n + b slope, its R², and the log-log
+// exponent as metrics. Comparing its wall clock against the three
+// underlying ensembles run standalone bounds the sweep layer's
+// orchestration overhead (expand, per-cell canonicalization, summary).
+func BenchmarkSweep_PLL_ScalingRow(b *testing.B) {
+	spec := sweep.Spec{
+		Protocols:  []string{"pll"},
+		Ns:         []int{1_000, 10_000, 100_000},
+		Engine:     pp.EngineAuto,
+		Seed:       42,
+		Replicates: 10,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Run(context.Background(), spec, sweep.Options{Workers: runtime.NumCPU()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fit, ok := res.Summary.Fit("pll", 0)
+		if !ok {
+			b.Fatal("sweep produced no scaling fit")
+		}
+		for _, o := range res.Outcomes {
+			if o.Aggregates.Stabilized != o.Aggregates.Replicates {
+				b.Fatalf("cell n=%d: %d/%d stabilized", o.N, o.Aggregates.Stabilized, o.Aggregates.Replicates)
+			}
+		}
+		b.ReportMetric(fit.A, "log-slope/op")
+		b.ReportMetric(fit.R2, "fit-r2/op")
+		b.ReportMetric(fit.Exponent, "loglog-exponent/op")
 	}
 }
 

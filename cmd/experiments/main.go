@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments -list
-//	experiments [-quick] [-seed N] [-engine agent|count|batch] [-replicates R] [-ci X] [-out FILE] [ids...]
+//	experiments [-quick] [-seed N] [-engine agent|count|batch|auto] [-replicates R] [-ci X] [-out FILE] [ids...]
 //
 // With no ids, every experiment runs in registry order. -replicates and
 // -ci tune the ensemble-executed experiments (Table 1/2, Theorem 1):
@@ -22,6 +22,7 @@ import (
 	"strings"
 	"time"
 
+	"popproto/internal/cliflags"
 	"popproto/internal/harness"
 	"popproto/internal/pp"
 )
@@ -37,22 +38,21 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	quick := fs.Bool("quick", false, "smoke-test scale (small n, few repetitions)")
-	seed := fs.Uint64("seed", harness.DefaultConfig().Seed, "master seed")
-	workers := fs.Int("workers", 0, "simulation workers (0 = NumCPU)")
-	// Derived from pp.Engines, so the help text cannot drift as engines
-	// are added.
-	engine := fs.String("engine", "agent",
-		"simulation engine for election sweeps: "+strings.Join(pp.EngineNames(), " | "))
-	replicates := fs.Int("replicates", 0,
+	seed := cliflags.Seed(fs, harness.DefaultConfig().Seed, "master seed")
+	workers := cliflags.Workers(fs)
+	// Registered through internal/cliflags, so the engine catalog (incl.
+	// "auto", resolved per measurement cell) cannot drift as engines are
+	// added.
+	engine := cliflags.Engine(fs, "agent", "simulation engine for election sweeps")
+	replicates := cliflags.Replicates(fs, 0,
 		"override the replicate count per ensemble cell in Table 1/2 and Theorem 1 (0 = experiment defaults)")
-	ci := fs.Float64("ci", 0,
-		"ensemble early-stop target: relative 95% CI half-width of the mean time (0 = run every replicate)")
+	ci := cliflags.CI(fs)
 	out := fs.String("out", "", "also write the combined report to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *ci < 0 || *ci >= 1 {
-		return fmt.Errorf("-ci %g outside [0, 1)", *ci)
+	if err := cliflags.CheckCI(*ci); err != nil {
+		return err
 	}
 
 	if *list {

@@ -12,7 +12,8 @@
 //
 // The -engine flag selects the simulation engine: "agent" keeps one state
 // per agent; "count" keeps only the census (state multiplicities), which is
-// what makes populations of 10^7-10^8 agents practical.
+// what makes populations of 10^7-10^8 agents practical; "auto" resolves to
+// the registry's recommendation for the protocol and population size.
 //
 // With -trace k the leader count is printed every k units of parallel
 // time until stabilization.
@@ -33,6 +34,7 @@ import (
 	"strings"
 
 	"popproto/internal/asciichart"
+	"popproto/internal/cliflags"
 	"popproto/internal/ensemble"
 	"popproto/internal/pp"
 	"popproto/internal/registry"
@@ -47,22 +49,23 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("leaderelect", flag.ContinueOnError)
-	protocol := fs.String("protocol", "pll", "protocol registry key (see -list-protocols)")
-	// The usage string is derived from pp.Engines, so adding an engine can
-	// never leave stale help text here.
-	engineName := fs.String("engine", "agent",
-		"simulation engine: "+strings.Join(pp.EngineNames(), " | ")+" (census-based engines scale to large n)")
+	// The shared flags (engine, protocol, replicates, ci, workers) are
+	// registered through internal/cliflags so their spellings, catalogs
+	// and validation stay identical across leaderelect, experiments and
+	// sweep.
+	protocol := cliflags.Protocol(fs, "pll")
+	engineName := cliflags.Engine(fs, "agent", "simulation engine")
 	list := fs.Bool("list-protocols", false, "print the protocol catalog with parameter docs and exit")
 	n := fs.Int("n", 10000, "population size")
-	seed := fs.Uint64("seed", 1, "scheduler seed")
+	seed := cliflags.Seed(fs, 1, "scheduler seed")
 	m := fs.Int("m", 0, "knowledge parameter m for the PLL variants (0 = ⌈lg n⌉)")
 	budget := fs.Float64("max-parallel", 1e6, "give up after this much parallel time")
 	traceEvery := fs.Float64("trace", 0, "print the leader count every this many parallel time units (0 = off)")
 	chart := fs.Bool("chart", false, "render an ASCII chart of the leader count trajectory (with -replicates: the survival curve)")
 	verify := fs.Uint64("verify", 0, "extra interactions to verify stability after election")
-	replicates := fs.Int("replicates", 1, "run a Monte-Carlo ensemble of this many elections and report aggregate statistics")
-	ciTarget := fs.Float64("ci", 0, "with -replicates: stop early once the relative 95% CI half-width of the mean time is <= this (0 = run all)")
-	workers := fs.Int("workers", 0, "ensemble simulation workers (0 = NumCPU)")
+	replicates := cliflags.Replicates(fs, 1, "run a Monte-Carlo ensemble of this many elections and report aggregate statistics")
+	ciTarget := cliflags.CI(fs)
+	workers := cliflags.Workers(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,8 +79,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if *ciTarget < 0 || *ciTarget >= 1 {
-		return fmt.Errorf("-ci %g outside [0, 1) (it is a relative CI half-width)", *ciTarget)
+	if engine == pp.EngineAuto {
+		resolved, err := registry.ResolveEngine(registry.Spec{Protocol: *protocol, N: *n, Engine: engine})
+		if err != nil {
+			return err
+		}
+		engine = resolved.Engine
+	}
+	if err := cliflags.CheckCI(*ciTarget); err != nil {
+		return err
 	}
 	if *ciTarget > 0 && *replicates < 2 {
 		// A 1-replicate "ensemble" can never evaluate a CI target; demand
@@ -189,6 +199,8 @@ func printCatalog(w io.Writer) {
 			fmt.Fprintf(w, "           -%s: %s\n", p.Name, p.Doc)
 		}
 	}
+	fmt.Fprintf(w, "\n-engine %s resolves to the best engine per protocol and population size\n",
+		pp.EngineAuto)
 }
 
 func elect(el registry.Election, engine pp.Engine, maxSteps uint64, traceEvery float64, chart bool, verify uint64) error {

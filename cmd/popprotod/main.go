@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	popprotod [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-n N] [-max-n-batch N] [-store FILE]
+//	popprotod [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-n N] [-max-n-batch N]
+//	          [-store FILE] [-experiments N] [-sweeps N] [-max-replicates N] [-max-cells N]
 //
 // Endpoints (see API.md for schemas):
 //
@@ -17,15 +18,19 @@
 //	GET    /v1/experiments/{id}        experiment status and aggregates
 //	DELETE /v1/experiments/{id}        cancel an experiment
 //	GET    /v1/experiments/{id}/stream live aggregates (SSE)
+//	POST   /v1/sweeps                  submit a parameter sweep (n grid × protocols)
+//	GET    /v1/sweeps/{id}             sweep status, cells, scaling summary
+//	DELETE /v1/sweeps/{id}             cancel a sweep (cascades to its cells)
+//	GET    /v1/sweeps/{id}/stream      live per-cell aggregates (SSE)
 //	GET    /v1/health                  liveness and cache counters
 //
-// Identical job specs are served from an LRU result cache: simulations
-// are deterministic functions of their canonical spec, so the second
-// request for an election is free. With -store FILE, finished jobs and
-// experiments are additionally appended to a durable JSONL store and
-// served back across restarts — the LRU becomes a cache in front of the
-// store rather than the only copy. The server drains gracefully on
-// SIGINT/SIGTERM.
+// Identical specs are served from an LRU result cache: simulations are
+// deterministic functions of their canonical spec, so the second
+// request for an election is free. With -store FILE, finished jobs,
+// experiments and sweeps are additionally appended to a durable JSONL
+// store and served back across restarts — the LRU becomes a cache in
+// front of the store rather than the only copy. The server drains
+// gracefully on SIGINT/SIGTERM.
 package main
 
 import (
@@ -67,8 +72,10 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	maxNAgent := fs.Int("max-n-agent", 0, "largest accepted population size on the agent engine (0 = 1e7)")
 	maxNBatch := fs.Int("max-n-batch", 0, "largest accepted population size on the batch engine (0 = max-n)")
 	storePath := fs.String("store", "", "durable JSONL result store; finished jobs and experiments survive restarts (empty = in-memory only)")
-	expWorkers := fs.Int("experiments", 0, "concurrently running experiments (0 = 1); each spawns up to -workers replicate goroutines of its own, so total simulation concurrency is about workers*(1+experiments)")
-	maxReplicates := fs.Int("max-replicates", 0, "largest accepted experiment ensemble size (0 = 1e5)")
+	expWorkers := fs.Int("experiments", 0, "concurrently running experiments (0 = 1); each spawns up to -workers replicate goroutines of its own, so total simulation concurrency is about workers*(1+experiments+sweeps)")
+	maxReplicates := fs.Int("max-replicates", 0, "largest accepted experiment (and sweep-cell) ensemble size (0 = 1e5)")
+	sweepWorkers := fs.Int("sweeps", 0, "concurrently running sweeps (0 = 1); a sweep runs its cells sequentially, each cell fanning replicates over up to -workers goroutines")
+	maxCells := fs.Int("max-cells", 0, "largest cell count a sweep's axes may expand into (0 = 128)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +107,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		Store:             st,
 		ExperimentWorkers: *expWorkers,
 		MaxReplicates:     *maxReplicates,
+		SweepWorkers:      *sweepWorkers,
+		MaxSweepCells:     *maxCells,
 	})
 	server := &http.Server{
 		Handler:           service.NewHandler(mgr),

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestRunTinySweep(t *testing.T) {
+	args := []string{"-protocols", "pll", "-ns", "256,512", "-replicates", "4", "-workers", "2", "-seed", "3"}
+	if err := run(context.Background(), args); err != nil {
+		t.Fatal(err)
+	}
+	// With -chart the mean-time curve renders too.
+	if err := run(context.Background(), append(args, "-chart")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMultiProtocol(t *testing.T) {
+	// Two protocols on the auto engine; scientific notation on the axis.
+	err := run(context.Background(), []string{
+		"-protocols", "pll,angluin", "-ns", "1.28e2,512", "-replicates", "3", "-workers", "2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-badflag"},
+		{"-ns", "abc"},
+		{"-ns", ""},
+		{"-protocols", "nope", "-ns", "128"},
+		{"-engine", "quantum", "-ns", "128"},
+		{"-ci", "1.5", "-ns", "128"},
+		{"-replicates", "0", "-ns", "128"},
+	}
+	for _, args := range cases {
+		if err := run(context.Background(), args); err == nil {
+			t.Errorf("run(%v) accepted", args)
+		}
+	}
+}
+
+func TestRunReportsNonStabilization(t *testing.T) {
+	// An absurdly small budget cannot elect: the command must fail and
+	// name the cell.
+	err := run(context.Background(), []string{
+		"-protocols", "angluin", "-ns", "512", "-replicates", "2", "-max-parallel", "0.05",
+	})
+	if err == nil || !strings.Contains(err.Error(), "did not stabilize") {
+		t.Fatalf("want stabilization failure, got %v", err)
+	}
+}

@@ -161,6 +161,13 @@ func Canonicalize(spec Spec) (Spec, registry.Entry, error) {
 	if err != nil {
 		return Spec{}, registry.Entry{}, err
 	}
+	// Resolve the pseudo-engine "auto" before the seed derivation below:
+	// the derived seed is a function of the concrete engine name, so an
+	// "auto" ensemble must be bit-identical to the explicit ensemble it
+	// resolves to.
+	if spec.Registry, err = registry.ResolveEngine(spec.Registry); err != nil {
+		return Spec{}, registry.Entry{}, err
+	}
 	if spec.Registry.Seed == 0 {
 		spec.Registry.Seed = DeriveSeed(spec.Registry.Protocol, spec.Registry.N,
 			spec.Registry.Engine.String(), spec.Registry.M)

@@ -104,7 +104,7 @@ func ablationExperiment() Experiment {
 				panic(err)
 			}
 			proto := core.New(params)
-			times, _ := measureTimes[core.State](cfg.Engine, proto, n, repCount,
+			times, _ := measureTimes[core.State](engineFor(cfg, n), proto, n, repCount,
 				cfg.Seed+uint64(m)*17, 40*logBudget(n), cfg.Workers)
 			mean := stats.Mean(times)
 			mTimes = append(mTimes, mean)

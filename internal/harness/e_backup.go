@@ -104,7 +104,7 @@ func backupExperiment() Experiment {
 		}
 		desyncParams := core.NewParamsUnchecked(desyncN, 1)
 		desyncProto := core.New(desyncParams)
-		desyncTimes, desyncOK := measureTimes[core.State](cfg.Engine, desyncProto, desyncN, desyncReps,
+		desyncTimes, desyncOK := measureTimes[core.State](engineFor(cfg, desyncN), desyncProto, desyncN, desyncReps,
 			cfg.Seed+999, uint64(desyncN)*uint64(desyncN)*uint64(desyncN)*8, cfg.Workers)
 		ds := stats.Summarize(desyncTimes)
 

@@ -34,9 +34,9 @@ func symmetricExperiment() Experiment {
 		symYs := make([]float64, 0, len(ns))
 		allOK := true
 		for i, n := range ns {
-			asymTimes, okA := measureTimes[core.State](cfg.Engine, core.NewForN(n), n, repCount,
+			asymTimes, okA := measureTimes[core.State](engineFor(cfg, n), core.NewForN(n), n, repCount,
 				cfg.Seed+uint64(i), logBudget(n), cfg.Workers)
-			symTimes, okS := measureTimes[core.SymState](cfg.Engine, core.NewSymmetricForN(n), n, repCount,
+			symTimes, okS := measureTimes[core.SymState](engineFor(cfg, n), core.NewSymmetricForN(n), n, repCount,
 				cfg.Seed+uint64(i)+31, 40*logBudget(n), cfg.Workers)
 			allOK = allOK && okA && okS
 			a := stats.Mean(asymTimes)

@@ -1,22 +1,24 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
 
 	"popproto/internal/asciichart"
 	"popproto/internal/core"
-	"popproto/internal/registry"
-	"popproto/internal/stats"
+	"popproto/internal/sweep"
 	"popproto/internal/table"
 )
 
 // theorem1Experiment reproduces the headline result: PLL stabilizes in
-// O(log n) expected parallel time (Theorem 1). It sweeps n, estimates the
-// expectation, and tests the growth shape two ways: a log-log power fit
-// (logarithmic data has exponent near 0, linear data near 1) and the
-// goodness of the direct a·lg n + b fit.
+// O(log n) expected parallel time (Theorem 1). It is expressed as a
+// parameter sweep over the n grid — the same machinery behind
+// popprotod's /v1/sweeps and cmd/sweep — so the report's cells are
+// full ensembles with CIs and the growth shape comes from the sweep's
+// scaling summary: the log-log power exponent (logarithmic data has
+// exponent near 0, linear data near 1) and the direct a·lg n + b fit.
 func theorem1Experiment() Experiment {
 	e := Experiment{
 		ID:    "theorem1",
@@ -25,44 +27,57 @@ func theorem1Experiment() Experiment {
 	}
 	e.Run = func(cfg Config) Result {
 		ns := sweepSizes(cfg, true)
-		rep := reps(cfg, 150)
+		rep := cellReps(cfg, reps(cfg, 150))
+
+		res, err := sweep.Run(context.Background(), sweep.Spec{
+			Protocols:  []string{"pll"},
+			Ns:         ns,
+			Engine:     cfg.Engine,
+			Seed:       cfg.Seed,
+			Replicates: rep,
+			CITarget:   cfg.CITarget,
+		}, sweep.Options{Workers: cfg.Workers})
+		if err != nil {
+			// The grid is harness-generated against the registry; failure is
+			// a bug, not a measurement.
+			panic(fmt.Sprintf("harness: theorem1 sweep: %v", err))
+		}
 
 		tbl := table.New("n", "m", "mean parallel time", "95% CI", "median", "p90", "mean / lg n")
 		xs := make([]float64, 0, len(ns))
 		ys := make([]float64, 0, len(ns))
 		ratioLo, ratioHi := math.Inf(1), math.Inf(-1)
 		allOK := true
-		for i, n := range ns {
-			proto := core.NewForN(n)
-			agg := measureEnsemble(cfg, registry.Spec{
-				Protocol: "pll", N: n, Engine: cfg.Engine, Seed: cfg.Seed + uint64(i),
-			}, rep, logBudget(n))
+		for _, o := range res.Outcomes {
+			agg := o.Aggregates
+			proto := core.NewForN(o.N)
 			allOK = allOK && agg.Stabilized == agg.Replicates
-			lg := float64(core.CeilLog2(n))
-			tbl.AddRowf(n, proto.Params().M, f2(agg.MeanParallelTime),
+			lg := float64(core.CeilLog2(o.N))
+			tbl.AddRowf(o.N, proto.Params().M, f2(agg.MeanParallelTime),
 				fmt.Sprintf("[%s, %s]", f2(agg.CILo), f2(agg.CIHi)),
 				f2(agg.P50), f2(agg.P90), f2(agg.MeanParallelTime/lg))
-			xs = append(xs, float64(n))
+			xs = append(xs, float64(o.N))
 			ys = append(ys, agg.MeanParallelTime)
 			ratioLo = math.Min(ratioLo, agg.MeanParallelTime/lg)
 			ratioHi = math.Max(ratioHi, agg.MeanParallelTime/lg)
 		}
-
-		power := stats.PowerFit(xs, ys)
-		logFit := stats.FitLogX(xs, ys)
+		fit, ok := res.Summary.Fit("pll", 0)
+		if !ok {
+			panic("harness: theorem1 sweep produced no scaling fit")
+		}
 
 		var body strings.Builder
-		fmt.Fprintf(&body, "%d replicates per size (multi-core ensemble executor); "+
-			"times in parallel time (steps / n).\n\n", cellReps(cfg, rep))
+		fmt.Fprintf(&body, "%d replicates per size (one sweep cell per n, each a multi-core ensemble); "+
+			"times in parallel time (steps / n).\n\n", rep)
 		body.WriteString(tbl.Markdown())
 		body.WriteString("\nThe distribution is bimodal: most runs finish during QuickElimination " +
 			"(the low median), while runs whose lottery ties carry into the Tournament epochs " +
 			"(which open after ≈ cmax/2 = 20.5·m parallel time) populate the slow mode — still " +
 			"Θ(log n), as the fits confirm.\n")
-		fmt.Fprintf(&body, "\nLog-log power fit: time ∝ n^%s (R² %s) — logarithmic growth shows as exponent ≈ 0, linear as ≈ 1.\n",
-			f3(power.Slope), f3(power.R2))
+		fmt.Fprintf(&body, "\nLog-log power fit: time ∝ n^%s — logarithmic growth shows as exponent ≈ 0, linear as ≈ 1.\n",
+			f3(fit.Exponent))
 		fmt.Fprintf(&body, "Direct fit: time = %s·lg n %+.2f (R² %s).\n\n",
-			f2(logFit.Slope), logFit.Intercept, f3(logFit.R2))
+			f2(fit.A), fit.B, f3(fit.R2))
 		body.WriteString("```\n")
 		body.WriteString(asciichart.Plot([]asciichart.Series{
 			{Name: "PLL mean stabilization time", X: xs, Y: ys},
@@ -74,13 +89,13 @@ func theorem1Experiment() Experiment {
 				Claim: "every run elects exactly one leader (Theorem 1, probability 1)",
 				Pass:  allOK,
 				Detail: fmt.Sprintf("%d/%d sizes with all %d replicates stabilized",
-					len(ns), len(ns), cellReps(cfg, rep)),
+					len(ns), len(ns), rep),
 			},
 			{
 				Claim: "expected time grows logarithmically, not polynomially (Theorem 1)",
-				Pass:  power.Slope < pick(cfg, 0.35, 0.65),
+				Pass:  fit.Exponent < pick(cfg, 0.35, 0.65),
 				Detail: fmt.Sprintf("log-log exponent %s (linear time would give ≈ 1)",
-					f3(power.Slope)),
+					f3(fit.Exponent)),
 			},
 		}
 		if !cfg.Quick {
@@ -93,7 +108,7 @@ func theorem1Experiment() Experiment {
 				Claim: "time per lg n is a stable constant across the sweep",
 				Pass:  ratioHi < 2*ratioLo,
 				Detail: fmt.Sprintf("mean/lg n within [%s, %s]; direct fit a = %s, R² = %s",
-					f2(ratioLo), f2(ratioHi), f2(logFit.Slope), f3(logFit.R2)),
+					f2(ratioLo), f2(ratioHi), f2(fit.A), f3(fit.R2)),
 			})
 		}
 		return renderReport(e, body.String(), verdicts)

@@ -26,7 +26,7 @@ func trajectoryExperiment() Experiment {
 			n = 512
 		}
 		p := core.NewForN(n)
-		sim := pp.NewRunner[core.State](cfg.Engine, p, n, cfg.Seed)
+		sim := pp.NewRunner[core.State](engineFor(cfg, n), p, n, cfg.Seed)
 		rec := trace.NewRecorder(sim, 1.0,
 			trace.LeaderProbe[core.State](),
 			trace.CountProbe[core.State]("unassigned (V_X)", func(s core.State) bool {

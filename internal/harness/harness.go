@@ -33,8 +33,10 @@ type Config struct {
 	// per-agent engine; the census engine (pp.EngineCount) and the
 	// collision-free round engine (pp.EngineBatch, the fastest at large n)
 	// reproduce the same distributions and reach populations the per-agent
-	// engine cannot. Experiments that address individual agents (Bstart
-	// constructions, coin audits) always use the per-agent engine.
+	// engine cannot; the pseudo-engine pp.EngineAuto resolves per
+	// measurement cell to the registry's recommendation. Experiments that
+	// address individual agents (Bstart constructions, coin audits) always
+	// use the per-agent engine.
 	Engine pp.Engine
 	// Replicates overrides the per-cell repetition count of the
 	// ensemble-executed experiments (Table 1/2, Theorem 1); 0 keeps each

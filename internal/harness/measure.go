@@ -84,6 +84,22 @@ func cellReps(cfg Config, rep int) int {
 	return rep
 }
 
+// engineFor resolves cfg.Engine for direct pp-level measurements of the
+// PLL family: concrete engines pass through, and the pseudo-engine
+// "auto" takes the registry's recommendation for population size n (the
+// same resolution ensemble-executed cells get via ensemble.Canonicalize,
+// so one -engine auto run is consistent across both measurement paths).
+func engineFor(cfg Config, n int) pp.Engine {
+	if cfg.Engine != pp.EngineAuto {
+		return cfg.Engine
+	}
+	entry, ok := registry.Lookup("pll")
+	if !ok {
+		return pp.EngineAgent
+	}
+	return entry.RecommendedEngine(n)
+}
+
 // measureTimes runs repCount independent elections on the selected engine
 // and returns the parallel stabilization times together with a flag
 // reporting whether all runs actually stabilized within the budget.

@@ -55,9 +55,6 @@ const (
 // footprint versus a naive pair of int32s.
 const denseEmpty = ^uint32(0)
 
-// BatchDebug counts round work items (temporary instrumentation).
-var BatchDebug struct{ Rounds, Ints, Cells, HRUA, Resid uint64 }
-
 // roundCell is one aggregated interaction cell of a round: m interactions
 // of the ordered state pair (p, q).
 type roundCell struct {
@@ -419,8 +416,6 @@ func (b *BatchSimulator[S]) round(limit uint64, target int) {
 
 	b.refreshOrder()
 	b.sampleParticipants(slots)
-	BatchDebug.Rounds++
-	BatchDebug.Ints += f
 	b.splitInitiators(f, slots)
 	b.matchAndApply(f)
 	if collided {
@@ -748,7 +743,6 @@ func (b *BatchSimulator[S]) matchAndApply(f uint64) {
 func (b *BatchSimulator[S]) applyCell(p, q int32, m int64) {
 	i2, j2 := b.outcome(p, q)
 	b.cells = append(b.cells, roundCell{p, q, m})
-	BatchDebug.Cells++
 	b.notePost(i2, m)
 	b.notePost(j2, m)
 	if i2 != p || j2 != q {

@@ -82,6 +82,15 @@ const (
 	EngineBatch
 )
 
+// EngineAuto is the pseudo-engine "auto": not a simulator, but a
+// user-visible request to pick the engine per protocol and population
+// size. It parses (ParseEngine) and travels through specs, but is never
+// simulated: the registry resolves it to a concrete engine via
+// Entry.RecommendedEngine before any population is constructed, so it is
+// excluded from Engines and from Valid. The value is far from the
+// declared engines so a future engine cannot collide with it.
+const EngineAuto Engine = 0xff
+
 // String implements fmt.Stringer; the values round-trip through ParseEngine.
 func (e Engine) String() string {
 	switch e {
@@ -91,6 +100,8 @@ func (e Engine) String() string {
 		return "count"
 	case EngineBatch:
 		return "batch"
+	case EngineAuto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Engine(%d)", uint8(e))
 	}
@@ -106,10 +117,14 @@ func (e Engine) Valid() bool {
 	return false
 }
 
-// ParseEngine parses the command-line spelling of an engine name. The
-// error for an unknown name enumerates the valid spellings, derived from
-// Engines so it cannot drift as engines are added.
+// ParseEngine parses the command-line spelling of an engine name,
+// including the pseudo-engine "auto". The error for an unknown name
+// enumerates the valid spellings, derived from Engines so it cannot
+// drift as engines are added.
 func ParseEngine(s string) (Engine, error) {
+	if s == EngineAuto.String() {
+		return EngineAuto, nil
+	}
 	engines := Engines()
 	names := make([]string, len(engines))
 	for i, e := range engines {
@@ -118,7 +133,8 @@ func ParseEngine(s string) (Engine, error) {
 		}
 		names[i] = e.String()
 	}
-	return 0, fmt.Errorf("pp: unknown engine %q (valid engines: %s)", s, strings.Join(names, ", "))
+	return 0, fmt.Errorf("pp: unknown engine %q (valid engines: %s, %s)",
+		s, strings.Join(names, ", "), EngineAuto)
 }
 
 // Engines returns all available engines, in declaration order.
@@ -136,6 +152,13 @@ func EngineNames() []string {
 	return names
 }
 
+// EngineChoices is EngineNames plus the pseudo-engine "auto" — the full
+// set of spellings ParseEngine accepts, for flag usage strings and
+// catalogs that present the user-facing choice.
+func EngineChoices() []string {
+	return append(EngineNames(), EngineAuto.String())
+}
+
 // NewRunner constructs a fresh population of n agents in the protocol's
 // initial state on the selected engine, with the scheduler seeded by seed.
 // All engines realize the same Markov chain: for a fixed engine a seed
@@ -147,6 +170,11 @@ func NewRunner[S comparable](engine Engine, proto Protocol[S], n int, seed uint6
 		return NewCountSimulator(proto, n, seed)
 	case EngineBatch:
 		return NewBatchSimulator(proto, n, seed)
+	case EngineAuto:
+		// "auto" is resolved by the registry (per protocol and n) before
+		// construction; reaching here is a programmer error, not a spec the
+		// user can fix.
+		panic("pp: EngineAuto must be resolved to a concrete engine before NewRunner")
 	default:
 		return NewSimulator(proto, n, seed)
 	}

@@ -1,0 +1,81 @@
+package registry_test
+
+import (
+	"errors"
+	"testing"
+
+	"popproto/internal/pp"
+	"popproto/internal/registry"
+)
+
+// TestParseEngineAuto: the pseudo-engine parses, round-trips its
+// spelling, and stays out of the concrete engine set.
+func TestParseEngineAuto(t *testing.T) {
+	e, err := pp.ParseEngine("auto")
+	if err != nil || e != pp.EngineAuto {
+		t.Fatalf("ParseEngine(auto) = %v, %v", e, err)
+	}
+	if e.String() != "auto" {
+		t.Errorf("EngineAuto.String() = %q", e.String())
+	}
+	if e.Valid() {
+		t.Error("EngineAuto reports Valid: it is not a simulator")
+	}
+	for _, name := range pp.EngineNames() {
+		if name == "auto" {
+			t.Error("EngineNames includes the pseudo-engine")
+		}
+	}
+	choices := pp.EngineChoices()
+	if choices[len(choices)-1] != "auto" {
+		t.Errorf("EngineChoices = %v, want auto listed last", choices)
+	}
+}
+
+// TestResolveEngine: auto resolves per protocol and population size —
+// per-agent for census-hostile protocols and small populations, batch
+// for census-friendly ones at scale — and concrete engines pass through.
+func TestResolveEngine(t *testing.T) {
+	cases := []struct {
+		protocol string
+		n        int
+		want     pp.Engine
+	}{
+		{"pll", 1000, pp.EngineAgent},
+		{"pll", 1 << 20, pp.EngineBatch},
+		{"angluin", 1 << 20, pp.EngineBatch},
+		{"maxid", 1 << 20, pp.EngineAgent}, // census-hostile: Θ(n) live states
+	}
+	for _, c := range cases {
+		got, err := registry.ResolveEngine(registry.Spec{Protocol: c.protocol, N: c.n, Engine: pp.EngineAuto})
+		if err != nil {
+			t.Fatalf("%s n=%d: %v", c.protocol, c.n, err)
+		}
+		if got.Engine != c.want {
+			t.Errorf("%s n=%d resolved to %v, want %v", c.protocol, c.n, got.Engine, c.want)
+		}
+	}
+
+	passthrough, err := registry.ResolveEngine(registry.Spec{Protocol: "pll", N: 10, Engine: pp.EngineCount})
+	if err != nil || passthrough.Engine != pp.EngineCount {
+		t.Errorf("concrete engine did not pass through: %v, %v", passthrough.Engine, err)
+	}
+	if _, err := registry.ResolveEngine(registry.Spec{Protocol: "nope", Engine: pp.EngineAuto}); !errors.Is(err, registry.ErrBadSpec) {
+		t.Errorf("unknown protocol error = %v, want ErrBadSpec", err)
+	}
+}
+
+// TestNewWithAuto: registry.New accepts an auto spec and constructs the
+// resolved engine's simulator (the election runs like the concrete one).
+func TestNewWithAuto(t *testing.T) {
+	el, err := registry.New(registry.Spec{Protocol: "angluin", N: 64, Engine: pp.EngineAuto, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := el.RunUntilLeaders(1, 1_000_000); !ok {
+		t.Fatal("auto-engine election did not stabilize")
+	}
+	if el.Leaders() != 1 {
+		t.Fatalf("leaders = %d", el.Leaders())
+	}
+}

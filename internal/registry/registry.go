@@ -350,11 +350,32 @@ func validate(spec Spec) (Entry, error) {
 		return Entry{}, fmt.Errorf("%w: population size %d < %d", ErrBadSpec, spec.N, MinN)
 	}
 	// Derived from pp.Engines, so a new engine is accepted here the moment
-	// it exists rather than when someone remembers this switch.
-	if !spec.Engine.Valid() {
+	// it exists rather than when someone remembers this switch. The
+	// pseudo-engine "auto" is also accepted: it resolves to the entry's
+	// recommended engine (ResolveEngine) before any population is built.
+	if spec.Engine != pp.EngineAuto && !spec.Engine.Valid() {
 		return Entry{}, fmt.Errorf("%w: unknown engine %v", ErrBadSpec, spec.Engine)
 	}
 	return entry, nil
+}
+
+// ResolveEngine returns spec with the pseudo-engine pp.EngineAuto
+// replaced by the entry's recommendation for spec.N; specs naming a
+// concrete engine pass through unchanged. Every consumer that derives
+// anything from the engine — canonical cache keys, derived seeds, actual
+// simulators — must resolve first, so that an "auto" spec and the
+// explicit spec it resolves to are one identity.
+func ResolveEngine(spec Spec) (Spec, error) {
+	if spec.Engine != pp.EngineAuto {
+		return spec, nil
+	}
+	entry, ok := Lookup(spec.Protocol)
+	if !ok {
+		return Spec{}, fmt.Errorf("%w: unknown protocol %q (valid: %s)",
+			ErrBadSpec, spec.Protocol, strings.Join(Keys(), ", "))
+	}
+	spec.Engine = entry.RecommendedEngine(spec.N)
+	return spec, nil
 }
 
 // Validate checks spec fully — catalog membership, the shared invariants,
@@ -386,6 +407,9 @@ func New(spec Spec) (Election, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec, err = ResolveEngine(spec); err != nil {
+		return nil, err
+	}
 	return entry.build(spec)
 }
 
@@ -398,6 +422,9 @@ func New(spec Spec) (Election, error) {
 func Measure(spec Spec, reps, workers int, budget uint64) ([]pp.RunResult, error) {
 	entry, err := Validate(spec)
 	if err != nil {
+		return nil, err
+	}
+	if spec, err = ResolveEngine(spec); err != nil {
 		return nil, err
 	}
 	if budget == 0 {

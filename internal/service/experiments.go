@@ -5,12 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"hash/fnv"
-	"sync"
 	"time"
 
 	"popproto/internal/ensemble"
 	"popproto/internal/registry"
+	"popproto/internal/service/runcore"
 	"popproto/internal/store"
 )
 
@@ -25,7 +24,7 @@ type ExperimentSpec struct {
 	Protocol string `json:"protocol"`
 	// N is the population size.
 	N int `json:"n"`
-	// Engine is "count", "agent" or "batch" ("" = "count").
+	// Engine is "count", "agent", "batch" or "auto" ("" = "count").
 	Engine string `json:"engine,omitempty"`
 	// Seed is the ensemble's base seed; replicate r runs with
 	// ensemble.ReplicateSeed(seed, r). 0 derives the base seed from the
@@ -67,39 +66,18 @@ func (s ExperimentSpec) key() string {
 	return fmt.Sprintf("%s r=%d ci=%g min=%d", s.jobPart().key(), s.Replicates, s.CI, s.MinReplicates)
 }
 
-// experimentID derives the public experiment id from the canonical key.
-func experimentID(key string) string {
-	h := fnv.New64a()
-	h.Write([]byte(key))
-	return fmt.Sprintf("e%016x", h.Sum64())
-}
-
-// Experiment is one managed ensemble. All exported methods are safe for
-// concurrent use.
+// Experiment is one managed ensemble: the generic run core plus the
+// experiment's spec and latest aggregates. All exported methods are
+// safe for concurrent use.
 type Experiment struct {
-	// ID is the public identifier, derived from the canonical spec.
-	ID string
+	*runcore.Run[ensemble.Aggregates]
 
 	spec  ExperimentSpec // canonicalized
 	espec ensemble.Spec  // resolved ensemble spec (budget, seeds)
 
-	ctx    context.Context
-	cancel context.CancelFunc
-
-	mu    sync.Mutex
-	state State
-	err   string
-	agg   *ensemble.Aggregates // latest streamed (or final) aggregates
-	// subs holds live aggregate subscriptions. Channels are closed ONLY
-	// by finishLocked, which runs on the experiment's worker goroutine —
-	// the same goroutine as the ensemble's OnUpdate fanout — so a send
-	// can never race a close (same discipline as Job.subs).
-	subs     map[chan ensemble.Aggregates]struct{}
-	done     chan struct{}
-	restored bool
-
-	created, started, finished time.Time
-	wallMillis                 int64
+	// Guarded by the embedded Run's lock.
+	agg        *ensemble.Aggregates // latest streamed (or final) aggregates
+	wallMillis int64
 }
 
 // ExperimentView is the JSON rendering of an experiment's current state.
@@ -121,48 +99,32 @@ type ExperimentView struct {
 	WallMillis int64      `json:"wallMillis,omitempty"`
 }
 
-// State returns the experiment's current lifecycle state.
-func (e *Experiment) State() State {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.state
-}
-
-// Done returns a channel closed when the experiment reaches a terminal
-// state.
-func (e *Experiment) Done() <-chan struct{} { return e.done }
-
 // Aggregates returns the latest aggregates, or nil before the first
 // replicate lands.
 func (e *Experiment) Aggregates() *ensemble.Aggregates {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.agg
+	var agg *ensemble.Aggregates
+	e.Locked(func() { agg = e.agg })
+	return agg
 }
 
 // View renders the experiment for JSON responses.
 func (e *Experiment) View() ExperimentView {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	meta := e.Meta()
 	v := ExperimentView{
 		ID:          e.ID,
-		State:       e.state,
+		State:       meta.State,
 		Spec:        e.spec,
 		BudgetSteps: e.espec.Budget,
-		Error:       e.err,
-		Aggregates:  e.agg,
-		Restored:    e.restored,
-		Created:     e.created,
-		WallMillis:  e.wallMillis,
+		Error:       meta.Err,
+		Restored:    meta.Restored,
+		Created:     meta.Created,
+		Started:     meta.Started,
+		Finished:    meta.Finished,
 	}
-	if !e.started.IsZero() {
-		t := e.started
-		v.Started = &t
-	}
-	if !e.finished.IsZero() {
-		t := e.finished
-		v.Finished = &t
-	}
+	e.Locked(func() {
+		v.Aggregates = e.agg
+		v.WallMillis = e.wallMillis
+	})
 	return v
 }
 
@@ -171,86 +133,16 @@ func (e *Experiment) View() ExperimentView {
 // experiment finishes. The returned cancel stops delivery without closing
 // the channel (only completion closes it), mirroring Job.Subscribe.
 func (e *Experiment) Subscribe() (latest *ensemble.Aggregates, live <-chan ensemble.Aggregates, cancel func()) {
-	ch := make(chan ensemble.Aggregates, 64)
-	e.mu.Lock()
-	latest = e.agg
-	if e.state.terminal() {
-		e.mu.Unlock()
-		close(ch)
-		return latest, ch, func() {}
-	}
-	e.subs[ch] = struct{}{}
-	e.mu.Unlock()
-	return latest, ch, func() {
-		e.mu.Lock()
-		delete(e.subs, ch)
-		e.mu.Unlock()
-	}
-}
-
-// begin moves a queued experiment to running, or reports false if it was
-// canceled while waiting in the queue.
-func (e *Experiment) begin() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	if e.ctx.Err() != nil || e.state != StateQueued {
-		e.finishLocked(StateCanceled, "canceled while queued")
-		return false
-	}
-	e.state = StateRunning
-	e.started = time.Now()
-	return true
+	live, cancel = e.Run.Subscribe(64, func() { latest = e.agg })
+	return latest, live, cancel
 }
 
 // update stores the latest aggregates and fans them out to subscribers
 // without blocking the ensemble (slow subscribers miss intermediate
 // updates rather than stalling the replication).
 func (e *Experiment) update(agg ensemble.Aggregates) {
-	e.mu.Lock()
 	cp := agg
-	e.agg = &cp
-	fanout := make([]chan ensemble.Aggregates, 0, len(e.subs))
-	for ch := range e.subs {
-		fanout = append(fanout, ch)
-	}
-	e.mu.Unlock()
-	for _, ch := range fanout {
-		select {
-		case ch <- agg:
-		default:
-		}
-	}
-}
-
-// finishLocked transitions to a terminal state, closing the done channel
-// and every live subscription. Callers hold e.mu.
-func (e *Experiment) finishLocked(state State, errMsg string) {
-	if e.state.terminal() {
-		return
-	}
-	e.state = state
-	e.err = errMsg
-	e.finished = time.Now()
-	for ch := range e.subs {
-		close(ch)
-	}
-	e.subs = nil
-	close(e.done)
-	e.cancel()
-}
-
-func (e *Experiment) finish(state State, errMsg string) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.finishLocked(state, errMsg)
-}
-
-func (e *Experiment) complete(agg ensemble.Aggregates) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	cp := agg
-	e.agg = &cp
-	e.finishLocked(StateDone, "")
+	e.Publish(agg, func() { e.agg = &cp })
 }
 
 // CanonicalizeExperiment resolves an ExperimentSpec's defaults and
@@ -313,166 +205,104 @@ func (m *Manager) SubmitExperiment(spec ExperimentSpec) (exp *Experiment, cached
 		return nil, false, err
 	}
 	key := canon.key()
-	id := experimentID(key)
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return nil, false, ErrClosed
+	e, outcome, err := m.exps.Submit(key, runID("e", key), m.decodeExperiment,
+		func() (*Experiment, error) {
+			e := &Experiment{
+				Run:   runcore.NewRun[ensemble.Aggregates](runID("e", key)),
+				spec:  canon,
+				espec: espec,
+			}
+			if err := m.expClass.Enqueue(func() { m.runExperiment(e) }); err != nil {
+				e.Cancel()
+				return nil, err
+			}
+			return e, nil
+		})
+	if err != nil {
+		return nil, false, err
 	}
-	if e, ok := m.expCache.get(key); ok {
-		if e.State() != StateCanceled {
-			m.hits++
-			return e, true, nil
-		}
-		m.expCache.remove(key)
-		delete(m.exps, e.ID)
-	}
-	if e, ok := m.exps[id]; ok && !e.State().terminal() {
-		m.joined++
-		return e, false, nil
-	}
-	if e := m.restoreExperimentLocked(key); e != nil {
-		m.storeHits++
-		return e, true, nil
-	}
-
-	ctx, cancel := context.WithCancel(context.Background())
-	e := &Experiment{
-		ID:      id,
-		spec:    canon,
-		espec:   espec,
-		ctx:     ctx,
-		cancel:  cancel,
-		state:   StateQueued,
-		subs:    make(map[chan ensemble.Aggregates]struct{}),
-		done:    make(chan struct{}),
-		created: time.Now(),
-	}
-	select {
-	case m.expQueue <- e:
-	default:
-		cancel()
-		return nil, false, ErrBusy
-	}
-	m.exps[id] = e
-	m.misses++
-	return e, false, nil
+	return e, outcome.Cached(), nil
 }
 
 // GetExperiment returns the experiment with the given id, restoring it
 // from the durable store if it is no longer indexed in memory.
 func (m *Manager) GetExperiment(id string) (*Experiment, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if e, ok := m.exps[id]; ok {
-		return e, true
-	}
-	if m.opts.Store != nil {
-		if rec, ok := m.opts.Store.GetByID(id); ok && rec.Kind == store.KindExperiment {
-			if e := m.restoreExperimentLocked(rec.Key); e != nil {
-				m.storeHits++
-				return e, true
-			}
-		}
-	}
-	return nil, false
+	return m.exps.Get(id, m.decodeExperiment)
 }
 
 // CancelExperiment requests cancellation of the experiment with the
 // given id, reporting whether it exists. Finished experiments are
 // unaffected.
 func (m *Manager) CancelExperiment(id string) bool {
-	m.mu.Lock()
-	e, ok := m.exps[id]
-	m.mu.Unlock()
-	if ok {
-		e.cancel()
-	}
-	return ok
+	return m.exps.Cancel(id)
 }
 
-// restoreExperimentLocked reconstructs a finished experiment from the
-// durable store's record for key. Callers hold m.mu.
-func (m *Manager) restoreExperimentLocked(key string) *Experiment {
-	if m.opts.Store == nil {
-		return nil
-	}
-	rec, ok := m.opts.Store.Get(store.KindExperiment, key)
-	if !ok {
-		return nil
-	}
+// decodeExperiment reconstructs a finished experiment from a durable
+// store record (the run core's restore-on-miss path).
+func (m *Manager) decodeExperiment(rec store.Record) (*Experiment, bool) {
 	var spec ExperimentSpec
 	var agg ensemble.Aggregates
 	if json.Unmarshal(rec.Spec, &spec) != nil || json.Unmarshal(rec.Data, &agg) != nil {
-		return nil
+		return nil, false
 	}
 	canon, espec, err := m.CanonicalizeExperiment(spec)
-	if err != nil || canon.key() != key {
-		return nil
+	if err != nil || canon.key() != rec.Key {
+		return nil, false
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel()
-	done := make(chan struct{})
-	close(done)
-	e := &Experiment{
-		ID:       rec.ID,
-		spec:     canon,
-		espec:    espec,
-		ctx:      ctx,
-		cancel:   cancel,
-		state:    StateDone,
-		agg:      &agg,
-		restored: true,
-		done:     done,
-		created:  rec.SavedAt,
-		started:  rec.SavedAt,
-		finished: rec.SavedAt,
-	}
-	m.exps[e.ID] = e
-	m.expCache.put(key, e)
-	return e
-}
-
-func (m *Manager) expWorker() {
-	defer m.expWg.Done()
-	for e := range m.expQueue {
-		m.runExperiment(e)
-	}
+	return &Experiment{
+		Run:   runcore.NewRestoredRun[ensemble.Aggregates](rec.ID, rec.SavedAt),
+		spec:  canon,
+		espec: espec,
+		agg:   &agg,
+	}, true
 }
 
 // runExperiment executes one experiment to a terminal state and indexes
 // the outcome.
 func (m *Manager) runExperiment(e *Experiment) {
-	if !e.begin() {
-		m.indexExperiment(e)
+	key := e.spec.key()
+	if !e.Begin(nil) {
+		m.exps.Finished(key, e)
 		return
 	}
 	start := time.Now()
-	res, err := ensemble.Run(e.ctx, e.espec, ensemble.Options{
+	res, err := ensemble.Run(e.Context(), e.espec, ensemble.Options{
 		Workers:  m.opts.Workers,
 		OnUpdate: e.update,
 	})
-	e.mu.Lock()
-	e.wallMillis = time.Since(start).Milliseconds()
-	e.mu.Unlock()
+	wall := time.Since(start).Milliseconds()
 	switch {
 	case err == nil:
-		e.complete(res.Aggregates)
-		m.indexExperiment(e)
-		m.persist(store.KindExperiment, e.spec.key(), e.ID, e.spec, res.Aggregates)
+		agg := res.Aggregates
+		e.Finish(StateDone, "", func() {
+			e.agg = &agg
+			e.wallMillis = wall
+		})
+		m.exps.Finished(key, e)
+		m.core.Persist(store.KindExperiment, key, e.ID, e.spec, agg)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
-		e.finish(StateCanceled, "canceled")
-		m.indexExperiment(e)
+		e.Finish(StateCanceled, "canceled", func() { e.wallMillis = wall })
+		m.exps.Finished(key, e)
 	default:
-		e.finish(StateFailed, err.Error())
-		m.indexExperiment(e)
+		e.Finish(StateFailed, err.Error(), func() { e.wallMillis = wall })
+		m.exps.Finished(key, e)
 	}
 }
 
-// indexExperiment files a terminal experiment in the finished-work cache.
-func (m *Manager) indexExperiment(e *Experiment) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.expCache.put(e.spec.key(), e)
+// finishedExperiment constructs an already-done experiment around
+// externally computed aggregates — how a sweep cell publishes its
+// result into the experiment cache, so a later POST /v1/experiments of
+// the same spec is a cache hit.
+func finishedExperiment(id string, spec ExperimentSpec, espec ensemble.Spec, agg ensemble.Aggregates, wallMillis int64) *Experiment {
+	e := &Experiment{
+		Run:   runcore.NewRun[ensemble.Aggregates](id),
+		spec:  spec,
+		espec: espec,
+	}
+	cp := agg
+	e.Finish(StateDone, "", func() {
+		e.agg = &cp
+		e.wallMillis = wallMillis
+	})
+	return e
 }

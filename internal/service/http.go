@@ -6,10 +6,13 @@ import (
 	"fmt"
 	"net/http"
 
+	"popproto/internal/ensemble"
+	"popproto/internal/pp"
 	"popproto/internal/registry"
 )
 
-// maxBodyBytes bounds POST bodies; a job spec is a handful of scalars.
+// maxBodyBytes bounds POST bodies; a job or sweep spec is a handful of
+// scalars and short arrays.
 const maxBodyBytes = 1 << 20
 
 // NewHandler returns the popprotod HTTP API on top of m:
@@ -23,52 +26,92 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/experiments/{id}        experiment status and aggregates
 //	DELETE /v1/experiments/{id}        request cancellation
 //	GET    /v1/experiments/{id}/stream live aggregates as server-sent events
+//	POST   /v1/sweeps                  submit a parameter sweep (SweepSpec body)
+//	GET    /v1/sweeps/{id}             sweep status, cells and scaling summary
+//	DELETE /v1/sweeps/{id}             request cancellation (cascades to cells)
+//	GET    /v1/sweeps/{id}/stream      live per-cell aggregates as server-sent events
 //	GET    /v1/health                  liveness plus cache/pool counters
 //
 // Every error response is JSON of the form {"error": "..."}; invalid
-// specs map to 400, unknown jobs to 404, a full queue to 429, and a
+// specs map to 400, unknown runs to 404, a full queue to 429, and a
 // shutting-down server to 503.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/protocols", handleProtocols)
+
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		handleSubmit(m, w, r)
+		handleSubmit(w, r, "job spec", m.Submit, func(j *Job, cached bool) any {
+			return submitResponse{Job: j.View(), Cached: cached}
+		})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		withJob(m, w, r, func(j *Job) {
+		withRun(w, r, "job", m.Get, func(j *Job) {
 			writeJSON(w, http.StatusOK, j.View())
 		})
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		withJob(m, w, r, func(j *Job) {
+		withRun(w, r, "job", m.Get, func(j *Job) {
 			m.Cancel(j.ID)
 			writeJSON(w, http.StatusAccepted, j.View())
 		})
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
-		withJob(m, w, r, func(j *Job) {
-			handleTrace(w, r, j)
+		withRun(w, r, "job", m.Get, func(j *Job) {
+			replay, live, cancel := j.Subscribe()
+			streamSSE(w, r, "census", replay, live, cancel, func() any { return j.View() })
 		})
 	})
+
 	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
-		handleSubmitExperiment(m, w, r)
+		handleSubmit(w, r, "experiment spec", m.SubmitExperiment, func(e *Experiment, cached bool) any {
+			return submitExperimentResponse{Experiment: e.View(), Cached: cached}
+		})
 	})
 	mux.HandleFunc("GET /v1/experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
-		withExperiment(m, w, r, func(e *Experiment) {
+		withRun(w, r, "experiment", m.GetExperiment, func(e *Experiment) {
 			writeJSON(w, http.StatusOK, e.View())
 		})
 	})
 	mux.HandleFunc("DELETE /v1/experiments/{id}", func(w http.ResponseWriter, r *http.Request) {
-		withExperiment(m, w, r, func(e *Experiment) {
+		withRun(w, r, "experiment", m.GetExperiment, func(e *Experiment) {
 			m.CancelExperiment(e.ID)
 			writeJSON(w, http.StatusAccepted, e.View())
 		})
 	})
 	mux.HandleFunc("GET /v1/experiments/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
-		withExperiment(m, w, r, func(e *Experiment) {
-			handleExperimentStream(w, r, e)
+		withRun(w, r, "experiment", m.GetExperiment, func(e *Experiment) {
+			latest, live, cancel := e.Subscribe()
+			var replay []ensemble.Aggregates
+			if latest != nil {
+				replay = append(replay, *latest)
+			}
+			streamSSE(w, r, "aggregate", replay, live, cancel, func() any { return e.View() })
 		})
 	})
+
+	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
+		handleSubmit(w, r, "sweep spec", m.SubmitSweep, func(s *Sweep, cached bool) any {
+			return submitSweepResponse{Sweep: s.View(), Cached: cached}
+		})
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		withRun(w, r, "sweep", m.GetSweep, func(s *Sweep) {
+			writeJSON(w, http.StatusOK, s.View())
+		})
+	})
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", func(w http.ResponseWriter, r *http.Request) {
+		withRun(w, r, "sweep", m.GetSweep, func(s *Sweep) {
+			m.CancelSweep(s.ID)
+			writeJSON(w, http.StatusAccepted, s.View())
+		})
+	})
+	mux.HandleFunc("GET /v1/sweeps/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
+		withRun(w, r, "sweep", m.GetSweep, func(s *Sweep) {
+			replay, live, cancel := s.Subscribe()
+			streamSSE(w, r, "cell", replay, live, cancel, func() any { return s.View() })
+		})
+	})
+
 	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, struct {
 			Status string `json:"status"`
@@ -101,9 +144,13 @@ type protocolDoc struct {
 	Target  int        `json:"target"`
 	Params  []paramDoc `json:"params,omitempty"`
 	// Engines lists the engines that scale to large n for this protocol,
-	// in preference order (every engine is accepted at any size within
-	// the server's limits).
+	// in preference order, plus the pseudo-engine "auto", which resolves
+	// to the recommendation per population size (every engine is
+	// accepted at any size within the server's limits).
 	Engines []string `json:"engines"`
+	// RecommendedEngine previews what "auto" resolves to at a large
+	// population (10⁶): the registry's per-protocol recommendation.
+	RecommendedEngine string `json:"recommendedEngine"`
 }
 
 type paramDoc struct {
@@ -116,11 +163,12 @@ func handleProtocols(w http.ResponseWriter, _ *http.Request) {
 	docs := make([]protocolDoc, len(entries))
 	for i, e := range entries {
 		d := protocolDoc{
-			Key:     e.Key,
-			Summary: e.Summary,
-			States:  e.States,
-			Time:    e.Time,
-			Target:  e.Target,
+			Key:               e.Key,
+			Summary:           e.Summary,
+			States:            e.States,
+			Time:              e.Time,
+			Target:            e.Target,
+			RecommendedEngine: e.RecommendedEngine(1_000_000).String(),
 		}
 		for _, p := range e.Params {
 			d.Params = append(d.Params, paramDoc{Name: p.Name, Doc: p.Doc})
@@ -128,6 +176,7 @@ func handleProtocols(w http.ResponseWriter, _ *http.Request) {
 		for _, eng := range e.SuitableEngines() {
 			d.Engines = append(d.Engines, eng.String())
 		}
+		d.Engines = append(d.Engines, pp.EngineAuto.String())
 		docs[i] = d
 	}
 	writeJSON(w, http.StatusOK, struct {
@@ -142,54 +191,35 @@ type submitResponse struct {
 	Cached bool    `json:"cached"`
 }
 
-func handleSubmit(m *Manager, w http.ResponseWriter, r *http.Request) {
-	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	var spec JobSpec
-	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid job spec: %v", err)
-		return
-	}
-	job, cached, err := m.Submit(spec)
-	switch {
-	case errors.Is(err, registry.ErrBadSpec):
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	case errors.Is(err, ErrBusy):
-		writeError(w, http.StatusTooManyRequests, "%v", err)
-		return
-	case errors.Is(err, ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	code := http.StatusAccepted
-	if cached {
-		code = http.StatusOK
-	}
-	writeJSON(w, code, submitResponse{Job: job.View(), Cached: cached})
-}
-
-// submitExperimentResponse is the POST /v1/experiments body: the
-// experiment plus whether it was answered from the cache or the store.
+// submitExperimentResponse is the POST /v1/experiments body.
 type submitExperimentResponse struct {
 	Experiment ExperimentView `json:"experiment"`
 	Cached     bool           `json:"cached"`
 }
 
-func handleSubmitExperiment(m *Manager, w http.ResponseWriter, r *http.Request) {
+// submitSweepResponse is the POST /v1/sweeps body.
+type submitSweepResponse struct {
+	Sweep  SweepView `json:"sweep"`
+	Cached bool      `json:"cached"`
+}
+
+// handleSubmit is the one submission handler every run kind shares:
+// decode the spec (strictly — unknown fields are rejected), submit it
+// through the kind's manager method, map the shared error taxonomy to
+// status codes, and answer 200 for cached work, 202 for fresh or joined
+// work.
+func handleSubmit[Spec, R any](w http.ResponseWriter, r *http.Request, what string,
+	submit func(Spec) (R, bool, error), render func(R, bool) any,
+) {
 	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
-	var spec ExperimentSpec
+	var spec Spec
 	if err := dec.Decode(&spec); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid experiment spec: %v", err)
+		writeError(w, http.StatusBadRequest, "invalid %s: %v", what, err)
 		return
 	}
-	exp, cached, err := m.SubmitExperiment(spec)
+	run, cached, err := submit(spec)
 	switch {
 	case errors.Is(err, registry.ErrBadSpec):
 		writeError(w, http.StatusBadRequest, "%v", err)
@@ -208,34 +238,38 @@ func handleSubmitExperiment(m *Manager, w http.ResponseWriter, r *http.Request) 
 	if cached {
 		code = http.StatusOK
 	}
-	writeJSON(w, code, submitExperimentResponse{Experiment: exp.View(), Cached: cached})
+	writeJSON(w, code, render(run, cached))
 }
 
-// withExperiment resolves the {id} path value and 404s unknown
-// experiments.
-func withExperiment(m *Manager, w http.ResponseWriter, r *http.Request, fn func(*Experiment)) {
+// withRun resolves the {id} path value through the kind's getter and
+// 404s unknown ids.
+func withRun[R any](w http.ResponseWriter, r *http.Request, what string,
+	get func(string) (R, bool), fn func(R),
+) {
 	id := r.PathValue("id")
-	exp, ok := m.GetExperiment(id)
+	run, ok := get(id)
 	if !ok {
-		writeError(w, http.StatusNotFound, "no such experiment %q", id)
+		writeError(w, http.StatusNotFound, "no such %s %q", what, id)
 		return
 	}
-	fn(exp)
+	fn(run)
 }
 
-// handleExperimentStream streams the experiment's live aggregates as
-// server-sent events: one "aggregate" event with the latest summary (if
-// any), further "aggregate" events as replicates are incorporated, and a
-// final "done" event carrying the experiment view once it reaches a
-// terminal state.
-func handleExperimentStream(w http.ResponseWriter, r *http.Request, e *Experiment) {
+// streamSSE is the one server-sent-events loop every run kind shares:
+// replay the stored events, forward live ones as they are published,
+// and finish with a "done" event carrying the kind's view once the run
+// reaches a terminal state (the run core closes the live channel then —
+// and only then). The subscription's cancel only stops delivery, so
+// returning on a dropped client can never race the publisher.
+func streamSSE[E any](w http.ResponseWriter, r *http.Request, event string,
+	replay []E, live <-chan E, cancel func(), doneView func() any,
+) {
+	defer cancel()
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
 		return
 	}
-	latest, live, cancel := e.Subscribe()
-	defer cancel()
 
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
@@ -255,82 +289,19 @@ func handleExperimentStream(w http.ResponseWriter, r *http.Request, e *Experimen
 		return true
 	}
 
-	if latest != nil {
-		if !emit("aggregate", latest) {
+	for _, e := range replay {
+		if !emit(event, e) {
 			return
 		}
 	}
 	for {
 		select {
-		case agg, open := <-live:
+		case e, open := <-live:
 			if !open {
-				emit("done", e.View())
+				emit("done", doneView())
 				return
 			}
-			if !emit("aggregate", agg) {
-				return
-			}
-		case <-r.Context().Done():
-			return
-		}
-	}
-}
-
-// withJob resolves the {id} path value and 404s unknown jobs.
-func withJob(m *Manager, w http.ResponseWriter, r *http.Request, fn func(*Job)) {
-	id := r.PathValue("id")
-	job, ok := m.Get(id)
-	if !ok {
-		writeError(w, http.StatusNotFound, "no such job %q", id)
-		return
-	}
-	fn(job)
-}
-
-// handleTrace streams the job's census trajectory as server-sent events:
-// one "census" event per snapshot (replayed from the stored trajectory,
-// then live as the run progresses) and a final "done" event carrying the
-// job view once the job reaches a terminal state.
-func handleTrace(w http.ResponseWriter, r *http.Request, j *Job) {
-	flusher, ok := w.(http.Flusher)
-	if !ok {
-		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")
-		return
-	}
-	replay, live, cancel := j.Subscribe()
-	defer cancel()
-
-	h := w.Header()
-	h.Set("Content-Type", "text/event-stream")
-	h.Set("Cache-Control", "no-cache")
-	h.Set("Connection", "keep-alive")
-	w.WriteHeader(http.StatusOK)
-
-	emit := func(event string, v any) bool {
-		data, err := json.Marshal(v)
-		if err != nil {
-			return false
-		}
-		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
-			return false
-		}
-		flusher.Flush()
-		return true
-	}
-
-	for _, snap := range replay {
-		if !emit("census", snap) {
-			return
-		}
-	}
-	for {
-		select {
-		case snap, open := <-live:
-			if !open {
-				emit("done", j.View())
-				return
-			}
-			if !emit("census", snap) {
+			if !emit(event, e) {
 				return
 			}
 		case <-r.Context().Done():

@@ -1,0 +1,223 @@
+package service_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"popproto/internal/service"
+)
+
+// TestSweepEndToEnd: submit a parameter sweep over HTTP, poll to
+// completion, check the per-cell aggregates and the fitted scaling
+// summary, hit the cache on resubmission, and read the SSE cell stream.
+func TestSweepEndToEnd(t *testing.T) {
+	h := newTestHandler(t, service.Options{Workers: 4})
+	spec := `{"protocols": ["pll"], "ns": [500, 1000, 2000], "engine": "count", "replicates": 3}`
+
+	var first struct {
+		Sweep  service.SweepView `json:"sweep"`
+		Cached bool              `json:"cached"`
+	}
+	do(t, h, "POST", "/v1/sweeps", spec, http.StatusAccepted, &first)
+	if first.Cached {
+		t.Error("first submission reported cached")
+	}
+	id := first.Sweep.ID
+	if id == "" {
+		t.Fatal("no sweep id in response")
+	}
+	if len(first.Sweep.Cells) != 3 {
+		t.Fatalf("submitted sweep has %d cells, want 3", len(first.Sweep.Cells))
+	}
+
+	deadline := time.Now().Add(120 * time.Second)
+	var view service.SweepView
+	for {
+		do(t, h, "GET", "/v1/sweeps/"+id, "", http.StatusOK, &view)
+		if view.State == service.StateDone {
+			break
+		}
+		if view.State == service.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("sweep did not complete: %+v", view)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	for _, c := range view.Cells {
+		if c.State != service.StateDone || c.Aggregates == nil {
+			t.Errorf("cell n=%d: state %s, aggregates %v", c.N, c.State, c.Aggregates)
+			continue
+		}
+		if c.Aggregates.Stabilized != 3 {
+			t.Errorf("cell n=%d stabilized %d/3", c.N, c.Aggregates.Stabilized)
+		}
+		if c.ExperimentID == "" {
+			t.Errorf("cell n=%d has no experiment id", c.N)
+		}
+	}
+	if view.Summary == nil || len(view.Summary.Fits) != 1 {
+		t.Fatalf("summary = %+v, want one fit", view.Summary)
+	}
+	fit := view.Summary.Fits[0]
+	if fit.Protocol != "pll" || fit.Points != 3 || fit.R2 < 0 || fit.R2 > 1 {
+		t.Errorf("implausible fit: %+v", fit)
+	}
+
+	// A cell is fetchable as a standalone experiment by its advertised id.
+	var expView service.ExperimentView
+	do(t, h, "GET", "/v1/experiments/"+view.Cells[0].ExperimentID, "", http.StatusOK, &expView)
+	if expView.State != service.StateDone || expView.Aggregates == nil {
+		t.Errorf("cell experiment view = %+v", expView)
+	}
+
+	// Identical spec served from cache with 200.
+	var second struct {
+		Sweep  service.SweepView `json:"sweep"`
+		Cached bool              `json:"cached"`
+	}
+	do(t, h, "POST", "/v1/sweeps", spec, http.StatusOK, &second)
+	if !second.Cached || second.Sweep.ID != id {
+		t.Errorf("resubmission not cached onto the same sweep: %+v", second)
+	}
+
+	// The SSE stream of a finished sweep replays one cell event per cell
+	// and closes with a done event carrying the summary.
+	r := httptest.NewRequest("GET", "/v1/sweeps/"+id+"/stream", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream status = %d (body: %s)", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "text/event-stream" {
+		t.Errorf("stream Content-Type = %q", ct)
+	}
+	cells, done := 0, 0
+	for _, line := range strings.Split(w.Body.String(), "\n") {
+		switch line {
+		case "event: cell":
+			cells++
+		case "event: done":
+			done++
+		}
+	}
+	if cells < 3 || done != 1 {
+		t.Errorf("stream replayed %d cell and %d done events, want >=3 and 1", cells, done)
+	}
+}
+
+func TestSweepValidationErrors(t *testing.T) {
+	h := newTestHandler(t, service.Options{})
+	cases := []struct {
+		name, body, wantErr string
+	}{
+		{"no protocols", `{"ns": [100], "replicates": 2}`, "at least one protocol"},
+		{"no ns", `{"protocols": ["pll"], "replicates": 2}`, "population size"},
+		{"replicates missing", `{"protocols": ["pll"], "ns": [100]}`, "replicates"},
+		{"unknown protocol", `{"protocols": ["paxos"], "ns": [100], "replicates": 2}`, "unknown protocol"},
+		{"bad engine", `{"protocols": ["pll"], "ns": [100], "replicates": 2, "engine": "gpu"}`, "unknown engine"},
+		{"unknown field", `{"protocols": ["pll"], "ns": [100], "replicates": 2, "flux": 1}`, "unknown field"},
+		{"ci out of range", `{"protocols": ["pll"], "ns": [100], "replicates": 2, "ci": 2}`, "ci target"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var e errBody
+			do(t, h, "POST", "/v1/sweeps", c.body, http.StatusBadRequest, &e)
+			if !strings.Contains(e.Error, c.wantErr) {
+				t.Errorf("error %q does not contain %q", e.Error, c.wantErr)
+			}
+		})
+	}
+
+	var e errBody
+	do(t, h, "GET", "/v1/sweeps/sdeadbeef", "", http.StatusNotFound, &e)
+	if !strings.Contains(e.Error, "no such sweep") {
+		t.Errorf("404 error = %q", e.Error)
+	}
+}
+
+// TestDeleteCancelsSweep: DELETE cascades to the in-flight cells and the
+// stream finishes with a done event carrying the canceled state.
+func TestDeleteCancelsSweep(t *testing.T) {
+	m := service.NewManager(service.Options{Workers: 2})
+	t.Cleanup(m.Close)
+	h := service.NewHandler(m)
+
+	sw, _, err := m.SubmitSweep(service.SweepSpec{
+		Protocols:  []string{"angluin"},
+		Ns:         []int{100_000, 120_000},
+		Engine:     "count",
+		Replicates: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view service.SweepView
+	do(t, h, "DELETE", "/v1/sweeps/"+sw.ID, "", http.StatusAccepted, &view)
+	if view.ID != sw.ID {
+		t.Errorf("DELETE returned sweep %q", view.ID)
+	}
+	select {
+	case <-sw.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatal("sweep did not stop after DELETE")
+	}
+	if sw.State() != service.StateCanceled {
+		t.Errorf("state = %s, want canceled", sw.State())
+	}
+}
+
+// TestProtocolsListAuto: the catalog advertises the pseudo-engine
+// "auto" and the per-protocol recommendation, and a job submitted with
+// engine "auto" canonicalizes to the concrete recommendation.
+func TestProtocolsListAuto(t *testing.T) {
+	h := newTestHandler(t, service.Options{Workers: 2})
+	var got struct {
+		Protocols []struct {
+			Key               string   `json:"key"`
+			Engines           []string `json:"engines"`
+			RecommendedEngine string   `json:"recommendedEngine"`
+		} `json:"protocols"`
+	}
+	do(t, h, "GET", "/v1/protocols", "", http.StatusOK, &got)
+	for _, p := range got.Protocols {
+		hasAuto := false
+		for _, e := range p.Engines {
+			if e == "auto" {
+				hasAuto = true
+			}
+		}
+		if !hasAuto {
+			t.Errorf("protocol %q does not list engine auto: %v", p.Key, p.Engines)
+		}
+		if p.RecommendedEngine == "" || p.RecommendedEngine == "auto" {
+			t.Errorf("protocol %q recommendedEngine = %q", p.Key, p.RecommendedEngine)
+		}
+	}
+
+	// engine auto resolves at canonicalization: the job's canonical spec
+	// names the concrete engine, and it dedups with the explicit spelling.
+	var auto submitResp
+	do(t, h, "POST", "/v1/jobs", `{"protocol": "pll", "n": 2000, "engine": "auto", "seed": 7}`,
+		http.StatusAccepted, &auto)
+	if auto.Job.Spec.Engine != "agent" {
+		t.Errorf("auto at n=2000 canonicalized to %q, want agent", auto.Job.Spec.Engine)
+	}
+	// The explicit spelling lands on the same run (200 if already done,
+	// 202 if it joined the in-flight job — either way, the same id).
+	var explicit submitResp
+	r := httptest.NewRequest("POST", "/v1/jobs", strings.NewReader(`{"protocol": "pll", "n": 2000, "engine": "agent", "seed": 7}`))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK && w.Code != http.StatusAccepted {
+		t.Fatalf("explicit resubmission status = %d", w.Code)
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &explicit); err != nil {
+		t.Fatal(err)
+	}
+	if explicit.Job.ID != auto.Job.ID {
+		t.Errorf("auto and explicit specs did not dedupe: %q vs %q", auto.Job.ID, explicit.Job.ID)
+	}
+}

@@ -1,4 +1,4 @@
-package service
+package runcore
 
 import "container/list"
 

@@ -1,0 +1,149 @@
+package runcore
+
+import "sync"
+
+// Task is one unit of queued work: a closure that runs a submitted run
+// to a terminal state.
+type Task func()
+
+// Scheduler is the one worker pool every run kind shares. Kinds
+// register a Class each; a class has its own bounded admission queue
+// (beyond which Enqueue reports ErrBusy) and its own concurrency cap
+// (an experiment or sweep occupies one slot for its whole duration
+// while fanning replicates over goroutines of its own, so kinds that
+// multiply their worker must be capped independently of cheap kinds).
+// Dispatch round-robins across the classes with runnable work, so under
+// mixed job + experiment + sweep load no kind can starve another.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	classes []*Class
+	next    int // round-robin start position for the next dispatch
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Class is one run kind's admission queue and concurrency cap on the
+// shared scheduler.
+type Class struct {
+	sched      *Scheduler
+	name       string
+	queue      []Task
+	capacity   int
+	running    int
+	maxRunning int
+}
+
+// NewScheduler starts a scheduler with the given number of worker
+// goroutines. Size it as the sum of the classes' concurrency caps so
+// every class can reach its cap even when the others are saturated.
+func NewScheduler(workers int) *Scheduler {
+	s := &Scheduler{}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// NewClass registers a run kind: capacity bounds the queued-but-not-
+// running tasks (beyond it Enqueue returns ErrBusy), maxRunning bounds
+// the kind's concurrently executing tasks.
+func (s *Scheduler) NewClass(name string, capacity, maxRunning int) *Class {
+	c := &Class{sched: s, name: name, capacity: capacity, maxRunning: maxRunning}
+	s.mu.Lock()
+	s.classes = append(s.classes, c)
+	s.mu.Unlock()
+	return c
+}
+
+// Enqueue admits t to the class's queue. It fails with ErrBusy when the
+// queue is at capacity and ErrClosed after Close.
+func (c *Class) Enqueue(t Task) error {
+	s := c.sched
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if len(c.queue) >= c.capacity {
+		return ErrBusy
+	}
+	c.queue = append(c.queue, t)
+	s.cond.Signal()
+	return nil
+}
+
+// Queued returns the class's current queue length (for tests and
+// stats).
+func (c *Class) Queued() int {
+	c.sched.mu.Lock()
+	defer c.sched.mu.Unlock()
+	return len(c.queue)
+}
+
+// Close stops admission and waits for the workers to exit. Tasks still
+// queued at close time ARE executed first — the manager cancels their
+// runs before closing, so each drains immediately through its
+// canceled-while-queued path and still reaches a terminal state — and
+// running tasks finish.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker dispatches tasks until the scheduler is closed and drained.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		c, t := s.pickLocked()
+		if t == nil {
+			if s.closed && s.drainedLocked() {
+				s.mu.Unlock()
+				return
+			}
+			s.cond.Wait()
+			continue
+		}
+		s.mu.Unlock()
+		t()
+		s.mu.Lock()
+		c.running--
+		// A finished task can unblock a class that was at its cap, and on
+		// shutdown every waiter must recheck the drain condition.
+		s.cond.Broadcast()
+	}
+}
+
+// pickLocked selects the next runnable task round-robin across classes:
+// starting after the last dispatched class, the first class with queued
+// work below its concurrency cap wins. Callers hold s.mu.
+func (s *Scheduler) pickLocked() (*Class, Task) {
+	for i := range s.classes {
+		c := s.classes[(s.next+i)%len(s.classes)]
+		if len(c.queue) > 0 && c.running < c.maxRunning {
+			t := c.queue[0]
+			c.queue = c.queue[1:]
+			c.running++
+			s.next = (s.next + i + 1) % len(s.classes)
+			return c, t
+		}
+	}
+	return nil, nil
+}
+
+// drainedLocked reports whether every class's queue is empty. Callers
+// hold s.mu.
+func (s *Scheduler) drainedLocked() bool {
+	for _, c := range s.classes {
+		if len(c.queue) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,70 +1,66 @@
-// Package service runs population-protocol simulations as managed jobs:
+// Package service runs population-protocol simulations as managed work:
 // the layer between the protocol registry and the popprotod HTTP server.
 //
-// A job is described by a JobSpec (protocol, n, engine, seed, knobs). The
-// Manager canonicalizes the spec, derives a deterministic seed when none
-// is given, and runs the job on a bounded worker pool. Because every run
-// is a deterministic function of its canonical spec (see the registry's
-// determinism tests), finished jobs are cached in an LRU keyed by that
-// spec: identical requests — the hot path when the same elections are
-// requested over and over — are answered without simulating anything.
+// Three run kinds share one orchestration core (internal/service/runcore):
 //
-// While a job runs, the worker records a census-snapshot trajectory
-// (decimated to a bounded length) that subscribers can stream; the HTTP
-// layer forwards it as server-sent events.
+//   - Jobs: one election described by a JobSpec (protocol, n, engine,
+//     seed, knobs), with a census-snapshot trajectory subscribers can
+//     stream.
+//   - Experiments: parallel Monte-Carlo ensembles of one spec
+//     (internal/ensemble) with streaming aggregate updates and optional
+//     CI-targeted early stopping. See experiments.go.
+//   - Sweeps: parameter grids — a population axis × a protocol axis —
+//     whose cells each run as a full ensemble, summarized as fitted
+//     a·lg n + b scaling curves. See sweeps.go.
 //
-// With a durable result store configured (Options.Store), the LRU is a
-// cache in front of the store rather than the source of truth: finished
-// jobs and experiments are appended to the store, and a submission that
-// misses both the cache and the in-flight index is answered from the
-// store — across restarts — before any simulation is scheduled.
-//
-// Beyond single jobs, the Manager runs *experiments*: parallel
-// Monte-Carlo ensembles of one spec (internal/ensemble) with streaming
-// aggregate updates and optional CI-targeted early stopping. See
-// experiments.go.
+// The core owns, once, what the kinds would otherwise duplicate: the
+// lifecycle state machine, the bounded-queue worker pool with per-kind
+// fairness, the streaming fanout with its close discipline, and the
+// canonical-key result cache. Every run is a deterministic function of
+// its canonical spec (see the registry's determinism tests), so
+// finished work is cached in per-kind LRUs keyed by that spec —
+// identical requests are answered without simulating anything — and
+// with a durable result store configured (Options.Store) the LRUs are
+// caches in front of the store: finished results are appended there and
+// served back across restarts before any simulation is scheduled.
 package service
 
 import (
-	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"hash/fnv"
 	"runtime"
-	"sync"
 	"time"
 
 	"popproto/internal/ensemble"
 	"popproto/internal/pp"
 	"popproto/internal/registry"
+	"popproto/internal/service/runcore"
 	"popproto/internal/store"
 )
 
 // Service-level submission failures, distinguished so the HTTP layer can
 // map them to status codes (429/503) separate from spec validation 400s.
+// They are the run core's, re-exported at the package boundary callers
+// already import.
 var (
-	// ErrBusy reports a full job queue; the caller should retry later.
-	ErrBusy = errors.New("service: job queue is full")
+	// ErrBusy reports a full queue; the caller should retry later.
+	ErrBusy = runcore.ErrBusy
 	// ErrClosed reports submission to a manager that has been shut down.
-	ErrClosed = errors.New("service: manager is closed")
+	ErrClosed = runcore.ErrClosed
 )
 
-// State is a job's lifecycle state.
-type State string
+// State is a run's lifecycle state (shared by jobs, experiments and
+// sweeps).
+type State = runcore.State
 
 const (
-	StateQueued   State = "queued"
-	StateRunning  State = "running"
-	StateDone     State = "done"
-	StateFailed   State = "failed"
-	StateCanceled State = "canceled"
+	StateQueued   = runcore.StateQueued
+	StateRunning  = runcore.StateRunning
+	StateDone     = runcore.StateDone
+	StateFailed   = runcore.StateFailed
+	StateCanceled = runcore.StateCanceled
 )
-
-// terminal reports whether no further transitions are possible.
-func (s State) terminal() bool {
-	return s == StateDone || s == StateFailed || s == StateCanceled
-}
 
 // JobSpec is the wire-format job description (the POST /v1/jobs body).
 // Zero values are meaningful defaults, resolved by canonicalization:
@@ -76,9 +72,10 @@ type JobSpec struct {
 	Protocol string `json:"protocol"`
 	// N is the population size.
 	N int `json:"n"`
-	// Engine is "count", "agent" or "batch" ("" = "count"; "batch" is the
-	// fastest census-based engine for small-state-space protocols at
-	// large n).
+	// Engine is "count", "agent", "batch" or "auto" ("" = "count";
+	// "auto" resolves to the registry's recommendation for the protocol
+	// and n at canonicalization time, so the canonical spec — and the
+	// cache key and derived seed — always name a concrete engine).
 	Engine string `json:"engine,omitempty"`
 	// Seed seeds the scheduler; 0 derives one from the canonical spec, so
 	// omitting it still yields a deterministic, cacheable job.
@@ -101,12 +98,13 @@ func (s JobSpec) key() string {
 		s.Protocol, s.N, s.Engine, s.Seed, s.M, s.MaxParallelTime, s.Verify)
 }
 
-// jobID derives the public job id from the canonical key, so identical
-// specs map to the same id and re-submissions land on the same job.
-func jobID(key string) string {
+// runID derives a public run id from a canonical key, so identical
+// specs map to the same id and re-submissions land on the same run.
+// The prefix distinguishes the kinds ("j", "e", "s").
+func runID(prefix, key string) string {
 	h := fnv.New64a()
 	h.Write([]byte(key))
-	return fmt.Sprintf("j%016x", h.Sum64())
+	return fmt.Sprintf("%s%016x", prefix, h.Sum64())
 }
 
 // deriveSeed maps a canonical spec (minus the seed) to a deterministic
@@ -185,37 +183,23 @@ func topCensus(census map[string]int, k int) (top map[string]int, omittedStates,
 	return top, omittedStates, omittedAgents
 }
 
-// Job is one managed simulation. All exported methods are safe for
-// concurrent use.
+// Job is one managed simulation: the generic run core plus the job's
+// spec, result, and census-trajectory replay state. All exported
+// methods are safe for concurrent use.
 type Job struct {
-	// ID is the public identifier, derived from the canonical spec.
-	ID string
+	*runcore.Run[Snapshot]
 
 	spec   JobSpec       // canonicalized
 	rspec  registry.Spec // resolved registry spec
 	target int
 	budget uint64
 
-	ctx    context.Context
-	cancel context.CancelFunc
-
-	mu        sync.Mutex
-	state     State
-	err       string
+	// Guarded by the embedded Run's lock (via Locked/Publish/Finish
+	// callbacks), which is what keeps the trajectory replay atomic with
+	// the fanout.
 	result    *Result
 	snapshots []Snapshot
 	maxSnaps  int
-	// restored marks a job reconstructed from the durable store after a
-	// restart: terminal from birth, with no stored trajectory.
-	restored bool
-	// subs holds the live subscriptions. Channels are closed ONLY by
-	// finishLocked, which runs in the job's worker goroutine — the same
-	// goroutine as record's fanout sends — so a send can never race a
-	// close. Subscription cancel only deletes the entry.
-	subs map[chan Snapshot]struct{}
-	done chan struct{}
-
-	created, started, finished time.Time
 }
 
 // JobView is the JSON rendering of a job's current state.
@@ -235,46 +219,31 @@ type JobView struct {
 	Finished *time.Time `json:"finished,omitempty"`
 }
 
-// State returns the job's current lifecycle state.
-func (j *Job) State() State {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.state
-}
-
-// Done returns a channel closed when the job reaches a terminal state.
-func (j *Job) Done() <-chan struct{} { return j.done }
-
 // Result returns the job's result, or nil while it is not done.
 func (j *Job) Result() *Result {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return j.result
+	var res *Result
+	j.Locked(func() { res = j.result })
+	return res
 }
 
 // View renders the job for JSON responses.
 func (j *Job) View() JobView {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	meta := j.Meta()
 	v := JobView{
 		ID:          j.ID,
-		State:       j.state,
+		State:       meta.State,
 		Spec:        j.spec,
 		BudgetSteps: j.budget,
-		Error:       j.err,
-		Result:      j.result,
-		Snapshots:   len(j.snapshots),
-		Restored:    j.restored,
-		Created:     j.created,
+		Error:       meta.Err,
+		Restored:    meta.Restored,
+		Created:     meta.Created,
+		Started:     meta.Started,
+		Finished:    meta.Finished,
 	}
-	if !j.started.IsZero() {
-		t := j.started
-		v.Started = &t
-	}
-	if !j.finished.IsZero() {
-		t := j.finished
-		v.Finished = &t
-	}
+	j.Locked(func() {
+		v.Result = j.result
+		v.Snapshots = len(j.snapshots)
+	})
 	return v
 }
 
@@ -282,40 +251,14 @@ func (j *Job) View() JobView {
 // subsequent ones; the channel is closed when the job finishes. For a
 // finished job the replay holds the full stored trajectory and the channel
 // is already closed. The returned cancel function stops delivery (it does
-// NOT close the channel — only job completion does, so the delivering
-// goroutine can never send on a closed channel); it is safe to call more
-// than once. A consumer that cancels early must stop reading on its own
-// signal, as the HTTP trace handler does via the request context.
+// NOT close the channel — only job completion does); it is safe to call
+// more than once. A consumer that cancels early must stop reading on its
+// own signal, as the HTTP trace handler does via the request context.
 func (j *Job) Subscribe() (replay []Snapshot, live <-chan Snapshot, cancel func()) {
-	ch := make(chan Snapshot, 256)
-	j.mu.Lock()
-	replay = append([]Snapshot(nil), j.snapshots...)
-	if j.state.terminal() {
-		j.mu.Unlock()
-		close(ch)
-		return replay, ch, func() {}
-	}
-	j.subs[ch] = struct{}{}
-	j.mu.Unlock()
-	return replay, ch, func() {
-		j.mu.Lock()
-		delete(j.subs, ch) // no-op after finishLocked set subs to nil
-		j.mu.Unlock()
-	}
-}
-
-// begin moves a queued job to running, or reports false if it was
-// canceled while waiting in the queue.
-func (j *Job) begin() bool {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.ctx.Err() != nil || j.state != StateQueued {
-		j.finishLocked(StateCanceled, "canceled while queued")
-		return false
-	}
-	j.state = StateRunning
-	j.started = time.Now()
-	return true
+	live, cancel = j.Run.Subscribe(256, func() {
+		replay = append([]Snapshot(nil), j.snapshots...)
+	})
+	return replay, live, cancel
 }
 
 // record appends a census snapshot and fans it out to subscribers without
@@ -335,56 +278,32 @@ func (j *Job) record(el registry.Election) {
 		OmittedStates: omitStates,
 		OmittedAgents: omitAgents,
 	}
-	j.mu.Lock()
-	j.snapshots = append(j.snapshots, snap)
-	if len(j.snapshots) > j.maxSnaps {
-		kept := j.snapshots[:0]
-		for i := 0; i < len(j.snapshots); i += 2 {
-			kept = append(kept, j.snapshots[i])
+	j.Publish(snap, func() {
+		j.snapshots = append(j.snapshots, snap)
+		if len(j.snapshots) > j.maxSnaps {
+			kept := j.snapshots[:0]
+			for i := 0; i < len(j.snapshots); i += 2 {
+				kept = append(kept, j.snapshots[i])
+			}
+			j.snapshots = kept
 		}
-		j.snapshots = kept
-	}
-	fanout := make([]chan Snapshot, 0, len(j.subs))
-	for ch := range j.subs {
-		fanout = append(fanout, ch)
-	}
-	j.mu.Unlock()
-	for _, ch := range fanout {
-		select {
-		case ch <- snap:
-		default:
+	})
+}
+
+func (j *Job) snapshotCount() int {
+	var n int
+	j.Locked(func() { n = len(j.snapshots) })
+	return n
+}
+
+func (j *Job) lastSnapshotStep() uint64 {
+	var step uint64
+	j.Locked(func() {
+		if len(j.snapshots) > 0 {
+			step = j.snapshots[len(j.snapshots)-1].Step
 		}
-	}
-}
-
-// finishLocked transitions to a terminal state, closing the done channel
-// and every live subscription. Callers hold j.mu.
-func (j *Job) finishLocked(state State, errMsg string) {
-	if j.state.terminal() {
-		return
-	}
-	j.state = state
-	j.err = errMsg
-	j.finished = time.Now()
-	for ch := range j.subs {
-		close(ch)
-	}
-	j.subs = nil
-	close(j.done)
-	j.cancel() // release the context's resources
-}
-
-func (j *Job) finish(state State, errMsg string) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.finishLocked(state, errMsg)
-}
-
-func (j *Job) complete(res *Result) {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	j.result = res
-	j.finishLocked(StateDone, "")
+	})
+	return step
 }
 
 // Options configures a Manager. Zero values select the documented
@@ -393,10 +312,10 @@ type Options struct {
 	// Workers is the simulation worker-pool size (default NumCPU, capped
 	// at 8: jobs are single-threaded and memory-bound, not I/O-bound).
 	Workers int
-	// CacheSize is the finished-job LRU capacity (default 256).
+	// CacheSize is the finished-work LRU capacity, per kind (default 256).
 	CacheSize int
-	// QueueSize bounds the number of queued-but-not-running jobs; beyond
-	// it Submit returns ErrBusy (default 256).
+	// QueueSize bounds the number of queued-but-not-running runs, per
+	// kind; beyond it submission returns ErrBusy (default 256).
 	QueueSize int
 	// MaxN bounds accepted population sizes on the census engine
 	// (default 200 million, ~50% above the largest benchmarked
@@ -418,18 +337,25 @@ type Options struct {
 	// (ensemble.Drive), so it is part of results' deterministic surface:
 	// change it and cached results for chunk-sensitive engines change.
 	MaxSnapshots int
-	// Store, when non-nil, persists finished jobs and experiments and
-	// serves them back across restarts; the LRU then caches in front of
-	// it instead of being the only copy.
+	// Store, when non-nil, persists finished jobs, experiments and
+	// sweeps and serves them back across restarts; the LRUs then cache
+	// in front of it instead of being the only copy.
 	Store *store.Store
 	// ExperimentWorkers bounds concurrently *running* experiments
 	// (default 1). Each running experiment fans its replicates over up to
 	// Workers simulation goroutines of its own, so the total simulation
-	// parallelism is roughly Workers × (1 + ExperimentWorkers).
+	// parallelism is roughly Workers × (1 + ExperimentWorkers + SweepWorkers).
 	ExperimentWorkers int
-	// MaxReplicates bounds an experiment's requested ensemble size
-	// (default 100_000).
+	// MaxReplicates bounds an experiment's (and a sweep cell's)
+	// requested ensemble size (default 100_000).
 	MaxReplicates int
+	// SweepWorkers bounds concurrently running sweeps (default 1). A
+	// running sweep executes its cells sequentially, each cell fanning
+	// replicates over up to Workers goroutines like an experiment.
+	SweepWorkers int
+	// MaxSweepCells bounds the number of cells a sweep's axes may expand
+	// into (default 128) — each cell is a full ensemble.
+	MaxSweepCells int
 }
 
 func (o Options) withDefaults() Options {
@@ -460,68 +386,71 @@ func (o Options) withDefaults() Options {
 	if o.MaxReplicates <= 0 {
 		o.MaxReplicates = 100_000
 	}
+	if o.SweepWorkers <= 0 {
+		o.SweepWorkers = 1
+	}
+	if o.MaxSweepCells <= 0 {
+		o.MaxSweepCells = 128
+	}
 	return o
 }
 
 // Stats is a point-in-time counter snapshot.
 type Stats struct {
 	// Hits counts submissions answered from the finished-work cache,
-	// Joined those attached to an identical in-flight job or experiment,
-	// and Misses those that started a fresh simulation. Experiments share
-	// these counters with jobs.
+	// Joined those attached to an identical in-flight run, and Misses
+	// those that started a fresh simulation. All kinds share these
+	// counters.
 	Hits, Joined, Misses uint64
 	// StoreHits counts submissions answered from the durable store after
 	// missing the in-memory cache (e.g. after a restart or an LRU
 	// eviction); StoreErrors counts failed persistence attempts.
 	StoreHits, StoreErrors uint64
 	// Jobs is the number of indexed jobs (live + cached), Cached the job
-	// LRU's current size. Experiments counts indexed experiments.
+	// LRU's current size. Experiments and Sweeps count indexed runs of
+	// those kinds.
 	Jobs, Cached, Experiments int
+	Sweeps                    int
 	// Stored is the number of results in the durable store (0 without
 	// one).
 	Stored int
 }
 
-// Manager owns the worker pools, the job and experiment indexes, the
-// result cache, and the optional durable store behind it.
+// Manager owns the shared scheduler, the per-kind run indexes, the
+// result caches, and the optional durable store behind them.
 type Manager struct {
-	opts  Options
-	queue chan *Job
-	wg    sync.WaitGroup
+	opts Options
 
-	expQueue chan *Experiment
-	expWg    sync.WaitGroup
+	core  *runcore.Core
+	sched *runcore.Scheduler
 
-	mu                   sync.Mutex
-	jobs                 map[string]*Job
-	cache                *lru[*Job]
-	exps                 map[string]*Experiment
-	expCache             *lru[*Experiment]
-	hits, joined, misses uint64
-	storeHits, storeErrs uint64
-	closed               bool
+	jobClass   *runcore.Class
+	expClass   *runcore.Class
+	sweepClass *runcore.Class
+
+	jobs   *runcore.Index[*Job]
+	exps   *runcore.Index[*Experiment]
+	sweeps *runcore.Index[*Sweep]
 }
 
-// NewManager starts a manager with opts' worker pools.
+// NewManager starts a manager with opts' scheduler and caches.
 func NewManager(opts Options) *Manager {
 	opts = opts.withDefaults()
 	m := &Manager{
-		opts:     opts,
-		queue:    make(chan *Job, opts.QueueSize),
-		jobs:     make(map[string]*Job),
-		expQueue: make(chan *Experiment, opts.QueueSize),
-		exps:     make(map[string]*Experiment),
+		opts: opts,
+		core: runcore.NewCore(opts.Store),
 	}
-	m.cache = newLRU(opts.CacheSize, func(j *Job) { delete(m.jobs, j.ID) })
-	m.expCache = newLRU(opts.CacheSize, func(e *Experiment) { delete(m.exps, e.ID) })
-	m.wg.Add(opts.Workers)
-	for i := 0; i < opts.Workers; i++ {
-		go m.worker()
-	}
-	m.expWg.Add(opts.ExperimentWorkers)
-	for i := 0; i < opts.ExperimentWorkers; i++ {
-		go m.expWorker()
-	}
+	// One worker pool sized so every kind can reach its concurrency cap
+	// even when the others are saturated: jobs up to Workers at once,
+	// experiments up to ExperimentWorkers, sweeps up to SweepWorkers
+	// (the latter two each fan replicates over goroutines of their own).
+	m.sched = runcore.NewScheduler(opts.Workers + opts.ExperimentWorkers + opts.SweepWorkers)
+	m.jobClass = m.sched.NewClass("jobs", opts.QueueSize, opts.Workers)
+	m.expClass = m.sched.NewClass("experiments", opts.QueueSize, opts.ExperimentWorkers)
+	m.sweepClass = m.sched.NewClass("sweeps", opts.QueueSize, opts.SweepWorkers)
+	m.jobs = runcore.NewIndex(m.core, store.KindJob, opts.CacheSize, func(j *Job) string { return j.ID })
+	m.exps = runcore.NewIndex(m.core, store.KindExperiment, opts.CacheSize, func(e *Experiment) string { return e.ID })
+	m.sweeps = runcore.NewIndex(m.core, store.KindSweep, opts.CacheSize, func(s *Sweep) string { return s.ID })
 	return m
 }
 
@@ -529,31 +458,22 @@ func NewManager(opts Options) *Manager {
 // waits for the workers to exit. It does not close the store: the store
 // belongs to the caller that opened it.
 func (m *Manager) Close() {
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
-		m.wg.Wait()
-		m.expWg.Wait()
-		return
+	already := m.core.SetClosed()
+	if !already {
+		m.jobs.CancelAll()
+		m.exps.CancelAll()
+		m.sweeps.CancelAll()
 	}
-	m.closed = true
-	for _, j := range m.jobs {
-		j.cancel()
-	}
-	for _, e := range m.exps {
-		e.cancel()
-	}
-	close(m.queue)
-	close(m.expQueue)
-	m.mu.Unlock()
-	m.wg.Wait()
-	m.expWg.Wait()
+	m.sched.Close()
 }
 
 // Canonicalize resolves a JobSpec's defaults (engine, seed, budget) and
 // validates it against the registry and the manager's limits, returning
 // the canonical spec, the resolved registry spec, the stabilization
-// target, and the step budget. Errors wrap registry.ErrBadSpec.
+// target, and the step budget. The pseudo-engine "auto" is resolved to
+// the registry's recommendation here, so canonical specs — and with
+// them cache keys and derived seeds — always name a concrete engine.
+// Errors wrap registry.ErrBadSpec.
 func (m *Manager) Canonicalize(spec JobSpec) (JobSpec, registry.Spec, int, uint64, error) {
 	if spec.Engine == "" {
 		spec.Engine = pp.EngineCount.String()
@@ -561,6 +481,14 @@ func (m *Manager) Canonicalize(spec JobSpec) (JobSpec, registry.Spec, int, uint6
 	engine, err := pp.ParseEngine(spec.Engine)
 	if err != nil {
 		return JobSpec{}, registry.Spec{}, 0, 0, fmt.Errorf("%w: %v", registry.ErrBadSpec, err)
+	}
+	if engine == pp.EngineAuto {
+		resolved, err := registry.ResolveEngine(registry.Spec{Protocol: spec.Protocol, N: spec.N, Engine: engine})
+		if err != nil {
+			return JobSpec{}, registry.Spec{}, 0, 0, err
+		}
+		engine = resolved.Engine
+		spec.Engine = engine.String()
 	}
 	if limit := m.engineLimit(engine); spec.N > limit {
 		return JobSpec{}, registry.Spec{}, 0, 0, fmt.Errorf(
@@ -622,172 +550,89 @@ func (m *Manager) Submit(spec JobSpec) (job *Job, cached bool, err error) {
 		return nil, false, err
 	}
 	key := canon.key()
-	id := jobID(key)
-
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.closed {
-		return nil, false, ErrClosed
+	j, outcome, err := m.jobs.Submit(key, runID("j", key), m.decodeJob,
+		func() (*Job, error) {
+			j := &Job{
+				Run:      runcore.NewRun[Snapshot](runID("j", key)),
+				spec:     canon,
+				rspec:    rspec,
+				target:   target,
+				budget:   budget,
+				maxSnaps: m.opts.MaxSnapshots,
+			}
+			if err := m.jobClass.Enqueue(func() { m.runJob(j) }); err != nil {
+				j.Cancel()
+				return nil, err
+			}
+			return j, nil
+		})
+	if err != nil {
+		return nil, false, err
 	}
-	if j, ok := m.cache.get(key); ok {
-		if j.State() != StateCanceled {
-			m.hits++
-			return j, true, nil
-		}
-		// A canceled job is the one terminal state that does not
-		// represent the spec's deterministic outcome: re-run it.
-		m.cache.remove(key)
-		delete(m.jobs, j.ID)
-	}
-	if j, ok := m.jobs[id]; ok && !j.State().terminal() {
-		m.joined++
-		return j, false, nil
-	}
-	if j := m.restoreJobLocked(key); j != nil {
-		// Served from the durable store: a result computed before a
-		// restart (or evicted from the LRU) without re-simulating.
-		m.storeHits++
-		return j, true, nil
-	}
-
-	ctx, cancel := context.WithCancel(context.Background())
-	j := &Job{
-		ID:       id,
-		spec:     canon,
-		rspec:    rspec,
-		target:   target,
-		budget:   budget,
-		ctx:      ctx,
-		cancel:   cancel,
-		state:    StateQueued,
-		maxSnaps: m.opts.MaxSnapshots,
-		subs:     make(map[chan Snapshot]struct{}),
-		done:     make(chan struct{}),
-		created:  time.Now(),
-	}
-	select {
-	case m.queue <- j:
-	default:
-		cancel()
-		return nil, false, ErrBusy
-	}
-	m.jobs[id] = j
-	m.misses++
-	return j, false, nil
+	return j, outcome.Cached(), nil
 }
 
 // Get returns the job with the given id, restoring it from the durable
 // store if it is no longer indexed in memory.
 func (m *Manager) Get(id string) (*Job, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if j, ok := m.jobs[id]; ok {
-		return j, true
-	}
-	if m.opts.Store != nil {
-		if rec, ok := m.opts.Store.GetByID(id); ok && rec.Kind == store.KindJob {
-			if j := m.restoreJobLocked(rec.Key); j != nil {
-				m.storeHits++
-				return j, true
-			}
-		}
-	}
-	return nil, false
+	return m.jobs.Get(id, m.decodeJob)
 }
 
-// restoreJobLocked reconstructs a finished job from the durable store's
-// record for key, indexing it like a freshly finished one. It returns
-// nil when there is no store, no record, or the record no longer decodes
-// against the current registry. Callers hold m.mu.
-func (m *Manager) restoreJobLocked(key string) *Job {
-	if m.opts.Store == nil {
-		return nil
-	}
-	rec, ok := m.opts.Store.Get(store.KindJob, key)
-	if !ok {
-		return nil
-	}
+// decodeJob reconstructs a finished job from a durable store record,
+// used by the run core's restore-on-miss path. It returns false when
+// the record no longer decodes or validates against the current
+// registry.
+func (m *Manager) decodeJob(rec store.Record) (*Job, bool) {
 	var spec JobSpec
 	var res Result
 	if json.Unmarshal(rec.Spec, &spec) != nil || json.Unmarshal(rec.Data, &res) != nil {
-		return nil
+		return nil, false
 	}
 	// Recompute the derived view fields (budget, target) from the
 	// canonical spec; a record that no longer validates — the registry
 	// changed underneath it — is not served.
 	canon, rspec, target, budget, err := m.Canonicalize(spec)
-	if err != nil || canon.key() != key {
-		return nil
+	if err != nil || canon.key() != rec.Key {
+		return nil, false
 	}
-	ctx, cancel := context.WithCancel(context.Background())
-	cancel() // terminal from birth
-	done := make(chan struct{})
-	close(done)
-	j := &Job{
-		ID:       rec.ID,
+	return &Job{
+		Run:      runcore.NewRestoredRun[Snapshot](rec.ID, rec.SavedAt),
 		spec:     canon,
 		rspec:    rspec,
 		target:   target,
 		budget:   budget,
-		ctx:      ctx,
-		cancel:   cancel,
-		state:    StateDone,
 		result:   &res,
-		restored: true,
 		maxSnaps: m.opts.MaxSnapshots,
-		done:     done,
-		created:  rec.SavedAt,
-		started:  rec.SavedAt,
-		finished: rec.SavedAt,
-	}
-	m.jobs[j.ID] = j
-	m.cache.put(key, j)
-	return j
+	}, true
 }
 
 // Cancel requests cancellation of the job with the given id, reporting
 // whether the job exists. Finished jobs are unaffected.
 func (m *Manager) Cancel(id string) bool {
-	m.mu.Lock()
-	j, ok := m.jobs[id]
-	m.mu.Unlock()
-	if ok {
-		j.cancel()
-	}
-	return ok
+	return m.jobs.Cancel(id)
 }
 
 // Stats returns current cache, store and pool counters.
 func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s := Stats{
-		Hits:        m.hits,
-		Joined:      m.joined,
-		Misses:      m.misses,
-		StoreHits:   m.storeHits,
-		StoreErrors: m.storeErrs,
-		Jobs:        len(m.jobs),
-		Cached:      m.cache.len(),
-		Experiments: len(m.exps),
-	}
-	if m.opts.Store != nil {
-		s.Stored = m.opts.Store.Len()
-	}
-	return s
-}
-
-func (m *Manager) worker() {
-	defer m.wg.Done()
-	for job := range m.queue {
-		m.runJob(job)
+	c := m.core.Counters()
+	return Stats{
+		Hits:        c.Hits,
+		Joined:      c.Joined,
+		Misses:      c.Misses,
+		StoreHits:   c.StoreHits,
+		StoreErrors: c.StoreErrors,
+		Jobs:        m.jobs.Len(),
+		Cached:      m.jobs.CacheLen(),
+		Experiments: m.exps.Len(),
+		Sweeps:      m.sweeps.Len(),
+		Stored:      c.Stored,
 	}
 }
 
 // runJob executes one job to a terminal state and indexes the outcome.
 func (m *Manager) runJob(j *Job) {
-	if !j.begin() {
-		m.index(j)
+	if !j.Begin(nil) {
+		m.jobs.Finished(j.spec.key(), j)
 		return
 	}
 	start := time.Now()
@@ -796,8 +641,8 @@ func (m *Manager) runJob(j *Job) {
 		// The spec was validated at submission; a failure here is an
 		// internal inconsistency, reported on the job rather than killing
 		// the worker.
-		j.finish(StateFailed, err.Error())
-		m.index(j)
+		j.Finish(StateFailed, err.Error(), nil)
+		m.jobs.Finished(j.spec.key(), j)
 		return
 	}
 
@@ -808,11 +653,11 @@ func (m *Manager) runJob(j *Job) {
 	// for replicate 0 of an experiment to be bit-identical to the job.
 	// The observe callback records the initial configuration too, so
 	// every trace has ≥ 2 points.
-	canceled := ensemble.Drive(j.ctx, el, j.target, j.budget, j.maxSnaps,
+	canceled := ensemble.Drive(j.Context(), el, j.target, j.budget, j.maxSnaps,
 		func() { j.record(el) })
 	if canceled {
-		j.finish(StateCanceled, "canceled")
-		m.index(j)
+		j.Finish(StateCanceled, "canceled", nil)
+		m.jobs.Finished(j.spec.key(), j)
 		return
 	}
 	if last := el.Steps(); j.snapshotCount() == 1 || j.lastSnapshotStep() != last {
@@ -835,44 +680,7 @@ func (m *Manager) runJob(j *Job) {
 	}
 	res.Census, res.OmittedStates, res.OmittedAgents = topCensus(el.Census(), censusCap)
 	res.WallMillis = time.Since(start).Milliseconds()
-	j.complete(res)
-	m.index(j)
-	m.persist(store.KindJob, j.spec.key(), j.ID, j.spec, res)
-}
-
-// persist appends a finished result to the durable store (best-effort:
-// a persistence failure is counted, not fatal — the in-memory result
-// still serves).
-func (m *Manager) persist(kind store.Kind, key, id string, spec, data any) {
-	if m.opts.Store == nil {
-		return
-	}
-	if err := m.opts.Store.Put(kind, key, id, spec, data); err != nil {
-		m.mu.Lock()
-		m.storeErrs++
-		m.mu.Unlock()
-	}
-}
-
-func (j *Job) snapshotCount() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return len(j.snapshots)
-}
-
-func (j *Job) lastSnapshotStep() uint64 {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if len(j.snapshots) == 0 {
-		return 0
-	}
-	return j.snapshots[len(j.snapshots)-1].Step
-}
-
-// index files a terminal job in the finished-job cache (evicting the
-// oldest entries, and with them their id index).
-func (m *Manager) index(j *Job) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cache.put(j.spec.key(), j)
+	j.Finish(StateDone, "", func() { j.result = res })
+	m.jobs.Finished(j.spec.key(), j)
+	m.core.Persist(store.KindJob, j.spec.key(), j.ID, j.spec, res)
 }

@@ -36,6 +36,12 @@ const (
 	KindJob Kind = "job"
 	// KindExperiment records an ensemble experiment's Aggregates.
 	KindExperiment Kind = "experiment"
+	// KindSweep records a parameter sweep's per-cell aggregates and
+	// scaling summary. A sweep's cells are additionally persisted as
+	// KindExperiment records under their own canonical keys, so cells
+	// are individually restorable and dedupe against standalone
+	// experiments.
+	KindSweep Kind = "sweep"
 )
 
 // Record is one persisted result. Spec and Data are raw JSON so the

@@ -1,0 +1,202 @@
+package sweep_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"popproto/internal/ensemble"
+	"popproto/internal/pp"
+	"popproto/internal/registry"
+	"popproto/internal/sweep"
+)
+
+func TestCanonicalizeAxes(t *testing.T) {
+	spec, cells, err := sweep.Canonicalize(sweep.Spec{
+		Protocols:  []string{"pll", "angluin", "pll"}, // dup dropped, order kept
+		Ns:         []int{4096, 256, 256, 1024},       // sorted, deduped
+		Engine:     pp.EngineCount,
+		Replicates: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"pll", "angluin"}; !reflect.DeepEqual(spec.Protocols, want) {
+		t.Errorf("protocols = %v, want %v", spec.Protocols, want)
+	}
+	if want := []int{256, 1024, 4096}; !reflect.DeepEqual(spec.Ns, want) {
+		t.Errorf("ns = %v, want %v", spec.Ns, want)
+	}
+	if want := []int{0}; !reflect.DeepEqual(spec.Ms, want) {
+		t.Errorf("ms = %v, want %v", spec.Ms, want)
+	}
+	if len(cells) != 6 {
+		t.Fatalf("%d cells, want 6 (2 protocols × 3 sizes)", len(cells))
+	}
+	// Expansion order is protocol-major, n ascending; indexes are dense.
+	for i, c := range cells {
+		if c.Index != i {
+			t.Errorf("cell %d has index %d", i, c.Index)
+		}
+	}
+	if cells[0].Protocol != "pll" || cells[0].N != 256 || cells[3].Protocol != "angluin" {
+		t.Errorf("unexpected expansion order: %+v", cells)
+	}
+}
+
+// TestCanonicalizeSeedDiscipline: a seedless sweep derives each cell's
+// base seed exactly as a seedless experiment (and job) over the cell's
+// spec would — the replicate-0 ≡ job discipline, per cell.
+func TestCanonicalizeSeedDiscipline(t *testing.T) {
+	_, cells, err := sweep.Canonicalize(sweep.Spec{
+		Protocols:  []string{"pll"},
+		Ns:         []int{512, 2048},
+		Engine:     pp.EngineCount,
+		Replicates: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		want := ensemble.DeriveSeed(c.Protocol, c.N, c.Engine.String(), c.M)
+		if c.Ensemble.Registry.Seed != want {
+			t.Errorf("cell n=%d seed %d, want derived %d", c.N, c.Ensemble.Registry.Seed, want)
+		}
+	}
+
+	// An explicit seed passes through to every cell unchanged.
+	_, seeded, err := sweep.Canonicalize(sweep.Spec{
+		Protocols:  []string{"pll"},
+		Ns:         []int{512, 2048},
+		Engine:     pp.EngineCount,
+		Seed:       42,
+		Replicates: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range seeded {
+		if c.Ensemble.Registry.Seed != 42 {
+			t.Errorf("cell n=%d seed %d, want 42", c.N, c.Ensemble.Registry.Seed)
+		}
+	}
+}
+
+// TestCanonicalizeAutoEngine: auto resolves per cell across the n axis.
+func TestCanonicalizeAutoEngine(t *testing.T) {
+	_, cells, err := sweep.Canonicalize(sweep.Spec{
+		Protocols:  []string{"pll"},
+		Ns:         []int{1024, 1 << 17},
+		Engine:     pp.EngineAuto,
+		Replicates: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells[0].Engine != pp.EngineAgent || cells[1].Engine != pp.EngineBatch {
+		t.Errorf("auto resolved to %v/%v, want agent/batch", cells[0].Engine, cells[1].Engine)
+	}
+}
+
+func TestCanonicalizeRejects(t *testing.T) {
+	cases := []sweep.Spec{
+		{Ns: []int{128}, Replicates: 1},                                                   // no protocols
+		{Protocols: []string{"pll"}, Replicates: 1},                                       // no ns
+		{Protocols: []string{"pll"}, Ns: []int{128}},                                      // no replicates
+		{Protocols: []string{"nope"}, Ns: []int{128}, Replicates: 1},                      // unknown protocol
+		{Protocols: []string{"pll"}, Ns: []int{128}, Replicates: 1, CITarget: 2},          // bad ci
+		{Protocols: []string{"pll"}, Ns: []int{128}, Replicates: 1, MaxParallelTime: -1},  // bad budget
+		{Protocols: []string{"angluin"}, Ns: []int{128}, Ms: []int{5}, Replicates: 1},     // m on m-less
+		{Protocols: []string{"pll"}, Ns: []int{128}, Replicates: 1, Engine: pp.Engine(9)}, // bogus engine
+	}
+	for _, spec := range cases {
+		if _, _, err := sweep.Canonicalize(spec); !errors.Is(err, registry.ErrBadSpec) {
+			t.Errorf("Canonicalize(%+v) error = %v, want ErrBadSpec", spec, err)
+		}
+	}
+}
+
+// TestRunDeterministicAcrossWorkers: the whole sweep result — every
+// cell's aggregates and the fitted summary — is bit-identical no matter
+// how many workers fan the replicates out.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	spec := sweep.Spec{
+		Protocols:  []string{"pll"},
+		Ns:         []int{256, 512, 1024},
+		Engine:     pp.EngineCount,
+		Seed:       7,
+		Replicates: 6,
+	}
+	run := func(workers int) sweep.Result {
+		res, err := sweep.Run(context.Background(), spec, sweep.Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(4)
+	if !reflect.DeepEqual(serial.Outcomes, parallel.Outcomes) {
+		t.Error("outcomes diverged across worker counts")
+	}
+	if !reflect.DeepEqual(serial.Summary, parallel.Summary) {
+		t.Error("summaries diverged across worker counts")
+	}
+	if len(serial.Summary.Fits) != 1 {
+		t.Fatalf("fits = %+v, want exactly one", serial.Summary.Fits)
+	}
+	fit := serial.Summary.Fits[0]
+	if fit.Points != 3 || fit.Protocol != "pll" {
+		t.Errorf("fit = %+v", fit)
+	}
+	if _, ok := serial.Summary.Fit("pll", 0); !ok {
+		t.Error("Summary.Fit lookup failed")
+	}
+}
+
+// TestRunCancellation: a canceled context stops the sweep between (or
+// inside) cells and returns the outcomes finished so far.
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	_, err := sweep.Run(ctx, sweep.Spec{
+		Protocols:  []string{"pll"},
+		Ns:         []int{256, 512, 1024},
+		Engine:     pp.EngineCount,
+		Replicates: 2,
+	}, sweep.Options{
+		Workers: 1,
+		OnCellDone: func(sweep.Cell, ensemble.Aggregates) {
+			calls++
+			if calls == 1 {
+				cancel()
+			}
+		},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls > 2 {
+		t.Errorf("sweep kept running after cancellation: %d cells", calls)
+	}
+}
+
+// TestSummarizeSkipsDegenerateGroups: groups without two distinct
+// usable sizes produce no fit instead of a panic.
+func TestSummarizeSkipsDegenerateGroups(t *testing.T) {
+	_, cells, err := sweep.Canonicalize(sweep.Spec{
+		Protocols: []string{"pll"}, Ns: []int{256}, Engine: pp.EngineCount, Replicates: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := sweep.Summarize([]sweep.Outcome{
+		{Cell: cells[0], Aggregates: ensemble.Aggregates{Replicates: 1, MeanParallelTime: 3}},
+	})
+	if len(sum.Fits) != 0 {
+		t.Errorf("single-point group produced a fit: %+v", sum.Fits)
+	}
+	if len(sweep.Summarize(nil).Fits) != 0 {
+		t.Error("empty outcomes produced a fit")
+	}
+}

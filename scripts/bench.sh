@@ -9,10 +9,13 @@
 #   BENCHTIME   go test -benchtime value (default 1x: one run per case,
 #               the large-n elections already take ~20 s each)
 #   BENCH_RE    benchmark regex (default: the three-engine PLL race at
-#               n=10^7, the engine head-to-heads, the large-n rows, and
-#               the ensemble executor's Table 1 row — 50 replicates at
+#               n=10^7, the engine head-to-heads, the large-n rows, the
+#               ensemble executor's Table 1 row — 50 replicates at
 #               n=10^5, serial vs all-core, whose wall-clock ratio is
-#               the multi-core replication speedup)
+#               the multi-core replication speedup — and the sweep
+#               orchestrator's PLL scaling row, n∈{1e3,1e4,1e5}, which
+#               reports the fitted log-slope/R² and bounds the sweep
+#               layer's overhead)
 #   POPPROTO_BENCH_XL=1 additionally runs the 10^8-agent cases
 #               (including the batch engine's Table 1 row at n=10^8)
 #
@@ -23,7 +26,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_$(date -u +%Y-%m-%d).json}
-BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|^BenchmarkPLLWindow$|Engines_|LargeN_|Table1_PLL_XL|^BenchmarkEnsemble_'}
+BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|^BenchmarkPLLWindow$|Engines_|LargeN_|Table1_PLL_XL|^BenchmarkEnsemble_|^BenchmarkSweep_'}
 BENCHTIME=${BENCHTIME:-1x}
 
 RAW=$(mktemp)

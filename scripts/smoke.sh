@@ -3,8 +3,11 @@
 # by CI: start the server with a durable result store, submit a PLL
 # election at n=10^5 on the census engine, assert exactly one leader and
 # a cache hit on the identical resubmission, run a replicated experiment
-# through /v1/experiments, then kill the server, restart it on the same
-# store, and assert both the job and the experiment are still served.
+# through /v1/experiments, run a scaling sweep (PLL × n∈{1e3,1e4,1e5},
+# engine auto) through /v1/sweeps and assert a fitted log-slope comes
+# back, then kill the server, restart it on the same store, and assert
+# the job, the experiment, the sweep and its per-cell results are still
+# served.
 #
 # Usage: scripts/smoke.sh [port]
 set -euo pipefail
@@ -14,6 +17,7 @@ PORT=${1:-8099}
 BASE="http://127.0.0.1:${PORT}"
 SPEC='{"protocol": "pll", "n": 100000, "engine": "count", "seed": 42}'
 EXP_SPEC='{"protocol": "pll", "n": 100000, "engine": "count", "seed": 42, "replicates": 8}'
+SWEEP_SPEC='{"protocols": ["pll"], "ns": [1000, 10000, 100000], "replicates": 4}'
 
 WORKDIR=$(mktemp -d)
 BIN="$WORKDIR/popprotod"
@@ -91,6 +95,33 @@ EVENTS=$(curl -fs -N --max-time 10 "$BASE/v1/experiments/$EID/stream" | grep -c 
 [ "$EVENTS" -ge 2 ] || { echo "experiment stream emitted $EVENTS events, want >= 2" >&2; exit 1; }
 echo "experiment stream replayed $EVENTS events" >&2
 
+# --- sweeps: a scaling grid with a fitted a·lg n + b curve ---
+SID=$(curl -fs -X POST -d "$SWEEP_SPEC" "$BASE/v1/sweeps" | jq -r '.sweep.id')
+echo "submitted sweep $SID" >&2
+
+SSTATE=$(wait_state "$BASE/v1/sweeps/$SID")
+[ "$SSTATE" = done ] || { echo "sweep ended in state $SSTATE" >&2; exit 1; }
+
+SWEEP=$(curl -fs "$BASE/v1/sweeps/$SID")
+CELLS_DONE=$(echo "$SWEEP" | jq '[.cells[] | select(.state == "done")] | length')
+[ "$CELLS_DONE" = 3 ] || { echo "sweep finished $CELLS_DONE/3 cells" >&2; exit 1; }
+SLOPE=$(echo "$SWEEP" | jq -r '.summary.fits[0].a')
+R2=$(echo "$SWEEP" | jq -r '.summary.fits[0].r2')
+EXPONENT=$(echo "$SWEEP" | jq -r '.summary.fits[0].logLogExponent')
+case "$SLOPE" in ""|null) echo "sweep returned no fitted log-slope" >&2; exit 1;; esac
+echo "sweep: 3/3 cells done, fitted time = ${SLOPE}·lg n (R² $R2, log-log exponent $EXPONENT)" >&2
+
+# engine=auto resolved per cell: agent at n=1e3, batch at n=1e5.
+ENGINES=$(echo "$SWEEP" | jq -r '[.cells[].engine] | join(",")')
+[ "$ENGINES" = "agent,agent,batch" ] ||
+  { echo "auto resolution picked engines $ENGINES, want agent,agent,batch" >&2; exit 1; }
+echo "engine auto resolved per cell: $ENGINES" >&2
+
+# The sweep's SSE stream replays one cell event per cell plus done.
+SWEEP_EVENTS=$(curl -fs -N --max-time 10 "$BASE/v1/sweeps/$SID/stream" | grep -c '^event: ' || true)
+[ "$SWEEP_EVENTS" -ge 4 ] || { echo "sweep stream emitted $SWEEP_EVENTS events, want >= 4" >&2; exit 1; }
+echo "sweep stream replayed $SWEEP_EVENTS events" >&2
+
 # --- durability: kill the server, restart on the same store ---
 stop_server
 echo "server stopped; restarting on the same store..." >&2
@@ -109,5 +140,17 @@ JOB_RESTORED=$(curl -fs "$BASE/v1/jobs/$ID" | jq -r '.restored')
 [ "$JOB_CACHED" = true ] || { echo "job resubmission not served from store after restart" >&2; exit 1; }
 [ "$JOB_RESTORED" = true ] || { echo "restored job not marked restored" >&2; exit 1; }
 echo "job result served from the durable store after restart" >&2
+
+# The sweep — and its per-cell results — survive the restart too.
+RESTORED_SWEEP=$(curl -fs "$BASE/v1/sweeps/$SID")
+RESTORED_SLOPE=$(echo "$RESTORED_SWEEP" | jq -r '.summary.fits[0].a')
+[ "$(echo "$RESTORED_SWEEP" | jq -r '.state')" = done ] ||
+  { echo "restored sweep not done" >&2; exit 1; }
+[ "$RESTORED_SLOPE" = "$SLOPE" ] ||
+  { echo "restored log-slope $RESTORED_SLOPE != original $SLOPE" >&2; exit 1; }
+CELL_EID=$(echo "$RESTORED_SWEEP" | jq -r '.cells[0].experimentId')
+CELL_STATE=$(curl -fs "$BASE/v1/experiments/$CELL_EID" | jq -r '.state')
+[ "$CELL_STATE" = done ] || { echo "restored sweep cell experiment state $CELL_STATE" >&2; exit 1; }
+echo "sweep summary and per-cell results served after restart (slope $RESTORED_SLOPE)" >&2
 
 echo "smoke test passed" >&2
