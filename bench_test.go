@@ -402,7 +402,7 @@ func BenchmarkMicro_SymmetricStep(b *testing.B) {
 // --- BenchmarkPLL: the headline engine race -------------------------------
 
 // BenchmarkPLL runs one full PLL election at n = 10⁷ per iteration on the
-// census engine and on the batch engine — the workload behind the Table 1/2
+// census, batch and hybrid engines — the workload behind the Table 1/2
 // sweeps — reporting parallel time and wall-clock per simulated interaction
 // alongside ns/op. Election lengths are random and heavy-tailed (a run
 // that falls through to BackUp spends an order of magnitude longer in the
@@ -413,7 +413,7 @@ func BenchmarkMicro_SymmetricStep(b *testing.B) {
 // -benchtime=1x for one election per engine.
 func BenchmarkPLL(b *testing.B) {
 	const n = 10_000_000
-	for _, engine := range []pp.Engine{pp.EngineCount, pp.EngineBatch} {
+	for _, engine := range []pp.Engine{pp.EngineCount, pp.EngineBatch, pp.EngineHybrid} {
 		b.Run(fmt.Sprintf("n=%d/engine=%s", n, engine), func(b *testing.B) {
 			proto := core.NewForN(n)
 			var totalPT, totalInts float64
@@ -440,7 +440,7 @@ func BenchmarkPLL(b *testing.B) {
 func BenchmarkPLLWindow(b *testing.B) {
 	const n = 10_000_000
 	const window = 40 * n
-	for _, engine := range []pp.Engine{pp.EngineCount, pp.EngineBatch} {
+	for _, engine := range []pp.Engine{pp.EngineCount, pp.EngineBatch, pp.EngineHybrid} {
 		b.Run(fmt.Sprintf("n=%d/engine=%s", n, engine), func(b *testing.B) {
 			proto := core.NewForN(n)
 			for i := 0; i < b.N; i++ {
@@ -454,7 +454,7 @@ func BenchmarkPLLWindow(b *testing.B) {
 
 // --- Engine comparison: per-agent vs census on identical workloads ---
 
-// BenchmarkEngines_PLL races the two engines on the Table 1 PLL workload
+// BenchmarkEngines_PLL races every engine on the Table 1 PLL workload
 // across population sizes up to 10⁶, where the per-agent engine's Θ(n)
 // state vector stops fitting in cache while the census stays resident.
 func BenchmarkEngines_PLL(b *testing.B) {

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	experiments -list
-//	experiments [-quick] [-seed N] [-engine agent|count|batch|auto] [-replicates R] [-ci X] [-out FILE] [ids...]
+//	experiments [-quick] [-seed N] [-engine agent|count|batch|hybrid|auto] [-replicates R] [-ci X] [-out FILE] [ids...]
 //
 // With no ids, every experiment runs in registry order. -replicates and
 // -ci tune the ensemble-executed experiments (Table 1/2, Theorem 1):

@@ -12,8 +12,11 @@
 //
 // The -engine flag selects the simulation engine: "agent" keeps one state
 // per agent; "count" keeps only the census (state multiplicities), which is
-// what makes populations of 10^7-10^8 agents practical; "auto" resolves to
-// the registry's recommendation for the protocol and population size.
+// what makes populations of 10^7-10^8 agents practical; "batch" adds
+// collision-free rounds on top of the census; "hybrid" monitors the census
+// and hands over between batch rounds, per-interaction sampling and
+// geometric no-op skipping as the payoff flips; "auto" resolves to the
+// registry's recommendation for the protocol and population size.
 //
 // With -trace k the leader count is printed every k units of parallel
 // time until stabilization.

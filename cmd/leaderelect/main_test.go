@@ -90,7 +90,7 @@ func TestRunBudgetExhaustion(t *testing.T) {
 func TestCatalogListsEngines(t *testing.T) {
 	var buf strings.Builder
 	printCatalog(&buf)
-	if !strings.Contains(buf.String(), "engines (best first): batch, count, agent") {
+	if !strings.Contains(buf.String(), "engines (best first): hybrid, batch, count, agent") {
 		t.Fatalf("catalog does not list engine suitability:\n%s", buf.String())
 	}
 }

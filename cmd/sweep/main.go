@@ -14,7 +14,7 @@
 //
 // The default engine is "auto": each cell resolves to the registry's
 // recommendation for its protocol and population size — the per-agent
-// engine for small populations, the collision-free batch engine for
+// engine for small populations, the phase-adaptive hybrid engine for
 // large census-friendly ones — so a 10³..10⁸ grid is practical without
 // thinking about engines. With -chart the mean-time curve is rendered
 // against lg n per protocol.

@@ -1,11 +1,13 @@
-// Engine-equivalence tests: the census engine (CountSimulator) must be
-// statistically indistinguishable from the per-agent engine (Simulator) on
-// identical protocols. Both engines realize the same Markov chain — the
-// census engine by sampling state pairs with the multiplicity weights of
-// the uniform scheduler and by exact geometric batching of
-// census-preserving interactions — so their stabilization-time
-// distributions agree. These tests certify that with the repository's own
-// statistical machinery (KS and χ² from internal/stats).
+// Engine-equivalence tests: every simulation engine — census, batch,
+// hybrid — must be statistically indistinguishable from the per-agent
+// reference engine on identical protocols. All engines realize the same
+// uniform-scheduler Markov chain (the census engine by multiplicity-
+// weighted pair sampling and exact geometric batching, the batch engine by
+// collision-free rounds, the hybrid engine by handing the census between
+// those modes), so their stabilization-time distributions agree. The
+// parameterized suite in pptest certifies that with the repository's own
+// statistical machinery (KS and χ² from internal/stats); adding a future
+// engine to the full suite is one entry in pp.Engines.
 //
 // All seeds are fixed, so the tests are deterministic; under the null
 // hypothesis (which holds by construction) the p-values are uniform, and
@@ -19,184 +21,34 @@ import (
 	"popproto/internal/core"
 	"popproto/internal/pp"
 	"popproto/internal/pp/pptest"
-	"popproto/internal/stats"
 )
 
-// stabilizationTimes collects the parallel stabilization times of reps
-// independent elections on the given engine, failing the test if any run
-// misses the budget.
-func stabilizationTimes[S comparable](
-	t *testing.T, engine pp.Engine, proto pp.Protocol[S], n, reps int, seed, budget uint64,
-) []float64 {
-	t.Helper()
-	results := pp.MeasureWith(engine, proto, n, reps, seed, budget, 0)
-	times := make([]float64, len(results))
-	for i, r := range results {
-		if !r.Stabilized {
-			t.Fatalf("%s engine, rep %d: did not stabilize within %d steps",
-				engine, i, budget)
-		}
-		times[i] = r.ParallelTime
-	}
-	return times
-}
-
-// ksAcross runs reps elections per engine (with distinct seed streams) and
-// applies the two-sample Kolmogorov–Smirnov test to the resulting
-// stabilization-time samples.
-func ksAcross[S comparable](
-	t *testing.T, proto pp.Protocol[S], n, reps int, budget uint64,
-) stats.KS {
-	t.Helper()
-	agent := stabilizationTimes(t, pp.EngineAgent, proto, n, reps, 1, budget)
-	count := stabilizationTimes(t, pp.EngineCount, proto, n, reps, 2, budget)
-	return stats.KSTwoSample(agent, count)
-}
-
-// ksPairs KS-tests the batch engine's stabilization times against each of
-// the other engines on the same protocol, failing t on any rejection.
-func ksPairs[S comparable](
-	t *testing.T, proto pp.Protocol[S], n, reps int, budget uint64,
-) {
-	t.Helper()
-	batch := stabilizationTimes(t, pp.EngineBatch, proto, n, reps, 5, budget)
-	for _, ref := range []pp.Engine{pp.EngineAgent, pp.EngineCount} {
-		times := stabilizationTimes(t, ref, proto, n, reps, 1+uint64(ref), budget)
-		ks := stats.KSTwoSample(batch, times)
-		if ks.P < 0.001 {
-			t.Errorf("batch vs %s stabilization times differ: D=%.4f p=%.6f",
-				ref, ks.Stat, ks.P)
-		}
-	}
-}
-
-func TestEngineEquivalencePLL(t *testing.T) {
-	n := 96
-	ks := ksAcross[core.State](t, core.NewForN(n), n, 200, logBudget(n))
-	if ks.P < 0.001 {
-		t.Fatalf("PLL stabilization times distinguish the engines: D=%.4f p=%.6f", ks.Stat, ks.P)
-	}
-}
-
-func TestEngineEquivalencePLLSymmetric(t *testing.T) {
-	n := 64
-	ks := ksAcross[core.SymState](t, core.NewSymmetricForN(n), n, 120, 40*logBudget(n))
-	if ks.P < 0.001 {
-		t.Fatalf("symmetric PLL stabilization times distinguish the engines: D=%.4f p=%.6f",
-			ks.Stat, ks.P)
-	}
-}
-
-func TestEngineEquivalenceAngluin(t *testing.T) {
-	n := 64
-	ks := ksAcross[baseline.AngluinState](t, baseline.Angluin{}, n, 200, linearBudget(n))
-	if ks.P < 0.001 {
-		t.Fatalf("Angluin stabilization times distinguish the engines: D=%.4f p=%.6f",
-			ks.Stat, ks.P)
-	}
-}
-
-// The batch engine must match both other engines on every fixture class:
+// equivalenceFixtures is the protocol battery of the cross-engine suite:
 // the two-state duel (heavy collision-free rounds), PLL (mixed rounds and
-// per-interaction fallback) and Angluin (rounds early, geometric no-op
-// skipping late).
-
-func TestEngineEquivalenceBatchDuel(t *testing.T) {
-	const n = 256
-	ksPairs[bool](t, pptest.Duel{}, n, 200, linearBudget(n))
-}
-
-func TestEngineEquivalenceBatchPLL(t *testing.T) {
-	const n = 96
-	ksPairs[core.State](t, core.NewForN(n), n, 200, logBudget(n))
-}
-
-func TestEngineEquivalenceBatchAngluin(t *testing.T) {
-	const n = 64
-	ksPairs[baseline.AngluinState](t, baseline.Angluin{}, n, 200, linearBudget(n))
-}
-
-// TestEngineEquivalenceBatchChiSquare complements the KS tests with a
-// two-sample χ² over pooled-quantile bins, batch vs agent, on the Angluin
-// fixture.
-func TestEngineEquivalenceBatchChiSquare(t *testing.T) {
-	const (
-		n    = 64
-		reps = 240
-		bins = 6
-	)
-	budget := linearBudget(n)
-	agent := stabilizationTimes(t, pp.EngineAgent, baseline.Angluin{}, n, reps, 13, budget)
-	batch := stabilizationTimes(t, pp.EngineBatch, baseline.Angluin{}, n, reps, 14, budget)
-
-	pooled := append(append([]float64(nil), agent...), batch...)
-	edges := make([]float64, bins-1)
-	for i := range edges {
-		edges[i] = stats.Quantile(pooled, float64(i+1)/bins)
-	}
-	binOf := func(v float64) int {
-		b := 0
-		for b < len(edges) && v > edges[b] {
-			b++
-		}
-		return b
-	}
-	oa := make([]float64, bins)
-	ob := make([]float64, bins)
-	for i := range agent {
-		oa[binOf(agent[i])]++
-		ob[binOf(batch[i])]++
-	}
-	stat := 0.0
-	for i := range oa {
-		if oa[i]+ob[i] == 0 {
-			continue
-		}
-		d := oa[i] - ob[i]
-		stat += d * d / (oa[i] + ob[i])
-	}
-	p := stats.GammaQ(float64(bins-1)/2, stat/2)
-	if p < 0.001 {
-		t.Fatalf("batch-engine times distinguish the engines: χ²=%.2f p=%.5f (agent %v, batch %v)",
-			stat, p, oa, ob)
+// per-interaction fallback), symmetric PLL (coin-flip symmetry breaking)
+// and Angluin (rounds early, geometric no-op skipping late) cover every
+// execution path of every engine.
+func equivalenceFixtures() []pptest.EquivalenceFixture {
+	return []pptest.EquivalenceFixture{
+		pptest.EquivFixture[bool]("duel/n=256", pptest.Duel{}, 256, 200, linearBudget(256)),
+		pptest.EquivFixture[core.State]("pll/n=96", core.NewForN(96), 96, 200, logBudget(96)),
+		pptest.EquivFixture[core.SymState]("pll-sym/n=64", core.NewSymmetricForN(64), 64, 120,
+			40*logBudget(64)),
+		pptest.EquivFixture[baseline.AngluinState]("angluin/n=64", baseline.Angluin{}, 64, 200,
+			linearBudget(64)),
 	}
 }
 
-// TestEngineEquivalenceChiSquare bins the census engine's stabilization
-// times at the quantiles of the per-agent sample: under equivalence the
-// bin occupancies are uniform, which the χ² goodness-of-fit test checks.
-func TestEngineEquivalenceChiSquare(t *testing.T) {
-	const (
-		n    = 64
-		reps = 240
-		bins = 6
-	)
-	budget := linearBudget(n)
-	agent := stabilizationTimes(t, pp.EngineAgent, baseline.Angluin{}, n, reps, 3, budget)
-	count := stabilizationTimes(t, pp.EngineCount, baseline.Angluin{}, n, reps, 4, budget)
-
-	edges := make([]float64, bins-1)
-	for i := range edges {
-		edges[i] = stats.Quantile(agent, float64(i+1)/bins)
-	}
-	observed := make([]float64, bins)
-	for _, v := range count {
-		b := 0
-		for b < len(edges) && v > edges[b] {
-			b++
-		}
-		observed[b]++
-	}
-	gof := stats.ChiSquareUniform(observed)
-	if gof.P < 0.001 {
-		t.Fatalf("census-engine times are not uniform over agent-engine quantile bins: %v "+
-			"(occupancies %v)", gof, observed)
-	}
+// TestEngineEquivalence runs the full KS/χ² suite for every engine against
+// the per-agent reference on every fixture.
+func TestEngineEquivalence(t *testing.T) {
+	pptest.Equivalence(t, equivalenceFixtures(), pp.Engines())
 }
 
 // TestLeaderCountMonotone: for every protocol in this repository the leader
-// count is monotone non-increasing and never reaches zero — on both
-// engines, including through the census engine's batched skips.
+// count is monotone non-increasing and never reaches zero — on every
+// engine, including through the census engine's batched skips and the
+// round engines' aggregate paths.
 func TestLeaderCountMonotone(t *testing.T) {
 	checkMonotone := func(t *testing.T, sim pp.Runner[core.State], chunk, budget uint64) {
 		t.Helper()

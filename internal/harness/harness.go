@@ -30,8 +30,9 @@ type Config struct {
 	Workers int
 	// Engine selects the simulation engine for the election-time sweeps
 	// (Table 1/2, Theorem 1, trajectory, …). The zero value is the
-	// per-agent engine; the census engine (pp.EngineCount) and the
-	// collision-free round engine (pp.EngineBatch, the fastest at large n)
+	// per-agent engine; the census engine (pp.EngineCount), the
+	// collision-free round engine (pp.EngineBatch) and the phase-adaptive
+	// hybrid engine (pp.EngineHybrid, the fastest at large n)
 	// reproduce the same distributions and reach populations the per-agent
 	// engine cannot; the pseudo-engine pp.EngineAuto resolves per
 	// measurement cell to the registry's recommendation. Experiments that

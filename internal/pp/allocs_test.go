@@ -1,0 +1,74 @@
+package pp_test
+
+import (
+	"testing"
+
+	"popproto/internal/pp"
+)
+
+// Allocation-regression tests: the round engines keep per-simulator arenas
+// for the slot/assignment buffers and share one dense transition memo
+// between round mode and the census core's fallback paths, so a warmed-up
+// simulator's hot paths — round assignment, slot sampling, matching,
+// geometric skipping — must run allocation-free. A regression here silently
+// rebuilds the 13 MB/op profile the dense-memo sharing removed.
+
+// steadyStateAllocs runs warm once to populate arenas and memos, then
+// reports the average allocations of rounds invocations of hot.
+func steadyStateAllocs(warm, hot func()) float64 {
+	warm()
+	return testing.AllocsPerRun(20, hot)
+}
+
+func TestBatchRoundAllocFree(t *testing.T) {
+	const n = 1 << 16
+	sim := pp.NewBatchSimulator[tickerState](tickerDuel{}, n, 17)
+	avg := steadyStateAllocs(
+		func() { sim.RunSteps(8 * n) },
+		func() { sim.RunSteps(n) },
+	)
+	if avg > 0.5 {
+		t.Fatalf("batch round hot path allocates: %.2f allocs per RunSteps(n)", avg)
+	}
+}
+
+func TestHybridModesAllocFree(t *testing.T) {
+	const n = 1 << 16
+	for _, mode := range []pp.HybridMode{pp.ModeRound, pp.ModeInteract, pp.ModeSkip} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			sim := pp.NewHybridSimulator[tickerState](tickerDuel{}, n, 19)
+			sim.TuneRounds(2, 1<<30)
+			sim.TuneHandover(func(pp.HybridStats) pp.HybridMode { return mode })
+			// Skip mode on the reaction-dense ticker census advances one
+			// interaction per event; keep its chunks affordable.
+			chunk := uint64(n)
+			if mode == pp.ModeSkip {
+				chunk = 2048
+			}
+			avg := steadyStateAllocs(
+				func() { sim.RunSteps(8 * chunk) },
+				func() { sim.RunSteps(chunk) },
+			)
+			if avg > 0.5 {
+				t.Fatalf("hybrid %s hot path allocates: %.2f allocs per RunSteps(%d)",
+					mode, avg, chunk)
+			}
+		})
+	}
+}
+
+// TestHybridDefaultPolicyAllocFree drives the default payoff controller
+// (mode churn included) and asserts the handover machinery itself does not
+// allocate once arenas are warm.
+func TestHybridDefaultPolicyAllocFree(t *testing.T) {
+	const n = 1 << 16
+	sim := pp.NewHybridSimulator[tickerState](tickerDuel{}, n, 23)
+	avg := steadyStateAllocs(
+		func() { sim.RunSteps(8 * n) },
+		func() { sim.RunSteps(n) },
+	)
+	if avg > 0.5 {
+		t.Fatalf("hybrid default controller allocates: %.2f allocs per RunSteps(n)", avg)
+	}
+}

@@ -164,7 +164,18 @@ func NewBatchSimulator[S comparable](proto Protocol[S], n int, seed uint64) *Bat
 		minRoundN: batchRoundMinN,
 		expRound:  math.Sqrt(math.Pi * float64(n) / 8),
 	}
+	b.installFastMemo()
 	return b
+}
+
+// installFastMemo points the census core's fast-memo hook at the dense
+// transition matrix, so the per-interaction and geometric fallback paths
+// share one memo with round mode instead of refilling the map memo (the
+// map's growth dominated the engine's allocation profile on long runs).
+// The closure captures b, so it must be reinstalled after any value copy
+// of the simulator (construction into an embedding engine, Clone).
+func (b *BatchSimulator[S]) installFastMemo() {
+	b.cs.fastOutcome = b.denseOutcome
 }
 
 // TuneRounds overrides the engine's adaptive round policy: populations of
@@ -289,6 +300,7 @@ func (b *BatchSimulator[S]) Clone() *BatchSimulator[S] {
 	// The dense memo and the remaining scratch buffers carry no chain
 	// state and are rebuilt on demand (refilling the memo consumes no
 	// randomness, so the clone's future is identical).
+	d.installFastMemo()
 	return d
 }
 
@@ -932,7 +944,10 @@ func (b *BatchSimulator[S]) replayFirstHit(target int, roundStart uint64, collid
 func (b *BatchSimulator[S]) snapshot() {
 	cs := &b.cs
 	if cap(b.snapCounts) < len(cs.counts) {
-		b.snapCounts = make([]int64, len(cs.counts))
+		// Grow with headroom: snapshot runs once per crossing-eligible
+		// round, so an exact-length buffer would reallocate after every
+		// newly discovered state.
+		b.snapCounts = make([]int64, len(cs.counts), 2*len(cs.counts))
 	}
 	b.snapCounts = b.snapCounts[:len(cs.counts)]
 	copy(b.snapCounts, cs.counts)
@@ -971,24 +986,37 @@ func (b *BatchSimulator[S]) growScratch() {
 // (i, j) through the dense memo matrix. Transitions are pure and indexes
 // never reassigned, so a hit costs one array load.
 func (b *BatchSimulator[S]) outcome(i, j int32) (int32, int32) {
-	if int(i) >= b.denseStride || int(j) >= b.denseStride {
+	if out, ok := b.denseOutcome(int(i), int(j)); ok {
+		return out.i2, out.j2
+	}
+	// A state-hungry protocol (MaxID) outgrew the dense matrix mid-round;
+	// route the overflow through the census engine's map memo instead of
+	// reallocating quadratically. Round mode itself shuts off at the next
+	// policy check. (The census core's fast-memo hook points back at
+	// denseOutcome, which declines this pair again, so the map path is
+	// reached without recursion.)
+	out := b.cs.outcome(int(i), int(j))
+	return out.i2, out.j2
+}
+
+// denseOutcome is the dense memo lookup-or-fill. ok=false declines the
+// pair (matrix outgrown) without touching the map memo; it doubles as the
+// census core's fastOutcome hook so the per-interaction and geometric
+// fallback paths hit the same matrix as round mode.
+func (b *BatchSimulator[S]) denseOutcome(i, j int) (pairOutcome, bool) {
+	if i >= b.denseStride || j >= b.denseStride {
 		if len(b.cs.states) > 2*batchDenseStatesMax {
-			// A state-hungry protocol (MaxID) outgrew the dense matrix
-			// mid-round; route the overflow through the census engine's
-			// map memo instead of reallocating quadratically. Round mode
-			// itself shuts off at the next policy check.
-			out := b.cs.outcome(int(i), int(j))
-			return out.i2, out.j2
+			return pairOutcome{}, false
 		}
 		b.growDense()
 	}
-	idx := int(i)*b.denseStride + int(j)
+	idx := i*b.denseStride + j
 	v := b.dense[idx]
 	if v == denseEmpty {
 		cs := &b.cs
 		a, c := cs.states[i], cs.states[j]
 		a2, c2 := cs.proto.Transition(a, c)
-		i2, j2 := int(i), int(j)
+		i2, j2 := i, j
 		if a2 != a {
 			i2 = cs.stateIndex(a2)
 		}
@@ -998,7 +1026,7 @@ func (b *BatchSimulator[S]) outcome(i, j int32) (int32, int32) {
 		v = uint32(i2)<<16 | uint32(j2)
 		b.dense[idx] = v
 	}
-	return int32(v >> 16), int32(v & 0xffff)
+	return pairOutcome{int32(v >> 16), int32(v & 0xffff)}, true
 }
 
 // growDense (re)sizes the dense memo matrix to the next power of two that

@@ -9,7 +9,7 @@ import (
 
 // TestCloneProducesIdenticalFutures: a clone carries the scheduler
 // position, so original and clone evolve identically step for step — on
-// both engines.
+// every engine.
 func TestCloneProducesIdenticalFutures(t *testing.T) {
 	pptest.RunAllEngines(t, pptest.TestCase[bool]{Proto: duel, N: 64, Seed: 42}, "clone-futures",
 		func(t *testing.T, _ pptest.TestCase[bool], a pp.Runner[bool]) {

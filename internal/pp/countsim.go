@@ -92,6 +92,14 @@ type CountSimulator[S comparable] struct {
 	noopStreak int
 	tcache     map[uint64]pairOutcome // transition memo; pure, droppable
 
+	// fastOutcome, when non-nil, is consulted before the map memo: the
+	// round engines layer their dense transition matrix under the census
+	// core here, so the per-interaction and geometric fallback paths share
+	// one memo with round mode instead of refilling a map. Returning
+	// ok=false falls through to the map path (the dense matrix declines
+	// pairs beyond its capacity), so the hook never recurses.
+	fastOutcome func(i, j int) (pairOutcome, bool)
+
 	// Scratch buffers for the batched path, reused across events.
 	liveIdx []int32  // occupied state indexes
 	pairI   []int32  // reactive ordered pairs: initiator state index
@@ -292,6 +300,11 @@ func (c *CountSimulator[S]) moveOne(from, to int) {
 // lookup instead of a transition evaluation plus two state-keyed index
 // lookups.
 func (c *CountSimulator[S]) outcome(i, j int) pairOutcome {
+	if c.fastOutcome != nil {
+		if out, ok := c.fastOutcome(i, j); ok {
+			return out
+		}
+	}
 	key := uint64(uint32(i))<<32 | uint64(uint32(j))
 	out, ok := c.tcache[key]
 	if !ok {
@@ -496,9 +509,12 @@ func (c *CountSimulator[S]) Clone() *CountSimulator[S] {
 		d.index[k] = v
 	}
 	// Scratch buffers and the transition memo are rebuilt on demand and
-	// carry no chain state.
+	// carry no chain state. The fast-memo hook closes over its owning
+	// engine, so a clone must not inherit it (the round engines reinstall
+	// their own).
 	d.liveIdx, d.pairI, d.pairJ, d.pairW = nil, nil, nil, nil
 	d.tcache = nil
+	d.fastOutcome = nil
 	if c.seen != nil {
 		d.seen = make(map[S]struct{}, len(c.seen))
 		for k := range c.seen {

@@ -1,0 +1,468 @@
+package pp
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Tuning constants of the hybrid engine's mode controller. Like the other
+// engines' constants they affect only wall-clock cost, never the sampled
+// distribution: every mode realizes the exact uniform-scheduler Markov
+// chain, so any deterministic mode policy is distribution-preserving.
+const (
+	// hybridShortSkipStreak is the number of consecutive short geometric
+	// skips (shorter than the skip-event's break-even length, see
+	// shortSkipLen) after which the controller hands the census back to
+	// rounds (or per-interaction sampling): short skips mean the census
+	// has turned reaction-dense again and re-enumerating the reactive
+	// pairs per event no longer pays.
+	hybridShortSkipStreak = 2
+)
+
+// HybridMode identifies one of the three execution modes the hybrid
+// engine hands the census between. All modes sample the exact chain; they
+// differ only in how many interactions one advance covers and what that
+// advance costs.
+type HybridMode uint8
+
+const (
+	// ModeRound processes collision-free rounds of Θ(√n) interactions via
+	// birthday-law round lengths and hypergeometric slot assignment — the
+	// batch engine's aggregate path. Cheapest per interaction while the
+	// census is concentrated on few states and reaction-dense.
+	ModeRound HybridMode = iota
+	// ModeInteract samples one interacting state pair at a time through
+	// the Fenwick cumulative-weight table — the census engine's
+	// per-interaction path. The fallback when the live support is too
+	// wide for aggregate draws to amortize or state tracking is active.
+	ModeInteract
+	// ModeSkip jumps geometrically distributed runs of census-preserving
+	// interactions and applies the next state-changing pair directly —
+	// the census engine's batched no-op path. Unbeatable when the census
+	// is inert (two surviving leaders among 10⁸ agents meet once every
+	// ~n²/2 interactions).
+	ModeSkip
+)
+
+// String implements fmt.Stringer for test names and telemetry.
+func (m HybridMode) String() string {
+	switch m {
+	case ModeRound:
+		return "round"
+	case ModeInteract:
+		return "interact"
+	case ModeSkip:
+		return "skip"
+	default:
+		return fmt.Sprintf("HybridMode(%d)", uint8(m))
+	}
+}
+
+// HybridStats is the controller's online view of the chain: the census
+// concentration and the realized payoff of the current mode. It is handed
+// to custom handover policies (TuneHandover) and exposed via Stats.
+//
+// All fields are deterministic functions of the chain history — never of
+// wall-clock time — so policies built on them keep runs bit-reproducible
+// from the seed.
+type HybridStats struct {
+	N       int        // population size
+	Steps   uint64     // interactions executed so far
+	Live    int        // distinct states with nonzero count (census concentration)
+	States  int        // distinct states ever observed (dense-table pressure)
+	Leaders int        // current leader count
+	Mode    HybridMode // mode that executed the previous advance
+
+	// ExpRound caches √(πn/8) ≈ 0.627·√n, the expected collision-free
+	// round length — the yardstick realized skip lengths are compared to.
+	ExpRound float64
+
+	// Round telemetry.
+	LastRoundLen      uint64 // interactions covered by the last round
+	LastRoundReactive uint64 // census-changing interactions among them
+	NoopRounds        int    // consecutive all-no-op rounds
+
+	// Skip telemetry.
+	LastSkip   uint64 // no-ops jumped by the last geometric event
+	ShortSkips int    // consecutive skips below the break-even length
+
+	// Interact telemetry.
+	NoopStreak int // consecutive sampled no-ops in interact mode
+
+	// RoundEligible reports whether rounds are permitted at all: state
+	// tracking attributes observations per interaction (aggregate paths
+	// cannot), and the dense transition matrix bounds the state table.
+	// The controller clamps any policy's ModeRound request to
+	// ModeInteract while this is false.
+	RoundEligible bool
+}
+
+// HybridSimulator executes one population under a protocol by handing the
+// census between three execution modes — collision-free rounds,
+// per-interaction Fenwick sampling, and geometric no-op skipping — as the
+// run moves through the phases of an O(log n)-time election (fourth
+// engine, EngineHybrid).
+//
+// The controller monitors census concentration and per-mode payoff online:
+// the distinct-state count, the reactive-pair mass enumerated from the
+// census totals, and the realized batch round length versus the geometric
+// skip length. Rounds run while the census is concentrated and
+// reaction-dense; a streak of all-no-op rounds hands over to the geometric
+// skipper; a streak of short skips hands back. Handover carries only the
+// census multiset and the rng stream position — both engine-agnostic — and
+// every mode samples the exact uniform-scheduler chain, so any
+// deterministic mode policy preserves all observable distributions (the
+// forced-handover equivalence tests pin this at adversarial switch
+// points). Decisions happen at interaction boundaries and condition only
+// on the past, so runs remain bit-reproducible from the seed.
+//
+// A HybridSimulator is not safe for concurrent use; run one per goroutine.
+type HybridSimulator[S comparable] struct {
+	b BatchSimulator[S] // round machinery plus the shared census core
+
+	mode   HybridMode                    // mode of the previous advance
+	policy func(HybridStats) HybridMode  // nil = default payoff policy
+
+	lastRoundLen      uint64
+	lastRoundReactive uint64
+	noopRounds        int
+	lastSkip          uint64
+	shortSkips        int
+	noopStreak        int
+}
+
+// NewHybridSimulator creates a census of n agents, all in the protocol's
+// initial state, with the scheduler seeded by seed. It panics if n < 1.
+func NewHybridSimulator[S comparable](proto Protocol[S], n int, seed uint64) *HybridSimulator[S] {
+	h := &HybridSimulator[S]{
+		b:    *NewBatchSimulator(proto, n, seed),
+		mode: ModeInteract,
+	}
+	// The embedded value copy invalidated the batch engine's self-pointer
+	// hooks; reinstall them against the embedded copy.
+	h.b.installFastMemo()
+	return h
+}
+
+// TuneHandover overrides the engine's mode controller: policy is consulted
+// once per advance with the current HybridStats and returns the mode to
+// execute next. nil restores the default payoff-adaptive policy. Any
+// deterministic policy is distribution-preserving — the controller trades
+// only wall-clock time — which is why the knob is safe to expose for the
+// forced-handover equivalence tests. ModeRound requests are clamped to
+// ModeInteract while rounds are ineligible (see HybridStats.RoundEligible).
+//
+// A clone shares the policy function value with its original; policies
+// must therefore not close over per-simulator mutable state.
+func (h *HybridSimulator[S]) TuneHandover(policy func(HybridStats) HybridMode) {
+	h.policy = policy
+}
+
+// TuneRounds passes the round policy overrides through to the embedded
+// round machinery (see BatchSimulator.TuneRounds): populations of at least
+// minN agents may use rounds while at most maxLive states are occupied.
+func (h *HybridSimulator[S]) TuneRounds(minN, maxLive int) { h.b.TuneRounds(minN, maxLive) }
+
+// Mode returns the mode that executed the most recent advance.
+func (h *HybridSimulator[S]) Mode() HybridMode { return h.mode }
+
+// Stats returns the controller's current view of the chain.
+func (h *HybridSimulator[S]) Stats() HybridStats {
+	cs := &h.b.cs
+	return HybridStats{
+		N:                 cs.n,
+		Steps:             cs.steps,
+		Live:              cs.live,
+		States:            len(cs.states),
+		Leaders:           cs.leaders,
+		Mode:              h.mode,
+		ExpRound:          h.b.expRound,
+		LastRoundLen:      h.lastRoundLen,
+		LastRoundReactive: h.lastRoundReactive,
+		NoopRounds:        h.noopRounds,
+		LastSkip:          h.lastSkip,
+		ShortSkips:        h.shortSkips,
+		NoopStreak:        h.noopStreak,
+		RoundEligible:     h.roundEligible(),
+	}
+}
+
+// --- Observable surface (delegated to the shared census core) ------------
+
+// N returns the population size.
+func (h *HybridSimulator[S]) N() int { return h.b.cs.n }
+
+// Steps returns the number of interactions executed so far, including
+// those processed in aggregate or skipped in batch.
+func (h *HybridSimulator[S]) Steps() uint64 { return h.b.cs.steps }
+
+// ParallelTime returns steps divided by n, the paper's time measure.
+func (h *HybridSimulator[S]) ParallelTime() float64 { return h.b.cs.ParallelTime() }
+
+// Leaders returns the current number of agents whose output is Leader.
+func (h *HybridSimulator[S]) Leaders() int { return h.b.cs.leaders }
+
+// RoleChanges returns the cumulative number of agent output changes
+// (L→F or F→L) observed since construction.
+func (h *HybridSimulator[S]) RoleChanges() uint64 { return h.b.cs.roleChanges }
+
+// LiveStates returns the number of distinct states with nonzero count.
+func (h *HybridSimulator[S]) LiveStates() int { return h.b.cs.live }
+
+// Count returns the current multiplicity of state s.
+func (h *HybridSimulator[S]) Count(s S) int { return h.b.cs.Count(s) }
+
+// Census returns the multiset of current agent states.
+func (h *HybridSimulator[S]) Census() map[S]int { return h.b.cs.Census() }
+
+// ForEach calls f once per agent with synthetic ids, like the census
+// engine (agents are anonymous; see CountSimulator.ForEach).
+func (h *HybridSimulator[S]) ForEach(f func(id int, state S)) { h.b.cs.ForEach(f) }
+
+// TrackStates enables recording of every distinct agent state observed
+// from now on. While tracking is active the controller clamps the engine
+// out of round mode (aggregate paths do not attribute observations), so
+// tracking costs the per-interaction or skip rate.
+func (h *HybridSimulator[S]) TrackStates() { h.b.cs.TrackStates() }
+
+// DistinctStates returns the number of distinct agent states observed
+// since TrackStates was enabled, or 0 if tracking is disabled.
+func (h *HybridSimulator[S]) DistinctStates() int { return h.b.cs.DistinctStates() }
+
+// --- Chain driving -------------------------------------------------------
+
+// Step executes one uniformly random interaction.
+func (h *HybridSimulator[S]) Step() { h.advance(h.b.cs.steps+1, -1) }
+
+// RunSteps executes k uniformly random interactions.
+func (h *HybridSimulator[S]) RunSteps(k uint64) {
+	limit := h.b.cs.steps + k
+	for h.b.cs.steps < limit {
+		h.advance(limit, -1)
+	}
+}
+
+// RunUntilLeaders runs random interactions until at most target leaders
+// remain or maxSteps total interactions have been executed, returning the
+// total step count at return and whether the target was reached. The
+// reported step count is the exact first-hit time of the underlying
+// chain: a round whose aggregate crosses the target is replayed
+// interaction by interaction (see BatchSimulator.RunUntilLeaders), and
+// the skip and interact modes apply at most one census change per
+// advance, so the semantics match the other engines exactly.
+func (h *HybridSimulator[S]) RunUntilLeaders(target int, maxSteps uint64) (steps uint64, ok bool) {
+	cs := &h.b.cs
+	if cs.n == 1 {
+		return cs.steps, cs.leaders <= target
+	}
+	for cs.leaders > target {
+		if cs.steps >= maxSteps {
+			return cs.steps, false
+		}
+		h.advance(maxSteps, target)
+	}
+	return cs.steps, true
+}
+
+// VerifyStable runs extra random interactions and reports whether any
+// agent's output changed during them. Aggregate role accounting and no-op
+// skips are exact, so the check matches the other engines.
+func (h *HybridSimulator[S]) VerifyStable(extra uint64) bool {
+	if h.b.cs.n == 1 {
+		return true
+	}
+	before := h.b.cs.roleChanges
+	h.RunSteps(extra)
+	return h.b.cs.roleChanges == before
+}
+
+// Clone returns an independent deep copy of the simulator, including the
+// scheduler position and the controller state: the original and the clone
+// produce identical futures until their schedules diverge. The handover
+// policy function value is shared (policies must be stateless).
+func (h *HybridSimulator[S]) Clone() *HybridSimulator[S] {
+	d := &HybridSimulator[S]{
+		b:                 *h.b.Clone(),
+		mode:              h.mode,
+		policy:            h.policy,
+		lastRoundLen:      h.lastRoundLen,
+		lastRoundReactive: h.lastRoundReactive,
+		noopRounds:        h.noopRounds,
+		lastSkip:          h.lastSkip,
+		shortSkips:        h.shortSkips,
+		noopStreak:        h.noopStreak,
+	}
+	// The value copy of the cloned batch engine invalidated its
+	// self-pointer hooks; reinstall them against the embedded copy.
+	d.b.installFastMemo()
+	return d
+}
+
+// CloneRunner implements Runner.
+func (h *HybridSimulator[S]) CloneRunner() Runner[S] { return h.Clone() }
+
+// --- The controller ------------------------------------------------------
+
+// advance executes scheduler steps in the controller-chosen mode until at
+// least one interaction has been applied or the step counter reaches
+// limit. target >= 0 asks for exact first-hit semantics on the leader
+// count (RunUntilLeaders); target < 0 runs oblivious to leaders.
+func (h *HybridSimulator[S]) advance(limit uint64, target int) {
+	cs := &h.b.cs
+	if cs.n < 2 {
+		panic("pp: a population of 1 cannot interact")
+	}
+	mode := h.nextMode(limit)
+	h.mode = mode
+	switch mode {
+	case ModeRound:
+		before := cs.steps
+		h.b.round(limit, target)
+		h.lastRoundLen = cs.steps - before
+		h.lastRoundReactive = h.b.reactive
+		if h.b.reactive == 0 {
+			h.noopRounds++
+		} else {
+			h.noopRounds = 0
+		}
+	case ModeSkip:
+		h.b.ensureFen()
+		h.skip(limit)
+	default: // ModeInteract
+		h.b.ensureFen()
+		if cs.interactOnce() {
+			h.noopStreak = 0
+		} else {
+			h.noopStreak++
+		}
+		cs.steps++
+	}
+}
+
+// nextMode consults the handover policy and clamps its answer to the
+// correctness envelope: rounds are unavailable while state tracking is
+// active or the state table outgrew the dense transition matrix.
+func (h *HybridSimulator[S]) nextMode(limit uint64) HybridMode {
+	var m HybridMode
+	if h.policy == nil {
+		m = h.defaultMode(limit)
+	} else {
+		m = h.policy(h.Stats())
+	}
+	if m == ModeRound && !h.roundEligible() {
+		return ModeInteract
+	}
+	if m > ModeSkip {
+		return ModeInteract
+	}
+	return m
+}
+
+// roundEligible reports whether round mode is permitted at all (the
+// correctness/memory envelope, not the cost model): aggregate paths do
+// not attribute per-interaction state observations, and the dense
+// transition matrix bounds the state table.
+func (h *HybridSimulator[S]) roundEligible() bool {
+	cs := &h.b.cs
+	return cs.seen == nil && len(cs.states) <= batchDenseStatesMax
+}
+
+// defaultMode is the built-in payoff-adaptive policy. It is a pure cost
+// model — any answer is correct:
+//
+//   - Rounds run while the census is concentrated (live support within
+//     the aggregate-draw cap) and keep reacting; a streak of all-no-op
+//     rounds (Θ(√n) sampled interactions without one census change) is
+//     evidence the reactive mass is tiny, so the census is handed to the
+//     geometric skipper.
+//   - Skipping continues while realized skips beat the skip-event's
+//     break-even length (shortSkipLen, the census concentration's
+//     enumeration cost expressed in steps); a streak of short skips means
+//     the census turned reaction-dense again and the controller hands
+//     back to rounds — directly, unlike the census engine, which exits to
+//     per-interaction sampling and must rediscover inertness.
+//   - Per-interaction sampling covers the remainder: wide live support,
+//     populations too small for rounds, state tracking, or budget tails
+//     shorter than a minimal round. A long sampled no-op streak hands
+//     over to the skipper exactly like the census engine.
+func (h *HybridSimulator[S]) defaultMode(limit uint64) HybridMode {
+	cs := &h.b.cs
+	switch h.mode {
+	case ModeRound:
+		if h.noopRounds >= batchNoopRoundStreak && cs.live <= countBatchLiveMax {
+			return ModeSkip
+		}
+	case ModeSkip:
+		if h.shortSkips < hybridShortSkipStreak {
+			return ModeSkip
+		}
+		// Short-skip streak: fall through to the round/interact choice.
+	default: // ModeInteract
+		if h.noopStreak >= countNoopStreak && cs.live <= countBatchLiveMax {
+			return ModeSkip
+		}
+	}
+	if limit-cs.steps >= batchMinRound && cs.n >= h.b.minRoundN &&
+		cs.live <= h.b.maxLiveForRounds() && h.roundEligible() {
+		return ModeRound
+	}
+	return ModeInteract
+}
+
+// shortSkipLen is the break-even length of one skip event: enumerating
+// the reactive pairs costs Θ(live²) memoized lookups, a round costs a few
+// draws per covered interaction, so a skip pays once it jumps at least
+// ~live²/4 interactions (floored by the census engine's exit threshold).
+func (h *HybridSimulator[S]) shortSkipLen() uint64 {
+	live := uint64(h.b.cs.live)
+	if thr := live * live / 4; thr > countBatchExitSkip {
+		return thr
+	}
+	return countBatchExitSkip
+}
+
+// skip jumps over the geometrically distributed run of census-preserving
+// interactions and applies the next state-changing pair, clamped to the
+// step budget — the census engine's advanceBatched with the controller's
+// telemetry attached. Both the skip length and the changing pair are
+// drawn from their exact conditional laws (see CountSimulator).
+func (h *HybridSimulator[S]) skip(limit uint64) {
+	cs := &h.b.cs
+	wc := cs.collectReactivePairs()
+	if wc == 0 {
+		// Dead census: no pair of live states reacts, so no interaction
+		// can ever change anything again. Spend the whole budget at once.
+		h.lastSkip = limit - cs.steps
+		h.shortSkips = 0
+		cs.steps = limit
+		return
+	}
+	total := uint64(cs.n) * uint64(cs.n-1)
+	remaining := limit - cs.steps
+	var skip uint64
+	if wc < total {
+		skip = cs.rand.Geometric(float64(wc) / float64(total))
+		if skip >= remaining {
+			// Truncated by the budget: the event is deferred, not short.
+			h.lastSkip = remaining
+			h.shortSkips = 0
+			cs.steps = limit
+			return
+		}
+	}
+	cs.steps += skip + 1
+	target := cs.rand.Uint64n(wc)
+	k := sort.Search(len(cs.pairW), func(x int) bool { return cs.pairW[x] > target })
+	cs.applyPair(int(cs.pairI[k]), int(cs.pairJ[k]))
+	h.lastSkip = skip
+	if skip+1 < h.shortSkipLen() {
+		h.shortSkips++
+	} else {
+		h.shortSkips = 0
+	}
+}
+
+// String identifies the engine in test names and errors.
+func (h *HybridSimulator[S]) String() string {
+	return fmt.Sprintf("HybridSimulator(n=%d, steps=%d, mode=%s)", h.b.cs.n, h.b.cs.steps, h.mode)
+}

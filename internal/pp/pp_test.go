@@ -337,7 +337,7 @@ func TestMeasureStabilization(t *testing.T) {
 }
 
 // TestQuickLeaderCountNeverNegative drives random interactions through the
-// fixture on both engines and checks census sanity as a property.
+// fixture on every engine and checks census sanity as a property.
 func TestQuickLeaderCountNeverNegative(t *testing.T) {
 	for _, engine := range pp.Engines() {
 		f := func(seed uint64, steps uint16) bool {

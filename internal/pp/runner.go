@@ -5,12 +5,13 @@ import (
 	"strings"
 )
 
-// Runner is the observable surface shared by the two simulation engines:
-// the per-agent Simulator and the census-based CountSimulator. Experiments,
+// Runner is the observable surface shared by the simulation engines: the
+// per-agent Simulator, the census-based CountSimulator, the round-based
+// BatchSimulator and the phase-adaptive HybridSimulator. Experiments,
 // commands and benchmarks program against this interface so the engine is a
 // runtime choice (see Engine); everything a protocol's *observable* behavior
 // defines — step counts, parallel time, leader census, stabilization,
-// role-change accounting — is available on both engines with identical
+// role-change accounting — is available on every engine with identical
 // semantics.
 //
 // Agent identities are the one place the engines differ: the census engine
@@ -80,6 +81,18 @@ const (
 	// not pay, so it is the fastest choice for small-state-space protocols
 	// at large n (PLL, Angluin, Lottery from n ≈ 10⁶ up).
 	EngineBatch
+	// EngineHybrid is the phase-adaptive engine (HybridSimulator): the
+	// batch engine's round machinery plus the census engine's
+	// per-interaction and geometric no-op paths, driven by an explicit
+	// mode controller that measures census concentration and realized
+	// per-phase payoff online (distinct live states, reactive-pair mass,
+	// realized round length versus geometric skip length) and hands the
+	// census over between modes at interaction boundaries. Handover
+	// carries only the census multiset and the rng stream position — both
+	// engine-agnostic — so every mix of modes samples the exact
+	// uniform-scheduler chain. The best default for full O(log n)-time
+	// elections at large n, whose phase structure no single mode wins.
+	EngineHybrid
 )
 
 // EngineAuto is the pseudo-engine "auto": not a simulator, but a
@@ -100,6 +113,8 @@ func (e Engine) String() string {
 		return "count"
 	case EngineBatch:
 		return "batch"
+	case EngineHybrid:
+		return "hybrid"
 	case EngineAuto:
 		return "auto"
 	default:
@@ -138,7 +153,9 @@ func ParseEngine(s string) (Engine, error) {
 }
 
 // Engines returns all available engines, in declaration order.
-func Engines() []Engine { return []Engine{EngineAgent, EngineCount, EngineBatch} }
+func Engines() []Engine {
+	return []Engine{EngineAgent, EngineCount, EngineBatch, EngineHybrid}
+}
 
 // EngineNames returns the command-line spellings of all engines, in
 // declaration order — the single source for flag usage strings and
@@ -170,6 +187,8 @@ func NewRunner[S comparable](engine Engine, proto Protocol[S], n int, seed uint6
 		return NewCountSimulator(proto, n, seed)
 	case EngineBatch:
 		return NewBatchSimulator(proto, n, seed)
+	case EngineHybrid:
+		return NewHybridSimulator(proto, n, seed)
 	case EngineAuto:
 		// "auto" is resolved by the registry (per protocol and n) before
 		// construction; reaching here is a programmer error, not a spec the
@@ -185,4 +204,5 @@ var (
 	_ Runner[bool] = (*Simulator[bool])(nil)
 	_ Runner[bool] = (*CountSimulator[bool])(nil)
 	_ Runner[bool] = (*BatchSimulator[bool])(nil)
+	_ Runner[bool] = (*HybridSimulator[bool])(nil)
 )

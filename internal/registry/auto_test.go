@@ -33,7 +33,7 @@ func TestParseEngineAuto(t *testing.T) {
 }
 
 // TestResolveEngine: auto resolves per protocol and population size —
-// per-agent for census-hostile protocols and small populations, batch
+// per-agent for census-hostile protocols and small populations, hybrid
 // for census-friendly ones at scale — and concrete engines pass through.
 func TestResolveEngine(t *testing.T) {
 	cases := []struct {
@@ -42,8 +42,8 @@ func TestResolveEngine(t *testing.T) {
 		want     pp.Engine
 	}{
 		{"pll", 1000, pp.EngineAgent},
-		{"pll", 1 << 20, pp.EngineBatch},
-		{"angluin", 1 << 20, pp.EngineBatch},
+		{"pll", 1 << 20, pp.EngineHybrid},
+		{"angluin", 1 << 20, pp.EngineHybrid},
 		{"maxid", 1 << 20, pp.EngineAgent}, // census-hostile: Θ(n) live states
 	}
 	for _, c := range cases {

@@ -104,9 +104,12 @@ func (e Entry) StateCount(n, m int) int { return e.stateCount(n, m) }
 // RecommendedEngine returns the engine best suited to this entry at
 // population size n: the per-agent engine for census-hostile protocols
 // (MaxID) and for small populations, where its flat per-interaction cost
-// wins, and the batch engine beyond that, where collision-free rounds and
-// no-op skipping dominate. Any engine is valid; this is the default a
-// frontend should pick when the caller does not care.
+// wins, and the hybrid engine beyond that — it starts in the batch
+// engine's collision-free rounds and hands the census to per-interaction
+// or geometric no-op-skipping mode whenever the measured payoff flips, so
+// it is never slower than the best fixed choice by more than the
+// (constant-cost) mode controller. Any engine is valid; this is the
+// default a frontend should pick when the caller does not care.
 func (e Entry) RecommendedEngine(n int) pp.Engine {
 	if !e.CensusFriendly {
 		return pp.EngineAgent
@@ -114,7 +117,7 @@ func (e Entry) RecommendedEngine(n int) pp.Engine {
 	if n < 1<<16 {
 		return pp.EngineAgent
 	}
-	return pp.EngineBatch
+	return pp.EngineHybrid
 }
 
 // SuitableEngines returns the engines that scale to large n for this
@@ -123,7 +126,7 @@ func (e Entry) SuitableEngines() []pp.Engine {
 	if !e.CensusFriendly {
 		return []pp.Engine{pp.EngineAgent}
 	}
-	return []pp.Engine{pp.EngineBatch, pp.EngineCount, pp.EngineAgent}
+	return []pp.Engine{pp.EngineHybrid, pp.EngineBatch, pp.EngineCount, pp.EngineAgent}
 }
 
 // StepBudget returns a generous default interaction budget for a

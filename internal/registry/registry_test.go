@@ -206,8 +206,8 @@ func TestEngineSuitability(t *testing.T) {
 				t.Errorf("maxid recommends %v at n=10^7, want agent", rec)
 			}
 		} else {
-			if rec != pp.EngineBatch {
-				t.Errorf("%s recommends %v at n=10^7, want batch", e.Key, rec)
+			if rec != pp.EngineHybrid {
+				t.Errorf("%s recommends %v at n=10^7, want hybrid", e.Key, rec)
 			}
 			if e.RecommendedEngine(100) != pp.EngineAgent {
 				t.Errorf("%s recommends %v at n=100, want agent", e.Key, e.RecommendedEngine(100))

@@ -24,7 +24,8 @@ type ExperimentSpec struct {
 	Protocol string `json:"protocol"`
 	// N is the population size.
 	N int `json:"n"`
-	// Engine is "count", "agent", "batch" or "auto" ("" = "count").
+	// Engine is "count", "agent", "batch", "hybrid" or "auto"
+	// ("" = "count").
 	Engine string `json:"engine,omitempty"`
 	// Seed is the ensemble's base seed; replicate r runs with
 	// ensemble.ReplicateSeed(seed, r). 0 derives the base seed from the

@@ -72,7 +72,7 @@ type JobSpec struct {
 	Protocol string `json:"protocol"`
 	// N is the population size.
 	N int `json:"n"`
-	// Engine is "count", "agent", "batch" or "auto" ("" = "count";
+	// Engine is "count", "agent", "batch", "hybrid" or "auto" ("" = "count";
 	// "auto" resolves to the registry's recommendation for the protocol
 	// and n at canonicalization time, so the canonical spec — and the
 	// cache key and derived seed — always name a concrete engine).
@@ -327,10 +327,10 @@ type Options struct {
 	// beyond that a single job would hold gigabytes and a worker for
 	// hours).
 	MaxNAgent int
-	// MaxNBatch bounds population sizes on the batch engine. Like the
-	// census engine its memory is Θ(live states), and its collision-free
-	// rounds make it the fastest engine at large n, so the default is
-	// MaxN (after defaulting, 200 million).
+	// MaxNBatch bounds population sizes on the batch and hybrid engines.
+	// Like the census engine their memory is Θ(live states), and
+	// collision-free rounds make them the fastest engines at large n, so
+	// the default is MaxN (after defaulting, 200 million).
 	MaxNBatch int
 	// MaxSnapshots bounds each job's stored trajectory (default 256). It
 	// is also the observation cap of the deterministic drive schedule
@@ -527,13 +527,13 @@ func (m *Manager) Canonicalize(spec JobSpec) (JobSpec, registry.Spec, int, uint6
 }
 
 // engineLimit returns the population cap for the given engine: per-agent
-// memory and work are Θ(n), the census-based engines (count, batch) are
-// Θ(live states).
+// memory and work are Θ(n), the census-based engines (count, batch,
+// hybrid) are Θ(live states).
 func (m *Manager) engineLimit(engine pp.Engine) int {
 	switch engine {
 	case pp.EngineAgent:
 		return m.opts.MaxNAgent
-	case pp.EngineBatch:
+	case pp.EngineBatch, pp.EngineHybrid:
 		return m.opts.MaxNBatch
 	default:
 		return m.opts.MaxN

@@ -488,6 +488,7 @@ func TestPerEngineLimits(t *testing.T) {
 	}{
 		{"agent", 500, 501},
 		{"batch", 700, 701},
+		{"hybrid", 700, 701},
 		{"count", 1000, 1001},
 	}
 	for _, tc := range cases {

@@ -33,8 +33,8 @@ type SweepSpec struct {
 	// Ms is the optional knowledge-parameter axis for the PLL variants
 	// (omitted = [0], the canonical ⌈lg n⌉).
 	Ms []int `json:"ms,omitempty"`
-	// Engine is "count", "agent", "batch" or "auto" ("" = "auto",
-	// resolved per cell).
+	// Engine is "count", "agent", "batch", "hybrid" or "auto"
+	// ("" = "auto", resolved per cell).
 	Engine string `json:"engine,omitempty"`
 	// Seed is the per-cell ensemble base seed; 0 derives one per cell
 	// from the cell's canonical identity, so every cell is bit-identical

@@ -429,7 +429,7 @@ func TestSweepStoreRoundTrip(t *testing.T) {
 
 // TestSweepEngineAutoPerCell: with engine auto (the sweep default), each
 // cell resolves independently — the per-agent engine below the
-// registry's census threshold, the batch engine above it — and the
+// registry's census threshold, the hybrid engine above it — and the
 // resolved engine lands in the cell's canonical identity.
 func TestSweepEngineAutoPerCell(t *testing.T) {
 	m := service.NewManager(service.Options{Workers: 4})
@@ -451,8 +451,8 @@ func TestSweepEngineAutoPerCell(t *testing.T) {
 	if cells[0].Engine != "agent" {
 		t.Errorf("n=1000 resolved to %q, want agent", cells[0].Engine)
 	}
-	if cells[1].Engine != "batch" {
-		t.Errorf("n=70000 resolved to %q, want batch", cells[1].Engine)
+	if cells[1].Engine != "hybrid" {
+		t.Errorf("n=70000 resolved to %q, want hybrid", cells[1].Engine)
 	}
 	if fits := sw.Summary().Fits; len(fits) != 1 || len(fits[0].Engines) != 2 {
 		t.Errorf("summary fits = %+v, want one fit spanning two engines", fits)

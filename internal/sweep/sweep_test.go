@@ -94,8 +94,8 @@ func TestCanonicalizeAutoEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if cells[0].Engine != pp.EngineAgent || cells[1].Engine != pp.EngineBatch {
-		t.Errorf("auto resolved to %v/%v, want agent/batch", cells[0].Engine, cells[1].Engine)
+	if cells[0].Engine != pp.EngineAgent || cells[1].Engine != pp.EngineHybrid {
+		t.Errorf("auto resolved to %v/%v, want agent/hybrid", cells[0].Engine, cells[1].Engine)
 	}
 }
 

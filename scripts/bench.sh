@@ -8,7 +8,7 @@
 # Environment:
 #   BENCHTIME   go test -benchtime value (default 1x: one run per case,
 #               the large-n elections already take ~20 s each)
-#   BENCH_RE    benchmark regex (default: the three-engine PLL race at
+#   BENCH_RE    benchmark regex (default: the count/batch/hybrid PLL race at
 #               n=10^7, the engine head-to-heads, the large-n rows, the
 #               ensemble executor's Table 1 row — 50 replicates at
 #               n=10^5, serial vs all-core, whose wall-clock ratio is

@@ -2,7 +2,9 @@
 # smoke.sh — end-to-end smoke test of the popprotod HTTP service, as run
 # by CI: start the server with a durable result store, submit a PLL
 # election at n=10^5 on the census engine, assert exactly one leader and
-# a cache hit on the identical resubmission, run a replicated experiment
+# a cache hit on the identical resubmission, repeat on the phase-adaptive
+# hybrid engine asserting the resolved engine lands in the job record,
+# run a replicated experiment
 # through /v1/experiments, run a scaling sweep (PLL × n∈{1e3,1e4,1e5},
 # engine auto) through /v1/sweeps and assert a fitted log-slope comes
 # back, then kill the server, restart it on the same store, and assert
@@ -75,6 +77,21 @@ SNAPSHOTS=$(curl -fs -N --max-time 10 "$BASE/v1/jobs/$ID/trace" | grep -c '^even
 [ "$SNAPSHOTS" -ge 2 ] || { echo "trace replayed $SNAPSHOTS snapshots, want >= 2" >&2; exit 1; }
 echo "trace replayed $SNAPSHOTS census snapshots" >&2
 
+# --- hybrid engine: the phase-adaptive engine elects through the service ---
+HYBRID_SPEC='{"protocol": "pll", "n": 100000, "engine": "hybrid", "seed": 42}'
+HID=$(curl -fs -X POST -d "$HYBRID_SPEC" "$BASE/v1/jobs" | jq -r '.job.id')
+echo "submitted hybrid job $HID" >&2
+
+HSTATE=$(wait_state "$BASE/v1/jobs/$HID")
+[ "$HSTATE" = done ] || { echo "hybrid job ended in state $HSTATE" >&2; exit 1; }
+
+HJOB=$(curl -fs "$BASE/v1/jobs/$HID")
+HLEADERS=$(echo "$HJOB" | jq -r '.result.leaders')
+HENGINE=$(echo "$HJOB" | jq -r '.spec.engine')
+[ "$HLEADERS" = 1 ] || { echo "hybrid job expected 1 leader, got $HLEADERS" >&2; exit 1; }
+[ "$HENGINE" = hybrid ] || { echo "hybrid job record names engine $HENGINE" >&2; exit 1; }
+echo "hybrid engine elected exactly one leader (engine recorded: $HENGINE)" >&2
+
 # --- experiments: replicated Monte-Carlo ensemble with aggregates ---
 EID=$(curl -fs -X POST -d "$EXP_SPEC" "$BASE/v1/experiments" | jq -r '.experiment.id')
 echo "submitted experiment $EID" >&2
@@ -111,10 +128,10 @@ EXPONENT=$(echo "$SWEEP" | jq -r '.summary.fits[0].logLogExponent')
 case "$SLOPE" in ""|null) echo "sweep returned no fitted log-slope" >&2; exit 1;; esac
 echo "sweep: 3/3 cells done, fitted time = ${SLOPE}·lg n (R² $R2, log-log exponent $EXPONENT)" >&2
 
-# engine=auto resolved per cell: agent at n=1e3, batch at n=1e5.
+# engine=auto resolved per cell: agent at n=1e3, hybrid at n=1e5.
 ENGINES=$(echo "$SWEEP" | jq -r '[.cells[].engine] | join(",")')
-[ "$ENGINES" = "agent,agent,batch" ] ||
-  { echo "auto resolution picked engines $ENGINES, want agent,agent,batch" >&2; exit 1; }
+[ "$ENGINES" = "agent,agent,hybrid" ] ||
+  { echo "auto resolution picked engines $ENGINES, want agent,agent,hybrid" >&2; exit 1; }
 echo "engine auto resolved per cell: $ENGINES" >&2
 
 # The sweep's SSE stream replays one cell event per cell plus done.
