@@ -6,6 +6,7 @@
 //
 //	popprotod [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-n N] [-max-n-batch N]
 //	          [-store FILE] [-experiments N] [-sweeps N] [-max-replicates N] [-max-cells N]
+//	          [-debug-addr ADDR] [-log-json]
 //
 // Endpoints (see API.md for schemas):
 //
@@ -22,7 +23,12 @@
 //	GET    /v1/sweeps/{id}             sweep status, cells, scaling summary
 //	DELETE /v1/sweeps/{id}             cancel a sweep (cascades to its cells)
 //	GET    /v1/sweeps/{id}/stream      live per-cell aggregates (SSE)
-//	GET    /v1/health                  liveness and cache counters
+//	GET    /v1/health                  liveness, uptime, build info, queue and cache counters
+//	GET    /metrics                    Prometheus text-format exposition
+//
+// With -debug-addr set, a second listener (intended to stay private)
+// serves /metrics plus the net/http/pprof profiling endpoints under
+// /debug/pprof/.
 //
 // Identical specs are served from an LRU result cache: simulations are
 // deterministic functions of their canonical spec, so the second
@@ -39,13 +45,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"popproto/internal/obs"
 	"popproto/internal/service"
 	"popproto/internal/store"
 )
@@ -76,10 +85,14 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	maxReplicates := fs.Int("max-replicates", 0, "largest accepted experiment (and sweep-cell) ensemble size (0 = 1e5)")
 	sweepWorkers := fs.Int("sweeps", 0, "concurrently running sweeps (0 = 1); a sweep runs its cells sequentially, each cell fanning replicates over up to -workers goroutines")
 	maxCells := fs.Int("max-cells", 0, "largest cell count a sweep's axes may expand into (0 = 128)")
+	debugAddr := fs.String("debug-addr", "", "separate listener for /metrics and /debug/pprof/* (empty = off; keep private)")
+	logJSON := fs.Bool("log-json", false, "emit one structured JSON log line per HTTP request")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	reg := obs.NewRegistry()
 
 	var st *store.Store
 	if *storePath != "" {
@@ -89,12 +102,18 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 			return err
 		}
 		defer st.Close()
+		st.Instrument(reg)
 		if dropped := st.Dropped(); dropped > 0 {
 			log.Printf("store %s: replayed %d results (%d torn/corrupt lines skipped)",
 				*storePath, st.Len(), dropped)
 		} else {
 			log.Printf("store %s: replayed %d results", *storePath, st.Len())
 		}
+	}
+
+	var logger *slog.Logger
+	if *logJSON {
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
 	}
 
 	mgr := service.NewManager(service.Options{
@@ -109,6 +128,8 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		MaxReplicates:     *maxReplicates,
 		SweepWorkers:      *sweepWorkers,
 		MaxSweepCells:     *maxCells,
+		Metrics:           reg,
+		Logger:            logger,
 	})
 	server := &http.Server{
 		Handler:           service.NewHandler(mgr),
@@ -121,6 +142,27 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		return err
 	}
 	log.Printf("popprotod listening on %s", ln.Addr())
+
+	var debugServer *http.Server
+	if *debugAddr != "" {
+		debugLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			ln.Close()
+			mgr.Close()
+			return err
+		}
+		debugServer = &http.Server{
+			Handler:           debugMux(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		}
+		log.Printf("debug listener on %s (/metrics, /debug/pprof/)", debugLn.Addr())
+		go func() {
+			if err := debugServer.Serve(debugLn); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
+
 	if ready != nil {
 		ready <- ln.Addr().String()
 	}
@@ -140,6 +182,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	log.Printf("shutting down (draining for up to %v)", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	if debugServer != nil {
+		debugServer.Close()
+	}
 	err = server.Shutdown(shutdownCtx)
 	if errors.Is(err, context.DeadlineExceeded) {
 		// Long-lived SSE streams may outlast the drain window.
@@ -147,4 +192,18 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	}
 	mgr.Close()
 	return err
+}
+
+// debugMux builds the private diagnostics handler: the shared metrics
+// registry plus the pprof profiling endpoints, explicitly routed so the
+// import stays side-effect free on the public mux.
+func debugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"path/filepath"
 	"strings"
@@ -199,5 +200,59 @@ func TestStoreSurvivesRestart(t *testing.T) {
 	}
 	if restored.Aggregates.MeanSteps != wantMeanSteps {
 		t.Errorf("restored meanSteps %g != original %g", restored.Aggregates.MeanSteps, wantMeanSteps)
+	}
+}
+
+// TestDebugListener boots with -debug-addr and checks that the second
+// listener serves both the metrics exposition and the pprof index, and
+// that the public listener serves /metrics too.
+func TestDebugListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debugAddr := ln.Addr().String()
+	ln.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "1", "-debug-addr", debugAddr}, ready)
+	}()
+	var base string
+	select {
+	case addr := <-ready:
+		base = "http://" + addr
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	}
+	defer func() {
+		cancel()
+		if err := <-done; err != nil && err != http.ErrServerClosed {
+			t.Errorf("server exit: %v", err)
+		}
+	}()
+
+	get := func(url string) (int, string) {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("http://" + debugAddr + "/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "popprotod_runcore_submissions_total") {
+		t.Errorf("debug /metrics = %d, missing runcore series (body: %.200s)", code, body)
+	}
+	if code, body := get("http://" + debugAddr + "/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Errorf("debug /debug/pprof/cmdline = %d", code)
+	}
+	if code, body := get(base + "/metrics"); code != http.StatusOK ||
+		!strings.Contains(body, "popprotod_http_in_flight") {
+		t.Errorf("public /metrics = %d, missing http series (body: %.200s)", code, body)
 	}
 }

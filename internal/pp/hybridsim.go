@@ -89,6 +89,15 @@ type HybridStats struct {
 	// Interact telemetry.
 	NoopStreak int // consecutive sampled no-ops in interact mode
 
+	// Cumulative mode occupancy: interactions covered while each mode held
+	// the census, and the number of times the controller switched modes.
+	// RoundSteps+InteractSteps+SkipSteps == Steps at every advance
+	// boundary, so occupancy ratios are exact, not sampled.
+	RoundSteps    uint64
+	InteractSteps uint64
+	SkipSteps     uint64
+	Handovers     uint64
+
 	// RoundEligible reports whether rounds are permitted at all: state
 	// tracking attributes observations per interaction (aggregate paths
 	// cannot), and the dense transition matrix bounds the state table.
@@ -120,8 +129,8 @@ type HybridStats struct {
 type HybridSimulator[S comparable] struct {
 	b BatchSimulator[S] // round machinery plus the shared census core
 
-	mode   HybridMode                    // mode of the previous advance
-	policy func(HybridStats) HybridMode  // nil = default payoff policy
+	mode   HybridMode                   // mode of the previous advance
+	policy func(HybridStats) HybridMode // nil = default payoff policy
 
 	lastRoundLen      uint64
 	lastRoundReactive uint64
@@ -129,6 +138,9 @@ type HybridSimulator[S comparable] struct {
 	lastSkip          uint64
 	shortSkips        int
 	noopStreak        int
+
+	modeSteps [3]uint64 // interactions covered per mode, indexed by HybridMode
+	handovers uint64    // mode switches between consecutive advances
 }
 
 // NewHybridSimulator creates a census of n agents, all in the protocol's
@@ -183,6 +195,10 @@ func (h *HybridSimulator[S]) Stats() HybridStats {
 		LastSkip:          h.lastSkip,
 		ShortSkips:        h.shortSkips,
 		NoopStreak:        h.noopStreak,
+		RoundSteps:        h.modeSteps[ModeRound],
+		InteractSteps:     h.modeSteps[ModeInteract],
+		SkipSteps:         h.modeSteps[ModeSkip],
+		Handovers:         h.handovers,
 		RoundEligible:     h.roundEligible(),
 	}
 }
@@ -291,6 +307,8 @@ func (h *HybridSimulator[S]) Clone() *HybridSimulator[S] {
 		lastSkip:          h.lastSkip,
 		shortSkips:        h.shortSkips,
 		noopStreak:        h.noopStreak,
+		modeSteps:         h.modeSteps,
+		handovers:         h.handovers,
 	}
 	// The value copy of the cloned batch engine invalidated its
 	// self-pointer hooks; reinstall them against the embedded copy.
@@ -313,10 +331,13 @@ func (h *HybridSimulator[S]) advance(limit uint64, target int) {
 		panic("pp: a population of 1 cannot interact")
 	}
 	mode := h.nextMode(limit)
+	if mode != h.mode {
+		h.handovers++
+	}
 	h.mode = mode
+	before := cs.steps
 	switch mode {
 	case ModeRound:
-		before := cs.steps
 		h.b.round(limit, target)
 		h.lastRoundLen = cs.steps - before
 		h.lastRoundReactive = h.b.reactive
@@ -337,6 +358,7 @@ func (h *HybridSimulator[S]) advance(limit uint64, target int) {
 		}
 		cs.steps++
 	}
+	h.modeSteps[mode] += cs.steps - before
 }
 
 // nextMode consults the handover policy and clamps its answer to the

@@ -1,0 +1,76 @@
+package pp_test
+
+import (
+	"testing"
+
+	"popproto/internal/pp"
+)
+
+// TestHybridModeOccupancy pins the controller's telemetry invariants: the
+// per-mode step counters partition the total step count exactly, and the
+// handover counter counts mode switches.
+func TestHybridModeOccupancy(t *testing.T) {
+	h := pp.NewHybridSimulator[bool](duel, 4096, 7)
+	if st := h.Stats(); st.RoundSteps != 0 || st.InteractSteps != 0 || st.SkipSteps != 0 || st.Handovers != 0 {
+		t.Fatalf("fresh simulator has nonzero occupancy: %+v", st)
+	}
+	h.RunUntilLeaders(1, 50_000_000)
+	st := h.Stats()
+	if got := st.RoundSteps + st.InteractSteps + st.SkipSteps; got != st.Steps {
+		t.Fatalf("mode steps %d+%d+%d = %d do not partition Steps = %d",
+			st.RoundSteps, st.InteractSteps, st.SkipSteps, got, st.Steps)
+	}
+	if st.Steps == 0 {
+		t.Fatal("run executed no interactions")
+	}
+}
+
+// TestHybridHandoverCount forces a known mode schedule and checks the
+// handover counter against it: interact → round → round → interact is
+// exactly two switches, and occupancy lands in the modes that executed.
+func TestHybridHandoverCount(t *testing.T) {
+	h := pp.NewHybridSimulator[bool](duel, 4096, 7)
+	modes := []pp.HybridMode{pp.ModeInteract, pp.ModeRound, pp.ModeRound, pp.ModeInteract}
+	i := 0
+	h.TuneHandover(func(pp.HybridStats) pp.HybridMode {
+		m := modes[i%len(modes)]
+		i++
+		return m
+	})
+	for range modes {
+		h.Step() // each Step is one advance (rounds may cover many steps)
+	}
+	st := h.Stats()
+	// The simulator starts in ModeInteract, so the schedule switches at
+	// advance 2 (interact→round) and advance 4 (round→interact).
+	if st.Handovers != 2 {
+		t.Fatalf("Handovers = %d, want 2", st.Handovers)
+	}
+	if st.RoundSteps == 0 || st.InteractSteps == 0 {
+		t.Fatalf("expected both round and interact occupancy, got %+v", st)
+	}
+	if st.SkipSteps != 0 {
+		t.Fatalf("SkipSteps = %d, want 0 (skip never scheduled)", st.SkipSteps)
+	}
+	if got := st.RoundSteps + st.InteractSteps; got != st.Steps {
+		t.Fatalf("occupancy %d does not partition Steps = %d", got, st.Steps)
+	}
+}
+
+// TestHybridTelemetryClone checks Clone carries the occupancy counters so
+// clone futures keep partitioning their step counts.
+func TestHybridTelemetryClone(t *testing.T) {
+	h := pp.NewHybridSimulator[bool](duel, 2048, 3)
+	h.RunSteps(10_000)
+	c := h.Clone()
+	a, b := h.Stats(), c.Stats()
+	if a.RoundSteps != b.RoundSteps || a.InteractSteps != b.InteractSteps ||
+		a.SkipSteps != b.SkipSteps || a.Handovers != b.Handovers {
+		t.Fatalf("clone telemetry diverged: %+v vs %+v", a, b)
+	}
+	c.RunSteps(10_000)
+	st := c.Stats()
+	if got := st.RoundSteps + st.InteractSteps + st.SkipSteps; got != st.Steps {
+		t.Fatalf("clone occupancy %d does not partition Steps = %d", got, st.Steps)
+	}
+}

@@ -47,6 +47,10 @@ type Election interface {
 	// engine (whose ids are synthetic) and when no leader exists it
 	// returns -1.
 	LeaderID() int
+	// HybridStats returns the hybrid engine's controller telemetry (mode
+	// occupancy, handovers) and true when the underlying runner is the
+	// hybrid engine; other engines report false.
+	HybridStats() (pp.HybridStats, bool)
 }
 
 // election adapts a concrete pp.Runner[S] to the erased Election surface.
@@ -100,6 +104,13 @@ func (e *election[S]) Census() map[string]int {
 }
 
 func (e *election[S]) LiveStates() int { return len(e.run.Census()) }
+
+func (e *election[S]) HybridStats() (pp.HybridStats, bool) {
+	if s, ok := e.run.(interface{ Stats() pp.HybridStats }); ok {
+		return s.Stats(), true
+	}
+	return pp.HybridStats{}, false
+}
 
 func (e *election[S]) LeaderID() int {
 	if e.engine != pp.EngineAgent {

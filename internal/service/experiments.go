@@ -263,6 +263,7 @@ func (m *Manager) decodeExperiment(rec store.Record) (*Experiment, bool) {
 func (m *Manager) runExperiment(e *Experiment) {
 	key := e.spec.key()
 	if !e.Begin(nil) {
+		m.metrics.recordRunState(store.KindExperiment, StateCanceled)
 		m.exps.Finished(key, e)
 		return
 	}
@@ -271,7 +272,8 @@ func (m *Manager) runExperiment(e *Experiment) {
 		Workers:  m.opts.Workers,
 		OnUpdate: e.update,
 	})
-	wall := time.Since(start).Milliseconds()
+	wallDur := time.Since(start)
+	wall := wallDur.Milliseconds()
 	switch {
 	case err == nil:
 		agg := res.Aggregates
@@ -279,15 +281,30 @@ func (m *Manager) runExperiment(e *Experiment) {
 			e.agg = &agg
 			e.wallMillis = wall
 		})
+		m.metrics.recordRunState(store.KindExperiment, StateDone)
+		m.metrics.recordEngineRun(e.spec.Engine, ensembleInteractions(agg), wallDur)
 		m.exps.Finished(key, e)
 		m.core.Persist(store.KindExperiment, key, e.ID, e.spec, agg)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		e.Finish(StateCanceled, "canceled", func() { e.wallMillis = wall })
+		m.metrics.recordRunState(store.KindExperiment, StateCanceled)
 		m.exps.Finished(key, e)
 	default:
 		e.Finish(StateFailed, err.Error(), func() { e.wallMillis = wall })
+		m.metrics.recordRunState(store.KindExperiment, StateFailed)
 		m.exps.Finished(key, e)
 	}
+}
+
+// ensembleInteractions approximates an ensemble's total simulated
+// interactions (mean steps x incorporated replicates) for the engine
+// throughput counters; per-replicate exact counts are not retained.
+func ensembleInteractions(agg ensemble.Aggregates) uint64 {
+	total := agg.MeanSteps * float64(agg.Replicates)
+	if total <= 0 {
+		return 0
+	}
+	return uint64(total)
 }
 
 // finishedExperiment constructs an already-done experiment around

@@ -30,17 +30,24 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/sweeps/{id}             sweep status, cells and scaling summary
 //	DELETE /v1/sweeps/{id}             request cancellation (cascades to cells)
 //	GET    /v1/sweeps/{id}/stream      live per-cell aggregates as server-sent events
-//	GET    /v1/health                  liveness plus cache/pool counters
+//	GET    /v1/health                  liveness, uptime, build info, queue and cache counters
+//	GET    /metrics                    Prometheus text-format exposition
 //
 // Every error response is JSON of the form {"error": "..."}; invalid
 // specs map to 400, unknown runs to 404, a full queue to 429, and a
 // shutting-down server to 503.
+//
+// The returned handler wraps the routed mux with the front-door
+// telemetry middleware: per-route request counters and latency
+// histograms, the in-flight gauge, and (when Options.Logger is set) one
+// structured log record per request.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/protocols", handleProtocols)
 
 	mux.HandleFunc("POST /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(w, r, "job spec", m.Submit, func(j *Job, cached bool) any {
+			annotateRun(r, j, cached)
 			return submitResponse{Job: j.View(), Cached: cached}
 		})
 	})
@@ -58,12 +65,13 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
 		withRun(w, r, "job", m.Get, func(j *Job) {
 			replay, live, cancel := j.Subscribe()
-			streamSSE(w, r, "census", replay, live, cancel, func() any { return j.View() })
+			streamSSE(m, w, r, "census", replay, live, cancel, func() any { return j.View() })
 		})
 	})
 
 	mux.HandleFunc("POST /v1/experiments", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(w, r, "experiment spec", m.SubmitExperiment, func(e *Experiment, cached bool) any {
+			annotateRun(r, e, cached)
 			return submitExperimentResponse{Experiment: e.View(), Cached: cached}
 		})
 	})
@@ -85,12 +93,13 @@ func NewHandler(m *Manager) http.Handler {
 			if latest != nil {
 				replay = append(replay, *latest)
 			}
-			streamSSE(w, r, "aggregate", replay, live, cancel, func() any { return e.View() })
+			streamSSE(m, w, r, "aggregate", replay, live, cancel, func() any { return e.View() })
 		})
 	})
 
 	mux.HandleFunc("POST /v1/sweeps", func(w http.ResponseWriter, r *http.Request) {
 		handleSubmit(w, r, "sweep spec", m.SubmitSweep, func(s *Sweep, cached bool) any {
+			annotateRun(r, s, cached)
 			return submitSweepResponse{Sweep: s.View(), Cached: cached}
 		})
 	})
@@ -108,17 +117,15 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /v1/sweeps/{id}/stream", func(w http.ResponseWriter, r *http.Request) {
 		withRun(w, r, "sweep", m.GetSweep, func(s *Sweep) {
 			replay, live, cancel := s.Subscribe()
-			streamSSE(w, r, "cell", replay, live, cancel, func() any { return s.View() })
+			streamSSE(m, w, r, "cell", replay, live, cancel, func() any { return s.View() })
 		})
 	})
 
 	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, struct {
-			Status string `json:"status"`
-			Stats  Stats  `json:"stats"`
-		}{"ok", m.Stats()})
+		writeJSON(w, http.StatusOK, m.Health())
 	})
-	return mux
+	mux.Handle("GET /metrics", m.MetricsRegistry().Handler())
+	return m.instrumentHTTP(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -252,6 +259,7 @@ func withRun[R any](w http.ResponseWriter, r *http.Request, what string,
 		writeError(w, http.StatusNotFound, "no such %s %q", what, id)
 		return
 	}
+	annotateRun(r, run, false)
 	fn(run)
 }
 
@@ -261,10 +269,12 @@ func withRun[R any](w http.ResponseWriter, r *http.Request, what string,
 // reaches a terminal state (the run core closes the live channel then —
 // and only then). The subscription's cancel only stops delivery, so
 // returning on a dropped client can never race the publisher.
-func streamSSE[E any](w http.ResponseWriter, r *http.Request, event string,
+func streamSSE[E any](m *Manager, w http.ResponseWriter, r *http.Request, event string,
 	replay []E, live <-chan E, cancel func(), doneView func() any,
 ) {
 	defer cancel()
+	m.metrics.sseSubscribers.Inc()
+	defer m.metrics.sseSubscribers.Dec()
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusNotImplemented, "streaming unsupported by this connection")

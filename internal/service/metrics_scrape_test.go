@@ -1,0 +1,85 @@
+package service_test
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"popproto/internal/obs"
+	"popproto/internal/service"
+	"popproto/internal/store"
+)
+
+// TestMetricsScrape drives one job through the full HTTP surface and then
+// scrapes GET /metrics, asserting that the runcore, store, engine and
+// front-door series all show up in valid Prometheus text format — the
+// end-to-end check that the instrumentation is actually wired through
+// every layer, not just registered.
+func TestMetricsScrape(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, err := store.Open(filepath.Join(t.TempDir(), "results.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Instrument(reg)
+	m := service.NewManager(service.Options{Workers: 1, Store: st, Metrics: reg})
+	t.Cleanup(func() { m.Close(); st.Close() })
+	h := service.NewHandler(m)
+
+	spec := `{"protocol": "pll", "n": 200, "seed": 7}`
+	var sub submitResp
+	do(t, h, "POST", "/v1/jobs", spec, http.StatusAccepted, &sub)
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		var view service.JobView
+		do(t, h, "GET", "/v1/jobs/"+sub.Job.ID, "", http.StatusOK, &view)
+		if view.State == service.StateDone {
+			break
+		}
+		if view.State == service.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("job did not complete: %+v", view)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	// Hit the cache once so the hit series is nonzero too.
+	do(t, h, "POST", "/v1/jobs", spec, http.StatusOK, &sub)
+	if !sub.Cached {
+		t.Fatal("repeat submit was not served from cache")
+	}
+
+	r := httptest.NewRequest("GET", "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET /metrics = %d (body: %s)", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text format", ct)
+	}
+	body := w.Body.String()
+
+	// One layer per assertion: runcore cache + scheduler, store, engine,
+	// run lifecycle, and the HTTP front door itself.
+	for _, want := range []string{
+		`popprotod_runcore_submissions_total{kind="job",outcome="miss"} 1`,
+		`popprotod_runcore_submissions_total{kind="job",outcome="hit"} 1`,
+		`popprotod_runcore_run_seconds_count{kind="jobs"} 1`,
+		`popprotod_runcore_queue_depth{kind="jobs"} 0`,
+		`popprotod_store_fsync_seconds_count 1`,
+		`popprotod_store_records 1`,
+		`popprotod_engine_runs_total{engine="count"} 1`,
+		`popprotod_runs_total{kind="job",state="done"} 1`,
+		`popprotod_http_requests_total{route="POST /v1/jobs",method="POST",code="2xx"} 2`,
+		`popprotod_http_request_seconds_count{route="GET /v1/jobs/{id}"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full scrape:\n%s", body)
+	}
+}

@@ -1,0 +1,143 @@
+package service
+
+import (
+	"sync"
+	"time"
+
+	"popproto/internal/obs"
+	"popproto/internal/pp"
+	"popproto/internal/store"
+)
+
+// serviceMetrics is the manager's instrument set: HTTP front-door
+// series, run lifecycle counters, per-engine simulation throughput, and
+// the hybrid controller's aggregated mode occupancy. Every series a
+// health endpoint reports is sourced from these same instruments (or
+// runcore's), so /v1/health and /metrics cannot disagree.
+type serviceMetrics struct {
+	// HTTP front door (maintained by the middleware in middleware.go).
+	httpRequests   *obs.CounterVec   // {route, method, code}: code is the status class ("2xx")
+	httpDuration   *obs.HistogramVec // {route}
+	httpInFlight   *obs.Gauge
+	sseSubscribers *obs.Gauge
+
+	// Run lifecycle: one increment per terminal transition executed by
+	// this process (cached and restored answers don't run, so they are
+	// visible in runcore's submissions family instead).
+	runsTotal *obs.CounterVec // {kind, state}
+
+	// Engine throughput, recorded when a run finishes: interactions
+	// simulated, runs finished, and a ns/interaction EWMA per engine.
+	engineRuns         *obs.CounterVec // {engine}
+	engineInteractions *obs.CounterVec // {engine}
+	engineNsPer        *obs.GaugeVec   // {engine}
+
+	// Hybrid controller aggregates across all hybrid runs.
+	hybridModeInteractions *obs.CounterVec // {mode}
+	hybridHandovers        *obs.Counter
+
+	// EWMA state behind engineNsPer (α = ewmaAlpha), guarded separately
+	// from the lock-free instruments.
+	mu   sync.Mutex
+	ewma map[string]float64
+}
+
+// ewmaAlpha weights the newest run's ns/interaction at 20% — smooth
+// enough to damp one outlier run, fresh enough to follow a phase shift
+// within a handful of runs.
+const ewmaAlpha = 0.2
+
+// runKinds and terminalStates enumerate the runsTotal label space for
+// pre-seeding, so every series renders from startup.
+var (
+	runKinds       = []store.Kind{store.KindJob, store.KindExperiment, store.KindSweep}
+	terminalStates = []State{StateDone, StateFailed, StateCanceled}
+)
+
+// newServiceMetrics creates the manager's instruments, registers them on
+// reg, and pre-seeds every enumerable label combination.
+func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
+	m := &serviceMetrics{
+		httpRequests: obs.NewCounterVec("popprotod_http_requests_total",
+			"HTTP requests by route pattern, method and status class.",
+			"route", "method", "code"),
+		httpDuration: obs.NewHistogramVec("popprotod_http_request_seconds",
+			"HTTP request latency by route pattern.",
+			obs.ExpBuckets(0.0005, 2, 16), "route"),
+		httpInFlight: obs.NewGauge("popprotod_http_in_flight",
+			"HTTP requests currently being served."),
+		sseSubscribers: obs.NewGauge("popprotod_sse_subscribers",
+			"Live server-sent-event streams (trace and stream endpoints)."),
+		runsTotal: obs.NewCounterVec("popprotod_runs_total",
+			"Runs that reached a terminal state in this process, by kind and state.",
+			"kind", "state"),
+		engineRuns: obs.NewCounterVec("popprotod_engine_runs_total",
+			"Finished simulations by engine (experiment/sweep ensembles count once).",
+			"engine"),
+		engineInteractions: obs.NewCounterVec("popprotod_engine_interactions_total",
+			"Interactions simulated by finished runs, by engine (ensemble totals are mean x replicates).",
+			"engine"),
+		engineNsPer: obs.NewGaugeVec("popprotod_engine_ns_per_interaction",
+			"EWMA of wall nanoseconds per simulated interaction, by engine.",
+			"engine"),
+		hybridModeInteractions: obs.NewCounterVec("popprotod_hybrid_mode_interactions_total",
+			"Interactions executed by the hybrid engine per controller mode, across finished jobs.",
+			"mode"),
+		hybridHandovers: obs.NewCounter("popprotod_hybrid_handovers_total",
+			"Hybrid controller mode switches across finished jobs."),
+		ewma: make(map[string]float64),
+	}
+	reg.MustRegister(m.httpRequests, m.httpDuration, m.httpInFlight,
+		m.sseSubscribers, m.runsTotal, m.engineRuns, m.engineInteractions,
+		m.engineNsPer, m.hybridModeInteractions, m.hybridHandovers)
+	for _, kind := range runKinds {
+		for _, st := range terminalStates {
+			m.runsTotal.With(string(kind), string(st))
+		}
+	}
+	for _, engine := range pp.EngineNames() {
+		m.engineRuns.With(engine)
+		m.engineInteractions.With(engine)
+		m.engineNsPer.With(engine)
+	}
+	for _, mode := range []pp.HybridMode{pp.ModeRound, pp.ModeInteract, pp.ModeSkip} {
+		m.hybridModeInteractions.With(mode.String())
+	}
+	return m
+}
+
+// recordRunState counts one terminal transition.
+func (m *serviceMetrics) recordRunState(kind store.Kind, state State) {
+	m.runsTotal.With(string(kind), string(state)).Inc()
+}
+
+// recordEngineRun records a finished simulation's throughput: steps
+// simulated over wall time on the named engine. Ensembles pass their
+// approximate total (mean steps x replicates) and the ensemble's wall
+// time, so the EWMA reflects delivered multi-core throughput.
+func (m *serviceMetrics) recordEngineRun(engine string, steps uint64, wall time.Duration) {
+	m.engineRuns.With(engine).Inc()
+	m.engineInteractions.With(engine).Add(steps)
+	if steps == 0 || wall <= 0 {
+		return
+	}
+	ns := float64(wall.Nanoseconds()) / float64(steps)
+	m.mu.Lock()
+	prev, ok := m.ewma[engine]
+	if !ok {
+		prev = ns
+	}
+	cur := ewmaAlpha*ns + (1-ewmaAlpha)*prev
+	m.ewma[engine] = cur
+	m.mu.Unlock()
+	m.engineNsPer.With(engine).Set(cur)
+}
+
+// recordHybrid folds one finished hybrid run's controller telemetry into
+// the aggregate mode-occupancy and handover series.
+func (m *serviceMetrics) recordHybrid(st pp.HybridStats) {
+	m.hybridModeInteractions.With(pp.ModeRound.String()).Add(st.RoundSteps)
+	m.hybridModeInteractions.With(pp.ModeInteract.String()).Add(st.InteractSteps)
+	m.hybridModeInteractions.With(pp.ModeSkip.String()).Add(st.SkipSteps)
+	m.hybridHandovers.Add(st.Handovers)
+}

@@ -3,25 +3,55 @@ package runcore
 import (
 	"sync"
 
+	"popproto/internal/obs"
 	"popproto/internal/store"
 )
 
+// Submission outcome label values of the popprotod_runcore_submissions
+// counter family (the obs promotion of the former ad-hoc hit/join/miss
+// counters — /v1/health sums the same instruments /metrics renders, so
+// the two can never disagree).
+const (
+	outcomeHit      = "hit"
+	outcomeJoined   = "joined"
+	outcomeMiss     = "miss"
+	outcomeRestored = "restored"
+)
+
 // Core owns what every run kind's cache shares: the single submission
-// lock, the cross-kind hit/join/miss counters, the closed flag, and the
-// optional durable store the per-kind LRUs cache in front of.
+// lock, the cross-kind hit/join/miss instruments, the closed flag, and
+// the optional durable store the per-kind LRUs cache in front of.
 type Core struct {
 	// Store, when non-nil, persists finished results and serves them back
 	// across restarts. It belongs to the caller that opened it.
 	Store *store.Store
 
-	mu                   sync.Mutex
-	hits, joined, misses uint64
-	storeHits, storeErrs uint64
-	closed               bool
+	mu     sync.Mutex
+	closed bool
+
+	// submissions counts every Submit by (kind, outcome); persistErrs
+	// counts failed persistence attempts. The instruments always exist —
+	// Register attaches them to a registry for exposition.
+	submissions *obs.CounterVec
+	persistErrs *obs.Counter
 }
 
 // NewCore returns a core over the (possibly nil) durable store.
-func NewCore(st *store.Store) *Core { return &Core{Store: st} }
+func NewCore(st *store.Store) *Core {
+	return &Core{
+		Store: st,
+		submissions: obs.NewCounterVec("popprotod_runcore_submissions_total",
+			"Run submissions by kind and outcome (hit, joined, miss, restored).",
+			"kind", "outcome"),
+		persistErrs: obs.NewCounter("popprotod_runcore_persist_errors_total",
+			"Finished results that failed to persist to the durable store."),
+	}
+}
+
+// Register attaches the core's instruments to reg for exposition.
+func (c *Core) Register(reg *obs.Registry) {
+	reg.MustRegister(c.submissions, c.persistErrs)
+}
 
 // SetClosed marks the core closed and reports whether it was already.
 func (c *Core) SetClosed() (already bool) {
@@ -47,17 +77,23 @@ type Counters struct {
 	Stored int
 }
 
-// Counters snapshots the shared counters.
+// Counters snapshots the shared counters by summing the same obs
+// instruments /metrics renders — one source of truth for both surfaces.
 func (c *Core) Counters() Counters {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := Counters{
-		Hits:        c.hits,
-		Joined:      c.joined,
-		Misses:      c.misses,
-		StoreHits:   c.storeHits,
-		StoreErrors: c.storeErrs,
-	}
+	var s Counters
+	c.submissions.Each(func(values []string, n uint64) {
+		switch values[1] {
+		case outcomeHit:
+			s.Hits += n
+		case outcomeJoined:
+			s.Joined += n
+		case outcomeMiss:
+			s.Misses += n
+		case outcomeRestored:
+			s.StoreHits += n
+		}
+	})
+	s.StoreErrors = c.persistErrs.Value()
 	if c.Store != nil {
 		s.Stored = c.Store.Len()
 	}
@@ -72,9 +108,7 @@ func (c *Core) Persist(kind store.Kind, key, id string, spec, data any) {
 		return
 	}
 	if err := c.Store.Put(kind, key, id, spec, data); err != nil {
-		c.mu.Lock()
-		c.storeErrs++
-		c.mu.Unlock()
+		c.persistErrs.Inc()
 	}
 }
 
@@ -97,6 +131,11 @@ type Index[R Lifecycle] struct {
 	kind store.Kind
 	id   func(R) string
 
+	// Cached per-kind children of the core's submissions family —
+	// creating them at construction also pre-seeds the series so every
+	// (kind, outcome) pair renders on /metrics from startup.
+	hit, joined, miss, restored *obs.Counter
+
 	byID  map[string]R
 	cache *lru[R]
 }
@@ -106,10 +145,14 @@ type Index[R Lifecycle] struct {
 // cacheSize bounds the finished-work LRU.
 func NewIndex[R Lifecycle](core *Core, kind store.Kind, cacheSize int, id func(R) string) *Index[R] {
 	x := &Index[R]{
-		core: core,
-		kind: kind,
-		id:   id,
-		byID: make(map[string]R),
+		core:     core,
+		kind:     kind,
+		id:       id,
+		hit:      core.submissions.With(string(kind), outcomeHit),
+		joined:   core.submissions.With(string(kind), outcomeJoined),
+		miss:     core.submissions.With(string(kind), outcomeMiss),
+		restored: core.submissions.With(string(kind), outcomeRestored),
+		byID:     make(map[string]R),
 	}
 	x.cache = newLRU(cacheSize, func(r R) { delete(x.byID, id(r)) })
 	return x
@@ -156,18 +199,18 @@ func (x *Index[R]) Submit(key, id string,
 	}
 	if r, ok := x.cache.get(key); ok {
 		if r.State() != StateCanceled {
-			c.hits++
+			x.hit.Inc()
 			return r, OutcomeHit, nil
 		}
 		x.cache.remove(key)
 		delete(x.byID, x.id(r))
 	}
 	if r, ok := x.byID[id]; ok && !r.State().Terminal() {
-		c.joined++
+		x.joined.Inc()
 		return r, OutcomeJoined, nil
 	}
 	if r, ok := x.restoreLocked(key, decode); ok {
-		c.storeHits++
+		x.restored.Inc()
 		return r, OutcomeRestored, nil
 	}
 	r, err := create()
@@ -175,7 +218,7 @@ func (x *Index[R]) Submit(key, id string,
 		return zero, OutcomeNew, err
 	}
 	x.byID[id] = r
-	c.misses++
+	x.miss.Inc()
 	return r, OutcomeNew, nil
 }
 
@@ -213,7 +256,7 @@ func (x *Index[R]) Get(id string, decode func(store.Record) (R, bool)) (R, bool)
 	if c.Store != nil {
 		if rec, ok := c.Store.GetByID(id); ok && rec.Kind == x.kind {
 			if r, ok := x.restoreLocked(rec.Key, decode); ok {
-				c.storeHits++
+				x.restored.Inc()
 				return r, true
 			}
 		}

@@ -1,0 +1,47 @@
+package runcore
+
+import (
+	"popproto/internal/obs"
+)
+
+// Metrics is the scheduler's instrument set: per-kind admission queue
+// depth, queue-wait and run-duration distributions, and worker-pool
+// utilization. Construct with NewMetrics and attach via
+// Scheduler.SetMetrics before registering classes; a scheduler without
+// metrics skips all instrumentation (no clock reads on the dispatch
+// path).
+type Metrics struct {
+	// QueueDepth tracks tasks admitted but not yet dispatched, per kind.
+	QueueDepth *obs.GaugeVec
+	// Running tracks tasks currently executing, per kind.
+	Running *obs.GaugeVec
+	// QueueWait observes the admission-to-dispatch delay, per kind.
+	QueueWait *obs.HistogramVec
+	// RunSeconds observes task execution wall time, per kind.
+	RunSeconds *obs.HistogramVec
+	// WorkersBusy and Workers expose pool utilization (busy / total).
+	WorkersBusy *obs.Gauge
+	Workers     *obs.Gauge
+}
+
+// NewMetrics creates the scheduler instruments and registers them on
+// reg.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	m := &Metrics{
+		QueueDepth: obs.NewGaugeVec("popprotod_runcore_queue_depth",
+			"Tasks admitted to a kind's queue but not yet dispatched.", "kind"),
+		Running: obs.NewGaugeVec("popprotod_runcore_running",
+			"Tasks of a kind currently executing.", "kind"),
+		QueueWait: obs.NewHistogramVec("popprotod_runcore_queue_wait_seconds",
+			"Delay between admission and dispatch.", obs.ExpBuckets(0.0001, 2, 18), "kind"),
+		RunSeconds: obs.NewHistogramVec("popprotod_runcore_run_seconds",
+			"Task execution wall time.", obs.ExpBuckets(0.001, 2, 18), "kind"),
+		WorkersBusy: obs.NewGauge("popprotod_runcore_workers_busy",
+			"Scheduler workers currently executing a task."),
+		Workers: obs.NewGauge("popprotod_runcore_workers",
+			"Total scheduler worker goroutines."),
+	}
+	reg.MustRegister(m.QueueDepth, m.Running, m.QueueWait, m.RunSeconds,
+		m.WorkersBusy, m.Workers)
+	return m
+}

@@ -77,6 +77,11 @@ func NewRestoredRun[E any](id string, savedAt time.Time) *Run[E] {
 // the simulation drivers.
 func (r *Run[E]) Context() context.Context { return r.ctx }
 
+// RunID returns the public identifier. It exists so type-erased callers
+// (the HTTP middleware's request-log annotation) can extract the id from
+// any kind via one interface assertion.
+func (r *Run[E]) RunID() string { return r.ID }
+
 // Cancel requests cancellation. Finished runs are unaffected (their
 // state is already terminal; the context release is idempotent).
 func (r *Run[E]) Cancel() { r.cancelFn() }

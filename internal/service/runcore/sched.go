@@ -1,10 +1,21 @@
 package runcore
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // Task is one unit of queued work: a closure that runs a submitted run
 // to a terminal state.
 type Task func()
+
+// queued is one admitted task plus its admission timestamp (zero when
+// the scheduler is uninstrumented — the clock is only read for the
+// queue-wait histogram).
+type queued struct {
+	t  Task
+	at time.Time
+}
 
 // Scheduler is the one worker pool every run kind shares. Kinds
 // register a Class each; a class has its own bounded admission queue
@@ -21,6 +32,8 @@ type Scheduler struct {
 	next    int // round-robin start position for the next dispatch
 	closed  bool
 	wg      sync.WaitGroup
+	workers int
+	metrics *Metrics // nil = uninstrumented
 }
 
 // Class is one run kind's admission queue and concurrency cap on the
@@ -28,7 +41,7 @@ type Scheduler struct {
 type Class struct {
 	sched      *Scheduler
 	name       string
-	queue      []Task
+	queue      []queued
 	capacity   int
 	running    int
 	maxRunning int
@@ -38,13 +51,29 @@ type Class struct {
 // goroutines. Size it as the sum of the classes' concurrency caps so
 // every class can reach its cap even when the others are saturated.
 func NewScheduler(workers int) *Scheduler {
-	s := &Scheduler{}
+	s := &Scheduler{workers: workers}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// SetMetrics attaches the instrument set. Call before NewClass so every
+// class's gauges exist from registration; a nil scheduler stays
+// uninstrumented.
+func (s *Scheduler) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
+	if m != nil {
+		m.Workers.Set(float64(s.workers))
+		for _, c := range s.classes {
+			m.QueueDepth.With(c.name).Set(float64(len(c.queue)))
+			m.Running.With(c.name).Set(float64(c.running))
+		}
+	}
 }
 
 // NewClass registers a run kind: capacity bounds the queued-but-not-
@@ -54,6 +83,11 @@ func (s *Scheduler) NewClass(name string, capacity, maxRunning int) *Class {
 	c := &Class{sched: s, name: name, capacity: capacity, maxRunning: maxRunning}
 	s.mu.Lock()
 	s.classes = append(s.classes, c)
+	if s.metrics != nil {
+		// Pre-seed so the kind's series render before any traffic.
+		s.metrics.QueueDepth.With(name).Set(0)
+		s.metrics.Running.With(name).Set(0)
+	}
 	s.mu.Unlock()
 	return c
 }
@@ -70,18 +104,36 @@ func (c *Class) Enqueue(t Task) error {
 	if len(c.queue) >= c.capacity {
 		return ErrBusy
 	}
-	c.queue = append(c.queue, t)
+	q := queued{t: t}
+	if s.metrics != nil {
+		q.at = time.Now()
+	}
+	c.queue = append(c.queue, q)
+	if s.metrics != nil {
+		s.metrics.QueueDepth.With(c.name).Set(float64(len(c.queue)))
+	}
 	s.cond.Signal()
 	return nil
 }
 
-// Queued returns the class's current queue length (for tests and
-// stats).
+// Queued returns the class's current queue length (for health and
+// tests).
 func (c *Class) Queued() int {
 	c.sched.mu.Lock()
 	defer c.sched.mu.Unlock()
 	return len(c.queue)
 }
+
+// Running returns the class's currently executing task count (for
+// health and tests).
+func (c *Class) Running() int {
+	c.sched.mu.Lock()
+	defer c.sched.mu.Unlock()
+	return c.running
+}
+
+// Name returns the class's registered kind name.
+func (c *Class) Name() string { return c.name }
 
 // Close stops admission and waits for the workers to exit. Tasks still
 // queued at close time ARE executed first — the manager cancels their
@@ -110,10 +162,22 @@ func (s *Scheduler) worker() {
 			s.cond.Wait()
 			continue
 		}
+		m := s.metrics
 		s.mu.Unlock()
-		t()
+		if m != nil {
+			m.WorkersBusy.Inc()
+			start := time.Now()
+			t()
+			m.RunSeconds.With(c.name).Observe(time.Since(start).Seconds())
+			m.WorkersBusy.Dec()
+		} else {
+			t()
+		}
 		s.mu.Lock()
 		c.running--
+		if s.metrics != nil {
+			s.metrics.Running.With(c.name).Set(float64(c.running))
+		}
 		// A finished task can unblock a class that was at its cap, and on
 		// shutdown every waiter must recheck the drain condition.
 		s.cond.Broadcast()
@@ -127,11 +191,18 @@ func (s *Scheduler) pickLocked() (*Class, Task) {
 	for i := range s.classes {
 		c := s.classes[(s.next+i)%len(s.classes)]
 		if len(c.queue) > 0 && c.running < c.maxRunning {
-			t := c.queue[0]
+			q := c.queue[0]
 			c.queue = c.queue[1:]
 			c.running++
 			s.next = (s.next + i + 1) % len(s.classes)
-			return c, t
+			if s.metrics != nil {
+				s.metrics.QueueDepth.With(c.name).Set(float64(len(c.queue)))
+				s.metrics.Running.With(c.name).Set(float64(c.running))
+				if !q.at.IsZero() {
+					s.metrics.QueueWait.With(c.name).Observe(time.Since(q.at).Seconds())
+				}
+			}
+			return c, q.t
 		}
 	}
 	return nil, nil

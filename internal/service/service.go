@@ -29,10 +29,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
+	"log/slog"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"popproto/internal/ensemble"
+	"popproto/internal/obs"
 	"popproto/internal/pp"
 	"popproto/internal/registry"
 	"popproto/internal/service/runcore"
@@ -157,9 +160,25 @@ type Result struct {
 	// Description is the registry's human description of the protocol
 	// instance.
 	Description string `json:"description"`
+	// Hybrid carries the hybrid engine's controller telemetry — mode
+	// occupancy and handovers — and is nil on other engines. Mode
+	// decisions are deterministic functions of the chain history, so the
+	// telemetry is part of the deterministic surface (cache-safe).
+	Hybrid *HybridTelemetry `json:"hybrid,omitempty"`
 	// WallMillis is the wall-clock simulation time. It is reported for
 	// operators and excluded from the deterministic surface.
 	WallMillis int64 `json:"wallMillis"`
+}
+
+// HybridTelemetry is the per-run rendering of the hybrid controller's
+// mode occupancy: how the run's interactions partition over the three
+// execution modes, and how often the controller switched. The step
+// fields sum to the result's Steps.
+type HybridTelemetry struct {
+	RoundSteps    uint64 `json:"roundSteps"`
+	InteractSteps uint64 `json:"interactSteps"`
+	SkipSteps     uint64 `json:"skipSteps"`
+	Handovers     uint64 `json:"handovers"`
 }
 
 // topCensus returns the k most populous states (in registry.SortedCensus
@@ -356,6 +375,15 @@ type Options struct {
 	// MaxSweepCells bounds the number of cells a sweep's axes may expand
 	// into (default 128) — each cell is a full ensemble.
 	MaxSweepCells int
+	// Metrics, when non-nil, is the obs registry the manager registers
+	// its instruments on (popprotod passes one shared with the store and
+	// debug listener). Nil creates a private registry, so multiple
+	// managers in one process (tests) never collide on metric names.
+	Metrics *obs.Registry
+	// Logger, when non-nil, receives one structured log record per HTTP
+	// request (method, route, status, latency, resolved run id). Nil
+	// disables request logging.
+	Logger *slog.Logger
 }
 
 func (o Options) withDefaults() Options {
@@ -431,20 +459,35 @@ type Manager struct {
 	jobs   *runcore.Index[*Job]
 	exps   *runcore.Index[*Experiment]
 	sweeps *runcore.Index[*Sweep]
+
+	reg     *obs.Registry
+	metrics *serviceMetrics
+	logger  *slog.Logger
+	started time.Time
 }
 
 // NewManager starts a manager with opts' scheduler and caches.
 func NewManager(opts Options) *Manager {
 	opts = opts.withDefaults()
-	m := &Manager{
-		opts: opts,
-		core: runcore.NewCore(opts.Store),
+	reg := opts.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
+	m := &Manager{
+		opts:    opts,
+		core:    runcore.NewCore(opts.Store),
+		reg:     reg,
+		logger:  opts.Logger,
+		started: time.Now(),
+	}
+	m.core.Register(reg)
+	m.metrics = newServiceMetrics(reg)
 	// One worker pool sized so every kind can reach its concurrency cap
 	// even when the others are saturated: jobs up to Workers at once,
 	// experiments up to ExperimentWorkers, sweeps up to SweepWorkers
 	// (the latter two each fan replicates over goroutines of their own).
 	m.sched = runcore.NewScheduler(opts.Workers + opts.ExperimentWorkers + opts.SweepWorkers)
+	m.sched.SetMetrics(runcore.NewMetrics(reg))
 	m.jobClass = m.sched.NewClass("jobs", opts.QueueSize, opts.Workers)
 	m.expClass = m.sched.NewClass("experiments", opts.QueueSize, opts.ExperimentWorkers)
 	m.sweepClass = m.sched.NewClass("sweeps", opts.QueueSize, opts.SweepWorkers)
@@ -453,6 +496,10 @@ func NewManager(opts Options) *Manager {
 	m.sweeps = runcore.NewIndex(m.core, store.KindSweep, opts.CacheSize, func(s *Sweep) string { return s.ID })
 	return m
 }
+
+// MetricsRegistry returns the obs registry the manager's instruments
+// live on (the one behind GET /metrics).
+func (m *Manager) MetricsRegistry() *obs.Registry { return m.reg }
 
 // Close stops accepting work, cancels everything queued or running, and
 // waits for the workers to exit. It does not close the store: the store
@@ -629,9 +676,56 @@ func (m *Manager) Stats() Stats {
 	}
 }
 
+// QueueHealth is one kind's admission state in the health payload.
+type QueueHealth struct {
+	// Queued is the kind's admitted-but-not-dispatched task count;
+	// Running its currently executing tasks.
+	Queued  int `json:"queued"`
+	Running int `json:"running"`
+}
+
+// Health is the GET /v1/health payload: liveness plus uptime, build
+// identity, per-kind queue state, and the cache/store counters — every
+// number sourced from the same obs instruments /metrics renders.
+type Health struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	// GoVersion and Revision identify the build (from the embedded build
+	// info; Revision is empty when the binary was built outside a VCS
+	// checkout).
+	GoVersion string                 `json:"goVersion"`
+	Revision  string                 `json:"revision,omitempty"`
+	Queues    map[string]QueueHealth `json:"queues"`
+	Stats     Stats                  `json:"stats"`
+}
+
+// Health snapshots the manager for the health endpoint.
+func (m *Manager) Health() Health {
+	h := Health{
+		Status:        "ok",
+		UptimeSeconds: time.Since(m.started).Seconds(),
+		Stats:         m.Stats(),
+		Queues: map[string]QueueHealth{
+			m.jobClass.Name():   {Queued: m.jobClass.Queued(), Running: m.jobClass.Running()},
+			m.expClass.Name():   {Queued: m.expClass.Queued(), Running: m.expClass.Running()},
+			m.sweepClass.Name(): {Queued: m.sweepClass.Queued(), Running: m.sweepClass.Running()},
+		},
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		h.GoVersion = bi.GoVersion
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				h.Revision = s.Value
+			}
+		}
+	}
+	return h
+}
+
 // runJob executes one job to a terminal state and indexes the outcome.
 func (m *Manager) runJob(j *Job) {
 	if !j.Begin(nil) {
+		m.metrics.recordRunState(store.KindJob, StateCanceled)
 		m.jobs.Finished(j.spec.key(), j)
 		return
 	}
@@ -642,6 +736,7 @@ func (m *Manager) runJob(j *Job) {
 		// internal inconsistency, reported on the job rather than killing
 		// the worker.
 		j.Finish(StateFailed, err.Error(), nil)
+		m.metrics.recordRunState(store.KindJob, StateFailed)
 		m.jobs.Finished(j.spec.key(), j)
 		return
 	}
@@ -657,6 +752,8 @@ func (m *Manager) runJob(j *Job) {
 		func() { j.record(el) })
 	if canceled {
 		j.Finish(StateCanceled, "canceled", nil)
+		m.metrics.recordRunState(store.KindJob, StateCanceled)
+		m.metrics.recordEngineRun(j.spec.Engine, el.Steps(), time.Since(start))
 		m.jobs.Finished(j.spec.key(), j)
 		return
 	}
@@ -674,6 +771,17 @@ func (m *Manager) runJob(j *Job) {
 		LiveStates:   el.LiveStates(),
 		Description:  el.Description(),
 	}
+	// Capture the hybrid controller's telemetry before verification runs
+	// extra interactions, so the occupancy partition matches res.Steps.
+	if hs, ok := el.HybridStats(); ok {
+		res.Hybrid = &HybridTelemetry{
+			RoundSteps:    hs.RoundSteps,
+			InteractSteps: hs.InteractSteps,
+			SkipSteps:     hs.SkipSteps,
+			Handovers:     hs.Handovers,
+		}
+		m.metrics.recordHybrid(hs)
+	}
 	if j.spec.Verify > 0 && res.Stabilized {
 		stable := el.VerifyStable(j.spec.Verify)
 		res.Stable = &stable
@@ -681,6 +789,8 @@ func (m *Manager) runJob(j *Job) {
 	res.Census, res.OmittedStates, res.OmittedAgents = topCensus(el.Census(), censusCap)
 	res.WallMillis = time.Since(start).Milliseconds()
 	j.Finish(StateDone, "", func() { j.result = res })
+	m.metrics.recordRunState(store.KindJob, StateDone)
+	m.metrics.recordEngineRun(j.spec.Engine, el.Steps(), time.Since(start))
 	m.jobs.Finished(j.spec.key(), j)
 	m.core.Persist(store.KindJob, j.spec.key(), j.ID, j.spec, res)
 }

@@ -361,6 +361,7 @@ func (m *Manager) runSweep(s *Sweep) {
 			}
 		}
 	}) {
+		m.metrics.recordRunState(store.KindSweep, StateCanceled)
 		m.sweeps.Finished(key, s)
 		return
 	}
@@ -401,6 +402,7 @@ func (m *Manager) runSweep(s *Sweep) {
 			s.summary = &summary
 			s.wallMillis = wall
 		})
+		m.metrics.recordRunState(store.KindSweep, StateDone)
 		m.sweeps.Finished(key, s)
 		var data sweepData
 		s.Locked(func() {
@@ -410,10 +412,12 @@ func (m *Manager) runSweep(s *Sweep) {
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 		s.cancelCells(0)
 		s.Finish(StateCanceled, "canceled", func() { s.wallMillis = wall })
+		m.metrics.recordRunState(store.KindSweep, StateCanceled)
 		m.sweeps.Finished(key, s)
 	default:
 		s.cancelCells(0)
 		s.Finish(StateFailed, err.Error(), func() { s.wallMillis = wall })
+		m.metrics.recordRunState(store.KindSweep, StateFailed)
 		m.sweeps.Finished(key, s)
 	}
 }
@@ -500,6 +504,7 @@ func (m *Manager) runSweepCell(ctx context.Context, plan sweepCellPlan, onUpdate
 		return ensemble.Aggregates{}, "", err
 	}
 	agg := res.Aggregates
+	m.metrics.recordEngineRun(plan.expSpec.Engine, ensembleInteractions(agg), time.Since(start))
 	e := finishedExperiment(plan.id, plan.expSpec, plan.espec, agg, time.Since(start).Milliseconds())
 	m.exps.Finished(plan.key, e)
 	m.core.Persist(store.KindExperiment, plan.key, plan.id, plan.expSpec, agg)

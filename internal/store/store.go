@@ -26,6 +26,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"popproto/internal/obs"
 )
 
 // Kind labels what a record's payload is.
@@ -73,6 +75,16 @@ type Store struct {
 	byKey   map[string]Record // kind-scoped key → newest record
 	byID    map[string]Record
 	dropped int
+
+	// Boot replay telemetry, captured by Open and exposed by Instrument.
+	replayDur time.Duration
+	replayed  int
+
+	// Optional instruments attached by Instrument; nil-safe no-ops
+	// otherwise (obs methods tolerate nil receivers).
+	appendSeconds *obs.Histogram
+	fsyncSeconds  *obs.Histogram
+	appendedBytes *obs.Counter
 }
 
 // keyIndex scopes a canonical key by its kind, so a job and an
@@ -96,11 +108,13 @@ func Open(path string) (*Store, error) {
 		byKey: make(map[string]Record),
 		byID:  make(map[string]Record),
 	}
+	replayStart := time.Now()
 	intact, err := s.replay()
 	if err != nil {
 		f.Close()
 		return nil, err
 	}
+	s.replayDur = time.Since(replayStart)
 	// Truncate any torn tail so the next append starts on a fresh line.
 	if err := f.Truncate(intact); err != nil {
 		f.Close()
@@ -149,8 +163,41 @@ func (s *Store) replay() (intact int64, err error) {
 		}
 		s.byKey[keyIndex(rec.Kind, rec.Key)] = rec
 		s.byID[rec.ID] = rec
+		s.replayed++
 		offset += lineLen
 	}
+}
+
+// Instrument creates the store's instruments and registers them on reg:
+// append and fsync latency histograms, appended-byte and record-count
+// series, and the boot replay's duration and line accounting. Call once,
+// after Open.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	s.appendSeconds = obs.NewHistogram("popprotod_store_append_seconds",
+		"Wall time of one record append (marshal excluded, fsync included).",
+		obs.ExpBuckets(1e-5, 2, 14))
+	s.fsyncSeconds = obs.NewHistogram("popprotod_store_fsync_seconds",
+		"Wall time of the fsync within one append.", obs.ExpBuckets(1e-5, 2, 14))
+	s.appendedBytes = obs.NewCounter("popprotod_store_appended_bytes_total",
+		"Bytes appended to the store file since boot.")
+	s.mu.Unlock()
+	reg.MustRegister(
+		s.appendSeconds, s.fsyncSeconds, s.appendedBytes,
+		obs.NewGaugeFunc("popprotod_store_records",
+			"Distinct (kind, key) records indexed.", func() float64 { return float64(s.Len()) }),
+		obs.NewGaugeFunc("popprotod_store_replay_seconds",
+			"Wall time of the boot replay.", func() float64 { return s.replayDur.Seconds() }),
+		obs.NewGaugeFunc("popprotod_store_replayed_records",
+			"Intact records indexed during the boot replay.", func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(s.replayed)
+			}),
+		obs.NewGaugeFunc("popprotod_store_replay_dropped_lines",
+			"Lines skipped during replay (torn tail or corruption).",
+			func() float64 { return float64(s.Dropped()) }),
+	)
 }
 
 // Put appends a record for (kind, key, id) with the given spec and data
@@ -184,12 +231,18 @@ func (s *Store) Put(kind Kind, key, id string, spec, data any) error {
 	if s.f == nil {
 		return fmt.Errorf("store: %s is closed", s.path)
 	}
+	appendStart := time.Now()
 	if _, err := s.f.Write(line); err != nil {
 		return fmt.Errorf("store: appending to %s: %w", s.path, err)
 	}
+	syncStart := time.Now()
 	if err := s.f.Sync(); err != nil {
 		return fmt.Errorf("store: syncing %s: %w", s.path, err)
 	}
+	now := time.Now()
+	s.fsyncSeconds.Observe(now.Sub(syncStart).Seconds())
+	s.appendSeconds.Observe(now.Sub(appendStart).Seconds())
+	s.appendedBytes.Add(uint64(len(line)))
 	s.byKey[keyIndex(kind, key)] = rec
 	s.byID[rec.ID] = rec
 	return nil

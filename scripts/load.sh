@@ -1,0 +1,159 @@
+#!/usr/bin/env bash
+# load.sh — closed-loop load harness for the popprotod HTTP service. It
+# boots the server, runs N concurrent clients each driving a mixed
+# workload (~70% jobs, ~20% experiments, ~10% sweeps; seeds drawn from a
+# small pool so the result cache gets real hits), scrapes /metrics before
+# and after, and emits a BENCH_*.json-compatible record with the
+# request-latency p50/p99, sustained RPS, and the cache hit rate taken
+# from the popprotod_runcore_submissions_total counters — the numbers
+# come from the server's own exposition, not client-side bookkeeping.
+#
+# Every HTTP request a client makes (submits and status polls alike) is
+# one latency sample; a client issues its next request only after the
+# previous one completes, so the offered load is closed-loop by
+# construction.
+#
+# Usage:
+#   scripts/load.sh [output.json]
+#
+# Environment:
+#   LOAD_DURATION     seconds of sustained load (default 30)
+#   LOAD_CONCURRENCY  concurrent closed-loop clients (default 4)
+#   LOAD_N            population size for jobs (default 50000)
+#   LOAD_SEEDS        seed-pool size; smaller = more cache hits (default 8)
+#   LOAD_PORT         server port (default 8097)
+#   LOAD_SHORT=1      CI mode: 5 s, 2 clients, n=5000
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-BENCH_$(date -u +%Y-%m-%d)_load.json}
+DURATION=${LOAD_DURATION:-30}
+CONCURRENCY=${LOAD_CONCURRENCY:-4}
+N=${LOAD_N:-50000}
+SEEDS=${LOAD_SEEDS:-8}
+PORT=${LOAD_PORT:-8097}
+if [ "${LOAD_SHORT:-0}" = 1 ]; then
+  DURATION=5 CONCURRENCY=2 N=5000
+fi
+BASE="http://127.0.0.1:${PORT}"
+
+WORKDIR=$(mktemp -d)
+trap 'kill "$SERVER_PID" 2>/dev/null || true; wait "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+BIN="$WORKDIR/popprotod"
+go build -o "$BIN" ./cmd/popprotod
+
+SERVER_PID=
+"$BIN" -addr "127.0.0.1:${PORT}" -store "$WORKDIR/results.jsonl" 2>"$WORKDIR/server.log" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+  curl -fs "$BASE/v1/health" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fs "$BASE/v1/health" >/dev/null || { echo "server never came up" >&2; exit 1; }
+
+# submissions_stats FILE -> "hits total" from a /metrics snapshot.
+submissions_stats() {
+  awk '/^popprotod_runcore_submissions_total\{/ {
+    total += $2
+    if ($0 ~ /outcome="hit"/ || $0 ~ /outcome="restored"/) hits += $2
+  } END { printf "%d %d\n", hits, total }' "$1"
+}
+
+curl -fs "$BASE/metrics" >"$WORKDIR/metrics.before"
+
+# One closed-loop client: submit, then poll the run to completion; every
+# request appends its wall time (seconds) to the client's sample file.
+client() {
+  local id=$1 samples="$WORKDIR/lat.$1" deadline=$(( $(date +%s) + DURATION )) i=0
+  : >"$samples"
+  # timed_req METHOD URL [BODY] -> response body; latency appended to samples.
+  timed_req() {
+    local out
+    if [ "$1" = POST ]; then
+      out=$(curl -fs -X POST -d "$3" -w $'\n%{time_total}' "$2") || return 1
+    else
+      out=$(curl -fs -w $'\n%{time_total}' "$2") || return 1
+    fi
+    printf '%s\n' "$out" | tail -n 1 >>"$samples"
+    printf '%s\n' "$out" | sed '$d'
+  }
+  while [ "$(date +%s)" -lt "$deadline" ]; do
+    i=$((i + 1))
+    local seed=$(( (id * 7919 + i * 104729) % SEEDS )) kind=$((i % 10)) path rid body spec
+    if [ "$kind" -lt 7 ]; then
+      path=/v1/jobs
+      spec='{"protocol": "pll", "n": '"$N"', "engine": "count", "seed": '"$seed"'}'
+    elif [ "$kind" -lt 9 ]; then
+      path=/v1/experiments
+      spec='{"protocol": "pll", "n": '"$N"', "engine": "count", "seed": '"$seed"', "replicates": 4}'
+    else
+      path=/v1/sweeps
+      spec='{"protocols": ["pll"], "ns": ['"$((N / 10))"', '"$N"'], "engine": "count", "replicates": 2, "seed": '"$seed"'}'
+    fi
+    body=$(timed_req POST "$BASE$path" "$spec") || continue
+    rid=$(printf '%s' "$body" | jq -r '.job.id // .experiment.id // .sweep.id')
+    [ -n "$rid" ] && [ "$rid" != null ] || continue
+    while :; do
+      body=$(timed_req GET "$BASE$path/$rid") || break
+      case "$(printf '%s' "$body" | jq -r '.state')" in
+        done|failed|canceled) break ;;
+      esac
+      [ "$(date +%s)" -lt "$((deadline + 30))" ] || break
+      sleep 0.05
+    done
+  done
+}
+
+echo "load: $CONCURRENCY clients, ${DURATION}s, n=$N, seed pool $SEEDS" >&2
+START_NS=$(date +%s%N)
+PIDS=()
+for c in $(seq 1 "$CONCURRENCY"); do
+  client "$c" &
+  PIDS+=($!)
+done
+for pid in "${PIDS[@]}"; do wait "$pid"; done
+ELAPSED_NS=$(( $(date +%s%N) - START_NS ))
+
+curl -fs "$BASE/metrics" >"$WORKDIR/metrics.after"
+
+cat "$WORKDIR"/lat.* | sort -n >"$WORKDIR/lat.sorted"
+REQUESTS=$(wc -l <"$WORKDIR/lat.sorted")
+[ "$REQUESTS" -gt 0 ] || { echo "no requests completed" >&2; exit 1; }
+
+# pctl P -> sorted-sample value at percentile P, in milliseconds.
+pctl() {
+  awk -v p="$1" 'BEGIN { ms = 0 } { v[NR] = $1 }
+    END { i = int((NR - 1) * p / 100 + 0.5) + 1; printf "%.3f", v[i] * 1000 }' \
+    "$WORKDIR/lat.sorted"
+}
+P50=$(pctl 50)
+P99=$(pctl 99)
+RPS=$(awk -v r="$REQUESTS" -v ns="$ELAPSED_NS" 'BEGIN { printf "%.2f", r / (ns / 1e9) }')
+
+read -r HITS_BEFORE TOTAL_BEFORE < <(submissions_stats "$WORKDIR/metrics.before")
+read -r HITS_AFTER TOTAL_AFTER < <(submissions_stats "$WORKDIR/metrics.after")
+SUBMITS=$((TOTAL_AFTER - TOTAL_BEFORE))
+HITS=$((HITS_AFTER - HITS_BEFORE))
+HIT_RATE=$(awk -v h="$HITS" -v t="$SUBMITS" 'BEGIN { printf "%.4f", (t > 0 ? h / t : 0) }')
+
+jq -n \
+  --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+  --arg go "$(go version | awk '{print $3}')" \
+  --arg commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+  --argjson duration "$DURATION" --argjson concurrency "$CONCURRENCY" \
+  --argjson n "$N" --argjson seeds "$SEEDS" \
+  --argjson requests "$REQUESTS" --argjson rps "$RPS" \
+  --argjson p50 "$P50" --argjson p99 "$P99" \
+  --argjson submissions "$SUBMITS" --argjson hits "$HITS" --argjson rate "$HIT_RATE" \
+  '{date: $date, go: $go, commit: $commit,
+    load: {duration_s: $duration, concurrency: $concurrency, n: $n, seed_pool: $seeds},
+    benchmarks: [{
+      name: ("LoadMixed/c=" + ($concurrency | tostring) + "/n=" + ($n | tostring)),
+      requests: $requests, "requests/s": $rps,
+      "p50-ms": $p50, "p99-ms": $p99,
+      submissions: $submissions, "cache-hits": $hits, "cache-hit-rate": $rate
+    }]}' >"$OUT"
+
+echo "load: $REQUESTS requests, $RPS req/s, p50 ${P50}ms, p99 ${P99}ms, cache hit rate $HIT_RATE ($HITS/$SUBMITS)" >&2
+echo "wrote $OUT" >&2

@@ -9,7 +9,7 @@
 # engine auto) through /v1/sweeps and assert a fitted log-slope comes
 # back, then kill the server, restart it on the same store, and assert
 # the job, the experiment, the sweep and its per-cell results are still
-# served.
+# served, and scrape /metrics asserting the run and cache series moved.
 #
 # Usage: scripts/smoke.sh [port]
 set -euo pipefail
@@ -139,6 +139,16 @@ SWEEP_EVENTS=$(curl -fs -N --max-time 10 "$BASE/v1/sweeps/$SID/stream" | grep -c
 [ "$SWEEP_EVENTS" -ge 4 ] || { echo "sweep stream emitted $SWEEP_EVENTS events, want >= 4" >&2; exit 1; }
 echo "sweep stream replayed $SWEEP_EVENTS events" >&2
 
+# --- observability: the Prometheus exposition reflects the work above ---
+METRICS=$(curl -fs "$BASE/metrics")
+RUNS_DONE=$(echo "$METRICS" | awk '/^popprotod_runs_total\{/ && /state="done"/ { sum += $2 } END { print sum + 0 }')
+[ "$RUNS_DONE" -ge 1 ] || { echo "/metrics: popprotod_runs_total done series is zero" >&2; exit 1; }
+CACHE_SERVED=$(echo "$METRICS" | awk '/^popprotod_runcore_submissions_total\{/ && (/outcome="hit"/ || /outcome="restored"/) { sum += $2 } END { print sum + 0 }')
+[ "$CACHE_SERVED" -ge 1 ] || { echo "/metrics: no cache hit/restored submissions recorded" >&2; exit 1; }
+echo "$METRICS" | grep -q '^popprotod_store_fsync_seconds_count' ||
+  { echo "/metrics: store fsync series missing" >&2; exit 1; }
+echo "/metrics: $RUNS_DONE completed runs, $CACHE_SERVED cache-served submissions" >&2
+
 # --- durability: kill the server, restart on the same store ---
 stop_server
 echo "server stopped; restarting on the same store..." >&2
@@ -169,5 +179,10 @@ CELL_EID=$(echo "$RESTORED_SWEEP" | jq -r '.cells[0].experimentId')
 CELL_STATE=$(curl -fs "$BASE/v1/experiments/$CELL_EID" | jq -r '.state')
 [ "$CELL_STATE" = done ] || { echo "restored sweep cell experiment state $CELL_STATE" >&2; exit 1; }
 echo "sweep summary and per-cell results served after restart (slope $RESTORED_SLOPE)" >&2
+
+# The restarted process's exposition shows the store-restored submissions.
+RESTORED_SUBS=$(curl -fs "$BASE/metrics" | awk '/^popprotod_runcore_submissions_total\{/ && /outcome="restored"/ { sum += $2 } END { print sum + 0 }')
+[ "$RESTORED_SUBS" -ge 1 ] || { echo "/metrics: no restored submissions after restart" >&2; exit 1; }
+echo "/metrics: $RESTORED_SUBS store-restored submissions after restart" >&2
 
 echo "smoke test passed" >&2
