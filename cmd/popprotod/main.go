@@ -79,7 +79,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	queue := fs.Int("queue", 0, "queued-job limit before 429s (0 = 256)")
 	maxN := fs.Int("max-n", 0, "largest accepted population size on the count engine (0 = 2e8)")
 	maxNAgent := fs.Int("max-n-agent", 0, "largest accepted population size on the agent engine (0 = 1e7)")
-	maxNBatch := fs.Int("max-n-batch", 0, "largest accepted population size on the batch and hybrid engines (0 = max-n)")
+	maxNBatch := fs.Int("max-n-batch", 0, "largest accepted population size on the batch and hybrid engines (0 = max-n if set, else 2e9)")
 	storePath := fs.String("store", "", "durable JSONL result store; finished jobs and experiments survive restarts (empty = in-memory only)")
 	expWorkers := fs.Int("experiments", 0, "concurrently running experiments (0 = 1); each spawns up to -workers replicate goroutines of its own, so total simulation concurrency is about workers*(1+experiments+sweeps)")
 	maxReplicates := fs.Int("max-replicates", 0, "largest accepted experiment (and sweep-cell) ensemble size (0 = 1e5)")

@@ -18,11 +18,20 @@ const (
 	// batchMinRound is the smallest remaining step budget worth opening a
 	// round for; shorter advances use the per-interaction path.
 	batchMinRound = 8
-	// batchDenseStatesMax bounds the dense transition-outcome matrix (and
-	// with it round mode itself) to protocols whose runs observe at most
-	// this many distinct states; the matrix then costs at most
-	// batchDenseStatesMax² packed words (8 MiB).
-	batchDenseStatesMax = 1024
+	// batchDenseStatesMax is the state-table size up to which the dense
+	// transition-outcome matrix grows unconditionally (batchDenseStatesMax²
+	// packed cells, 4 MiB). Beyond it the matrix keeps growing — and round
+	// mode stays eligible — only while the live support remains narrow
+	// enough for aggregate draws to amortize (maxLiveForRounds): protocols
+	// whose *tables* grow without bound but whose censuses stay
+	// concentrated (PLL's BackUp countdown walks ~220 fresh states per 100
+	// units of parallel time while ≤ ~300 are ever live at once) keep the
+	// 3–4× round-mode advantage for the whole run, while state-hungry
+	// protocols with wide censuses (MaxID) are declined before the matrix
+	// bloats. batchDenseStatesHardMax caps the matrix unconditionally
+	// (batchDenseStatesHardMax² cells, 64 MiB) and with it round mode.
+	batchDenseStatesMax     = 1024
+	batchDenseStatesHardMax = 4096
 	// batchAutoLiveMin/Max clamp the automatic live-state cap for round
 	// mode, derived from the expected round length (see maxLiveForRounds).
 	batchAutoLiveMin = 32
@@ -331,10 +340,26 @@ func (b *BatchSimulator[S]) roundOK() bool {
 	if cs.batched || cs.seen != nil || cs.n < b.minRoundN {
 		return false
 	}
-	if len(cs.states) > batchDenseStatesMax {
+	if !b.denseEligible() {
 		return false
 	}
 	return cs.live <= b.maxLiveForRounds()
+}
+
+// denseEligible reports whether the dense transition matrix may cover the
+// current state table: unconditionally up to batchDenseStatesMax, then on
+// the condition that the live support stays concentrated enough for round
+// mode to amortize, up to the hard cap. Purely a cost/memory model — a
+// declined matrix routes pairs through the map memo instead.
+func (b *BatchSimulator[S]) denseEligible() bool {
+	k := len(b.cs.states)
+	if k <= batchDenseStatesMax {
+		return true
+	}
+	if k > batchDenseStatesHardMax {
+		return false
+	}
+	return b.cs.live <= b.maxLiveForRounds()
 }
 
 // maxLiveForRounds is the live-state cap above which aggregate draws stop
@@ -419,6 +444,11 @@ func (b *BatchSimulator[S]) round(limit uint64, target int) {
 	f, collided := b.sampleRoundLength(limit - roundStart)
 	slots := 2 * f
 
+	// Keep the reactive-pair index warm through sparse rounds, but only
+	// within a bounded maintenance budget: a reaction-dense round drops
+	// the index instead of paying per-cell row scans (see ridxMeter).
+	cs.ridxMeter()
+
 	// Snapshot for exact first-hit replay if this round could cross the
 	// caller's leader target.
 	snapped := target >= 0 && cs.leaders > target
@@ -456,6 +486,7 @@ func (b *BatchSimulator[S]) round(limit uint64, target int) {
 		b.noopRounds = 0
 	}
 
+	cs.ridxUnmeter()
 	b.resetRound()
 }
 
@@ -791,10 +822,16 @@ func (b *BatchSimulator[S]) moveMany(from, to int32, m int64) {
 }
 
 // bump shifts a state's multiplicity without maintaining the Fenwick table
-// (deferred until a fallback path needs it; see ensureFen).
+// (deferred until a fallback path needs it; see ensureFen). The
+// reactive-pair index, by contrast, is maintained inline — under the
+// round's maintenance meter — so a warm index survives sparse rounds and
+// the next skip entry costs no rebuild.
 func (b *BatchSimulator[S]) bump(i int32, d int64) {
 	cs := &b.cs
 	old := cs.counts[i]
+	if cs.ridx.valid {
+		cs.ridxUpdate(int(i), old, old+d)
+	}
 	cs.counts[i] = old + d
 	switch {
 	case old == 0 && d > 0:
@@ -899,7 +936,9 @@ func (b *BatchSimulator[S]) applyOne(i, j int32) {
 // order; the colliding interaction is by construction the round's last.
 func (b *BatchSimulator[S]) replayFirstHit(target int, roundStart uint64, collided bool) {
 	cs := &b.cs
-	// Roll back.
+	// Roll back. The wholesale count restore bypasses the bump hook, so
+	// the reactive-pair index cannot follow it; drop it for rebuild.
+	cs.ridx.invalidate()
 	copy(cs.counts, b.snapCounts)
 	for i := len(b.snapCounts); i < len(cs.counts); i++ {
 		cs.counts[i] = 0
@@ -1005,28 +1044,32 @@ func (b *BatchSimulator[S]) outcome(i, j int32) (int32, int32) {
 // fallback paths hit the same matrix as round mode.
 func (b *BatchSimulator[S]) denseOutcome(i, j int) (pairOutcome, bool) {
 	if i >= b.denseStride || j >= b.denseStride {
-		if len(b.cs.states) > 2*batchDenseStatesMax {
+		if !b.denseEligible() {
 			return pairOutcome{}, false
 		}
 		b.growDense()
 	}
 	idx := i*b.denseStride + j
-	v := b.dense[idx]
-	if v == denseEmpty {
-		cs := &b.cs
-		a, c := cs.states[i], cs.states[j]
-		a2, c2 := cs.proto.Transition(a, c)
-		i2, j2 := i, j
-		if a2 != a {
-			i2 = cs.stateIndex(a2)
-		}
-		if c2 != c {
-			j2 = cs.stateIndex(c2)
-		}
-		v = uint32(i2)<<16 | uint32(j2)
-		b.dense[idx] = v
+	if v := b.dense[idx]; v != denseEmpty {
+		return pairOutcome{int32(v >> 16), int32(v & 0xffff)}, true
 	}
-	return pairOutcome{int32(v >> 16), int32(v & 0xffff)}, true
+	cs := &b.cs
+	a, c := cs.states[i], cs.states[j]
+	a2, c2 := cs.proto.Transition(a, c)
+	i2, j2 := i, j
+	if a2 != a {
+		i2 = cs.stateIndex(a2)
+	}
+	if c2 != c {
+		j2 = cs.stateIndex(c2)
+	}
+	// Cells pack the outcome indexes as uint16s; an outcome landing beyond
+	// the packable range (a very deep state table) is returned uncached
+	// rather than corrupted.
+	if i2 < 0xffff && j2 < 0xffff {
+		b.dense[idx] = uint32(i2)<<16 | uint32(j2)
+	}
+	return pairOutcome{int32(i2), int32(j2)}, true
 }
 
 // growDense (re)sizes the dense memo matrix to the next power of two that

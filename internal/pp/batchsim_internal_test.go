@@ -172,25 +172,57 @@ func (wideProto) Output(int) Role                { return Follower }
 func (wideProto) Transition(a, b int) (int, int) { return a + 1, b }
 
 // TestOutcomeMapFallback drives the dense-memo overflow branch directly: a
-// state table beyond 2·batchDenseStatesMax must route outcome lookups
+// state table beyond batchDenseStatesHardMax must route outcome lookups
 // through the census engine's map memo without growing the dense matrix.
 func TestOutcomeMapFallback(t *testing.T) {
 	b := NewBatchSimulator[int](wideProto{}, 100, 3)
 	cs := &b.cs
-	for s := 1; s <= 2*batchDenseStatesMax+8; s++ {
+	for s := 1; s <= batchDenseStatesHardMax+8; s++ {
 		cs.stateIndex(s)
 	}
 	strideBefore := b.denseStride
-	i2, j2 := b.outcome(int32(2*batchDenseStatesMax+2), int32(2*batchDenseStatesMax+4))
+	i2, j2 := b.outcome(int32(batchDenseStatesHardMax+2), int32(batchDenseStatesHardMax+4))
 	if b.denseStride != strideBefore {
 		t.Fatalf("dense matrix grew (stride %d -> %d) instead of falling back",
 			strideBefore, b.denseStride)
 	}
 	// wideProto maps (a, b) -> (a+1, b): the initiator's outcome is the next
 	// registered state, the responder is unchanged.
-	wantI := cs.index[2*batchDenseStatesMax+3]
-	if int(i2) != wantI || int(j2) != 2*batchDenseStatesMax+4 {
+	wantI := cs.index[batchDenseStatesHardMax+3]
+	if int(i2) != wantI || int(j2) != batchDenseStatesHardMax+4 {
 		t.Fatalf("fallback outcome = (%d, %d), want (%d, %d)", i2, j2,
-			wantI, 2*batchDenseStatesMax+4)
+			wantI, batchDenseStatesHardMax+4)
+	}
+}
+
+// TestDenseGrowthGate pins the live-concentration gate on dense-matrix
+// growth past the soft cap: a wide live support must decline growth (a
+// state-hungry protocol would otherwise pay up to 64 MiB for a matrix its
+// rounds can never use), while a concentrated census keeps growing until
+// the hard cap.
+func TestDenseGrowthGate(t *testing.T) {
+	b := NewBatchSimulator[int](wideProto{}, 100_000, 3)
+	cs := &b.cs
+	// counts > 0 for far more states than maxLiveForRounds: wide support.
+	for s := 1; s <= batchDenseStatesMax+8; s++ {
+		cs.add(cs.stateIndex(s), 1)
+	}
+	if b.denseEligible() {
+		t.Fatalf("dense growth allowed with live=%d > cap %d beyond the soft cap",
+			cs.live, b.maxLiveForRounds())
+	}
+	if _, ok := b.denseOutcome(batchDenseStatesMax+2, batchDenseStatesMax+4); ok {
+		t.Fatal("denseOutcome grew the matrix for a wide-support census")
+	}
+	// Concentrate the census again: growth past the soft cap is allowed.
+	for s := 9; s <= batchDenseStatesMax+8; s++ {
+		cs.add(cs.index[s], -1)
+	}
+	if !b.denseEligible() {
+		t.Fatalf("dense growth declined with live=%d concentrated below cap %d",
+			cs.live, b.maxLiveForRounds())
+	}
+	if _, ok := b.denseOutcome(batchDenseStatesMax+2, batchDenseStatesMax+4); !ok {
+		t.Fatal("denseOutcome declined a concentrated census below the hard cap")
 	}
 }

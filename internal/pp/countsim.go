@@ -2,7 +2,6 @@ package pp
 
 import (
 	"fmt"
-	"sort"
 
 	"popproto/internal/rng"
 )
@@ -12,18 +11,15 @@ import (
 // below realizes the exact uniform-scheduler Markov chain.
 const (
 	// countNoopStreak is the number of consecutive sampled no-op
-	// interactions after which the engine switches to batched skipping.
-	// Streak observation conditions only on the past, so the switch is
-	// distribution-preserving (strong Markov property).
+	// interactions after which the engine switches to batched skipping
+	// (scaled up beyond the reactive-pair index's membership cap; see
+	// skipEntryStreak). Streak observation conditions only on the past, so
+	// the switch is distribution-preserving (strong Markov property).
 	countNoopStreak = 64
-	// countBatchLiveMax bounds the number of occupied states for which the
-	// batched path's O(k²) reactive-pair enumeration is still worthwhile.
-	// Protocols with large live supports (PLL mid-run, MaxID) stay on the
-	// O(log k) per-interaction path.
-	countBatchLiveMax = 384
-	// countBatchExitSkip: a batched event that skipped fewer than this many
-	// no-ops signals a reaction-dense census; fall back to per-interaction
-	// sampling until the next long no-op streak.
+	// countBatchExitSkip floors the skip event's break-even length (see
+	// skipBreakEven): a batched event that skipped fewer than break-even
+	// many no-ops signals a reaction-dense census; fall back to
+	// per-interaction sampling until the next long no-op streak.
 	countBatchExitSkip = 8
 	// countPairCacheMax caps the memoized (initiator, responder) →
 	// transition-outcome table. Scheduler sampling concentrates on
@@ -91,6 +87,7 @@ type CountSimulator[S comparable] struct {
 	batched    bool
 	noopStreak int
 	tcache     map[uint64]pairOutcome // transition memo; pure, droppable
+	ridx       reactiveIndex          // incremental reactive-pair index (see ridx.go)
 
 	// fastOutcome, when non-nil, is consulted before the map memo: the
 	// round engines layer their dense transition matrix under the census
@@ -261,9 +258,14 @@ func (c *CountSimulator[S]) fenSample(target int64) (idx int, before int64) {
 }
 
 // add shifts the multiplicity of state index i by d, keeping the Fenwick
-// table, the live-state counter and the leader census coherent.
+// table, the live-state counter, the leader census and the reactive-pair
+// index coherent. The index hook runs before the mutation so it observes
+// the old count directly (see ridxUpdate).
 func (c *CountSimulator[S]) add(i int, d int64) {
 	old := c.counts[i]
+	if c.ridx.valid {
+		c.ridxUpdate(i, old, old+d)
+	}
 	c.counts[i] = old + d
 	c.fenAdd(i, d)
 	switch {
@@ -362,20 +364,17 @@ func (c *CountSimulator[S]) advance(limit uint64) {
 	if c.n < 2 {
 		panic("pp: a population of 1 cannot interact")
 	}
-	if c.batched && c.live <= countBatchLiveMax {
+	if c.batched {
 		c.advanceBatched(limit)
 		return
 	}
-	c.batched = false
 	if c.interactOnce() {
 		c.noopStreak = 0
 	} else {
 		c.noopStreak++
-		if c.noopStreak >= countNoopStreak {
+		if c.noopStreak >= skipEntryStreak(c.live) {
 			c.noopStreak = 0
-			if c.live <= countBatchLiveMax {
-				c.batched = true
-			}
+			c.batched = true
 		}
 	}
 	c.steps++
@@ -389,7 +388,7 @@ func (c *CountSimulator[S]) advance(limit uint64) {
 // probability that r consecutive interactions are no-ops, and the geometric
 // law is memoryless across calls.
 func (c *CountSimulator[S]) advanceBatched(limit uint64) {
-	wc := c.collectReactivePairs()
+	wc := c.reactiveWeight()
 	if wc == 0 {
 		// Dead census: no pair of live states reacts, so no interaction can
 		// ever change anything again. Spend the whole budget at once.
@@ -406,11 +405,14 @@ func (c *CountSimulator[S]) advanceBatched(limit uint64) {
 			return
 		}
 	}
+	// Exit on a skip below the break-even of the live support that priced
+	// this event (applyPair may change live).
+	exit := skip < skipBreakEven(c.live)
 	c.steps += skip + 1
 	target := c.rand.Uint64n(wc)
-	k := sort.Search(len(c.pairW), func(x int) bool { return c.pairW[x] > target })
-	c.applyPair(int(c.pairI[k]), int(c.pairJ[k]))
-	if skip < countBatchExitSkip {
+	i, j := c.samplePair(target)
+	c.applyPair(i, j)
+	if exit {
 		c.batched = false
 	}
 }
@@ -508,13 +510,16 @@ func (c *CountSimulator[S]) Clone() *CountSimulator[S] {
 	for k, v := range c.index {
 		d.index[k] = v
 	}
-	// Scratch buffers and the transition memo are rebuilt on demand and
-	// carry no chain state. The fast-memo hook closes over its owning
-	// engine, so a clone must not inherit it (the round engines reinstall
-	// their own).
+	// Scratch buffers, the transition memo and the reactive-pair index are
+	// rebuilt on demand and carry no chain state: reactiveWeight and
+	// samplePair are bit-identical with or without the index, so dropping
+	// it cannot diverge the clone's future. The fast-memo hook closes over
+	// its owning engine, so a clone must not inherit it (the round engines
+	// reinstall their own).
 	d.liveIdx, d.pairI, d.pairJ, d.pairW = nil, nil, nil, nil
 	d.tcache = nil
 	d.fastOutcome = nil
+	d.ridx = reactiveIndex{}
 	if c.seen != nil {
 		d.seen = make(map[S]struct{}, len(c.seen))
 		for k := range c.seen {

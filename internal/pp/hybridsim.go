@@ -1,9 +1,6 @@
 package pp
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // Tuning constants of the hybrid engine's mode controller. Like the other
 // engines' constants they affect only wall-clock cost, never the sampled
@@ -12,10 +9,10 @@ import (
 const (
 	// hybridShortSkipStreak is the number of consecutive short geometric
 	// skips (shorter than the skip-event's break-even length, see
-	// shortSkipLen) after which the controller hands the census back to
+	// skipBreakEven) after which the controller hands the census back to
 	// rounds (or per-interaction sampling): short skips mean the census
-	// has turned reaction-dense again and re-enumerating the reactive
-	// pairs per event no longer pays.
+	// has turned reaction-dense again and paying an index walk per event
+	// no longer beats aggregate rounds.
 	hybridShortSkipStreak = 2
 )
 
@@ -83,8 +80,10 @@ type HybridStats struct {
 	NoopRounds        int    // consecutive all-no-op rounds
 
 	// Skip telemetry.
-	LastSkip   uint64 // no-ops jumped by the last geometric event
-	ShortSkips int    // consecutive skips below the break-even length
+	LastSkip    uint64 // no-ops jumped by the last geometric event
+	ShortSkips  int    // consecutive skips below the break-even length
+	SkipEntries uint64 // controller handovers into skip mode
+	SkipEvents  uint64 // skip-mode advances (geometric events, incl. budget truncations)
 
 	// Interact telemetry.
 	NoopStreak int // consecutive sampled no-ops in interact mode
@@ -137,6 +136,8 @@ type HybridSimulator[S comparable] struct {
 	noopRounds        int
 	lastSkip          uint64
 	shortSkips        int
+	skipEntries       uint64
+	skipEvents        uint64
 	noopStreak        int
 
 	modeSteps [3]uint64 // interactions covered per mode, indexed by HybridMode
@@ -194,6 +195,8 @@ func (h *HybridSimulator[S]) Stats() HybridStats {
 		NoopRounds:        h.noopRounds,
 		LastSkip:          h.lastSkip,
 		ShortSkips:        h.shortSkips,
+		SkipEntries:       h.skipEntries,
+		SkipEvents:        h.skipEvents,
 		NoopStreak:        h.noopStreak,
 		RoundSteps:        h.modeSteps[ModeRound],
 		InteractSteps:     h.modeSteps[ModeInteract],
@@ -306,6 +309,8 @@ func (h *HybridSimulator[S]) Clone() *HybridSimulator[S] {
 		noopRounds:        h.noopRounds,
 		lastSkip:          h.lastSkip,
 		shortSkips:        h.shortSkips,
+		skipEntries:       h.skipEntries,
+		skipEvents:        h.skipEvents,
 		noopStreak:        h.noopStreak,
 		modeSteps:         h.modeSteps,
 		handovers:         h.handovers,
@@ -333,6 +338,9 @@ func (h *HybridSimulator[S]) advance(limit uint64, target int) {
 	mode := h.nextMode(limit)
 	if mode != h.mode {
 		h.handovers++
+		if mode == ModeSkip {
+			h.skipEntries++
+		}
 	}
 	h.mode = mode
 	before := cs.steps
@@ -385,24 +393,28 @@ func (h *HybridSimulator[S]) nextMode(limit uint64) HybridMode {
 // not attribute per-interaction state observations, and the dense
 // transition matrix bounds the state table.
 func (h *HybridSimulator[S]) roundEligible() bool {
-	cs := &h.b.cs
-	return cs.seen == nil && len(cs.states) <= batchDenseStatesMax
+	return h.b.cs.seen == nil && h.b.denseEligible()
 }
 
 // defaultMode is the built-in payoff-adaptive policy. It is a pure cost
 // model — any answer is correct:
 //
 //   - Rounds run while the census is concentrated (live support within
-//     the aggregate-draw cap) and keep reacting; a streak of all-no-op
-//     rounds (Θ(√n) sampled interactions without one census change) is
-//     evidence the reactive mass is tiny, so the census is handed to the
-//     geometric skipper.
-//   - Skipping continues while realized skips beat the skip-event's
-//     break-even length (shortSkipLen, the census concentration's
-//     enumeration cost expressed in steps); a streak of short skips means
-//     the census turned reaction-dense again and the controller hands
-//     back to rounds — directly, unlike the census engine, which exits to
-//     per-interaction sampling and must rediscover inertness.
+//     the aggregate-draw cap) and keep reacting. Two kinds of evidence
+//     nominate a handover to the geometric skipper: a streak of all-no-op
+//     rounds (Θ(√n) sampled interactions without one census change), or a
+//     round whose realized no-op gap between census changes already
+//     exceeded the skip event's break-even length (sparseRound). Either
+//     candidacy is confirmed against the exact expected skip length
+//     n(n−1)/wc before the handover happens (skipPays) — there is no
+//     live-state cap; wide censuses like PLL's ~900-state BackUp plateau
+//     skip as soon as the payoff is there.
+//   - Skipping continues while realized skips beat the break-even length
+//     (skipBreakEven, the skip event's index-walk cost expressed in
+//     steps); a streak of short skips means the census turned
+//     reaction-dense again and the controller hands back to rounds —
+//     directly, unlike the census engine, which exits to per-interaction
+//     sampling and must rediscover inertness.
 //   - Per-interaction sampling covers the remainder: wide live support,
 //     populations too small for rounds, state tracking, or budget tails
 //     shorter than a minimal round. A long sampled no-op streak hands
@@ -411,8 +423,14 @@ func (h *HybridSimulator[S]) defaultMode(limit uint64) HybridMode {
 	cs := &h.b.cs
 	switch h.mode {
 	case ModeRound:
-		if h.noopRounds >= batchNoopRoundStreak && cs.live <= countBatchLiveMax {
-			return ModeSkip
+		if h.noopRounds >= batchNoopRoundStreak || h.sparseRound() {
+			if h.skipPays() {
+				return ModeSkip
+			}
+			// wc says skipping doesn't pay yet: re-arm the streak so the
+			// next candidacy waits for fresh evidence instead of paying a
+			// payoff check per round.
+			h.noopRounds = 0
 		}
 	case ModeSkip:
 		if h.shortSkips < hybridShortSkipStreak {
@@ -420,8 +438,11 @@ func (h *HybridSimulator[S]) defaultMode(limit uint64) HybridMode {
 		}
 		// Short-skip streak: fall through to the round/interact choice.
 	default: // ModeInteract
-		if h.noopStreak >= countNoopStreak && cs.live <= countBatchLiveMax {
-			return ModeSkip
+		if h.noopStreak >= skipEntryStreak(cs.live) {
+			if h.skipPays() {
+				return ModeSkip
+			}
+			h.noopStreak = 0
 		}
 	}
 	if limit-cs.steps >= batchMinRound && cs.n >= h.b.minRoundN &&
@@ -431,16 +452,32 @@ func (h *HybridSimulator[S]) defaultMode(limit uint64) HybridMode {
 	return ModeInteract
 }
 
-// shortSkipLen is the break-even length of one skip event: enumerating
-// the reactive pairs costs Θ(live²) memoized lookups, a round costs a few
-// draws per covered interaction, so a skip pays once it jumps at least
-// ~live²/4 interactions (floored by the census engine's exit threshold).
-func (h *HybridSimulator[S]) shortSkipLen() uint64 {
-	live := uint64(h.b.cs.live)
-	if thr := live * live / 4; thr > countBatchExitSkip {
-		return thr
+// sparseRound reports whether the last round's realized reactive density
+// was low enough that geometric skipping would have covered it more
+// cheaply: the mean no-op gap between census changes exceeded twice the
+// skip event's break-even length. This is what rescues BackUp-plateau
+// realizations whose rounds are never entirely no-op but whose census
+// changes are hundreds of interactions apart.
+func (h *HybridSimulator[S]) sparseRound() bool {
+	return h.lastRoundReactive > 0 &&
+		h.lastRoundLen >= h.lastRoundReactive*2*skipBreakEven(h.b.cs.live)
+}
+
+// skipPays confirms a skip-mode candidacy against the exact current
+// reactive weight: entering pays when the expected geometric skip length
+// n(n−1)/wc reaches the break-even cost of one skip event. The
+// reactiveWeight call may build the index (one Θ(live²) enumeration);
+// candidacies fire only on streak evidence, so a build amortizes over the
+// skip phase it opens — and the answer is a pure function of the census,
+// never of the index's lifecycle.
+func (h *HybridSimulator[S]) skipPays() bool {
+	cs := &h.b.cs
+	wc := cs.reactiveWeight()
+	if wc == 0 {
+		return true
 	}
-	return countBatchExitSkip
+	total := uint64(cs.n) * uint64(cs.n-1)
+	return total/wc >= skipBreakEven(cs.live)
 }
 
 // skip jumps over the geometrically distributed run of census-preserving
@@ -450,7 +487,8 @@ func (h *HybridSimulator[S]) shortSkipLen() uint64 {
 // drawn from their exact conditional laws (see CountSimulator).
 func (h *HybridSimulator[S]) skip(limit uint64) {
 	cs := &h.b.cs
-	wc := cs.collectReactivePairs()
+	h.skipEvents++
+	wc := cs.reactiveWeight()
 	if wc == 0 {
 		// Dead census: no pair of live states reacts, so no interaction
 		// can ever change anything again. Spend the whole budget at once.
@@ -472,12 +510,13 @@ func (h *HybridSimulator[S]) skip(limit uint64) {
 			return
 		}
 	}
+	short := skip+1 < skipBreakEven(cs.live)
 	cs.steps += skip + 1
 	target := cs.rand.Uint64n(wc)
-	k := sort.Search(len(cs.pairW), func(x int) bool { return cs.pairW[x] > target })
-	cs.applyPair(int(cs.pairI[k]), int(cs.pairJ[k]))
+	i, j := cs.samplePair(target)
+	cs.applyPair(i, j)
 	h.lastSkip = skip
-	if skip+1 < h.shortSkipLen() {
+	if short {
 		h.shortSkips++
 	} else {
 		h.shortSkips = 0

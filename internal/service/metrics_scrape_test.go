@@ -50,6 +50,22 @@ func TestMetricsScrape(t *testing.T) {
 		t.Fatal("repeat submit was not served from cache")
 	}
 
+	// A hybrid Angluin run: its no-op-dominated endgame engages geometric
+	// skipping, so the payoff-controller series scrape nonzero.
+	hspec := `{"protocol": "angluin", "n": 2000, "engine": "hybrid", "seed": 42}`
+	do(t, h, "POST", "/v1/jobs", hspec, http.StatusAccepted, &sub)
+	for {
+		var view service.JobView
+		do(t, h, "GET", "/v1/jobs/"+sub.Job.ID, "", http.StatusOK, &view)
+		if view.State == service.StateDone {
+			break
+		}
+		if view.State == service.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("hybrid job did not complete: %+v", view)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
 	r := httptest.NewRequest("GET", "/metrics", nil)
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, r)
@@ -64,20 +80,30 @@ func TestMetricsScrape(t *testing.T) {
 	// One layer per assertion: runcore cache + scheduler, store, engine,
 	// run lifecycle, and the HTTP front door itself.
 	for _, want := range []string{
-		`popprotod_runcore_submissions_total{kind="job",outcome="miss"} 1`,
+		`popprotod_runcore_submissions_total{kind="job",outcome="miss"} 2`,
 		`popprotod_runcore_submissions_total{kind="job",outcome="hit"} 1`,
-		`popprotod_runcore_run_seconds_count{kind="jobs"} 1`,
+		`popprotod_runcore_run_seconds_count{kind="jobs"} 2`,
 		`popprotod_runcore_queue_depth{kind="jobs"} 0`,
-		`popprotod_store_fsync_seconds_count 1`,
-		`popprotod_store_records 1`,
+		`popprotod_store_fsync_seconds_count 2`,
+		`popprotod_store_records 2`,
 		`popprotod_engine_runs_total{engine="count"} 1`,
-		`popprotod_runs_total{kind="job",state="done"} 1`,
-		`popprotod_http_requests_total{route="POST /v1/jobs",method="POST",code="2xx"} 2`,
+		`popprotod_engine_runs_total{engine="hybrid"} 1`,
+		// At stabilization the Angluin census is one leader plus one
+		// follower state, so the hybrid run publishes live = 2; exactly
+		// one hybrid run had skip events, so the histogram count is 1.
+		`popprotod_engine_live_states{engine="hybrid"} 2`,
+		`popprotod_hybrid_skip_length_interactions_count 1`,
+		`popprotod_runs_total{kind="job",state="done"} 2`,
+		`popprotod_http_requests_total{route="POST /v1/jobs",method="POST",code="2xx"} 3`,
 		`popprotod_http_request_seconds_count{route="GET /v1/jobs/{id}"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape missing %q", want)
 		}
+	}
+	if strings.Contains(body, "popprotod_engine_skip_entries_total 0") ||
+		!strings.Contains(body, "popprotod_engine_skip_entries_total") {
+		t.Error("scrape should report a nonzero popprotod_engine_skip_entries_total")
 	}
 	if t.Failed() {
 		t.Logf("full scrape:\n%s", body)

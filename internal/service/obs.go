@@ -35,6 +35,13 @@ type serviceMetrics struct {
 	// Hybrid controller aggregates across all hybrid runs.
 	hybridModeInteractions *obs.CounterVec // {mode}
 	hybridHandovers        *obs.Counter
+	skipEntries            *obs.Counter
+	skipLength             *obs.Histogram
+
+	// Live support of the most recently finished run per engine: the k
+	// that drives every engine's per-event cost and the payoff-driven
+	// skip rule's break-even.
+	liveStates *obs.GaugeVec // {engine}
 
 	// EWMA state behind engineNsPer (α = ewmaAlpha), guarded separately
 	// from the lock-free instruments.
@@ -85,11 +92,20 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"mode"),
 		hybridHandovers: obs.NewCounter("popprotod_hybrid_handovers_total",
 			"Hybrid controller mode switches across finished jobs."),
+		skipEntries: obs.NewCounter("popprotod_engine_skip_entries_total",
+			"Handovers into geometric skip mode taken by the payoff-driven controller, across finished jobs."),
+		skipLength: obs.NewHistogram("popprotod_hybrid_skip_length_interactions",
+			"Mean realized skip-event length (interactions jumped per skip event) of finished hybrid runs with at least one skip event.",
+			obs.ExpBuckets(1, 8, 16)),
+		liveStates: obs.NewGaugeVec("popprotod_engine_live_states",
+			"Live (nonzero-count) states of the most recently finished run, by engine.",
+			"engine"),
 		ewma: make(map[string]float64),
 	}
 	reg.MustRegister(m.httpRequests, m.httpDuration, m.httpInFlight,
 		m.sseSubscribers, m.runsTotal, m.engineRuns, m.engineInteractions,
-		m.engineNsPer, m.hybridModeInteractions, m.hybridHandovers)
+		m.engineNsPer, m.hybridModeInteractions, m.hybridHandovers,
+		m.skipEntries, m.skipLength, m.liveStates)
 	for _, kind := range runKinds {
 		for _, st := range terminalStates {
 			m.runsTotal.With(string(kind), string(st))
@@ -99,6 +115,7 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		m.engineRuns.With(engine)
 		m.engineInteractions.With(engine)
 		m.engineNsPer.With(engine)
+		m.liveStates.With(engine)
 	}
 	for _, mode := range []pp.HybridMode{pp.ModeRound, pp.ModeInteract, pp.ModeSkip} {
 		m.hybridModeInteractions.With(mode.String())
@@ -134,10 +151,19 @@ func (m *serviceMetrics) recordEngineRun(engine string, steps uint64, wall time.
 }
 
 // recordHybrid folds one finished hybrid run's controller telemetry into
-// the aggregate mode-occupancy and handover series.
+// the aggregate mode-occupancy, handover and skip-payoff series.
 func (m *serviceMetrics) recordHybrid(st pp.HybridStats) {
 	m.hybridModeInteractions.With(pp.ModeRound.String()).Add(st.RoundSteps)
 	m.hybridModeInteractions.With(pp.ModeInteract.String()).Add(st.InteractSteps)
 	m.hybridModeInteractions.With(pp.ModeSkip.String()).Add(st.SkipSteps)
 	m.hybridHandovers.Add(st.Handovers)
+	m.skipEntries.Add(st.SkipEntries)
+	if st.SkipEvents > 0 {
+		m.skipLength.Observe(float64(st.SkipSteps) / float64(st.SkipEvents))
+	}
+}
+
+// recordLiveStates publishes the finished run's live support per engine.
+func (m *serviceMetrics) recordLiveStates(engine string, live int) {
+	m.liveStates.With(engine).Set(float64(live))
 }

@@ -173,12 +173,17 @@ type Result struct {
 // HybridTelemetry is the per-run rendering of the hybrid controller's
 // mode occupancy: how the run's interactions partition over the three
 // execution modes, and how often the controller switched. The step
-// fields sum to the result's Steps.
+// fields sum to the result's Steps. SkipEntries counts the handovers the
+// payoff rule took into geometric skip mode; SkipEvents the geometric
+// skip events executed there (SkipSteps/SkipEvents is the mean realized
+// skip length).
 type HybridTelemetry struct {
 	RoundSteps    uint64 `json:"roundSteps"`
 	InteractSteps uint64 `json:"interactSteps"`
 	SkipSteps     uint64 `json:"skipSteps"`
 	Handovers     uint64 `json:"handovers"`
+	SkipEntries   uint64 `json:"skipEntries"`
+	SkipEvents    uint64 `json:"skipEvents"`
 }
 
 // topCensus returns the k most populous states (in registry.SortedCensus
@@ -348,8 +353,11 @@ type Options struct {
 	MaxNAgent int
 	// MaxNBatch bounds population sizes on the batch and hybrid engines.
 	// Like the census engine their memory is Θ(live states), and
-	// collision-free rounds make them the fastest engines at large n, so
-	// the default is MaxN (after defaulting, 200 million).
+	// collision-free rounds make them the fastest engines at large n: a
+	// full n=10⁹ PLL election holds ~2 MiB of census and finishes in
+	// minutes. The default is 2 billion — twice the largest benchmarked
+	// population — unless MaxN is set explicitly, in which case it
+	// bounds these engines too.
 	MaxNBatch int
 	// MaxSnapshots bounds each job's stored trajectory (default 256). It
 	// is also the observation cap of the deterministic drive schedule
@@ -396,14 +404,19 @@ func (o Options) withDefaults() Options {
 	if o.QueueSize <= 0 {
 		o.QueueSize = 256
 	}
-	if o.MaxN <= 0 {
+	explicitMaxN := o.MaxN > 0
+	if !explicitMaxN {
 		o.MaxN = 200_000_000
 	}
 	if o.MaxNAgent <= 0 {
 		o.MaxNAgent = 10_000_000
 	}
 	if o.MaxNBatch <= 0 {
-		o.MaxNBatch = o.MaxN
+		if explicitMaxN {
+			o.MaxNBatch = o.MaxN
+		} else {
+			o.MaxNBatch = 2_000_000_000
+		}
 	}
 	if o.MaxSnapshots <= 0 {
 		o.MaxSnapshots = 256
@@ -779,9 +792,12 @@ func (m *Manager) runJob(j *Job) {
 			InteractSteps: hs.InteractSteps,
 			SkipSteps:     hs.SkipSteps,
 			Handovers:     hs.Handovers,
+			SkipEntries:   hs.SkipEntries,
+			SkipEvents:    hs.SkipEvents,
 		}
 		m.metrics.recordHybrid(hs)
 	}
+	m.metrics.recordLiveStates(j.spec.Engine, res.LiveStates)
 	if j.spec.Verify > 0 && res.Stabilized {
 		stable := el.VerifyStable(j.spec.Verify)
 		res.Stable = &stable

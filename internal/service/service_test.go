@@ -505,12 +505,33 @@ func TestPerEngineLimits(t *testing.T) {
 		}
 	}
 
-	// MaxNBatch defaults to MaxN when unset.
+	// MaxNBatch defaults to MaxN when MaxN is set explicitly.
 	m2 := service.NewManager(service.Options{Workers: 1, MaxN: 1234})
 	defer m2.Close()
 	if _, _, _, _, err := m2.Canonicalize(service.JobSpec{
 		Protocol: "angluin", N: 1234, Engine: "batch",
 	}); err != nil {
 		t.Errorf("batch limit did not default to MaxN: %v", err)
+	}
+	if _, _, _, _, err := m2.Canonicalize(service.JobSpec{
+		Protocol: "angluin", N: 1235, Engine: "batch",
+	}); !errors.Is(err, registry.ErrBadSpec) {
+		t.Errorf("batch beyond explicit MaxN accepted (err=%v)", err)
+	}
+
+	// With no explicit caps at all, the census-scale engines accept a
+	// billion-agent population (the benchmarked n=10⁹ PLL election) while
+	// the count engine keeps its own, lower default.
+	m3 := service.NewManager(service.Options{Workers: 1})
+	defer m3.Close()
+	if _, _, _, _, err := m3.Canonicalize(service.JobSpec{
+		Protocol: "pll", N: 1_000_000_000, Engine: "hybrid",
+	}); err != nil {
+		t.Errorf("hybrid rejected n=1e9 under default limits: %v", err)
+	}
+	if _, _, _, _, err := m3.Canonicalize(service.JobSpec{
+		Protocol: "pll", N: 1_000_000_000, Engine: "count",
+	}); !errors.Is(err, registry.ErrBadSpec) {
+		t.Errorf("count accepted n=1e9 beyond its default limit (err=%v)", err)
 	}
 }

@@ -16,8 +16,14 @@
 #               orchestrator's PLL scaling row, n∈{1e3,1e4,1e5}, which
 #               reports the fitted log-slope/R² and bounds the sweep
 #               layer's overhead)
-#   POPPROTO_BENCH_XL=1 additionally runs the 10^8-agent cases
-#               (including the batch engine's Table 1 row at n=10^8)
+#   POPPROTO_BENCH_XL=1 additionally runs the 10^8- and 10^9-agent cases
+#               (including the batch engine's Table 1 row at n=10^8 and
+#               the hybrid engine's n=10^9 PLL election)
+#
+# Besides BENCH_RE, the reactive-pair-index micro-benchmark in
+# internal/pp (incremental maintenance vs from-scratch re-enumeration at
+# live ∈ {64, 384, 1024}) always runs, so the index's O(row+col) claim
+# is re-measured alongside the end-to-end rows.
 #
 # The JSON is an object {date, go, commit, benchtime, benchmarks: [...]},
 # one entry per benchmark line with every reported metric (ns/op, B/op,
@@ -26,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_$(date -u +%Y-%m-%d).json}
-BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|^BenchmarkPLLWindow$|Engines_|LargeN_|Table1_PLL_XL|^BenchmarkEnsemble_|^BenchmarkSweep_'}
+BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|^BenchmarkPLLWindow$|^BenchmarkPLLSeeds$|Engines_|LargeN_|Table1_PLL_XL|^BenchmarkEnsemble_|^BenchmarkSweep_'}
 BENCHTIME=${BENCHTIME:-1x}
 
 RAW=$(mktemp)
@@ -35,6 +41,10 @@ trap 'rm -f "$RAW"' EXIT
 echo "running benchmarks matching /${BENCH_RE}/ with -benchtime ${BENCHTIME}..." >&2
 go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" \
   -timeout 120m . | tee "$RAW" >&2
+
+echo "running reactive-pair index micro-benchmarks..." >&2
+go test -run '^$' -bench '^BenchmarkReactivePairIndex$' -benchmem \
+  -timeout 10m ./internal/pp | tee -a "$RAW" >&2
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v go_version="$(go version | awk '{print $3}')" \

@@ -90,7 +90,28 @@ HLEADERS=$(echo "$HJOB" | jq -r '.result.leaders')
 HENGINE=$(echo "$HJOB" | jq -r '.spec.engine')
 [ "$HLEADERS" = 1 ] || { echo "hybrid job expected 1 leader, got $HLEADERS" >&2; exit 1; }
 [ "$HENGINE" = hybrid ] || { echo "hybrid job record names engine $HENGINE" >&2; exit 1; }
+HPART=$(echo "$HJOB" | jq -r '.result | (.hybrid.roundSteps + .hybrid.interactSteps + .hybrid.skipSteps) == .steps')
+[ "$HPART" = true ] || { echo "hybrid mode telemetry does not partition the run's steps" >&2; exit 1; }
 echo "hybrid engine elected exactly one leader (engine recorded: $HENGINE)" >&2
+
+# --- payoff-driven skip: a no-op-dominated endgame must report skip-mode
+# interactions through the service. PLL stays reaction-dense to the end
+# (its countdown timers tick on every interaction), so the duel protocol —
+# whose two surviving leaders meet once every ~n²/2 interactions — is the
+# workload that exercises geometric skipping end to end.
+SKIP_SPEC='{"protocol": "angluin", "n": 20000, "engine": "hybrid", "seed": 42, "maxParallelTime": 100000}'
+KID=$(curl -fs -X POST -d "$SKIP_SPEC" "$BASE/v1/jobs" | jq -r '.job.id')
+echo "submitted skip-endgame job $KID" >&2
+
+KSTATE=$(wait_state "$BASE/v1/jobs/$KID")
+[ "$KSTATE" = done ] || { echo "skip-endgame job ended in state $KSTATE" >&2; exit 1; }
+
+KJOB=$(curl -fs "$BASE/v1/jobs/$KID")
+KSKIP=$(echo "$KJOB" | jq -r '.result.hybrid.skipSteps')
+KENTRIES=$(echo "$KJOB" | jq -r '.result.hybrid.skipEntries')
+[ "$KSKIP" -gt 0 ] 2>/dev/null || { echo "skip-endgame job reports skipSteps=$KSKIP, want > 0" >&2; exit 1; }
+[ "$KENTRIES" -gt 0 ] 2>/dev/null || { echo "skip-endgame job reports skipEntries=$KENTRIES, want > 0" >&2; exit 1; }
+echo "payoff controller skipped $KSKIP interactions across $KENTRIES skip phases" >&2
 
 # --- experiments: replicated Monte-Carlo ensemble with aggregates ---
 EID=$(curl -fs -X POST -d "$EXP_SPEC" "$BASE/v1/experiments" | jq -r '.experiment.id')
