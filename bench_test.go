@@ -705,3 +705,52 @@ func BenchmarkEnsemble_Table1Row(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCluster_MergeOverhead isolates the coordinator's merge path:
+// decoding one binary partial aggregate per canonical range and
+// left-folding them into the final ensemble aggregates, for a
+// 4096-replicate ensemble (256 ranges of 16). This is the entire
+// per-range cost a distributed run adds on top of the simulation
+// itself; it should be microseconds against replicate runtimes of
+// milliseconds and up.
+func BenchmarkCluster_MergeOverhead(b *testing.B) {
+	const replicates = 4096
+	ranges := ensemble.PlanRanges(replicates)
+	payloads := make([][]byte, len(ranges))
+	for i, rg := range ranges {
+		p := ensemble.NewPartial(rg.Lo, rg.Hi)
+		for r := rg.Lo; r < rg.Hi; r++ {
+			t := 10 + 3*math.Sin(float64(r))
+			p.Add(ensemble.Replicate{
+				Rep:          r,
+				Steps:        uint64(t * 1000),
+				ParallelTime: t,
+				Stabilized:   true,
+			})
+		}
+		buf, err := p.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads[i] = buf
+	}
+	b.ReportMetric(float64(len(ranges)), "ranges")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var folded *ensemble.Partial
+		for _, buf := range payloads {
+			p := new(ensemble.Partial)
+			if err := p.UnmarshalBinary(buf); err != nil {
+				b.Fatal(err)
+			}
+			if folded == nil {
+				folded = p
+			} else if err := folded.Merge(p); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if agg := folded.Aggregates(replicates, false); agg.Replicates != replicates {
+			b.Fatalf("fold produced %d replicates, want %d", agg.Replicates, replicates)
+		}
+	}
+}

@@ -6,7 +6,8 @@
 //
 //	popprotod [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-n N] [-max-n-batch N]
 //	          [-store FILE] [-experiments N] [-sweeps N] [-max-replicates N] [-max-cells N]
-//	          [-debug-addr ADDR] [-log-json]
+//	          [-lease-ttl D] [-debug-addr ADDR] [-log-json]
+//	popprotod -worker -coordinator URL [-worker-id ID] [-workers N]
 //
 // Endpoints (see API.md for schemas):
 //
@@ -23,6 +24,10 @@
 //	GET    /v1/sweeps/{id}             sweep status, cells, scaling summary
 //	DELETE /v1/sweeps/{id}             cancel a sweep (cascades to its cells)
 //	GET    /v1/sweeps/{id}/stream      live per-cell aggregates (SSE)
+//	POST   /v1/cluster/leases          worker pull: grant a replicate-range lease
+//	POST   /v1/cluster/leases/{id}/heartbeat  renew a lease
+//	POST   /v1/cluster/leases/{id}/complete   post a range's partial aggregate
+//	GET    /v1/cluster                 coordinator status (workers, ranges, leases)
 //	GET    /v1/health                  liveness, uptime, build info, queue and cache counters
 //	GET    /metrics                    Prometheus text-format exposition
 //
@@ -37,6 +42,14 @@
 // store and served back across restarts — the LRU becomes a cache in
 // front of the store rather than the only copy. The server drains
 // gracefully on SIGINT/SIGTERM.
+//
+// With -worker, popprotod runs in worker mode instead of serving: it
+// pulls replicate-range leases from the coordinator at -coordinator,
+// executes them through the same deterministic ensemble machinery, and
+// posts back binary partial aggregates. Ensembles submitted to the
+// coordinator are then sharded across every attached worker, and the
+// merged result is bit-identical to a single-node run of the same spec
+// (see "Scaling out" in the README).
 package main
 
 import (
@@ -51,9 +64,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"popproto/internal/cluster"
 	"popproto/internal/obs"
 	"popproto/internal/service"
 	"popproto/internal/store"
@@ -85,11 +100,32 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	maxReplicates := fs.Int("max-replicates", 0, "largest accepted experiment (and sweep-cell) ensemble size (0 = 1e5)")
 	sweepWorkers := fs.Int("sweeps", 0, "concurrently running sweeps (0 = 1); a sweep runs its cells sequentially, each cell fanning replicates over up to -workers goroutines")
 	maxCells := fs.Int("max-cells", 0, "largest cell count a sweep's axes may expand into (0 = 128)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "cluster lease time-to-live before an unrenewed replicate-range lease is reissued (0 = 15s)")
+	workerMode := fs.Bool("worker", false, "run as a cluster worker pulling replicate-range leases instead of serving HTTP")
+	coordinator := fs.String("coordinator", "", "coordinator base URL for -worker mode (e.g. http://host:8080)")
+	workerID := fs.String("worker-id", "", "worker id reported to the coordinator (empty = host:pid)")
 	debugAddr := fs.String("debug-addr", "", "separate listener for /metrics and /debug/pprof/* (empty = off; keep private)")
 	logJSON := fs.Bool("log-json", false, "emit one structured JSON log line per HTTP request")
 	drain := fs.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *workerMode {
+		if *coordinator == "" {
+			return errors.New("-worker needs -coordinator URL")
+		}
+		w := &cluster.Worker{
+			Coordinator: strings.TrimRight(*coordinator, "/"),
+			ID:          *workerID,
+			Workers:     *workers,
+			Logf:        log.Printf,
+		}
+		log.Printf("popprotod worker pulling leases from %s", *coordinator)
+		if err := w.Run(ctx); !errors.Is(err, context.Canceled) {
+			return err
+		}
+		return nil
 	}
 
 	reg := obs.NewRegistry()
@@ -128,6 +164,7 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 		MaxReplicates:     *maxReplicates,
 		SweepWorkers:      *sweepWorkers,
 		MaxSweepCells:     *maxCells,
+		LeaseTTL:          *leaseTTL,
 		Metrics:           reg,
 		Logger:            logger,
 	})

@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// Routes mounts the lease protocol on mux:
+//
+//	POST /v1/cluster/leases                → grant a lease (204 when idle)
+//	POST /v1/cluster/leases/{id}/heartbeat → renew a lease (404 when gone)
+//	POST /v1/cluster/leases/{id}/complete  → post a range's partial aggregate
+//	GET  /v1/cluster                       → coordinator status
+//
+// The exact patterns register directly on the service mux so its
+// instrumentation middleware labels cluster traffic per route like any
+// other endpoint.
+func (c *Coordinator) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/cluster/leases", c.handleLease)
+	mux.HandleFunc("POST /v1/cluster/leases/{id}/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("POST /v1/cluster/leases/{id}/complete", c.handleComplete)
+	mux.HandleFunc("GET /v1/cluster", c.handleStatus)
+}
+
+func clusterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func clusterError(w http.ResponseWriter, status int, err error) {
+	clusterJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil || strings.TrimSpace(req.Worker) == "" {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("lease request needs a worker id"))
+		return
+	}
+	l, err := c.Lease(req.Worker)
+	if err != nil {
+		clusterError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	if l == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	clusterJSON(w, http.StatusOK, leaseResponse{Lease: l})
+}
+
+func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !c.Heartbeat(id) {
+		clusterError(w, http.StatusNotFound, fmt.Errorf("lease %q is gone or superseded", id))
+		return
+	}
+	clusterJSON(w, http.StatusOK, map[string]bool{"ok": true})
+}
+
+func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req completeRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		clusterError(w, http.StatusBadRequest, fmt.Errorf("bad completion body: %w", err))
+		return
+	}
+	accepted, err := c.Complete(id, req.Worker, req.Partial)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrUnknownLease) {
+			status = http.StatusNotFound
+		}
+		clusterError(w, status, err)
+		return
+	}
+	clusterJSON(w, http.StatusOK, completeResponse{Accepted: accepted})
+}
+
+func (c *Coordinator) handleStatus(w http.ResponseWriter, r *http.Request) {
+	clusterJSON(w, http.StatusOK, c.CurrentStatus())
+}

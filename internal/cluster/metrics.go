@@ -1,0 +1,49 @@
+package cluster
+
+import "popproto/internal/obs"
+
+// clusterMetrics instruments the lease protocol. The instruments are
+// always constructed (the coordinator counts through them whether or
+// not a registry ever scrapes), and pre-seeded so every lease state
+// series exists from the first scrape.
+type clusterMetrics struct {
+	workers *obs.GaugeFunc
+	leases  *obs.CounterVec
+	merge   *obs.Histogram
+}
+
+func newClusterMetrics(c *Coordinator) *clusterMetrics {
+	m := &clusterMetrics{
+		leases: obs.NewCounterVec(
+			"popprotod_cluster_leases_total",
+			"Replicate-range leases by outcome: granted, completed (partial folded), expired (TTL passed without heartbeat), retried (reissue of an expired range).",
+			"state"),
+		merge: obs.NewHistogram(
+			"popprotod_cluster_merge_seconds",
+			"Latency of folding one partial aggregate into a run's merge frontier.",
+			obs.ExpBuckets(1e-6, 4, 12)),
+		workers: obs.NewGaugeFunc(
+			"popprotod_cluster_workers",
+			"Workers heard from within one lease TTL.",
+			func() float64 { return float64(c.LiveWorkers()) }),
+	}
+	for _, state := range []string{"granted", "completed", "expired", "retried"} {
+		m.leases.With(state)
+	}
+	return m
+}
+
+// Instrument registers the coordinator's metrics with reg.
+func (c *Coordinator) Instrument(reg *obs.Registry) {
+	reg.MustRegister(c.metrics.workers, c.metrics.leases, c.metrics.merge)
+}
+
+// LeaseCounts returns the lease counters by state (test and status
+// surface).
+func (c *Coordinator) LeaseCounts() map[string]uint64 {
+	out := make(map[string]uint64)
+	c.metrics.leases.Each(func(values []string, count uint64) {
+		out[values[0]] = count
+	})
+	return out
+}

@@ -1,10 +1,6 @@
 package ensemble
 
-import (
-	"math"
-
-	"popproto/internal/stats"
-)
+import "math"
 
 // Replicate is the outcome of one independent run of an ensemble. It is
 // the per-run record streamed into the online aggregators; everything in
@@ -80,98 +76,91 @@ type Aggregates struct {
 // survivalGrid is the quantile grid the survival curve is rendered on.
 var survivalGrid = []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 0.99, 1}
 
-// aggregator accumulates replicates online, in replicate order.
+// aggregator accumulates replicates online, in replicate order, through
+// the canonical range partition: replicates stream into the current
+// range's Partial, and each completed range is folded (ascending) into
+// the running prefix. Because this is the exact fold the cluster
+// coordinator performs on worker-computed partials, a local ensemble
+// and a distributed one produce bit-identical aggregates.
 type aggregator struct {
-	requested  int
-	count      int
-	stabilized int
-	mean, m2   float64 // Welford running mean and sum of squared deviations
-	min, max   float64
-	sumSteps   float64
-	sketch     *Sketch
-	early      bool
+	requested int
+	rangeSize int
+	folded    *Partial // left fold of all completed ranges (nil before the first)
+	cur       *Partial // the open range (nil once every range has folded)
+	early     bool
 }
 
 func newAggregator(requested int) *aggregator {
+	size := PlanRangeSize(requested)
 	return &aggregator{
 		requested: requested,
-		min:       math.Inf(1),
-		max:       math.Inf(-1),
-		sketch:    newSketch(0),
+		rangeSize: size,
+		cur:       NewPartial(0, min(size, requested)),
 	}
 }
 
-// add incorporates one replicate. Callers must add in replicate order for
-// the bit-identical determinism guarantee (floating-point accumulation is
-// order-sensitive).
-func (a *aggregator) add(r Replicate) {
-	a.count++
-	if r.Stabilized {
-		a.stabilized++
+// add incorporates one replicate and reports whether it completed a
+// range (the only points where early stopping may be decided — a
+// mid-range decision could not be reproduced by a coordinator that only
+// sees whole ranges). Callers must add in replicate order for the
+// bit-identical determinism guarantee.
+func (a *aggregator) add(r Replicate) (rangeClosed bool) {
+	a.cur.Add(r)
+	if a.cur.Count < a.cur.Hi-a.cur.Lo {
+		return false
 	}
-	x := r.ParallelTime
-	d := x - a.mean
-	a.mean += d / float64(a.count)
-	a.m2 += d * (x - a.mean)
-	a.min = math.Min(a.min, x)
-	a.max = math.Max(a.max, x)
-	a.sumSteps += float64(r.Steps)
-	a.sketch.Add(x)
+	if a.folded == nil {
+		a.folded = a.cur
+	} else if err := a.folded.Merge(a.cur); err != nil {
+		// Ranges are planned adjacent; a failure here is a bug.
+		panic(err)
+	}
+	if lo := a.folded.Hi; lo < a.requested {
+		a.cur = NewPartial(lo, min(lo+a.rangeSize, a.requested))
+	} else {
+		a.cur = nil
+	}
+	return true
 }
 
-// std returns the sample standard deviation (n−1 denominator).
-func (a *aggregator) std() float64 {
-	if a.count < 2 {
-		return 0
+// count returns the number of replicates incorporated so far.
+func (a *aggregator) count() int {
+	n := 0
+	if a.folded != nil {
+		n += a.folded.Count
 	}
-	return math.Sqrt(a.m2 / float64(a.count-1))
+	if a.cur != nil {
+		n += a.cur.Count
+	}
+	return n
 }
 
-// relHalfWidth returns the 95% CI half-width of the mean relative to the
-// mean, or +Inf while it is undefined (fewer than two replicates, or a
-// nonpositive mean).
+// relHalfWidth returns the early-stopping criterion over the folded
+// prefix (+Inf before any range completes). It is only consulted at
+// range boundaries, where the folded prefix is the whole state.
 func (a *aggregator) relHalfWidth() float64 {
-	if a.count < 2 || a.mean <= 0 {
+	if a.folded == nil {
 		return math.Inf(1)
 	}
-	return 1.96 * a.std() / math.Sqrt(float64(a.count)) / a.mean
+	return a.folded.RelHalfWidth()
 }
 
-// aggregates renders the current state as an Aggregates snapshot.
+// aggregates renders the current state as an Aggregates snapshot,
+// merging the open range into a copy of the folded prefix when needed
+// so streaming snapshots see every incorporated replicate.
 func (a *aggregator) aggregates() Aggregates {
-	agg := Aggregates{
-		Replicates:   a.count,
-		Requested:    a.requested,
-		Stabilized:   a.stabilized,
-		EarlyStopped: a.early,
+	switch {
+	case a.folded == nil && a.cur == nil:
+		return Aggregates{Requested: a.requested, EarlyStopped: a.early}
+	case a.folded == nil:
+		return a.cur.Aggregates(a.requested, a.early)
+	case a.cur == nil || a.cur.Count == 0:
+		return a.folded.Aggregates(a.requested, a.early)
+	default:
+		snap := a.folded.Clone()
+		if err := snap.Merge(a.cur); err != nil {
+			panic(err)
+		}
+		return snap.Aggregates(a.requested, a.early)
 	}
-	if a.count == 0 {
-		return agg
-	}
-	agg.StabilizedLo, agg.StabilizedHi = stats.WilsonCI(a.stabilized, a.count)
-	std := a.std()
-	half := 1.96 * std / math.Sqrt(float64(a.count))
-	agg.MeanParallelTime = a.mean
-	agg.StdParallelTime = std
-	agg.CILo = a.mean - half
-	agg.CIHi = a.mean + half
-	if a.mean > 0 {
-		agg.RelHalfWidth = half / a.mean
-	}
-	agg.MinParallelTime = a.min
-	agg.MaxParallelTime = a.max
-	// One flatten-and-sort of the sketch answers every quantile query:
-	// p50/p90/p99 first, then the survival grid.
-	qs := append([]float64{0.5, 0.9, 0.99}, survivalGrid...)
-	vals := a.sketch.Quantiles(qs)
-	agg.P50, agg.P90, agg.P99 = vals[0], vals[1], vals[2]
-	agg.MeanSteps = a.sumSteps / float64(a.count)
-	agg.Survival = make([]SurvivalPoint, 0, len(survivalGrid))
-	for i, q := range survivalGrid {
-		agg.Survival = append(agg.Survival, SurvivalPoint{
-			T:    vals[3+i],
-			Frac: 1 - q,
-		})
-	}
-	return agg
 }

@@ -35,6 +35,7 @@ import (
 	"hash/fnv"
 	"runtime"
 	"sync"
+	"time"
 
 	"popproto/internal/registry"
 )
@@ -212,22 +213,20 @@ type replicateMsg struct {
 	err error
 }
 
-// Run executes the ensemble: replicates fanned across the worker pool,
-// results incorporated in replicate order, early stopping applied when
-// configured. On cancellation it returns the aggregates incorporated so
-// far together with ctx's error; the partial result is still
-// deterministic up to the point of interruption in replicate count.
-func Run(ctx context.Context, spec Spec, opts Options) (Result, error) {
-	spec, entry, err := Canonicalize(spec)
-	if err != nil {
-		return Result{}, err
-	}
-	workers := opts.Workers
+// dispatch fans replicates [lo, hi) of a canonical spec across a
+// bounded worker pool and feeds results to incorporate strictly in
+// replicate order (a reorder buffer smooths out-of-order completions).
+// incorporate returning true stops dispatch; remaining in-flight
+// replicates are drained, not incorporated. Replicates interrupted by
+// cancellation (external or a stop) are dropped silently — the caller
+// decides from ctx and its own counts how to report a shortfall; any
+// other worker error cancels the dispatch and is returned.
+func dispatch(ctx context.Context, entry registry.Entry, spec Spec, lo, hi, workers int, incorporate func(Replicate) (stop bool)) error {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
-	if workers > spec.Replicates {
-		workers = spec.Replicates
+	if workers > hi-lo {
+		workers = hi - lo
 	}
 
 	runCtx, cancel := context.WithCancel(ctx)
@@ -238,7 +237,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (Result, error) {
 	reps := make(chan int)
 	go func() {
 		defer close(reps)
-		for r := 0; r < spec.Replicates; r++ {
+		for r := lo; r < hi; r++ {
 			select {
 			case reps <- r:
 			case <-runCtx.Done():
@@ -255,7 +254,7 @@ func Run(ctx context.Context, spec Spec, opts Options) (Result, error) {
 			defer wg.Done()
 			for rep := range reps {
 				r, err := runReplicate(runCtx, entry, spec, rep)
-				// The aggregator drains results until every worker has
+				// The dispatcher drains results until every worker has
 				// exited, so this send cannot block indefinitely.
 				results <- replicateMsg{rep: r, err: err}
 			}
@@ -266,16 +265,12 @@ func Run(ctx context.Context, spec Spec, opts Options) (Result, error) {
 		close(results)
 	}()
 
-	agg := newAggregator(spec.Replicates)
 	pending := make(map[int]Replicate, workers)
-	next := 0
+	next := lo
+	stopped := false
 	var firstErr error
 	for msg := range results {
 		if msg.err != nil {
-			// Replicates interrupted by cancellation (early stop or an
-			// external cancel) are simply dropped; the final ctx check
-			// below reports external cancellation. Any other error is an
-			// internal failure that aborts the ensemble.
 			if !errors.Is(msg.err, context.Canceled) && firstErr == nil {
 				firstErr = msg.err
 				cancel()
@@ -290,34 +285,149 @@ func Run(ctx context.Context, spec Spec, opts Options) (Result, error) {
 			}
 			delete(pending, next)
 			next++
-			if agg.early || firstErr != nil {
+			if stopped || firstErr != nil {
 				continue // drained, not incorporated
 			}
-			agg.add(r)
-			if opts.OnReplicate != nil {
-				opts.OnReplicate(r)
-			}
-			if opts.OnUpdate != nil {
-				opts.OnUpdate(agg.aggregates())
-			}
-			if spec.CITarget > 0 && agg.count >= spec.MinReplicates &&
-				agg.relHalfWidth() <= spec.CITarget {
-				agg.early = true
-				cancel() // skip the remaining replicates
+			if incorporate(r) {
+				stopped = true
+				cancel()
 			}
 		}
 	}
+	return firstErr
+}
+
+// Run executes the ensemble: replicates fanned across the worker pool,
+// results incorporated in replicate order, early stopping applied when
+// configured (decided at canonical range boundaries — see Partial). On
+// cancellation it returns the aggregates incorporated so far together
+// with ctx's error; the partial result is still deterministic up to the
+// point of interruption in replicate count.
+func Run(ctx context.Context, spec Spec, opts Options) (Result, error) {
+	spec, entry, err := Canonicalize(spec)
+	if err != nil {
+		return Result{}, err
+	}
+	agg := newAggregator(spec.Replicates)
+	err = dispatch(ctx, entry, spec, 0, spec.Replicates, opts.Workers, func(r Replicate) bool {
+		rangeClosed := agg.add(r)
+		if opts.OnReplicate != nil {
+			opts.OnReplicate(r)
+		}
+		if opts.OnUpdate != nil {
+			opts.OnUpdate(agg.aggregates())
+		}
+		if rangeClosed && spec.CITarget > 0 && agg.count() >= spec.MinReplicates &&
+			agg.relHalfWidth() <= spec.CITarget {
+			agg.early = true
+			return true // skip the remaining replicates
+		}
+		return false
+	})
 	res := Result{Spec: spec, Aggregates: agg.aggregates()}
 	switch {
-	case firstErr != nil:
-		return res, firstErr
+	case err != nil:
+		return res, err
 	case agg.early:
 		return res, nil
-	case ctx.Err() != nil && agg.count < spec.Replicates:
+	case ctx.Err() != nil && agg.count() < spec.Replicates:
 		return res, ctx.Err()
 	default:
 		return res, nil
 	}
+}
+
+// RunRange executes replicates [lo, hi) of the spec and returns their
+// Partial — the unit of work a cluster worker performs for one lease.
+// The partial is bit-identical no matter where or with how many workers
+// it is computed (results are added in replicate order). An interrupted
+// range returns ctx's error rather than a partial: a coordinator must
+// only ever merge complete ranges.
+func RunRange(ctx context.Context, spec Spec, lo, hi, workers int) (*Partial, error) {
+	spec, entry, err := Canonicalize(spec)
+	if err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi <= lo || hi > spec.Replicates {
+		return nil, fmt.Errorf("ensemble: invalid replicate range [%d,%d) of %d",
+			lo, hi, spec.Replicates)
+	}
+	start := time.Now()
+	p := NewPartial(lo, hi)
+	err = dispatch(ctx, entry, spec, lo, hi, workers, func(r Replicate) bool {
+		p.Add(r)
+		return false
+	})
+	if err != nil {
+		return nil, err
+	}
+	if p.Count < hi-lo {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		return nil, fmt.Errorf("ensemble: range [%d,%d) incomplete (%d of %d replicates)",
+			lo, hi, p.Count, hi-lo)
+	}
+	p.ElapsedMillis = time.Since(start).Milliseconds()
+	return p, nil
+}
+
+// RunRanges executes a contiguous ascending block of canonical ranges
+// as one pipelined dispatch (no barrier between ranges), delivering
+// each range's Partial to onRange in range order as it completes.
+// onRange returning true stops the block — this is how a coordinator's
+// early-stopping or reassignment decision propagates into local
+// execution. It is the local-participation engine of the cluster
+// coordinator: the degenerate no-remote-workers case runs the whole
+// partition through one call with full replicate parallelism.
+func RunRanges(ctx context.Context, spec Spec, ranges []Range, workers int, onRange func(*Partial) (stop bool)) error {
+	spec, entry, err := Canonicalize(spec)
+	if err != nil {
+		return err
+	}
+	if len(ranges) == 0 {
+		return nil
+	}
+	for i, rg := range ranges {
+		switch {
+		case rg.Lo < 0 || rg.Hi <= rg.Lo || rg.Hi > spec.Replicates:
+			return fmt.Errorf("ensemble: invalid range [%d,%d) of %d", rg.Lo, rg.Hi, spec.Replicates)
+		case i > 0 && rg.Lo != ranges[i-1].Hi:
+			return fmt.Errorf("ensemble: range block not contiguous at [%d,%d)", rg.Lo, rg.Hi)
+		}
+	}
+	idx := 0
+	cur := NewPartial(ranges[0].Lo, ranges[0].Hi)
+	start := time.Now()
+	stopped := false
+	err = dispatch(ctx, entry, spec, ranges[0].Lo, ranges[len(ranges)-1].Hi, workers, func(r Replicate) bool {
+		cur.Add(r)
+		if cur.Count < cur.Hi-cur.Lo {
+			return false
+		}
+		now := time.Now()
+		cur.ElapsedMillis = now.Sub(start).Milliseconds()
+		start = now
+		done := cur
+		if idx++; idx < len(ranges) {
+			cur = NewPartial(ranges[idx].Lo, ranges[idx].Hi)
+		}
+		if onRange(done) {
+			stopped = true
+			return true
+		}
+		return false
+	})
+	if err != nil {
+		return err
+	}
+	if !stopped && idx < len(ranges) {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		return fmt.Errorf("ensemble: range block incomplete (%d of %d ranges)", idx, len(ranges))
+	}
+	return nil
 }
 
 // runReplicate executes one replicate to completion (or cancellation)

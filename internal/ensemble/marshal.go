@@ -1,0 +1,298 @@
+package ensemble
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Binary wire format for partial aggregates, used by the cluster
+// subsystem to ship per-range state from workers to the coordinator.
+// Everything is little-endian fixed-width, prefixed with a version byte
+// so the format can evolve without ambiguity:
+//
+//	Partial v1: 0x01 | uint32 lo hi count stabilized
+//	            | float64-bits mean m2 min max sumSteps
+//	            | int64 elapsedMillis | Sketch
+//	Sketch  v1: 0x01 | uint32 cap | uint64 count | uint32 numLevels
+//	            | per level: byte parity | uint32 len | float64-bits…
+//
+// Decoding validates structure exhaustively (bounds, finiteness,
+// cross-field invariants, no trailing bytes): a coordinator merges
+// payloads posted over the network and must never fold a corrupt or
+// truncated partial into an experiment's aggregate.
+const (
+	partialVersion = 1
+	sketchVersion  = 1
+
+	// maxSketchCap bounds the capacity a decoded sketch may declare,
+	// capping what a malicious payload can make the decoder allocate.
+	maxSketchCap = 1 << 20
+	// maxSketchLevels bounds the level count (weights are 1<<i, so more
+	// than 64 levels is meaningless for a uint64 count anyway).
+	maxSketchLevels = 64
+)
+
+// decoder is a bounds-checked cursor over a binary payload. The first
+// out-of-range read latches err and makes every later read return zero,
+// so decode paths can read a whole structure and check err once.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) need(n int) bool {
+	if d.err != nil {
+		return false
+	}
+	if n > len(d.buf)-d.off {
+		d.err = fmt.Errorf("ensemble: truncated payload at byte %d", d.off)
+		return false
+	}
+	return true
+}
+
+func (d *decoder) u8() byte {
+	if !d.need(1) {
+		return 0
+	}
+	v := d.buf[d.off]
+	d.off++
+	return v
+}
+
+func (d *decoder) u32() uint32 {
+	if !d.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(d.buf[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if !d.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *decoder) f64() float64 { return math.Float64frombits(d.u64()) }
+
+// finish fails unless the whole payload was consumed cleanly.
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("ensemble: %d trailing bytes after payload", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+// MarshalBinary encodes the partial in wire format v1.
+func (p *Partial) MarshalBinary() ([]byte, error) {
+	if p.Sketch == nil {
+		return nil, fmt.Errorf("ensemble: cannot marshal partial without a sketch")
+	}
+	sk, err := p.Sketch.MarshalBinary()
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, 0, 1+4*4+8*5+8+len(sk))
+	buf = append(buf, partialVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Lo))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Hi))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Count))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(p.Stabilized))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Mean))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.M2))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Min))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.Max))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(p.SumSteps))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.ElapsedMillis))
+	return append(buf, sk...), nil
+}
+
+// UnmarshalBinary decodes and validates a wire-format partial,
+// replacing p. It rejects any payload that is truncated, has trailing
+// bytes, or violates a structural invariant.
+func (p *Partial) UnmarshalBinary(data []byte) error {
+	d := &decoder{buf: data}
+	if v := d.u8(); d.err == nil && v != partialVersion {
+		return fmt.Errorf("ensemble: unsupported partial version %d", v)
+	}
+	dec := Partial{
+		Lo:         int(d.u32()),
+		Hi:         int(d.u32()),
+		Count:      int(d.u32()),
+		Stabilized: int(d.u32()),
+	}
+	dec.Mean = d.f64()
+	dec.M2 = d.f64()
+	dec.Min = d.f64()
+	dec.Max = d.f64()
+	dec.SumSteps = d.f64()
+	dec.ElapsedMillis = int64(d.u64())
+	sk := &Sketch{}
+	sk.unmarshalFrom(d)
+	if err := d.finish(); err != nil {
+		return err
+	}
+	dec.Sketch = sk
+	if err := dec.validate(); err != nil {
+		return err
+	}
+	*p = dec
+	return nil
+}
+
+// validate checks the cross-field invariants every genuine partial
+// satisfies.
+func (p *Partial) validate() error {
+	switch {
+	case p.Hi < p.Lo:
+		return fmt.Errorf("ensemble: partial range [%d,%d) inverted", p.Lo, p.Hi)
+	case p.Count > p.Hi-p.Lo:
+		return fmt.Errorf("ensemble: partial count %d exceeds range [%d,%d)", p.Count, p.Lo, p.Hi)
+	case p.Stabilized > p.Count:
+		return fmt.Errorf("ensemble: stabilized %d exceeds count %d", p.Stabilized, p.Count)
+	case p.ElapsedMillis < 0:
+		return fmt.Errorf("ensemble: negative elapsed time %d", p.ElapsedMillis)
+	case math.IsNaN(p.Mean) || math.IsInf(p.Mean, 0):
+		return fmt.Errorf("ensemble: non-finite mean")
+	case math.IsNaN(p.M2) || math.IsInf(p.M2, 0) || p.M2 < 0:
+		return fmt.Errorf("ensemble: invalid m2")
+	case math.IsNaN(p.SumSteps) || math.IsInf(p.SumSteps, 0) || p.SumSteps < 0:
+		return fmt.Errorf("ensemble: invalid step tally")
+	case p.Sketch.Count() != uint64(p.Count):
+		return fmt.Errorf("ensemble: sketch count %d disagrees with partial count %d",
+			p.Sketch.Count(), p.Count)
+	}
+	if p.Count == 0 {
+		if p.Mean != 0 || p.M2 != 0 || p.SumSteps != 0 ||
+			!math.IsInf(p.Min, 1) || !math.IsInf(p.Max, -1) {
+			return fmt.Errorf("ensemble: empty partial with nonzero statistics")
+		}
+		return nil
+	}
+	if math.IsNaN(p.Min) || math.IsInf(p.Min, 0) ||
+		math.IsNaN(p.Max) || math.IsInf(p.Max, 0) || p.Min > p.Max {
+		return fmt.Errorf("ensemble: invalid extrema [%g, %g]", p.Min, p.Max)
+	}
+	return nil
+}
+
+// MarshalBinary encodes the sketch in wire format v1.
+func (s *Sketch) MarshalBinary() ([]byte, error) {
+	size := 1 + 4 + 8 + 4
+	for _, lvl := range s.levels {
+		size += 1 + 4 + 8*len(lvl)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, sketchVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(s.cap))
+	buf = binary.LittleEndian.AppendUint64(buf, s.count)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.levels)))
+	for i, lvl := range s.levels {
+		var par byte
+		if s.parity[i] {
+			par = 1
+		}
+		buf = append(buf, par)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(lvl)))
+		for _, v := range lvl {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary decodes and validates a wire-format sketch, replacing s.
+func (s *Sketch) UnmarshalBinary(data []byte) error {
+	d := &decoder{buf: data}
+	dec := Sketch{}
+	dec.unmarshalFrom(d)
+	if err := d.finish(); err != nil {
+		return err
+	}
+	*s = dec
+	return nil
+}
+
+// unmarshalFrom decodes one sketch from the cursor, validating as it
+// goes (errors latch on d). It does not require the cursor to be
+// exhausted — Partial decoding embeds a sketch mid-payload.
+func (s *Sketch) unmarshalFrom(d *decoder) {
+	fail := func(format string, args ...any) {
+		if d.err == nil {
+			d.err = fmt.Errorf("ensemble: "+format, args...)
+		}
+	}
+	if v := d.u8(); d.err == nil && v != sketchVersion {
+		fail("unsupported sketch version %d", v)
+		return
+	}
+	capacity := int(d.u32())
+	count := d.u64()
+	numLevels := int(d.u32())
+	if d.err != nil {
+		return
+	}
+	if capacity < 4 || capacity > maxSketchCap {
+		fail("sketch capacity %d out of range", capacity)
+		return
+	}
+	if numLevels > maxSketchLevels {
+		fail("sketch declares %d levels", numLevels)
+		return
+	}
+	dec := Sketch{count: count, cap: capacity}
+	var mass uint64
+	for i := 0; i < numLevels; i++ {
+		par := d.u8()
+		n := int(d.u32())
+		if d.err != nil {
+			return
+		}
+		if par > 1 {
+			fail("sketch level %d parity byte %d", i, par)
+			return
+		}
+		// Levels compact before reaching capacity, so a genuine level is
+		// always strictly shorter — and this bound also keeps a crafted
+		// length from forcing a huge allocation before the bytes are
+		// checked.
+		if n >= capacity {
+			fail("sketch level %d length %d exceeds capacity %d", i, n, capacity)
+			return
+		}
+		if !d.need(8 * n) {
+			return
+		}
+		lvl := make([]float64, n)
+		for j := range lvl {
+			v := d.f64()
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				fail("sketch level %d has a non-finite value", i)
+				return
+			}
+			lvl[j] = v
+		}
+		dec.levels = append(dec.levels, lvl)
+		dec.parity = append(dec.parity, par == 1)
+		mass += uint64(n) << uint(i)
+	}
+	// Deterministic compaction of odd-length buffers shifts summarized
+	// mass by ±1 per compaction, so mass only loosely tracks count — but
+	// an empty summary of a nonempty stream (or vice versa) is always
+	// corrupt.
+	if (count == 0) != (mass == 0) {
+		fail("sketch count %d disagrees with summarized mass %d", count, mass)
+		return
+	}
+	*s = dec
+}

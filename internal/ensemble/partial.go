@@ -1,0 +1,233 @@
+package ensemble
+
+import (
+	"fmt"
+	"math"
+
+	"popproto/internal/stats"
+)
+
+// The canonical range partition. Every ensemble of R replicates is
+// aggregated as a left fold over fixed contiguous replicate ranges of
+// PlanRangeSize(R) — never as one long streaming accumulation — whether
+// the replicates run on one machine or are sharded across a cluster.
+// Floating-point merges are order- and tree-sensitive, so a single
+// canonical partition and fold order is what lets a distributed run
+// promise bit-identical aggregates to a local one: both paths build the
+// same per-range Partials (sequential adds in replicate order) and fold
+// them in ascending range order through the same Merge.
+const (
+	// targetRanges is how many ranges a large ensemble is split into —
+	// enough shards to keep hundreds of workers busy while bounding the
+	// coordinator's scheduling state.
+	targetRanges = 256
+	// minRangeSize floors the range size so tiny ensembles are not
+	// shattered into single-replicate leases.
+	minRangeSize = 8
+)
+
+// PlanRangeSize returns the canonical range size for an ensemble of the
+// given replicate count: ⌈R/256⌉ floored at 8 and capped at R. It is
+// part of the deterministic surface — change it and every ensemble's
+// aggregates change bitwise.
+func PlanRangeSize(replicates int) int {
+	if replicates < 1 {
+		return 1
+	}
+	size := (replicates + targetRanges - 1) / targetRanges
+	if size < minRangeSize {
+		size = minRangeSize
+	}
+	if size > replicates {
+		size = replicates
+	}
+	return size
+}
+
+// Range is one contiguous replicate range [Lo, Hi) of the canonical
+// partition, the unit of distribution (a cluster lease covers exactly
+// one Range).
+type Range struct {
+	Index int `json:"index"`
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+}
+
+// PlanRanges expands the canonical partition of an ensemble: adjacent
+// ranges of PlanRangeSize(replicates), the last one truncated.
+func PlanRanges(replicates int) []Range {
+	size := PlanRangeSize(replicates)
+	ranges := make([]Range, 0, (replicates+size-1)/size)
+	for lo := 0; lo < replicates; lo += size {
+		ranges = append(ranges, Range{Index: len(ranges), Lo: lo, Hi: min(lo+size, replicates)})
+	}
+	return ranges
+}
+
+// Partial is the mergeable aggregate of one contiguous replicate range
+// [Lo, Hi): the Welford moments, Wilson counts, extrema, step tally and
+// quantile sketch of exactly the replicates in the range, added in
+// replicate order. It is what a cluster worker computes for a leased
+// range and posts back to the coordinator, and what the local executor
+// folds internally — one type, one fold, so the two paths cannot drift.
+//
+// Everything except ElapsedMillis is a deterministic function of the
+// spec and the range; ElapsedMillis is the wall-clock execution time
+// (an operator signal, excluded from rendered Aggregates).
+type Partial struct {
+	// Lo and Hi delimit the replicate range [Lo, Hi). Merged partials
+	// cover the union of their ranges.
+	Lo, Hi int
+	// Count is the number of replicates added (Hi-Lo once the range is
+	// complete); Stabilized how many reached the protocol's target.
+	Count      int
+	Stabilized int
+	// Mean and M2 are the Welford running mean and sum of squared
+	// deviations of parallel stabilization time.
+	Mean, M2 float64
+	// Min and Max are the parallel-time extrema (±Inf while empty).
+	Min, Max float64
+	// SumSteps tallies interaction counts across the range's replicates.
+	SumSteps float64
+	// ElapsedMillis is the wall-clock time spent computing the range
+	// (summed under Merge; not part of the deterministic surface).
+	ElapsedMillis int64
+	// Sketch is the deterministic quantile summary of parallel times —
+	// p50/p90/p99 and the survival curve are rendered from it.
+	Sketch *Sketch
+}
+
+// NewPartial returns an empty partial for the range [lo, hi).
+func NewPartial(lo, hi int) *Partial {
+	return &Partial{
+		Lo:     lo,
+		Hi:     hi,
+		Min:    math.Inf(1),
+		Max:    math.Inf(-1),
+		Sketch: newSketch(0),
+	}
+}
+
+// Add incorporates one replicate. Callers must add in replicate order
+// for the bit-identical determinism guarantee (floating-point
+// accumulation is order-sensitive).
+func (p *Partial) Add(r Replicate) {
+	p.Count++
+	if r.Stabilized {
+		p.Stabilized++
+	}
+	x := r.ParallelTime
+	d := x - p.Mean
+	p.Mean += d / float64(p.Count)
+	p.M2 += d * (x - p.Mean)
+	p.Min = math.Min(p.Min, x)
+	p.Max = math.Max(p.Max, x)
+	p.SumSteps += float64(r.Steps)
+	p.Sketch.Add(x)
+}
+
+// Merge folds the adjacent range q into p (Chan et al.'s pairwise
+// Welford combination for the moments, the sketch's own merge for the
+// quantile summary). Both the local executor and the cluster
+// coordinator fold ranges in ascending order through this one function,
+// which is what makes their results bit-identical. q is left unchanged.
+func (p *Partial) Merge(q *Partial) error {
+	if q.Lo != p.Hi {
+		return fmt.Errorf("ensemble: cannot merge non-adjacent ranges [%d,%d) and [%d,%d)",
+			p.Lo, p.Hi, q.Lo, q.Hi)
+	}
+	p.Hi = q.Hi
+	p.ElapsedMillis += q.ElapsedMillis
+	if q.Count == 0 {
+		return nil
+	}
+	if p.Count == 0 {
+		p.Count = q.Count
+		p.Stabilized = q.Stabilized
+		p.Mean, p.M2 = q.Mean, q.M2
+		p.Min, p.Max = q.Min, q.Max
+		p.SumSteps = q.SumSteps
+		p.Sketch.Merge(q.Sketch)
+		return nil
+	}
+	n1, n2 := float64(p.Count), float64(q.Count)
+	n := n1 + n2
+	delta := q.Mean - p.Mean
+	p.Mean += delta * n2 / n
+	p.M2 += q.M2 + delta*delta*n1*n2/n
+	p.Count += q.Count
+	p.Stabilized += q.Stabilized
+	p.Min = math.Min(p.Min, q.Min)
+	p.Max = math.Max(p.Max, q.Max)
+	p.SumSteps += q.SumSteps
+	p.Sketch.Merge(q.Sketch)
+	return nil
+}
+
+// Clone returns an independent deep copy (used to render streaming
+// snapshots without disturbing the fold state).
+func (p *Partial) Clone() *Partial {
+	cp := *p
+	cp.Sketch = p.Sketch.Clone()
+	return &cp
+}
+
+// Std returns the sample standard deviation (n−1 denominator) of
+// parallel time over the partial's replicates.
+func (p *Partial) Std() float64 {
+	if p.Count < 2 {
+		return 0
+	}
+	return math.Sqrt(p.M2 / float64(p.Count-1))
+}
+
+// RelHalfWidth returns the 95% CI half-width of the mean parallel time
+// relative to the mean — the early-stopping criterion — or +Inf while
+// it is undefined (fewer than two replicates, or a nonpositive mean).
+func (p *Partial) RelHalfWidth() float64 {
+	if p.Count < 2 || p.Mean <= 0 {
+		return math.Inf(1)
+	}
+	return 1.96 * p.Std() / math.Sqrt(float64(p.Count)) / p.Mean
+}
+
+// Aggregates renders the partial as the ensemble's statistical summary.
+// requested is the ensemble size asked for and early whether the CI
+// target stopped the run; both pass through to the rendered fields.
+func (p *Partial) Aggregates(requested int, early bool) Aggregates {
+	agg := Aggregates{
+		Replicates:   p.Count,
+		Requested:    requested,
+		Stabilized:   p.Stabilized,
+		EarlyStopped: early,
+	}
+	if p.Count == 0 {
+		return agg
+	}
+	agg.StabilizedLo, agg.StabilizedHi = stats.WilsonCI(p.Stabilized, p.Count)
+	std := p.Std()
+	half := 1.96 * std / math.Sqrt(float64(p.Count))
+	agg.MeanParallelTime = p.Mean
+	agg.StdParallelTime = std
+	agg.CILo = p.Mean - half
+	agg.CIHi = p.Mean + half
+	if p.Mean > 0 {
+		agg.RelHalfWidth = half / p.Mean
+	}
+	agg.MinParallelTime = p.Min
+	agg.MaxParallelTime = p.Max
+	// One flatten-and-sort of the sketch answers every quantile query:
+	// p50/p90/p99 first, then the survival grid.
+	qs := append([]float64{0.5, 0.9, 0.99}, survivalGrid...)
+	vals := p.Sketch.Quantiles(qs)
+	agg.P50, agg.P90, agg.P99 = vals[0], vals[1], vals[2]
+	agg.MeanSteps = p.SumSteps / float64(p.Count)
+	agg.Survival = make([]SurvivalPoint, 0, len(survivalGrid))
+	for i, q := range survivalGrid {
+		agg.Survival = append(agg.Survival, SurvivalPoint{
+			T:    vals[3+i],
+			Frac: 1 - q,
+		})
+	}
+	return agg
+}

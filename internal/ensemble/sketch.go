@@ -46,6 +46,22 @@ func newSketch(capacity int) *Sketch {
 // Count returns the number of values added (with multiplicity).
 func (s *Sketch) Count() uint64 { return s.count }
 
+// Cap returns the per-level buffer capacity.
+func (s *Sketch) Cap() int { return s.cap }
+
+// Clone returns an independent deep copy of the sketch.
+func (s *Sketch) Clone() *Sketch {
+	c := &Sketch{count: s.count, cap: s.cap}
+	if s.levels != nil {
+		c.levels = make([][]float64, len(s.levels))
+		for i, lvl := range s.levels {
+			c.levels[i] = append(make([]float64, 0, s.cap), lvl...)
+		}
+		c.parity = append([]bool(nil), s.parity...)
+	}
+	return c
+}
+
 // Add inserts one value.
 func (s *Sketch) Add(x float64) {
 	if len(s.levels) == 0 {

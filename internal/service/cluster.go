@@ -1,0 +1,41 @@
+package service
+
+import (
+	"context"
+
+	"popproto/internal/cluster"
+	"popproto/internal/ensemble"
+)
+
+// Distribution re-exports the cluster package's execution report — the
+// "distribution" block on job, experiment and sweep-cell results — so
+// API consumers of this package need not import internal/cluster.
+type Distribution = cluster.Distribution
+
+// Coordinator exposes the manager's cluster coordinator: the HTTP layer
+// mounts its lease routes, and popprotod's worker mode talks to them.
+func (m *Manager) Coordinator() *cluster.Coordinator { return m.coord }
+
+// runEnsemble executes one canonical ensemble through the cluster
+// coordinator. With no live workers every range runs in process through
+// ensemble.RunRanges — the degenerate case, bit-identical to the old
+// direct ensemble.Run path because both are the same canonical range
+// partition folded in ascending order. With workers attached, ranges
+// are leased out and the returned distribution reports the placement;
+// the aggregates are identical either way, which is what keeps the
+// canonical-key cache and store dedup sound cluster-wide.
+func (m *Manager) runEnsemble(ctx context.Context, espec ensemble.Spec, onUpdate func(ensemble.Aggregates)) (ensemble.Aggregates, *Distribution, error) {
+	agg, dist, err := m.coord.Run(ctx, espec, m.localRunner(), onUpdate)
+	if err != nil {
+		return agg, nil, err
+	}
+	return agg, &dist, nil
+}
+
+// localRunner adapts the manager's simulation worker pool to the
+// coordinator's in-process execution hook.
+func (m *Manager) localRunner() cluster.LocalRunner {
+	return func(ctx context.Context, spec ensemble.Spec, ranges []ensemble.Range, onRange func(*ensemble.Partial) bool) error {
+		return ensemble.RunRanges(ctx, spec, ranges, m.opts.Workers, onRange)
+	}
+}

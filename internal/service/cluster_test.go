@@ -1,0 +1,150 @@
+package service_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"popproto/internal/cluster"
+	"popproto/internal/service"
+)
+
+// TestDistributedExperimentThroughService is the tentpole's end-to-end
+// check at the service layer: the same experiment run on a plain local
+// manager and on a manager with two cluster workers attached over HTTP
+// must produce bit-identical aggregates under the same canonical run
+// id, the cluster run must report remote execution in its distribution,
+// and resubmitting the spec must be a cache hit — the dedup discipline
+// holds cluster-wide because placement never changes the result.
+func TestDistributedExperimentThroughService(t *testing.T) {
+	spec := service.ExperimentSpec{Protocol: "pll", N: 500, Seed: 11, Replicates: 48}
+
+	local := service.NewManager(service.Options{Workers: 4})
+	defer local.Close()
+	want, _, err := local.SubmitExperiment(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitExpDone(t, want)
+	if want.State() != service.StateDone {
+		t.Fatalf("local experiment state = %s (%s)", want.State(), want.View().Error)
+	}
+	wantAgg := want.Aggregates()
+	if d := want.Distribution(); d == nil || d.Mode != "local" {
+		t.Fatalf("local experiment distribution = %+v, want mode local", d)
+	}
+
+	m := service.NewManager(service.Options{Workers: 4, LeaseTTL: 2 * time.Second})
+	defer m.Close()
+	srv := httptest.NewServer(service.NewHandler(m))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		w := &cluster.Worker{
+			Coordinator: srv.URL,
+			ID:          fmt.Sprintf("svc-worker-%d", i),
+			Workers:     2,
+			Poll:        10 * time.Millisecond,
+		}
+		go w.Run(ctx)
+	}
+	// Polling for leases marks a worker live; ranges only go remote once
+	// the coordinator has heard from the pool.
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Coordinator().LiveWorkers() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("workers never registered with the coordinator")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	exp, cached, err := m.SubmitExperiment(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("fresh distributed submission reported cached")
+	}
+	waitExpDone(t, exp)
+	if exp.State() != service.StateDone {
+		t.Fatalf("distributed experiment state = %s (%s)", exp.State(), exp.View().Error)
+	}
+
+	if exp.ID != want.ID {
+		t.Errorf("run ids diverged: distributed %s, local %s — canonical key broken", exp.ID, want.ID)
+	}
+	agg := exp.Aggregates()
+	if agg == nil || !reflect.DeepEqual(*agg, *wantAgg) {
+		t.Errorf("distributed aggregates diverge from local run:\n got %+v\nwant %+v", agg, wantAgg)
+	}
+	dist := exp.Distribution()
+	if dist == nil {
+		t.Fatal("distributed experiment has no distribution")
+	}
+	if dist.Mode != "cluster" || dist.RemoteRanges == 0 || dist.Workers == 0 {
+		t.Errorf("distribution = %+v, want cluster mode with remote ranges", dist)
+	}
+	if dist.Completed != dist.Ranges {
+		t.Errorf("distribution reports %d/%d ranges completed", dist.Completed, dist.Ranges)
+	}
+	if view := exp.View(); view.Distribution == nil || view.Distribution.Mode != "cluster" {
+		t.Errorf("view distribution = %+v, want cluster", view.Distribution)
+	}
+
+	// Identical resubmission is a cache hit on the same experiment: the
+	// distributed result lives under the same canonical key.
+	again, cached, err := m.SubmitExperiment(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached || again != exp {
+		t.Error("identical spec after a distributed run was not served from cache")
+	}
+}
+
+// TestResultDistributionLocal checks the degenerate case surfaces on
+// every run kind: jobs are always local single-range work, and an
+// experiment or sweep cell with no workers attached reports local
+// range execution.
+func TestResultDistributionLocal(t *testing.T) {
+	m := service.NewManager(service.Options{Workers: 2})
+	defer m.Close()
+
+	job, _, err := m.Submit(service.JobSpec{Protocol: "pll", N: 300, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	res := job.Result()
+	if res == nil || res.Distribution == nil || res.Distribution.Mode != "local" {
+		t.Fatalf("job distribution = %+v, want local", res)
+	}
+
+	sw, _, err := m.SubmitSweep(service.SweepSpec{
+		Protocols: []string{"pll"}, Ns: []int{300}, Seed: 5, Replicates: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sw.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatalf("sweep still %s after 120s", sw.State())
+	}
+	if sw.State() != service.StateDone {
+		t.Fatalf("sweep state = %s (%s)", sw.State(), sw.View().Error)
+	}
+	cells := sw.Cells()
+	if len(cells) != 1 {
+		t.Fatalf("sweep has %d cells, want 1", len(cells))
+	}
+	d := cells[0].Distribution
+	if d == nil || d.Mode != "local" || d.LocalRanges == 0 || d.Completed != d.Ranges {
+		t.Errorf("sweep cell distribution = %+v, want completed local ranges", d)
+	}
+}

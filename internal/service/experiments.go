@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"time"
 
+	"popproto/internal/cluster"
 	"popproto/internal/ensemble"
 	"popproto/internal/registry"
 	"popproto/internal/service/runcore"
@@ -77,7 +78,8 @@ type Experiment struct {
 	espec ensemble.Spec  // resolved ensemble spec (budget, seeds)
 
 	// Guarded by the embedded Run's lock.
-	agg        *ensemble.Aggregates // latest streamed (or final) aggregates
+	agg        *ensemble.Aggregates  // latest streamed (or final) aggregates
+	dist       *cluster.Distribution // where the ranges executed (done only)
 	wallMillis int64
 }
 
@@ -91,6 +93,11 @@ type ExperimentView struct {
 	// Aggregates is the streaming summary: present (and growing) while
 	// the ensemble runs, final once done.
 	Aggregates *ensemble.Aggregates `json:"aggregates,omitempty"`
+	// Distribution reports where the ensemble's replicate ranges executed
+	// (local vs cluster workers) once the experiment is done. It is
+	// operational metadata: the aggregates are bit-identical either way,
+	// and restored experiments omit it.
+	Distribution *cluster.Distribution `json:"distribution,omitempty"`
 	// Restored marks an experiment served from the durable store after a
 	// restart.
 	Restored   bool       `json:"restored,omitempty"`
@@ -106,6 +113,15 @@ func (e *Experiment) Aggregates() *ensemble.Aggregates {
 	var agg *ensemble.Aggregates
 	e.Locked(func() { agg = e.agg })
 	return agg
+}
+
+// Distribution returns where the experiment's ranges executed, or nil
+// before completion (and for experiments restored from the store, where
+// the placement of the original run is not retained).
+func (e *Experiment) Distribution() *cluster.Distribution {
+	var d *cluster.Distribution
+	e.Locked(func() { d = e.dist })
+	return d
 }
 
 // View renders the experiment for JSON responses.
@@ -124,6 +140,7 @@ func (e *Experiment) View() ExperimentView {
 	}
 	e.Locked(func() {
 		v.Aggregates = e.agg
+		v.Distribution = e.dist
 		v.WallMillis = e.wallMillis
 	})
 	return v
@@ -268,17 +285,14 @@ func (m *Manager) runExperiment(e *Experiment) {
 		return
 	}
 	start := time.Now()
-	res, err := ensemble.Run(e.Context(), e.espec, ensemble.Options{
-		Workers:  m.opts.Workers,
-		OnUpdate: e.update,
-	})
+	agg, dist, err := m.runEnsemble(e.Context(), e.espec, e.update)
 	wallDur := time.Since(start)
 	wall := wallDur.Milliseconds()
 	switch {
 	case err == nil:
-		agg := res.Aggregates
 		e.Finish(StateDone, "", func() {
 			e.agg = &agg
+			e.dist = dist
 			e.wallMillis = wall
 		})
 		m.metrics.recordRunState(store.KindExperiment, StateDone)
@@ -311,7 +325,7 @@ func ensembleInteractions(agg ensemble.Aggregates) uint64 {
 // externally computed aggregates — how a sweep cell publishes its
 // result into the experiment cache, so a later POST /v1/experiments of
 // the same spec is a cache hit.
-func finishedExperiment(id string, spec ExperimentSpec, espec ensemble.Spec, agg ensemble.Aggregates, wallMillis int64) *Experiment {
+func finishedExperiment(id string, spec ExperimentSpec, espec ensemble.Spec, agg ensemble.Aggregates, dist *cluster.Distribution, wallMillis int64) *Experiment {
 	e := &Experiment{
 		Run:   runcore.NewRun[ensemble.Aggregates](id),
 		spec:  spec,
@@ -320,6 +334,7 @@ func finishedExperiment(id string, spec ExperimentSpec, espec ensemble.Spec, agg
 	cp := agg
 	e.Finish(StateDone, "", func() {
 		e.agg = &cp
+		e.dist = dist
 		e.wallMillis = wallMillis
 	})
 	return e

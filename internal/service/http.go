@@ -30,6 +30,10 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/sweeps/{id}             sweep status, cells and scaling summary
 //	DELETE /v1/sweeps/{id}             request cancellation (cascades to cells)
 //	GET    /v1/sweeps/{id}/stream      live per-cell aggregates as server-sent events
+//	POST   /v1/cluster/leases          worker pull: grant a replicate-range lease
+//	POST   /v1/cluster/leases/{id}/heartbeat  renew a lease
+//	POST   /v1/cluster/leases/{id}/complete   post a range's partial aggregate
+//	GET    /v1/cluster                 coordinator status (workers, ranges, leases)
 //	GET    /v1/health                  liveness, uptime, build info, queue and cache counters
 //	GET    /metrics                    Prometheus text-format exposition
 //
@@ -120,6 +124,11 @@ func NewHandler(m *Manager) http.Handler {
 			streamSSE(m, w, r, "cell", replay, live, cancel, func() any { return s.View() })
 		})
 	})
+
+	// The cluster lease protocol registers directly on the same mux, so
+	// the front-door middleware labels worker traffic per route like any
+	// other endpoint.
+	m.Coordinator().Routes(mux)
 
 	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Health())

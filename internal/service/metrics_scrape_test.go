@@ -1,6 +1,7 @@
 package service_test
 
 import (
+	"context"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
@@ -8,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"popproto/internal/cluster"
 	"popproto/internal/obs"
 	"popproto/internal/service"
 	"popproto/internal/store"
@@ -66,6 +68,42 @@ func TestMetricsScrape(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 
+	// A distributed experiment through one in-process cluster worker: the
+	// coordinator series (workers gauge, lease counters, merge histogram)
+	// scrape nonzero. 24 replicates partition into 3 canonical ranges, so
+	// the lease protocol grants and completes exactly 3 remote leases.
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	wctx, wcancel := context.WithCancel(context.Background())
+	t.Cleanup(wcancel)
+	wk := &cluster.Worker{Coordinator: srv.URL, ID: "scrape-worker", Workers: 2, Poll: 5 * time.Millisecond}
+	go wk.Run(wctx)
+	for m.Coordinator().LiveWorkers() < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("cluster worker never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	espec := `{"protocol": "pll", "n": 200, "seed": 7, "replicates": 24}`
+	var esub struct {
+		Experiment service.ExperimentView `json:"experiment"`
+	}
+	do(t, h, "POST", "/v1/experiments", espec, http.StatusAccepted, &esub)
+	for {
+		var view service.ExperimentView
+		do(t, h, "GET", "/v1/experiments/"+esub.Experiment.ID, "", http.StatusOK, &view)
+		if view.State == service.StateDone {
+			if view.Distribution == nil || view.Distribution.Mode != "cluster" {
+				t.Fatalf("experiment distribution = %+v, want cluster", view.Distribution)
+			}
+			break
+		}
+		if view.State == service.StateFailed || time.Now().After(deadline) {
+			t.Fatalf("distributed experiment did not complete: %+v", view)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
 	r := httptest.NewRequest("GET", "/metrics", nil)
 	w := httptest.NewRecorder()
 	h.ServeHTTP(w, r)
@@ -84,9 +122,11 @@ func TestMetricsScrape(t *testing.T) {
 		`popprotod_runcore_submissions_total{kind="job",outcome="hit"} 1`,
 		`popprotod_runcore_run_seconds_count{kind="jobs"} 2`,
 		`popprotod_runcore_queue_depth{kind="jobs"} 0`,
-		`popprotod_store_fsync_seconds_count 2`,
-		`popprotod_store_records 2`,
-		`popprotod_engine_runs_total{engine="count"} 1`,
+		// 3 stored results: the two jobs plus the distributed experiment.
+		`popprotod_store_fsync_seconds_count 3`,
+		`popprotod_store_records 3`,
+		// 2 count-engine runs: the PLL job and the distributed experiment.
+		`popprotod_engine_runs_total{engine="count"} 2`,
 		`popprotod_engine_runs_total{engine="hybrid"} 1`,
 		// At stabilization the Angluin census is one leader plus one
 		// follower state, so the hybrid run publishes live = 2; exactly
@@ -96,6 +136,15 @@ func TestMetricsScrape(t *testing.T) {
 		`popprotod_runs_total{kind="job",state="done"} 2`,
 		`popprotod_http_requests_total{route="POST /v1/jobs",method="POST",code="2xx"} 3`,
 		`popprotod_http_request_seconds_count{route="GET /v1/jobs/{id}"}`,
+		// The cluster layer: one live worker, 3 remote leases granted and
+		// completed with no expiries, and one merge observation per folded
+		// range. Worker traffic is labeled per route like any client's.
+		`popprotod_cluster_workers 1`,
+		`popprotod_cluster_leases_total{state="granted"} 3`,
+		`popprotod_cluster_leases_total{state="completed"} 3`,
+		`popprotod_cluster_leases_total{state="expired"} 0`,
+		`popprotod_cluster_merge_seconds_count 3`,
+		`popprotod_http_requests_total{route="POST /v1/cluster/leases",method="POST",code="2xx"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("scrape missing %q", want)

@@ -34,6 +34,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"popproto/internal/cluster"
 	"popproto/internal/ensemble"
 	"popproto/internal/obs"
 	"popproto/internal/pp"
@@ -168,6 +169,10 @@ type Result struct {
 	// WallMillis is the wall-clock simulation time. It is reported for
 	// operators and excluded from the deterministic surface.
 	WallMillis int64 `json:"wallMillis"`
+	// Distribution reports where the work executed (a single job is
+	// always local). Like WallMillis it is operational metadata, outside
+	// the deterministic surface.
+	Distribution *cluster.Distribution `json:"distribution,omitempty"`
 }
 
 // HybridTelemetry is the per-run rendering of the hybrid controller's
@@ -383,6 +388,10 @@ type Options struct {
 	// MaxSweepCells bounds the number of cells a sweep's axes may expand
 	// into (default 128) — each cell is a full ensemble.
 	MaxSweepCells int
+	// LeaseTTL is the cluster coordinator's lease time-to-live: how long
+	// a worker's replicate-range lease survives without a heartbeat
+	// before the range is reclaimed and reissued (default 15s).
+	LeaseTTL time.Duration
 	// Metrics, when non-nil, is the obs registry the manager registers
 	// its instruments on (popprotod passes one shared with the store and
 	// debug listener). Nil creates a private registry, so multiple
@@ -473,6 +482,8 @@ type Manager struct {
 	exps   *runcore.Index[*Experiment]
 	sweeps *runcore.Index[*Sweep]
 
+	coord *cluster.Coordinator
+
 	reg     *obs.Registry
 	metrics *serviceMetrics
 	logger  *slog.Logger
@@ -495,6 +506,8 @@ func NewManager(opts Options) *Manager {
 	}
 	m.core.Register(reg)
 	m.metrics = newServiceMetrics(reg)
+	m.coord = cluster.NewCoordinator(cluster.Options{LeaseTTL: opts.LeaseTTL})
+	m.coord.Instrument(reg)
 	// One worker pool sized so every kind can reach its concurrency cap
 	// even when the others are saturated: jobs up to Workers at once,
 	// experiments up to ExperimentWorkers, sweeps up to SweepWorkers
@@ -523,6 +536,7 @@ func (m *Manager) Close() {
 		m.jobs.CancelAll()
 		m.exps.CancelAll()
 		m.sweeps.CancelAll()
+		m.coord.Close()
 	}
 	m.sched.Close()
 }
@@ -804,6 +818,7 @@ func (m *Manager) runJob(j *Job) {
 	}
 	res.Census, res.OmittedStates, res.OmittedAgents = topCensus(el.Census(), censusCap)
 	res.WallMillis = time.Since(start).Milliseconds()
+	res.Distribution = cluster.LocalDistribution()
 	j.Finish(StateDone, "", func() { j.result = res })
 	m.metrics.recordRunState(store.KindJob, StateDone)
 	m.metrics.recordEngineRun(j.spec.Engine, el.Steps(), time.Since(start))

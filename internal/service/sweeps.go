@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"popproto/internal/cluster"
 	"popproto/internal/ensemble"
 	"popproto/internal/pp"
 	"popproto/internal/registry"
@@ -94,6 +95,11 @@ type SweepCell struct {
 	// (restored from the durable store).
 	Source     string               `json:"source,omitempty"`
 	Aggregates *ensemble.Aggregates `json:"aggregates,omitempty"`
+	// Distribution reports where a simulated cell's replicate ranges
+	// executed (cells served from cache/store carry the original run's
+	// placement when it is still known). Operational metadata only — the
+	// aggregates are bit-identical however the ranges were placed.
+	Distribution *cluster.Distribution `json:"distribution,omitempty"`
 }
 
 // sweepData is the persisted payload of a finished sweep.
@@ -375,7 +381,7 @@ func (m *Manager) runSweep(s *Sweep) {
 			view := s.views[cell.Index]
 			view.State = StateRunning
 			s.updateCell(view)
-			agg, source, err := m.runSweepCell(ctx, plan, func(partial ensemble.Aggregates) {
+			agg, source, dist, err := m.runSweepCell(ctx, plan, func(partial ensemble.Aggregates) {
 				v := view
 				v.Aggregates = &partial
 				s.updateCell(v)
@@ -385,6 +391,7 @@ func (m *Manager) runSweep(s *Sweep) {
 				view.State = StateDone
 				view.Source = source
 				view.Aggregates = &agg
+				view.Distribution = dist
 			case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
 				view.State = StateCanceled
 			default:
@@ -466,10 +473,10 @@ func (s *Sweep) cancelCells(from int) {
 // ensemble under the sweep's context otherwise — in which case the
 // result is indexed as a finished experiment and persisted, exactly as
 // if it had arrived through POST /v1/experiments.
-func (m *Manager) runSweepCell(ctx context.Context, plan sweepCellPlan, onUpdate func(ensemble.Aggregates)) (ensemble.Aggregates, string, error) {
+func (m *Manager) runSweepCell(ctx context.Context, plan sweepCellPlan, onUpdate func(ensemble.Aggregates)) (ensemble.Aggregates, string, *cluster.Distribution, error) {
 	if e, ok := m.exps.Lookup(plan.key); ok && e.State() == StateDone {
 		if agg := e.Aggregates(); agg != nil {
-			return *agg, "cache", nil
+			return *agg, "cache", e.Distribution(), nil
 		}
 	}
 	if e, ok := m.exps.Get(plan.id, nil); ok && !e.State().Terminal() {
@@ -477,36 +484,32 @@ func (m *Manager) runSweepCell(ctx context.Context, plan sweepCellPlan, onUpdate
 		case <-e.Done():
 			if e.State() == StateDone {
 				if agg := e.Aggregates(); agg != nil {
-					return *agg, "joined", nil
+					return *agg, "joined", e.Distribution(), nil
 				}
 			}
 			// The in-flight experiment was canceled or failed — neither is
 			// the spec's deterministic outcome; fall through and simulate.
 		case <-ctx.Done():
-			return ensemble.Aggregates{}, "", ctx.Err()
+			return ensemble.Aggregates{}, "", nil, ctx.Err()
 		}
 	}
 	if m.core.Store != nil {
 		if rec, ok := m.core.Store.Get(store.KindExperiment, plan.key); ok {
 			if e, ok := m.decodeExperiment(rec); ok {
 				if agg := e.Aggregates(); agg != nil {
-					return *agg, "store", nil
+					return *agg, "store", nil, nil
 				}
 			}
 		}
 	}
 	start := time.Now()
-	res, err := ensemble.Run(ctx, plan.espec, ensemble.Options{
-		Workers:  m.opts.Workers,
-		OnUpdate: onUpdate,
-	})
+	agg, dist, err := m.runEnsemble(ctx, plan.espec, onUpdate)
 	if err != nil {
-		return ensemble.Aggregates{}, "", err
+		return ensemble.Aggregates{}, "", nil, err
 	}
-	agg := res.Aggregates
 	m.metrics.recordEngineRun(plan.expSpec.Engine, ensembleInteractions(agg), time.Since(start))
-	e := finishedExperiment(plan.id, plan.expSpec, plan.espec, agg, time.Since(start).Milliseconds())
+	e := finishedExperiment(plan.id, plan.expSpec, plan.espec, agg, dist, time.Since(start).Milliseconds())
 	m.exps.Finished(plan.key, e)
 	m.core.Persist(store.KindExperiment, plan.key, plan.id, plan.expSpec, agg)
-	return agg, "run", nil
+	return agg, "run", dist, nil
 }

@@ -32,7 +32,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT=${1:-BENCH_$(date -u +%Y-%m-%d).json}
-BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|^BenchmarkPLLWindow$|^BenchmarkPLLSeeds$|Engines_|LargeN_|Table1_PLL_XL|^BenchmarkEnsemble_|^BenchmarkSweep_'}
+BENCH_RE=${BENCH_RE:-'^BenchmarkPLL$|^BenchmarkPLLWindow$|^BenchmarkPLLSeeds$|Engines_|LargeN_|Table1_PLL_XL|^BenchmarkEnsemble_|^BenchmarkSweep_|^BenchmarkCluster_'}
 BENCHTIME=${BENCHTIME:-1x}
 
 RAW=$(mktemp)

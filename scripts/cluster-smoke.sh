@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# cluster-smoke.sh — end-to-end smoke test of popprotod's distributed
+# ensembles, as run by CI: run a 200-replicate PLL experiment on a plain
+# single-node server, then run the identical spec on a coordinator with
+# two worker processes attached, and assert (a) the distributed run
+# reports cluster execution, (b) its aggregates are byte-identical to
+# the single-node run's under the same run id, (c) resubmitting the spec
+# to the coordinator is a cache hit — the canonical-key dedup holds
+# cluster-wide — and (d) after killing and restarting the coordinator on
+# the same store the result is still served without re-simulation.
+#
+# Usage: scripts/cluster-smoke.sh [port]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PORT=${1:-8299}
+BASE="http://127.0.0.1:${PORT}"
+EXP_SPEC='{"protocol": "pll", "n": 20000, "engine": "count", "seed": 42, "replicates": 200}'
+
+WORKDIR=$(mktemp -d)
+BIN="$WORKDIR/popprotod"
+go build -o "$BIN" ./cmd/popprotod
+
+SERVER_PID=
+WORKER_PIDS=()
+start_server() { # store-file
+  "$BIN" -addr "127.0.0.1:${PORT}" -store "$1" &
+  SERVER_PID=$!
+  for _ in $(seq 1 50); do
+    curl -fs "$BASE/v1/health" >/dev/null 2>&1 && return 0
+    sleep 0.2
+  done
+  echo "server never came up" >&2
+  exit 1
+}
+stop_server() {
+  kill "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+}
+stop_workers() {
+  for pid in "${WORKER_PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  for pid in "${WORKER_PIDS[@]:-}"; do
+    wait "$pid" 2>/dev/null || true
+  done
+  WORKER_PIDS=()
+}
+trap 'stop_workers; stop_server' EXIT
+
+wait_state() { # url
+  local state=
+  for _ in $(seq 1 300); do
+    state=$(curl -fs "$1" | jq -r '.state')
+    [ "$state" = done ] || [ "$state" = failed ] && break
+    sleep 0.2
+  done
+  echo "$state"
+}
+
+# --- baseline: the same ensemble on a plain single-node server ---
+start_server "$WORKDIR/single.jsonl"
+SID=$(curl -fs -X POST -d "$EXP_SPEC" "$BASE/v1/experiments" | jq -r '.experiment.id')
+echo "single-node experiment $SID submitted" >&2
+STATE=$(wait_state "$BASE/v1/experiments/$SID")
+[ "$STATE" = done ] || { echo "single-node experiment ended in state $STATE" >&2; exit 1; }
+SINGLE=$(curl -fs "$BASE/v1/experiments/$SID")
+SINGLE_AGG=$(echo "$SINGLE" | jq -S '.aggregates')
+SINGLE_MODE=$(echo "$SINGLE" | jq -r '.distribution.mode')
+[ "$SINGLE_MODE" = local ] || { echo "single-node run reports mode $SINGLE_MODE" >&2; exit 1; }
+echo "single-node run done (mode $SINGLE_MODE)" >&2
+stop_server
+
+# --- distributed: coordinator + 2 pull-based workers ---
+start_server "$WORKDIR/cluster.jsonl"
+"$BIN" -worker -coordinator "$BASE" -worker-id smoke-w1 &
+WORKER_PIDS+=($!)
+"$BIN" -worker -coordinator "$BASE" -worker-id smoke-w2 &
+WORKER_PIDS+=($!)
+for _ in $(seq 1 50); do
+  WORKERS=$(curl -fs "$BASE/v1/cluster" | jq -r '.workers')
+  [ "$WORKERS" -ge 2 ] 2>/dev/null && break
+  sleep 0.2
+done
+[ "$WORKERS" -ge 2 ] || { echo "workers never registered (saw $WORKERS)" >&2; exit 1; }
+echo "$WORKERS workers registered with the coordinator" >&2
+
+DID=$(curl -fs -X POST -d "$EXP_SPEC" "$BASE/v1/experiments" | jq -r '.experiment.id')
+[ "$DID" = "$SID" ] || { echo "distributed run id $DID != single-node $SID — canonical key broken" >&2; exit 1; }
+STATE=$(wait_state "$BASE/v1/experiments/$DID")
+[ "$STATE" = done ] || { echo "distributed experiment ended in state $STATE" >&2; exit 1; }
+
+DIST=$(curl -fs "$BASE/v1/experiments/$DID")
+MODE=$(echo "$DIST" | jq -r '.distribution.mode')
+REMOTE=$(echo "$DIST" | jq -r '.distribution.remoteRanges')
+RANGES=$(echo "$DIST" | jq -r '.distribution.ranges')
+DWORKERS=$(echo "$DIST" | jq -r '.distribution.workers')
+[ "$MODE" = cluster ] || { echo "distributed run reports mode $MODE, want cluster" >&2; exit 1; }
+[ "$REMOTE" -ge 1 ] || { echo "distributed run completed $REMOTE remote ranges" >&2; exit 1; }
+echo "distributed run done: $REMOTE/$RANGES ranges on $DWORKERS workers" >&2
+
+DIST_AGG=$(echo "$DIST" | jq -S '.aggregates')
+[ "$DIST_AGG" = "$SINGLE_AGG" ] || {
+  echo "distributed aggregates diverge from single-node run:" >&2
+  diff <(echo "$SINGLE_AGG") <(echo "$DIST_AGG") >&2 || true
+  exit 1
+}
+echo "distributed aggregates byte-identical to the single-node run" >&2
+
+CACHED=$(curl -fs -X POST -d "$EXP_SPEC" "$BASE/v1/experiments" | jq -r '.cached')
+[ "$CACHED" = true ] || { echo "resubmission after distributed run not served from cache" >&2; exit 1; }
+echo "identical resubmission served from cache (cluster-wide dedup)" >&2
+
+# The coordinator's exposition reflects the lease traffic: every range
+# completed through a remote lease, and the worker gauge is live.
+METRICS=$(curl -fs "$BASE/metrics")
+COMPLETED=$(echo "$METRICS" | awk '/^popprotod_cluster_leases_total\{state="completed"\}/ { print $2 }')
+[ "${COMPLETED:-0}" -ge "$REMOTE" ] ||
+  { echo "/metrics: cluster leases completed $COMPLETED, want >= $REMOTE" >&2; exit 1; }
+GAUGE=$(echo "$METRICS" | awk '/^popprotod_cluster_workers/ { print $2 }')
+[ "${GAUGE:-0}" -ge 2 ] || { echo "/metrics: cluster workers gauge $GAUGE, want >= 2" >&2; exit 1; }
+echo "/metrics: $COMPLETED leases completed, $GAUGE workers live" >&2
+
+# --- durability: kill the coordinator mid-flight workers, restart on the
+# same store; the distributed result must be served without re-running ---
+stop_server
+echo "coordinator stopped; restarting on the same store..." >&2
+start_server "$WORKDIR/cluster.jsonl"
+
+RESTORED=$(curl -fs "$BASE/v1/experiments/$DID")
+[ "$(echo "$RESTORED" | jq -r '.state')" = done ] ||
+  { echo "restored experiment not done after coordinator restart" >&2; exit 1; }
+RESTORED_AGG=$(echo "$RESTORED" | jq -S '.aggregates')
+[ "$RESTORED_AGG" = "$SINGLE_AGG" ] ||
+  { echo "restored aggregates diverge from the original run" >&2; exit 1; }
+CACHED=$(curl -fs -X POST -d "$EXP_SPEC" "$BASE/v1/experiments" | jq -r '.cached')
+[ "$CACHED" = true ] || { echo "resubmission not served from store after restart" >&2; exit 1; }
+echo "distributed result survived the coordinator restart" >&2
+
+echo "cluster smoke test passed" >&2
