@@ -5,7 +5,8 @@
 // Usage:
 //
 //	popprotod [-addr :8080] [-workers N] [-cache N] [-queue N] [-max-n N] [-max-n-batch N]
-//	          [-store FILE] [-experiments N] [-sweeps N] [-max-replicates N] [-max-cells N]
+//	          [-store PATH] [-store-sync-interval D] [-store-segment-bytes N]
+//	          [-experiments N] [-sweeps N] [-max-replicates N] [-max-cells N]
 //	          [-lease-ttl D] [-debug-addr ADDR] [-log-json]
 //	popprotod -worker -coordinator URL [-worker-id ID] [-workers N]
 //
@@ -21,6 +22,7 @@
 //	DELETE /v1/experiments/{id}        cancel an experiment
 //	GET    /v1/experiments/{id}/stream live aggregates (SSE)
 //	POST   /v1/sweeps                  submit a parameter sweep (n grid × protocols)
+//	GET    /v1/results                 query the durable result corpus (filters, pagination, scaling fits)
 //	GET    /v1/sweeps/{id}             sweep status, cells, scaling summary
 //	DELETE /v1/sweeps/{id}             cancel a sweep (cascades to its cells)
 //	GET    /v1/sweeps/{id}/stream      live per-cell aggregates (SSE)
@@ -37,11 +39,14 @@
 //
 // Identical specs are served from an LRU result cache: simulations are
 // deterministic functions of their canonical spec, so the second
-// request for an election is free. With -store FILE, finished jobs,
-// experiments and sweeps are additionally appended to a durable JSONL
-// store and served back across restarts — the LRU becomes a cache in
-// front of the store rather than the only copy. The server drains
-// gracefully on SIGINT/SIGTERM.
+// request for an election is free. With -store PATH, finished jobs,
+// experiments and sweeps are additionally committed to a durable
+// segmented store (group-committed binary segments with per-record
+// checksums; see API.md "Durability") and served back across restarts —
+// the LRU becomes a cache in front of the store rather than the only
+// copy, and GET /v1/results exposes the accumulated corpus. A v1 JSONL
+// store at the same path is migrated in place on first open. The server
+// drains gracefully on SIGINT/SIGTERM.
 //
 // With -worker, popprotod runs in worker mode instead of serving: it
 // pulls replicate-range leases from the coordinator at -coordinator,
@@ -95,7 +100,9 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	maxN := fs.Int("max-n", 0, "largest accepted population size on the count engine (0 = 2e8)")
 	maxNAgent := fs.Int("max-n-agent", 0, "largest accepted population size on the agent engine (0 = 1e7)")
 	maxNBatch := fs.Int("max-n-batch", 0, "largest accepted population size on the batch and hybrid engines (0 = max-n if set, else 2e9)")
-	storePath := fs.String("store", "", "durable JSONL result store; finished jobs and experiments survive restarts (empty = in-memory only)")
+	storePath := fs.String("store", "", "durable segmented result store (a directory; a v1 JSONL file is migrated in place); finished jobs and experiments survive restarts (empty = in-memory only)")
+	storeSync := fs.Duration("store-sync-interval", 0, "group-commit flush deadline: a Put is acknowledged within about this long even under light load (0 = 5ms)")
+	storeSegBytes := fs.Int("store-segment-bytes", 0, "store segment size before sealing with a footer index (0 = 16MiB)")
 	expWorkers := fs.Int("experiments", 0, "concurrently running experiments (0 = 1); each spawns up to -workers replicate goroutines of its own, so total simulation concurrency is about workers*(1+experiments+sweeps)")
 	maxReplicates := fs.Int("max-replicates", 0, "largest accepted experiment (and sweep-cell) ensemble size (0 = 1e5)")
 	sweepWorkers := fs.Int("sweeps", 0, "concurrently running sweeps (0 = 1); a sweep runs its cells sequentially, each cell fanning replicates over up to -workers goroutines")
@@ -133,18 +140,25 @@ func run(ctx context.Context, args []string, ready chan<- string) error {
 	var st *store.Store
 	if *storePath != "" {
 		var err error
-		st, err = store.Open(*storePath)
+		st, err = store.OpenOptions(*storePath, store.Options{
+			SyncInterval: *storeSync,
+			SegmentBytes: int64(*storeSegBytes),
+		})
 		if err != nil {
 			return err
 		}
 		defer st.Close()
 		st.Instrument(reg)
-		if dropped := st.Dropped(); dropped > 0 {
-			log.Printf("store %s: replayed %d results (%d torn/corrupt lines skipped)",
-				*storePath, st.Len(), dropped)
-		} else {
-			log.Printf("store %s: replayed %d results", *storePath, st.Len())
+		segs, sealed := st.Segments()
+		boot := fmt.Sprintf("store %s: %d results across %d segments (%d sealed)",
+			*storePath, st.Len(), segs, sealed)
+		if st.Migrated() {
+			boot += ", migrated from v1 JSONL"
 		}
+		if dropped := st.Dropped(); dropped > 0 {
+			boot += fmt.Sprintf(", %d torn/corrupt records skipped", dropped)
+		}
+		log.Print(boot)
 	}
 
 	var logger *slog.Logger

@@ -1,0 +1,241 @@
+// Command results queries a running popprotod's durable result corpus
+// through GET /v1/results: list stored jobs, experiments, and sweeps
+// with filters, or fit the cross-protocol scaling curves over every
+// stored experiment with -scaling.
+//
+// Usage:
+//
+//	results [-addr URL] [-kind job|experiment|sweep] [-protocol P]
+//	        [-engine E] [-n-min N] [-n-max N] [-limit K] [-scaling] [-json]
+//
+// Without -scaling the matching records print as a table (or raw JSON
+// with -json), following pagination cursors until -limit records have
+// been printed (0 = everything). With -scaling the server fits
+// mean parallel time = a·lg n + b per (protocol, m) over the matching
+// experiments and the fits print as a table.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"strconv"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "results:", err)
+		os.Exit(1)
+	}
+}
+
+// resultView mirrors service.ResultView (decoupled so the CLI only
+// depends on the wire format, like any external client would).
+type resultView struct {
+	Kind    string          `json:"kind"`
+	Key     string          `json:"key"`
+	ID      string          `json:"id"`
+	SavedAt time.Time       `json:"savedAt"`
+	Spec    json.RawMessage `json:"spec"`
+	Data    json.RawMessage `json:"data"`
+}
+
+type resultsPage struct {
+	Results    []resultView `json:"results"`
+	NextCursor string       `json:"nextCursor"`
+}
+
+type scalingFit struct {
+	Protocol       string   `json:"protocol"`
+	M              int      `json:"m"`
+	Engines        []string `json:"engines"`
+	Points         int      `json:"points"`
+	A              float64  `json:"a"`
+	B              float64  `json:"b"`
+	R2             float64  `json:"r2"`
+	LogLogExponent float64  `json:"logLogExponent"`
+}
+
+type scalingView struct {
+	Aggregate   string       `json:"aggregate"`
+	Experiments int          `json:"experiments"`
+	Fits        []scalingFit `json:"fits"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("results", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the popprotod server")
+	kind := fs.String("kind", "", `restrict to one record kind ("job", "experiment", "sweep")`)
+	protocol := fs.String("protocol", "", "restrict to one protocol (sweeps match through their protocol axis)")
+	engine := fs.String("engine", "", "restrict to one engine")
+	nMin := fs.Int("n-min", 0, "minimum population size (0 = unbounded)")
+	nMax := fs.Int("n-max", 0, "maximum population size (0 = unbounded)")
+	limit := fs.Int("limit", 0, "stop after this many records (0 = everything)")
+	scaling := fs.Bool("scaling", false, "fit scaling curves over the matching experiments instead of listing records")
+	asJSON := fs.Bool("json", false, "print raw JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	if *nMin < 0 || *nMax < 0 || *limit < 0 {
+		return fmt.Errorf("-n-min, -n-max, and -limit must be non-negative")
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	q := url.Values{}
+	for name, val := range map[string]string{
+		"kind": *kind, "protocol": *protocol, "engine": *engine,
+	} {
+		if val != "" {
+			q.Set(name, val)
+		}
+	}
+	if *nMin > 0 {
+		q.Set("n_min", strconv.Itoa(*nMin))
+	}
+	if *nMax > 0 {
+		q.Set("n_max", strconv.Itoa(*nMax))
+	}
+
+	if *scaling {
+		return fetchScaling(base, q, *asJSON, stdout)
+	}
+	return fetchPages(base, q, *limit, *asJSON, stdout)
+}
+
+// httpError is a non-200 response, keeping the status so fetchPages can
+// recognize an expired cursor (410) and restart the walk.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// get issues one GET against the server, decoding an error payload into
+// a readable message on non-200 responses.
+func get(rawURL string, out any) error {
+	resp, err := http.Get(rawURL)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var apiErr apiError
+		if json.Unmarshal(body, &apiErr) == nil && apiErr.Error != "" {
+			return &httpError{resp.StatusCode, fmt.Sprintf("server: %s (HTTP %d)", apiErr.Error, resp.StatusCode)}
+		}
+		return &httpError{resp.StatusCode,
+			fmt.Sprintf("server returned HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))}
+	}
+	return json.Unmarshal(body, out)
+}
+
+// fetchPages follows pagination cursors until limit records have been
+// collected (0 = until the final page) and renders them. A 410 Gone
+// mid-walk means the store compacted under the cursor; the walk
+// restarts from the first page (bounded, in case the server churns).
+func fetchPages(base string, q url.Values, limit int, asJSON bool, stdout io.Writer) error {
+	const pageSize = 200
+	const maxRestarts = 3
+	var all []resultView
+	cursor := ""
+	restarts := 0
+	for {
+		want := pageSize
+		if limit > 0 && limit-len(all) < want {
+			want = limit - len(all)
+		}
+		qq := url.Values{}
+		for k, v := range q {
+			qq[k] = v
+		}
+		qq.Set("limit", strconv.Itoa(want))
+		if cursor != "" {
+			qq.Set("cursor", cursor)
+		}
+		var page resultsPage
+		if err := get(base+"/v1/results?"+qq.Encode(), &page); err != nil {
+			var he *httpError
+			if errors.As(err, &he) && he.status == http.StatusGone && restarts < maxRestarts {
+				restarts++
+				all, cursor = nil, ""
+				continue
+			}
+			return err
+		}
+		all = append(all, page.Results...)
+		if page.NextCursor == "" || (limit > 0 && len(all) >= limit) {
+			break
+		}
+		cursor = page.NextCursor
+	}
+	if limit > 0 && len(all) > limit {
+		all = all[:limit]
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(all)
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "KIND\tID\tSAVED\tKEY")
+	for _, r := range all {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\n",
+			r.Kind, r.ID, r.SavedAt.Format(time.RFC3339), r.Key)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%d record(s)\n", len(all))
+	return nil
+}
+
+// fetchScaling renders the server-side scaling fit.
+func fetchScaling(base string, q url.Values, asJSON bool, stdout io.Writer) error {
+	qq := url.Values{}
+	for k, v := range q {
+		qq[k] = v
+	}
+	qq.Set("aggregate", "scaling")
+	var sv scalingView
+	if err := get(base+"/v1/results?"+qq.Encode(), &sv); err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sv)
+	}
+	fmt.Fprintf(stdout, "scaling fit over %d stored experiment(s)\n", sv.Experiments)
+	if len(sv.Fits) == 0 {
+		fmt.Fprintln(stdout, "no fittable groups (need >= 2 distinct n per protocol/m)")
+		return nil
+	}
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "PROTOCOL\tM\tENGINES\tPOINTS\tTIME ≈ a·lg n + b\tR²\tLOG-LOG EXP")
+	for _, f := range sv.Fits {
+		fmt.Fprintf(tw, "%s\t%d\t%s\t%d\t%.3f·lg n + %.3f\t%.4f\t%.3f\n",
+			f.Protocol, f.M, strings.Join(f.Engines, ","), f.Points, f.A, f.B, f.R2, f.LogLogExponent)
+	}
+	return tw.Flush()
+}

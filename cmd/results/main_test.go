@@ -1,0 +1,119 @@
+package main
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"popproto/internal/ensemble"
+	"popproto/internal/service"
+	"popproto/internal/store"
+)
+
+// startServer serves a handler over a store seeded with a job and a
+// scaling ladder of experiment records, without running anything.
+func startServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	st, err := store.Open(filepath.Join(t.TempDir(), "results.store"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+
+	put := func(kind store.Kind, key, id string, spec, data any) {
+		t.Helper()
+		if err := st.Put(kind, key, id, spec, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(store.KindJob, "pll n=100 engine=count", "j100",
+		map[string]any{"protocol": "pll", "n": 100, "engine": "count"},
+		map[string]any{"steps": 420})
+	for i, n := range []int{1000, 2000, 4000} {
+		put(store.KindExperiment, fmt.Sprintf("pll n=%d engine=count x8", n), fmt.Sprintf("e%d", i),
+			service.ExperimentSpec{Protocol: "pll", N: n, Engine: "count", Replicates: 8},
+			ensemble.Aggregates{Replicates: 8, MeanParallelTime: 10 + 3*float64(i)})
+	}
+
+	m := service.NewManager(service.Options{Workers: 1, Store: st})
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(service.NewHandler(m))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestListTable(t *testing.T) {
+	srv := startServer(t)
+	var out strings.Builder
+	if err := run([]string{"-addr", srv.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"KIND", "j100", "e0", "e1", "e2", "4 record(s)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFiltersAndLimit(t *testing.T) {
+	srv := startServer(t)
+	var out strings.Builder
+	if err := run([]string{"-addr", srv.URL, "-kind", "experiment", "-n-min", "2000"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if strings.Contains(got, "j100") || !strings.Contains(got, "2 record(s)") {
+		t.Errorf("filtered output wrong:\n%s", got)
+	}
+
+	out.Reset()
+	// -limit exercises the pagination loop (page size forced below it).
+	if err := run([]string{"-addr", srv.URL, "-limit", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 record(s)") {
+		t.Errorf("limited output wrong:\n%s", out.String())
+	}
+}
+
+func TestScalingTable(t *testing.T) {
+	srv := startServer(t)
+	var out strings.Builder
+	if err := run([]string{"-addr", srv.URL, "-scaling"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"3 stored experiment(s)", "PROTOCOL", "pll", "count"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("scaling output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	srv := startServer(t)
+	var out strings.Builder
+	if err := run([]string{"-addr", srv.URL, "-kind", "job", "-json"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `"id": "j100"`) {
+		t.Errorf("json output wrong:\n%s", out.String())
+	}
+}
+
+func TestServerErrorsSurface(t *testing.T) {
+	srv := startServer(t)
+	err := run([]string{"-addr", srv.URL, "-kind", "banana"}, &strings.Builder{})
+	if err == nil || !strings.Contains(err.Error(), "banana") {
+		t.Errorf("bad-kind error = %v, want the server's message", err)
+	}
+	if err := run([]string{"-addr", srv.URL, "extra"}, &strings.Builder{}); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+	if err := run([]string{"-addr", srv.URL, "-limit", "-3"}, &strings.Builder{}); err == nil {
+		t.Error("negative limit accepted")
+	}
+}

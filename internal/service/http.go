@@ -30,6 +30,8 @@ const maxBodyBytes = 1 << 20
 //	GET    /v1/sweeps/{id}             sweep status, cells and scaling summary
 //	DELETE /v1/sweeps/{id}             request cancellation (cascades to cells)
 //	GET    /v1/sweeps/{id}/stream      live per-cell aggregates as server-sent events
+//	GET    /v1/results                 query the durable result corpus (filters, pagination,
+//	                                   aggregate=scaling for stored-experiment fits)
 //	POST   /v1/cluster/leases          worker pull: grant a replicate-range lease
 //	POST   /v1/cluster/leases/{id}/heartbeat  renew a lease
 //	POST   /v1/cluster/leases/{id}/complete   post a range's partial aggregate
@@ -123,6 +125,10 @@ func NewHandler(m *Manager) http.Handler {
 			replay, live, cancel := s.Subscribe()
 			streamSSE(m, w, r, "cell", replay, live, cancel, func() any { return s.View() })
 		})
+	})
+
+	mux.HandleFunc("GET /v1/results", func(w http.ResponseWriter, r *http.Request) {
+		handleResults(m, w, r)
 	})
 
 	// The cluster lease protocol registers directly on the same mux, so

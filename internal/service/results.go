@@ -1,0 +1,304 @@
+package service
+
+// The results query layer: GET /v1/results exposes the durable store as
+// a filterable, paginated corpus, plus server-side aggregation — the
+// scaling fit over every stored experiment, which is what turns years
+// of accumulated runs into the cross-protocol time-versus-n picture the
+// sweep layer computes for a single grid.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"popproto/internal/ensemble"
+	"popproto/internal/pp"
+	"popproto/internal/store"
+	"popproto/internal/sweep"
+)
+
+// ErrNoStore reports a results query against a server running without
+// a durable store (-store was not set).
+var ErrNoStore = errors.New("results need a durable store (-store)")
+
+// resultsMaxLimit bounds one page; pagination cursors cover the rest.
+const (
+	resultsDefaultLimit = 50
+	resultsMaxLimit     = 500
+)
+
+// ResultsQuery filters the stored corpus. Zero fields match everything.
+type ResultsQuery struct {
+	// Kind restricts to one record kind ("job", "experiment", "sweep";
+	// "" = all kinds).
+	Kind string
+	// Protocol matches a job's or experiment's protocol exactly, and a
+	// sweep whose protocol axis contains it.
+	Protocol string
+	// Engine matches the spec's engine field exactly.
+	Engine string
+	// NMin/NMax bound the population size (0 = unbounded); a sweep
+	// matches when any point of its n axis is in range.
+	NMin, NMax int
+	// Limit caps the page (0 = 50, max 500).
+	Limit int
+	// Cursor resumes a previous page ("" = first page).
+	Cursor string
+}
+
+// ResultView is one stored record as served by GET /v1/results: the
+// envelope plus the raw canonical spec and result payload.
+type ResultView struct {
+	Kind    string          `json:"kind"`
+	Key     string          `json:"key"`
+	ID      string          `json:"id"`
+	SavedAt time.Time       `json:"savedAt"`
+	Spec    json.RawMessage `json:"spec"`
+	Data    json.RawMessage `json:"data"`
+}
+
+// ResultsPage is one page of matches plus the cursor for the next.
+type ResultsPage struct {
+	Results []ResultView `json:"results"`
+	// NextCursor resumes after the last result; absent on the final
+	// page. Cursors expire when the store compacts itself — a 410
+	// response means "restart from the first page".
+	NextCursor string `json:"nextCursor,omitempty"`
+}
+
+// ScalingView is the aggregate=scaling response: per-(protocol, m)
+// a·lg n + b fits over every stored experiment matching the query,
+// computed by the same fitter the sweep layer uses.
+type ScalingView struct {
+	Aggregate string `json:"aggregate"`
+	// Experiments is how many stored experiment records the fit saw
+	// (sweep cells persist as experiments, so they are included).
+	Experiments int                `json:"experiments"`
+	Fits        []sweep.ScalingFit `json:"fits,omitempty"`
+}
+
+// specProbe is the union of the spec fields the filters inspect, across
+// all three kinds (jobs/experiments carry protocol/n, sweeps carry the
+// axes). Unknown fields are ignored, so old records keep matching.
+type specProbe struct {
+	Protocol  string   `json:"protocol"`
+	Protocols []string `json:"protocols"`
+	N         int      `json:"n"`
+	Ns        []int    `json:"ns"`
+	Engine    string   `json:"engine"`
+}
+
+func (q ResultsQuery) matches(rec store.Record) bool {
+	if q.Protocol == "" && q.Engine == "" && q.NMin == 0 && q.NMax == 0 {
+		return true
+	}
+	var p specProbe
+	if json.Unmarshal(rec.Spec, &p) != nil {
+		return false
+	}
+	if q.Protocol != "" {
+		if p.Protocol != q.Protocol && !contains(p.Protocols, q.Protocol) {
+			return false
+		}
+	}
+	if q.Engine != "" && p.Engine != q.Engine {
+		return false
+	}
+	if q.NMin != 0 || q.NMax != 0 {
+		inRange := func(n int) bool {
+			return n > 0 && (q.NMin == 0 || n >= q.NMin) && (q.NMax == 0 || n <= q.NMax)
+		}
+		ok := inRange(p.N)
+		for _, n := range p.Ns {
+			ok = ok || inRange(n)
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (q ResultsQuery) storeKind() (store.Kind, error) {
+	switch q.Kind {
+	case "":
+		return "", nil
+	case string(store.KindJob), string(store.KindExperiment), string(store.KindSweep):
+		return store.Kind(q.Kind), nil
+	default:
+		return "", fmt.Errorf("unknown kind %q (valid: job, experiment, sweep)", q.Kind)
+	}
+}
+
+// Results returns one page of stored records matching q, in stable
+// log order.
+func (m *Manager) Results(q ResultsQuery) (ResultsPage, error) {
+	st := m.core.Store
+	if st == nil {
+		return ResultsPage{}, ErrNoStore
+	}
+	kind, err := q.storeKind()
+	if err != nil {
+		return ResultsPage{}, err
+	}
+	limit := q.Limit
+	if limit <= 0 {
+		limit = resultsDefaultLimit
+	}
+	if limit > resultsMaxLimit {
+		limit = resultsMaxLimit
+	}
+	sc, err := st.Scan(kind, q.Cursor)
+	if err != nil {
+		return ResultsPage{}, err
+	}
+	page := ResultsPage{Results: []ResultView{}}
+	for len(page.Results) < limit && sc.Next() {
+		rec := sc.Record()
+		if !q.matches(rec) {
+			continue
+		}
+		page.Results = append(page.Results, ResultView{
+			Kind: string(rec.Kind), Key: rec.Key, ID: rec.ID,
+			SavedAt: rec.SavedAt, Spec: rec.Spec, Data: rec.Data,
+		})
+	}
+	if sc.Err() != nil {
+		return ResultsPage{}, sc.Err()
+	}
+	if len(page.Results) == limit {
+		// The page filled: there may be more. (A cursor pointing at the
+		// exact end costs one empty follow-up page; correct and simple.)
+		page.NextCursor = sc.Cursor()
+	}
+	return page, nil
+}
+
+// ResultsScaling fits the scaling curves over every stored experiment
+// matching q (sweep cells included — they persist as experiment
+// records), reusing the sweep fitter: per (protocol, m), mean parallel
+// time = a·lg n + b plus the log-log exponent.
+func (m *Manager) ResultsScaling(q ResultsQuery) (ScalingView, error) {
+	st := m.core.Store
+	if st == nil {
+		return ScalingView{}, ErrNoStore
+	}
+	if q.Kind != "" && q.Kind != string(store.KindExperiment) {
+		return ScalingView{}, fmt.Errorf("aggregate=scaling works over experiments (got kind=%q)", q.Kind)
+	}
+	sc, err := st.Scan(store.KindExperiment, "")
+	if err != nil {
+		return ScalingView{}, err
+	}
+	var outcomes []sweep.Outcome
+	for sc.Next() {
+		rec := sc.Record()
+		if !q.matches(rec) {
+			continue
+		}
+		var spec ExperimentSpec
+		var agg ensemble.Aggregates
+		if json.Unmarshal(rec.Spec, &spec) != nil || json.Unmarshal(rec.Data, &agg) != nil {
+			continue // foreign or future record shape: not fittable
+		}
+		if spec.Protocol == "" || spec.N <= 0 {
+			continue
+		}
+		eng, err := pp.ParseEngine(spec.Engine)
+		if err != nil {
+			eng = pp.EngineAuto
+		}
+		outcomes = append(outcomes, sweep.Outcome{
+			Cell:       sweep.Cell{Protocol: spec.Protocol, N: spec.N, M: spec.M, Engine: eng},
+			Aggregates: agg,
+		})
+	}
+	if sc.Err() != nil {
+		return ScalingView{}, sc.Err()
+	}
+	// The sweep fitter consumes cells in grid order (per group, n
+	// ascending); stored experiments arrive in append order, so sort.
+	sort.SliceStable(outcomes, func(i, j int) bool {
+		a, b := outcomes[i], outcomes[j]
+		if a.Protocol != b.Protocol {
+			return a.Protocol < b.Protocol
+		}
+		if a.M != b.M {
+			return a.M < b.M
+		}
+		return a.N < b.N
+	})
+	return ScalingView{
+		Aggregate:   "scaling",
+		Experiments: len(outcomes),
+		Fits:        sweep.Summarize(outcomes).Fits,
+	}, nil
+}
+
+// handleResults is the GET /v1/results handler: parse the filter
+// params, dispatch to the page or aggregate path, and map the error
+// taxonomy (bad params 400, no store 404, expired cursor 410).
+func handleResults(m *Manager, w http.ResponseWriter, r *http.Request) {
+	qs := r.URL.Query()
+	q := ResultsQuery{
+		Kind:     qs.Get("kind"),
+		Protocol: qs.Get("protocol"),
+		Engine:   qs.Get("engine"),
+		Cursor:   qs.Get("cursor"),
+	}
+	for name, dst := range map[string]*int{
+		"n_min": &q.NMin, "n_max": &q.NMax, "limit": &q.Limit,
+	} {
+		raw := qs.Get(name)
+		if raw == "" {
+			continue
+		}
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 0 {
+			writeError(w, http.StatusBadRequest, "invalid %s %q", name, raw)
+			return
+		}
+		*dst = v
+	}
+
+	var (
+		out any
+		err error
+	)
+	switch agg := qs.Get("aggregate"); agg {
+	case "":
+		out, err = m.Results(q)
+	case "scaling":
+		out, err = m.ResultsScaling(q)
+	default:
+		writeError(w, http.StatusBadRequest, "unknown aggregate %q (valid: scaling)", agg)
+		return
+	}
+	switch {
+	case errors.Is(err, ErrNoStore):
+		writeError(w, http.StatusNotFound, "%v", err)
+	case errors.Is(err, store.ErrInvalidCursor):
+		writeError(w, http.StatusBadRequest, "%v", err)
+	case errors.Is(err, store.ErrScanInvalidated):
+		// The store compacted itself under the cursor; the client
+		// restarts from the first page.
+		writeError(w, http.StatusGone, "%v", err)
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, out)
+	}
+}

@@ -1,0 +1,168 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// compactMinDeadRatio is the fraction of a sealed segment's frames that
+// must be superseded before the compactor rewrites it.
+const compactMinDeadRatio = 0.5
+
+// maybeCompact starts a background compaction of the most garbage-heavy
+// sealed segment past the dead-ratio threshold, at most one at a time.
+func (s *Store) maybeCompact() {
+	if s.opts.NoCompact {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.compacting || s.closing {
+		return
+	}
+	var victim *segment
+	for _, seg := range s.segs {
+		if !seg.sealed || seg.records == 0 {
+			continue
+		}
+		if float64(seg.garbage) < compactMinDeadRatio*float64(seg.records) {
+			continue
+		}
+		if victim == nil || seg.garbage > victim.garbage {
+			victim = seg
+		}
+	}
+	if victim == nil {
+		return
+	}
+	s.compacting = true
+	s.compactWG.Add(1)
+	go func() {
+		defer s.compactWG.Done()
+		if err := s.compactSegment(victim); err != nil {
+			// Compaction is an optimization; a failure leaves the old
+			// segment fully intact and is retried on the next trigger.
+			s.mu.Lock()
+			s.compacting = false
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Lock()
+		s.compacting = false
+		s.mu.Unlock()
+		s.maybeCompact()
+	}()
+}
+
+// compactSegment rewrites one sealed segment keeping only frames the
+// index still points at, then swaps the new file in by rename. Index
+// entries are re-pointed only if they still reference the old location,
+// so records superseded during the rewrite stay correct. The swap bumps
+// the store generation, invalidating any in-flight Scan.
+func (s *Store) compactSegment(seg *segment) error {
+	s.mu.Lock()
+	size := seg.size
+	s.mu.Unlock()
+	buf := make([]byte, size)
+	if _, err := seg.f.ReadAt(buf, 0); err != nil {
+		return fmt.Errorf("store: compacting %s: %w", seg.path, err)
+	}
+
+	// Collect surviving frames: those the live index still points at.
+	type survivor struct {
+		e     footerEntry
+		frame []byte
+		wasAt loc
+	}
+	var survivors []survivor
+	ents, _, _ := scanSegmentFrames(buf)
+	s.mu.Lock()
+	for _, e := range ents {
+		at := loc{seg.id, e.off, e.frameLen}
+		if ent, ok := s.byKey[e.ki]; ok && ent.loc == at {
+			survivors = append(survivors, survivor{e: e, frame: buf[e.off : e.off+e.frameLen], wasAt: at})
+		} else if ent, ok := s.byID[e.id]; ok && ent.loc == at {
+			survivors = append(survivors, survivor{e: e, frame: buf[e.off : e.off+e.frameLen], wasAt: at})
+		}
+	}
+	s.mu.Unlock()
+
+	// Write the replacement sealed segment to a scratch file.
+	tmpPath := seg.path + ".tmp"
+	os.Remove(tmpPath)
+	f, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compacting %s: %w", seg.path, err)
+	}
+	out := []byte(segMagic)
+	newEnts := make([]footerEntry, len(survivors))
+	for i, sv := range survivors {
+		newEnts[i] = sv.e
+		newEnts[i].off = int64(len(out))
+		out = append(out, sv.frame...)
+	}
+	logicalEnd := int64(len(out))
+	out = appendFrame(out, appendFooterPayload(nil, newEnts))
+	out = appendTrailer(out, logicalEnd)
+	if _, err := f.Write(out); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compacting %s: %w", seg.path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compacting %s: %w", seg.path, err)
+	}
+	if err := os.Rename(tmpPath, seg.path); err != nil {
+		f.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compacting %s: %w", seg.path, err)
+	}
+	if err := syncDir(filepath.Dir(seg.path)); err != nil {
+		f.Close()
+		return err
+	}
+
+	// Swap the segment in and re-point surviving index entries that
+	// still reference their old location. The old file handle is left
+	// to the garbage collector (os.File finalizer) rather than closed,
+	// so a Get that resolved its location just before the swap can
+	// still pread the old inode.
+	s.mu.Lock()
+	live := 0
+	for i, sv := range survivors {
+		at := loc{seg.id, newEnts[i].off, newEnts[i].frameLen}
+		ki := sv.e.ki
+		moved := false
+		if ent, ok := s.byKey[ki]; ok && ent.loc == sv.wasAt {
+			s.byKey[ki] = idxEntry{at, ent.savedAt}
+			moved = true
+		}
+		if ent, ok := s.byID[sv.e.id]; ok && ent.loc == sv.wasAt {
+			s.byID[sv.e.id] = idxEntry{at, ent.savedAt}
+			moved = true
+		}
+		if moved {
+			live++
+		}
+	}
+	seg.f = f
+	seg.size = int64(len(out))
+	seg.records = len(survivors)
+	seg.garbage = len(survivors) - live
+	s.generation++
+	s.compactions++
+	s.compactCount.Add(1)
+	s.mu.Unlock()
+	return nil
+}
+
+// Compactions returns how many sealed segments the background
+// compactor has rewritten since Open.
+func (s *Store) Compactions() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.compactions
+}

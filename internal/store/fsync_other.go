@@ -1,0 +1,23 @@
+//go:build !linux
+
+package store
+
+import "os"
+
+// fdatasync falls back to a full fsync where the cheaper data-only
+// variant is unavailable.
+func fdatasync(f *os.File) error { return f.Sync() }
+
+// syncDir fsyncs a directory where supported; platforms that reject
+// directory fsync still get file-level durability.
+func syncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !os.IsPermission(err) {
+		return err
+	}
+	return nil
+}

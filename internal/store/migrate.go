@@ -1,0 +1,194 @@
+// One-time migration of a v1 JSONL store (a single regular file of
+// JSON-encoded records, one per line, fsynced per append) into the v2
+// segmented layout. The migration is crash-safe by rename ordering:
+//
+//  1. the v1 file is scanned tolerantly (torn tail and corrupt lines
+//     skipped and counted, exactly as the v1 replay did),
+//  2. a complete v2 store is written and synced at <path>.migrate.tmp,
+//  3. the v1 file is renamed aside to <path>.v1.bak,
+//  4. the scratch dir is renamed to <path>.
+//
+// A crash before step 3 leaves the v1 file in place and the next Open
+// restarts from scratch; a crash between 3 and 4 is detected by Open
+// (scratch dir + backup present, store path missing) and finished by
+// redoing the final rename. The v1 backup is kept, never deleted.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// migrateV1 converts the v1 JSONL file at path into a v2 store
+// directory at the same path, returning the record and dropped-line
+// counts from the scan.
+func migrateV1(path string, opts Options) (migrated, dropped int, err error) {
+	recs, dropped, err := scanV1(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	tmp := path + ".migrate.tmp"
+	os.RemoveAll(tmp)
+	if err := writeSegments(tmp, recs, opts); err != nil {
+		os.RemoveAll(tmp)
+		return 0, 0, err
+	}
+	bak := path + ".v1.bak"
+	os.Remove(bak)
+	if err := os.Rename(path, bak); err != nil {
+		return 0, 0, fmt.Errorf("store: moving v1 store aside: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return 0, 0, fmt.Errorf("store: installing migrated store: %w", err)
+	}
+	if err := syncDir(filepath.Dir(path)); err != nil {
+		return 0, 0, err
+	}
+	return len(recs), dropped, nil
+}
+
+// scanV1 reads a v1 JSONL store in line order, skipping (and counting)
+// torn or corrupt lines, mirroring the v1 replay's tolerance.
+func scanV1(path string) (recs []Record, dropped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: opening v1 store %s: %w", path, err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			if len(line) > 0 {
+				dropped++ // torn final line: a crash mid-append
+			}
+			return recs, dropped, nil
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("store: reading v1 store %s: %w", path, err)
+		}
+		line = bytes.TrimSpace(line)
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil || rec.Kind == "" || rec.Key == "" || rec.ID == "" {
+			dropped++
+			continue
+		}
+		if rec.SavedAt.IsZero() {
+			rec.SavedAt = time.Unix(0, 0).UTC()
+		}
+		recs = append(recs, rec)
+	}
+}
+
+// writeSegments materializes recs, in order, as a complete store
+// directory at dir: full segments are sealed with footer indexes, the
+// last one is left unsealed and preallocated as the active tail, and
+// every file plus the directory is synced before returning.
+func writeSegments(dir string, recs []Record, opts Options) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	w := &segWriter{dir: dir, opts: opts}
+	for _, rec := range recs {
+		if err := w.add(rec); err != nil {
+			return err
+		}
+	}
+	return w.finish()
+}
+
+// segWriter writes segments sequentially (migration and tests only; the
+// live store appends through the group-commit flusher instead).
+type segWriter struct {
+	dir   string
+	opts  Options
+	segID uint64
+	f     *os.File
+	off   int64
+	ents  []footerEntry
+}
+
+func (w *segWriter) open() error {
+	w.segID++
+	path := filepath.Join(w.dir, segFileName(w.segID))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating segment %s: %w", path, err)
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing header of %s: %w", path, err)
+	}
+	w.f = f
+	w.off = segHeaderLen
+	w.ents = nil
+	return nil
+}
+
+func (w *segWriter) add(rec Record) error {
+	payload, err := appendRecordPayload(nil, rec)
+	if err != nil {
+		return err
+	}
+	frame := appendFrame(nil, payload)
+	if w.f != nil && w.off+int64(len(frame)) > w.opts.SegmentBytes && w.off > segHeaderLen {
+		if err := w.seal(); err != nil {
+			return err
+		}
+	}
+	if w.f == nil {
+		if err := w.open(); err != nil {
+			return err
+		}
+	}
+	if _, err := w.f.Write(frame); err != nil {
+		return fmt.Errorf("store: writing segment: %w", err)
+	}
+	w.ents = append(w.ents, footerEntry{
+		ki: keyIndex(rec.Kind, rec.Key), id: rec.ID,
+		savedAt: rec.SavedAt.UnixNano(), off: w.off, frameLen: int64(len(frame)),
+	})
+	w.off += int64(len(frame))
+	return nil
+}
+
+func (w *segWriter) seal() error {
+	if err := sealSegmentFile(w.f, w.ents, w.off); err != nil {
+		return err
+	}
+	err := w.f.Close()
+	w.f = nil
+	return err
+}
+
+// finish leaves the last segment unsealed and preallocated (it becomes
+// the active tail) and syncs it and the directory.
+func (w *segWriter) finish() error {
+	if w.f == nil {
+		if err := w.open(); err != nil {
+			return err
+		}
+	}
+	if w.off < w.opts.SegmentBytes {
+		if err := w.f.Truncate(w.opts.SegmentBytes); err != nil {
+			return fmt.Errorf("store: preallocating segment: %w", err)
+		}
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("store: syncing segment: %w", err)
+	}
+	if err := w.f.Close(); err != nil {
+		return err
+	}
+	w.f = nil
+	return syncDir(w.dir)
+}

@@ -1,0 +1,181 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"os"
+)
+
+// ErrInvalidCursor is returned by Scan for a cursor that does not parse
+// or does not reference a known position.
+var ErrInvalidCursor = errors.New("store: invalid scan cursor")
+
+// ErrScanInvalidated is reported by Scan.Err when a background
+// compaction rewrote a segment mid-scan; the caller restarts the scan
+// (cursors embed the store generation, so a stale cursor fails fast
+// with the same error).
+var ErrScanInvalidated = errors.New("store: scan invalidated by compaction")
+
+// Scan iterates the store's current records — the newest frame per
+// (kind, key), exactly the set Get serves — in stable (segment, offset)
+// order, reading payloads back from disk one frame at a time. Create
+// one with (*Store).Scan, advance with Next, and resume a later scan
+// from Cursor.
+type Scan struct {
+	s    *Store
+	kind Kind // "" = every kind
+
+	segs []scanSeg
+	gen  uint64
+
+	segIdx int
+	off    int64
+	rec    Record
+	err    error
+}
+
+// scanSeg snapshots one segment at Scan creation: the id, the durable
+// size, and the file handle as of the snapshot. Holding the handle (not
+// the live *segment) keeps the scan race-free against a concurrent
+// compaction swapping the segment's file; the generation check turns
+// such a swap into ErrScanInvalidated instead of wrong data.
+type scanSeg struct {
+	id   uint64
+	path string
+	f    *os.File
+	size int64
+}
+
+// Scan starts a scan of kind's current records ("" scans every kind)
+// from the opaque cursor ("" starts at the beginning). The scan
+// observes a snapshot of the segment list; records committed after the
+// snapshot may or may not be seen.
+func (s *Store) Scan(kind Kind, cursor string) (*Scan, error) {
+	sc := &Scan{s: s, kind: kind}
+	s.mu.Lock()
+	sc.gen = s.generation
+	for _, seg := range s.segs {
+		sc.segs = append(sc.segs, scanSeg{id: seg.id, path: seg.path, f: seg.f, size: seg.size})
+	}
+	s.mu.Unlock()
+	sc.off = segHeaderLen
+	if cursor == "" {
+		return sc, nil
+	}
+	var gen, segID uint64
+	var off int64
+	if n, err := fmt.Sscanf(cursor, "g%d.s%d.o%d", &gen, &segID, &off); n != 3 || err != nil {
+		return nil, ErrInvalidCursor
+	}
+	if gen != sc.gen {
+		return nil, ErrScanInvalidated
+	}
+	if off < segHeaderLen {
+		return nil, ErrInvalidCursor
+	}
+	sc.segIdx = len(sc.segs)
+	for i, ss := range sc.segs {
+		if ss.id >= segID {
+			sc.segIdx = i
+			if ss.id == segID {
+				sc.off = off
+			}
+			break
+		}
+	}
+	return sc, nil
+}
+
+// Next advances to the next current record, reporting false at the end
+// of the snapshot or on error (see Err).
+func (sc *Scan) Next() bool {
+	if sc.err != nil {
+		return false
+	}
+	for sc.segIdx < len(sc.segs) {
+		ss := sc.segs[sc.segIdx]
+		if sc.off+frameHeaderLen > ss.size {
+			sc.segIdx++
+			sc.off = segHeaderLen
+			continue
+		}
+		hdr := make([]byte, frameHeaderLen)
+		if _, err := ss.f.ReadAt(hdr, sc.off); err != nil {
+			sc.err = fmt.Errorf("store: scanning %s: %w", ss.path, err)
+			return false
+		}
+		frame, frameLen, perr := parseFrameAt(ss.f, hdr, sc.off, ss.size)
+		if perr != nil {
+			// Within the durable size every frame was once intact;
+			// anything unreadable here means bit rot — stop the
+			// segment, move on (the index may still serve it from a
+			// compacted copy later).
+			sc.segIdx++
+			sc.off = segHeaderLen
+			continue
+		}
+		at := loc{ss.id, sc.off, frameLen}
+		sc.off += frameLen
+		if frame[0] != payloadRecord {
+			continue // footer frame of a sealed segment
+		}
+		rec, err := decodeRecordPayload(frame)
+		if err != nil {
+			continue
+		}
+		if sc.kind != "" && rec.Kind != sc.kind {
+			continue
+		}
+		// Serve only the current (last-wins) frame for the key, and
+		// fail the scan if compaction moved the ground under it.
+		sc.s.mu.Lock()
+		gen := sc.s.generation
+		ent, ok := sc.s.byKey[keyIndex(rec.Kind, rec.Key)]
+		sc.s.mu.Unlock()
+		if gen != sc.gen {
+			sc.err = ErrScanInvalidated
+			return false
+		}
+		if !ok || ent.loc != at {
+			continue // superseded by a newer Put
+		}
+		sc.rec = rec
+		return true
+	}
+	return false
+}
+
+// parseFrameAt validates and reads the frame whose header hdr sits at
+// off, bounded by the durable size limit.
+func parseFrameAt(f *os.File, hdr []byte, off, limit int64) ([]byte, int64, error) {
+	n := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+	if n == 0 || n > maxPayloadBytes || off+frameHeaderLen+n > limit {
+		return nil, 0, errTornFrame
+	}
+	buf := make([]byte, frameHeaderLen+n)
+	copy(buf, hdr)
+	if _, err := f.ReadAt(buf[frameHeaderLen:], off+frameHeaderLen); err != nil {
+		return nil, 0, err
+	}
+	return parseFrame(buf, 0)
+}
+
+// Record returns the record Next advanced to.
+func (sc *Scan) Record() Record { return sc.rec }
+
+// Err returns the error that stopped the scan, if any.
+func (sc *Scan) Err() error { return sc.err }
+
+// Cursor returns an opaque token resuming the scan after the last
+// record Next returned. Cursors expire when compaction rewrites a
+// segment (ErrScanInvalidated); callers then restart from "".
+func (sc *Scan) Cursor() string {
+	segID := uint64(0)
+	if sc.segIdx < len(sc.segs) {
+		segID = sc.segs[sc.segIdx].id
+	} else if len(sc.segs) > 0 {
+		segID = sc.segs[len(sc.segs)-1].id + 1
+	}
+	return fmt.Sprintf("g%d.s%d.o%d", sc.gen, segID, sc.off)
+}

@@ -1,0 +1,337 @@
+// Segment file format for the v2 store.
+//
+// A store is a directory of numbered segment files ("00000001.seg",
+// "00000002.seg", ...). Each segment starts with an 8-byte magic header
+// and then holds a sequence of frames:
+//
+//	u32 payloadLen | u32 crc32c(payload) | payload
+//
+// The first payload byte is a type tag: 0x01 for a record, 0x02 for the
+// footer index a segment gains when it is sealed. A sealed segment ends
+// with a fixed-size trailer locating the footer:
+//
+//	"PPSEGIDX" | u64 footerOffset | u32 crc32c(magic+offset)
+//
+// so boot can index a sealed segment by reading its footer alone. The
+// active (last) segment has no trailer and is preallocated to its size
+// bound; the preallocated tail is zero-filled, and a zero payloadLen is
+// invalid by construction, so the frame scan stops cleanly at the
+// logical end. Everything is little-endian; lengths are validated before
+// any allocation, and payloads are CRC-checked before decoding, in the
+// same bounds-checked cursor style as ensemble's binary marshalling.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"strings"
+	"time"
+)
+
+const (
+	segMagic       = "PPSEG2\x00\x01" // 8 bytes: format name + version
+	segHeaderLen   = 8
+	frameHeaderLen = 8 // u32 payloadLen | u32 crc32c(payload)
+
+	payloadRecord byte = 0x01
+	payloadFooter byte = 0x02
+
+	trailerMagic = "PPSEGIDX"
+	trailerLen   = 20 // 8 magic + 8 footer offset + 4 crc
+
+	// maxPayloadBytes bounds a single frame's payload so a corrupt
+	// length can never provoke a giant allocation. Results are a few KB;
+	// footers of full segments are well under this too.
+	maxPayloadBytes = 64 << 20
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+var (
+	errTornFrame    = errors.New("store: torn or corrupt frame")
+	errZeroFrame    = errors.New("store: zero frame (preallocated tail)")
+	errShortSegment = errors.New("store: segment shorter than header")
+)
+
+// appendFrame appends one framed payload to buf and returns it.
+func appendFrame(buf, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// parseFrame reads the frame starting at off in b. It returns the
+// payload (aliasing b) and the total frame length. A zero payloadLen
+// means the scan ran into the preallocated (or truncated) tail; any
+// other violation — length past the buffer, CRC mismatch — is a torn or
+// corrupt frame. Callers treat both as "logical end of segment".
+func parseFrame(b []byte, off int64) (payload []byte, frameLen int64, err error) {
+	if off+frameHeaderLen > int64(len(b)) {
+		if off == int64(len(b)) {
+			return nil, 0, errZeroFrame // exact end: clean
+		}
+		return nil, 0, errTornFrame
+	}
+	n := binary.LittleEndian.Uint32(b[off : off+4])
+	if n == 0 {
+		return nil, 0, errZeroFrame
+	}
+	if n > maxPayloadBytes {
+		return nil, 0, errTornFrame
+	}
+	end := off + frameHeaderLen + int64(n)
+	if end > int64(len(b)) {
+		return nil, 0, errTornFrame
+	}
+	payload = b[off+frameHeaderLen : end]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(b[off+4:off+8]) {
+		return nil, 0, errTornFrame
+	}
+	return payload, frameHeaderLen + int64(n), nil
+}
+
+// --- record payload ----------------------------------------------------
+
+// appendRecordPayload encodes rec as a record payload (type tag 0x01).
+// Layout, all little-endian:
+//
+//	0x01 | u8 kindLen | kind | u16 keyLen | key | u16 idLen | id
+//	     | i64 savedAtUnixNano | u32 specLen | spec | u32 dataLen | data
+func appendRecordPayload(buf []byte, rec Record) ([]byte, error) {
+	if len(rec.Kind) > 0xff {
+		return nil, fmt.Errorf("store: kind too long (%d bytes)", len(rec.Kind))
+	}
+	if len(rec.Key) > 0xffff || len(rec.ID) > 0xffff {
+		return nil, fmt.Errorf("store: key or id too long (%d/%d bytes)", len(rec.Key), len(rec.ID))
+	}
+	if len(rec.Spec) > maxPayloadBytes/4 || len(rec.Data) > maxPayloadBytes/4 {
+		return nil, fmt.Errorf("store: spec or data too large (%d/%d bytes)", len(rec.Spec), len(rec.Data))
+	}
+	buf = append(buf, payloadRecord, byte(len(rec.Kind)))
+	buf = append(buf, rec.Kind...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.Key)))
+	buf = append(buf, rec.Key...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(rec.ID)))
+	buf = append(buf, rec.ID...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(rec.SavedAt.UnixNano()))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Spec)))
+	buf = append(buf, rec.Spec...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(rec.Data)))
+	buf = append(buf, rec.Data...)
+	return buf, nil
+}
+
+// segDecoder is a bounds-checked cursor over a payload. Reads past the
+// end latch an error and return zero values, so decode paths stay
+// straight-line and check errors once at the end (the decoder idiom
+// from ensemble's marshalling).
+type segDecoder struct {
+	b   []byte
+	s   string // optional string view of b, for zero-copy str()
+	off int
+	err error
+}
+
+func (d *segDecoder) fail() {
+	if d.err == nil {
+		d.err = errTornFrame
+	}
+}
+
+func (d *segDecoder) bytes(n int) []byte {
+	if d.err != nil || n < 0 || d.off+n > len(d.b) {
+		d.fail()
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// str returns the next n bytes as a substring of d.s; the caller must
+// have set s to string(b). Substrings share s's backing array, so a
+// footer decode allocates one string, not one per field.
+func (d *segDecoder) str(n int) string {
+	if d.err != nil || n < 0 || d.off+n > len(d.s) {
+		d.fail()
+		return ""
+	}
+	s := d.s[d.off : d.off+n]
+	d.off += n
+	return s
+}
+
+func (d *segDecoder) u8() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *segDecoder) u16() uint16 {
+	b := d.bytes(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *segDecoder) u32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *segDecoder) u64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// finish reports the latched error, also failing if the payload was not
+// fully consumed (trailing junk means a framing bug or corruption).
+func (d *segDecoder) finish() error {
+	if d.err == nil && d.off != len(d.b) {
+		d.fail()
+	}
+	return d.err
+}
+
+// decodeRecordPayload decodes a record payload (including its leading
+// type tag). The returned Record's Spec/Data are copies, safe to retain.
+func decodeRecordPayload(p []byte) (Record, error) {
+	d := &segDecoder{b: p}
+	if d.u8() != payloadRecord {
+		d.fail()
+	}
+	var rec Record
+	rec.Kind = Kind(d.bytes(int(d.u8())))
+	rec.Key = string(d.bytes(int(d.u16())))
+	rec.ID = string(d.bytes(int(d.u16())))
+	nanos := int64(d.u64())
+	rec.Spec = append([]byte(nil), d.bytes(int(d.u32()))...)
+	rec.Data = append([]byte(nil), d.bytes(int(d.u32()))...)
+	if err := d.finish(); err != nil {
+		return Record{}, err
+	}
+	if rec.Kind == "" || rec.Key == "" || rec.ID == "" {
+		return Record{}, errTornFrame
+	}
+	rec.SavedAt = time.Unix(0, nanos).UTC()
+	return rec, nil
+}
+
+// --- footer payload ----------------------------------------------------
+
+// footerEntry locates one record frame inside its own segment. frameLen
+// includes the frame header, so (off, frameLen) is directly readable.
+type footerEntry struct {
+	// ki is the combined index key — kind + "\x00" + key, exactly what
+	// keyIndex builds — stored pre-joined so a footer boot indexes
+	// entries without re-concatenating per record.
+	ki       string
+	id       string
+	savedAt  int64 // unix nanos
+	off      int64
+	frameLen int64
+}
+
+// appendFooterPayload encodes the sealed segment's index (type 0x02):
+//
+//	0x02 | u32 count | count × entry
+//	entry: u8 kindLen | kind | u16 keyLen | key | u16 idLen | id
+//	       | i64 savedAt | u64 off | u32 frameLen
+func appendFooterPayload(buf []byte, entries []footerEntry) []byte {
+	buf = append(buf, payloadFooter)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.ki)))
+		buf = append(buf, e.ki...)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.id)))
+		buf = append(buf, e.id...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.savedAt))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(e.off))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(e.frameLen))
+	}
+	return buf
+}
+
+func decodeFooterPayload(p []byte) ([]footerEntry, error) {
+	// One string conversion for the whole payload: every ki and id below
+	// is a substring of it, so a 100k-entry boot makes one allocation
+	// for its strings instead of 200k.
+	d := &segDecoder{b: p, s: string(p)}
+	if d.u8() != payloadFooter {
+		d.fail()
+	}
+	count := d.u32()
+	// Each entry is at least 4+2+8+8+4 + 3 + 1 = 30 bytes; reject counts
+	// the remaining bytes cannot possibly hold before allocating.
+	if d.err == nil && int64(count) > int64(len(p))/30 {
+		d.fail()
+	}
+	var entries []footerEntry
+	if d.err == nil {
+		entries = make([]footerEntry, 0, count)
+	}
+	for i := uint32(0); i < count && d.err == nil; i++ {
+		var e footerEntry
+		e.ki = d.str(int(d.u32()))
+		e.id = d.str(int(d.u16()))
+		e.savedAt = int64(d.u64())
+		e.off = int64(d.u64())
+		e.frameLen = int64(d.u32())
+		sep := strings.IndexByte(e.ki, 0)
+		if sep <= 0 || sep == len(e.ki)-1 || e.id == "" || e.off < segHeaderLen || e.frameLen <= frameHeaderLen {
+			d.fail()
+			break
+		}
+		entries = append(entries, e)
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// --- trailer -----------------------------------------------------------
+
+// appendTrailer appends the fixed-size sealed-segment trailer pointing
+// at the footer frame.
+func appendTrailer(buf []byte, footerOff int64) []byte {
+	var t [trailerLen]byte
+	copy(t[0:8], trailerMagic)
+	binary.LittleEndian.PutUint64(t[8:16], uint64(footerOff))
+	binary.LittleEndian.PutUint32(t[16:20], crc32.Checksum(t[0:16], crcTable))
+	return append(buf, t[:]...)
+}
+
+// parseTrailerBytes validates the trailerLen bytes read from the end of
+// a segment of the given total size and returns the footer frame offset,
+// or ok=false when the segment is not sealed (or the trailer is damaged —
+// callers then rebuild by scanning).
+func parseTrailerBytes(t []byte, size int64) (footerOff int64, ok bool) {
+	if size < segHeaderLen+trailerLen || len(t) != trailerLen {
+		return 0, false
+	}
+	if string(t[0:8]) != trailerMagic {
+		return 0, false
+	}
+	if crc32.Checksum(t[0:16], crcTable) != binary.LittleEndian.Uint32(t[16:20]) {
+		return 0, false
+	}
+	off := int64(binary.LittleEndian.Uint64(t[8:16]))
+	if off < segHeaderLen || off+frameHeaderLen > size-trailerLen {
+		return 0, false
+	}
+	return off, true
+}

@@ -1,29 +1,56 @@
-// Package store persists finished simulation results as an append-only
-// JSONL file: one self-describing record per line, indexed in memory by
-// canonical spec key and by public id.
+// Package store persists finished simulation results in a segmented,
+// binary-encoded, group-committed log: a directory of size-bounded
+// segment files holding length-prefixed CRC-checked record frames,
+// indexed in memory by canonical spec key and by public id.
 //
 // The store is popprotod's source of truth for finished work. The
 // service's LRU is a cache in front of it: a result evicted from the LRU
 // (or lost to a restart) is recovered from the store instead of being
 // re-simulated, which matters because large-population elections and
 // multi-replicate experiments cost minutes of CPU while a record costs
-// one line of JSON.
+// a few KB of log.
 //
-// Crash safety is by construction of the format. Every Put appends one
-// complete line and fsyncs before updating the index, so the file never
-// holds a record that was not durable. A crash mid-write leaves at most
-// one torn final line; Open detects it, truncates it away, and resumes
-// appending from the last intact record. Duplicate keys replay last-wins,
-// so rewriting a record is just appending a newer one.
+// Writes are group-committed. A Put encodes its record, appends the
+// frame to the pending batch, and blocks on the batch's commit
+// notifier; a single flusher goroutine turns the batch into one
+// pwrite + fdatasync on the active segment and then wakes every waiter
+// at once. Because a writer blocks until its batch is durable, arrivals
+// during an in-flight commit pile into the next batch — the disk's own
+// sync latency is the batching clock — and the per-record fsync cost of
+// the v1 JSONL store is amortized across every concurrent completion.
+// The active segment is preallocated to its size bound so the steady
+// state commit is an fdatasync with no file-size metadata to journal.
+//
+// Crash safety is by construction of the format. A record is indexed
+// (visible) only after the fdatasync covering it returns, so the log
+// never acknowledges a record that was not durable. A crash mid-commit
+// leaves at most a torn suffix of frames; Open's tail scan stops at the
+// first frame whose length or CRC does not check out and resumes
+// appending from the last intact frame. Duplicate keys replay
+// last-wins, so rewriting a record is just appending a newer one, and a
+// background compactor rewrites sealed segments that are mostly
+// superseded frames.
+//
+// Boot does not re-read the whole log: a segment that fills up is
+// sealed with a footer frame indexing every record in it plus a
+// fixed-size trailer locating the footer, so Open reads one footer per
+// sealed segment and frame-scans only the unsealed tail. A v1 JSONL
+// store (a regular file at the store path) is migrated into the
+// segmented layout once, transparently, the first time it is opened.
 package store
 
 import (
-	"bufio"
-	"bytes"
+	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"io"
+	"hash/crc32"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -66,25 +93,137 @@ type Record struct {
 	SavedAt time.Time `json:"savedAt"`
 }
 
-// Store is an append-only JSONL result store. All methods are safe for
-// concurrent use.
-type Store struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	byKey   map[string]Record // kind-scoped key → newest record
-	byID    map[string]Record
-	dropped int
+// Options tunes the store's write path. The zero value selects the
+// defaults used by popprotod.
+type Options struct {
+	// SyncInterval bounds how long the flusher lets a pending batch
+	// coalesce before forcing the group commit (default 5ms). The
+	// flusher normally commits much sooner: it waits only until
+	// arrivals quiesce, and while a commit's fdatasync is in flight
+	// every new writer joins the next batch anyway, so the interval is
+	// a latency backstop, not the batching clock.
+	SyncInterval time.Duration
+	// SegmentBytes is the size bound at which the active segment is
+	// sealed and the log rolls to a new one (default 16 MiB, min 4 KiB).
+	SegmentBytes int64
+	// FlushBytes caps a batch's size: once the pending batch reaches
+	// it the flusher stops coalescing and commits (default 1 MiB).
+	FlushBytes int
+	// NoCompact disables background compaction of sealed segments
+	// (used by tests and benchmarks that need stable offsets).
+	NoCompact bool
+}
 
-	// Boot replay telemetry, captured by Open and exposed by Instrument.
-	replayDur time.Duration
-	replayed  int
+func (o Options) withDefaults() Options {
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 5 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 16 << 20
+	}
+	if o.SegmentBytes < 4<<10 {
+		o.SegmentBytes = 4 << 10
+	}
+	if o.FlushBytes <= 0 {
+		o.FlushBytes = 1 << 20
+	}
+	return o
+}
+
+// loc addresses one record frame on disk.
+type loc struct {
+	seg      uint64
+	off      int64
+	frameLen int64
+}
+
+// idxEntry is the in-memory index value: where the newest frame for a
+// key (or id) lives. Payloads stay on disk and are read back on demand.
+type idxEntry struct {
+	loc
+	savedAt int64
+}
+
+// segment is one log file. All fields are guarded by the store mutex
+// except the file handle, which is safe for concurrent pread.
+type segment struct {
+	id      uint64
+	path    string
+	f       *os.File
+	size    int64 // logical size: header + durable frames (+ footer + trailer when sealed)
+	sealed  bool
+	records int // record frames in the file, live or superseded
+	garbage int // frames superseded by a newer Put (compaction trigger)
+}
+
+// batch is one pending group commit. Writers append frames under the
+// store mutex and block on done; the flusher commits the whole buffer
+// with one pwrite+fdatasync and closes done to release every waiter.
+type batch struct {
+	buf   []byte
+	recs  []pendRec
+	start time.Time
+	done  chan struct{}
+	err   error
+}
+
+type pendRec struct {
+	kind     Kind
+	key      string
+	id       string
+	savedAt  int64
+	bufOff   int
+	frameLen int64
+}
+
+// Store is a segmented group-committed result store. All methods are
+// safe for concurrent use.
+type Store struct {
+	path string
+	opts Options
+
+	mu      sync.Mutex
+	flushCV *sync.Cond
+	cur     *batch
+	closing bool
+
+	// spareBuf/spareRecs recycle the last committed batch's buffers into
+	// the next batch, so the steady state allocates no batch storage.
+	spareBuf  []byte
+	spareRecs []pendRec
+
+	segs     []*segment // ordered by id; the last one is the active tail
+	segByID  map[uint64]*segment
+	writeOff int64 // logical end of the active segment (flusher-owned between commits)
+	active   *os.File
+	tailEnts []footerEntry // record frames in the active segment, for its eventual footer
+
+	byKey map[string]idxEntry // kind-scoped key → newest frame
+	byID  map[string]idxEntry
+
+	generation uint64 // bumped by compaction; outstanding scans are invalidated
+
+	dropped     int
+	replayDur   time.Duration
+	replayed    int
+	sealedBoots int
+	migrated    bool
+
+	compacting  bool
+	compactWG   sync.WaitGroup
+	compactions uint64
+	corruptGets uint64
+
+	flusherDone chan struct{}
 
 	// Optional instruments attached by Instrument; nil-safe no-ops
 	// otherwise (obs methods tolerate nil receivers).
 	appendSeconds *obs.Histogram
 	fsyncSeconds  *obs.Histogram
+	flushSeconds  *obs.Histogram
+	batchRecords  *obs.Histogram
 	appendedBytes *obs.Counter
+	compactCount  *obs.Counter
 }
 
 // keyIndex scopes a canonical key by its kind, so a job and an
@@ -93,116 +232,396 @@ func keyIndex(kind Kind, key string) string {
 	return string(kind) + "\x00" + key
 }
 
-// Open opens (creating if needed) the store at path and replays its
-// records into the in-memory index. A torn final line — the signature of
-// a crash mid-append — is truncated away; any other malformed line is
-// skipped and counted (see Dropped).
+func segFileName(id uint64) string { return fmt.Sprintf("%08d.seg", id) }
+
+// Open opens (creating if needed) the store at path with default
+// Options and replays its segment indexes into memory. A regular file
+// at path — a v1 JSONL store — is migrated to the segmented layout
+// first. A torn tail (the signature of a crash mid-commit) is cut at
+// the last intact frame; corrupt frames are counted (see Dropped).
 func Open(path string) (*Store, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
-	if err != nil {
-		return nil, fmt.Errorf("store: open %s: %w", path, err)
-	}
+	return OpenOptions(path, Options{})
+}
+
+// OpenOptions is Open with explicit write-path tuning.
+func OpenOptions(path string, opts Options) (*Store, error) {
+	opts = opts.withDefaults()
 	s := &Store{
-		f:     f,
-		path:  path,
-		byKey: make(map[string]Record),
-		byID:  make(map[string]Record),
+		path:        path,
+		opts:        opts,
+		segByID:     make(map[uint64]*segment),
+		byKey:       make(map[string]idxEntry),
+		byID:        make(map[string]idxEntry),
+		flusherDone: make(chan struct{}),
 	}
+	s.flushCV = sync.NewCond(&s.mu)
 	replayStart := time.Now()
-	intact, err := s.replay()
-	if err != nil {
-		f.Close()
+	if err := s.boot(); err != nil {
+		s.closeFiles()
 		return nil, err
 	}
 	s.replayDur = time.Since(replayStart)
-	// Truncate any torn tail so the next append starts on a fresh line.
-	if err := f.Truncate(intact); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: truncating torn tail of %s: %w", path, err)
-	}
-	if _, err := f.Seek(0, io.SeekEnd); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("store: seeking %s: %w", path, err)
-	}
+	go s.flusher()
+	s.maybeCompact()
 	return s, nil
 }
 
-// replay scans the file, indexing every intact record (last-wins per
-// key) and returning the byte offset just past the last intact line.
-func (s *Store) replay() (intact int64, err error) {
-	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
-		return 0, fmt.Errorf("store: seeking %s: %w", s.path, err)
+// boot prepares the directory (migrating a v1 file if present), loads
+// every segment, and leaves the store ready to append.
+func (s *Store) boot() error {
+	if err := s.prepareDir(); err != nil {
+		return err
 	}
-	r := bufio.NewReader(s.f)
-	var offset int64
-	for {
-		line, err := r.ReadBytes('\n')
-		if err == io.EOF {
-			if len(line) > 0 {
-				// Torn final line (no newline): a crash mid-append.
-				s.dropped++
-			}
-			return offset, nil
-		}
+	ids, err := s.listSegments()
+	if err != nil {
+		return err
+	}
+	if len(ids) == 0 {
+		return s.createSegment(1)
+	}
+	// Two-phase load: collect every segment's entries first, so the
+	// index maps can be allocated at final size (100k-record boots spend
+	// more time growing maps than reading footers otherwise), then apply
+	// in segment order for last-wins.
+	perSeg := make([][]footerEntry, len(ids))
+	total := 0
+	for i, id := range ids {
+		last := i == len(ids)-1
+		ents, err := s.loadSegment(id, last)
 		if err != nil {
-			return 0, fmt.Errorf("store: reading %s: %w", s.path, err)
+			return err
 		}
-		lineLen := int64(len(line))
-		line = bytes.TrimSpace(line)
-		if len(line) == 0 {
-			offset += lineLen
-			continue
+		perSeg[i] = ents
+		total += len(ents)
+	}
+	s.byKey = make(map[string]idxEntry, total)
+	s.byID = make(map[string]idxEntry, total)
+	for i, ents := range perSeg {
+		s.applyEntries(s.segs[i], ents)
+	}
+	// A frame not referenced by the final key index was superseded by a
+	// later write: count it as garbage on its segment (the compaction
+	// trigger).
+	live := make(map[uint64]int, len(s.segs))
+	for _, ent := range s.byKey {
+		live[ent.seg]++
+	}
+	for _, seg := range s.segs {
+		seg.garbage = seg.records - live[seg.id]
+	}
+	tail := s.segs[len(s.segs)-1]
+	if tail.sealed {
+		// Crash after sealing but before rolling: start a fresh tail.
+		return s.createSegment(tail.id + 1)
+	}
+	return nil
+}
+
+// prepareDir makes sure s.path is a store directory, running the v1
+// migration or finishing an interrupted one when needed.
+func (s *Store) prepareDir() error {
+	tmp := s.path + ".migrate.tmp"
+	bak := s.path + ".v1.bak"
+	fi, err := os.Stat(s.path)
+	switch {
+	case err == nil && fi.IsDir():
+		// Normal case; clear any leftover migration scratch.
+		os.RemoveAll(tmp)
+		return nil
+	case err == nil:
+		// A regular file: a v1 JSONL store. Migrate it in place.
+		migrated, dropped, err := migrateV1(s.path, s.opts)
+		if err != nil {
+			return err
 		}
-		var rec Record
-		if json.Unmarshal(line, &rec) != nil || rec.Kind == "" || rec.Key == "" || rec.ID == "" {
-			// Corrupt or foreign line: skip it but keep the offset moving so
-			// later intact records still replay.
-			s.dropped++
-			offset += lineLen
-			continue
+		s.migrated = true
+		s.dropped += dropped
+		_ = migrated
+		return nil
+	case os.IsNotExist(err):
+		if _, terr := os.Stat(tmp); terr == nil {
+			if _, berr := os.Stat(bak); berr == nil {
+				// Crash between the two migration renames: the scratch
+				// dir was fully written and synced (the original is only
+				// moved aside after that), so finish the swap.
+				if err := os.Rename(tmp, s.path); err != nil {
+					return fmt.Errorf("store: finishing interrupted migration of %s: %w", s.path, err)
+				}
+				if err := syncDir(filepath.Dir(s.path)); err != nil {
+					return err
+				}
+				s.migrated = true
+				return nil
+			}
+			os.RemoveAll(tmp)
 		}
-		s.byKey[keyIndex(rec.Kind, rec.Key)] = rec
-		s.byID[rec.ID] = rec
-		s.replayed++
-		offset += lineLen
+		if _, berr := os.Stat(bak); berr == nil {
+			// Crash after moving the v1 file aside but before the swap
+			// (scratch missing): restore the original and migrate again.
+			if err := os.Rename(bak, s.path); err != nil {
+				return fmt.Errorf("store: restoring %s from %s: %w", s.path, bak, err)
+			}
+			return s.prepareDir()
+		}
+		if err := os.MkdirAll(s.path, 0o755); err != nil {
+			return fmt.Errorf("store: creating %s: %w", s.path, err)
+		}
+		return syncDir(filepath.Dir(s.path))
+	default:
+		return fmt.Errorf("store: stat %s: %w", s.path, err)
 	}
 }
 
-// Instrument creates the store's instruments and registers them on reg:
-// append and fsync latency histograms, appended-byte and record-count
-// series, and the boot replay's duration and line accounting. Call once,
-// after Open.
-func (s *Store) Instrument(reg *obs.Registry) {
-	s.mu.Lock()
-	s.appendSeconds = obs.NewHistogram("popprotod_store_append_seconds",
-		"Wall time of one record append (marshal excluded, fsync included).",
-		obs.ExpBuckets(1e-5, 2, 14))
-	s.fsyncSeconds = obs.NewHistogram("popprotod_store_fsync_seconds",
-		"Wall time of the fsync within one append.", obs.ExpBuckets(1e-5, 2, 14))
-	s.appendedBytes = obs.NewCounter("popprotod_store_appended_bytes_total",
-		"Bytes appended to the store file since boot.")
-	s.mu.Unlock()
-	reg.MustRegister(
-		s.appendSeconds, s.fsyncSeconds, s.appendedBytes,
-		obs.NewGaugeFunc("popprotod_store_records",
-			"Distinct (kind, key) records indexed.", func() float64 { return float64(s.Len()) }),
-		obs.NewGaugeFunc("popprotod_store_replay_seconds",
-			"Wall time of the boot replay.", func() float64 { return s.replayDur.Seconds() }),
-		obs.NewGaugeFunc("popprotod_store_replayed_records",
-			"Intact records indexed during the boot replay.", func() float64 {
-				s.mu.Lock()
-				defer s.mu.Unlock()
-				return float64(s.replayed)
-			}),
-		obs.NewGaugeFunc("popprotod_store_replay_dropped_lines",
-			"Lines skipped during replay (torn tail or corruption).",
-			func() float64 { return float64(s.Dropped()) }),
-	)
+// listSegments returns the segment ids present, ascending, clearing
+// compaction scratch files.
+func (s *Store) listSegments() ([]uint64, error) {
+	entries, err := os.ReadDir(s.path)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", s.path, err)
+	}
+	var ids []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(s.path, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".seg") {
+			continue
+		}
+		id, err := strconv.ParseUint(strings.TrimSuffix(name, ".seg"), 10, 64)
+		if err != nil || id == 0 {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids, nil
 }
+
+// createSegment creates and preallocates a fresh active segment.
+func (s *Store) createSegment(id uint64) error {
+	path := filepath.Join(s.path, segFileName(id))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: creating segment %s: %w", path, err)
+	}
+	if err := f.Truncate(s.opts.SegmentBytes); err != nil {
+		f.Close()
+		return fmt.Errorf("store: preallocating %s: %w", path, err)
+	}
+	if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("store: writing header of %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: syncing %s: %w", path, err)
+	}
+	if err := syncDir(s.path); err != nil {
+		f.Close()
+		return err
+	}
+	seg := &segment{id: id, path: path, f: f, size: segHeaderLen}
+	s.segs = append(s.segs, seg)
+	s.segByID[id] = seg
+	s.active = f
+	s.writeOff = segHeaderLen
+	s.tailEnts = nil
+	return nil
+}
+
+// loadSegment opens and indexes one existing segment. Sealed segments
+// boot from their footer; the unsealed tail (and any sealed segment
+// whose footer or trailer is damaged) is frame-scanned, and a non-tail
+// segment recovered by scan is resealed so the next boot is cheap.
+func (s *Store) loadSegment(id uint64, isTail bool) ([]footerEntry, error) {
+	path := filepath.Join(s.path, segFileName(id))
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: opening segment %s: %w", path, err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: stat %s: %w", path, err)
+	}
+	seg := &segment{id: id, path: path, f: f}
+	s.segs = append(s.segs, seg)
+	s.segByID[id] = seg
+
+	// Sealed fast path: pread only the header, trailer, and footer
+	// frame, so boot cost scales with the index, not the record data.
+	if ents, ok := sealedFooter(f, fi.Size()); ok {
+		seg.sealed = true
+		seg.size = fi.Size()
+		s.sealedBoots++
+		return ents, nil
+	}
+
+	// Slow path — the active tail, a damaged footer, or an interrupted
+	// seal: read everything and walk the frames.
+	buf := make([]byte, fi.Size())
+	if _, err := f.ReadAt(buf, 0); err != nil {
+		return nil, fmt.Errorf("store: reading segment %s: %w", path, err)
+	}
+	if len(buf) < segHeaderLen || string(buf[:segHeaderLen]) != segMagic {
+		return nil, fmt.Errorf("store: %s: %w", path, errShortSegment)
+	}
+
+	ents, logicalEnd, torn := scanSegmentFrames(buf)
+	s.dropped += torn
+
+	if !isTail {
+		// A full segment that never got (or lost) its footer — a crash
+		// during seal. Rebuild the footer so later boots read it.
+		if err := sealSegmentFile(f, ents, logicalEnd); err != nil {
+			return nil, fmt.Errorf("store: resealing %s: %w", path, err)
+		}
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, fmt.Errorf("store: stat %s: %w", path, err)
+		}
+		seg.sealed = true
+		seg.size = fi.Size()
+		return ents, nil
+	}
+
+	// The active tail. If a torn frame left garbage past the logical
+	// end, zero the next frame header so the cut point is unambiguous,
+	// then restore the preallocation.
+	if torn > 0 && logicalEnd+frameHeaderLen <= fi.Size() {
+		if _, err := f.WriteAt(make([]byte, frameHeaderLen), logicalEnd); err != nil {
+			return nil, fmt.Errorf("store: cutting torn tail of %s: %w", path, err)
+		}
+		if err := fdatasync(f); err != nil {
+			return nil, fmt.Errorf("store: syncing %s: %w", path, err)
+		}
+	}
+	if fi.Size() < s.opts.SegmentBytes {
+		if err := f.Truncate(s.opts.SegmentBytes); err != nil {
+			return nil, fmt.Errorf("store: preallocating %s: %w", path, err)
+		}
+		if err := f.Sync(); err != nil {
+			return nil, fmt.Errorf("store: syncing %s: %w", path, err)
+		}
+	}
+	seg.size = logicalEnd
+	s.active = f
+	s.writeOff = logicalEnd
+	s.tailEnts = ents
+	return ents, nil
+}
+
+// sealedFooter reads a sealed segment's index without touching its
+// record data: the 8-byte header, the 20-byte trailer, and the footer
+// frame the trailer points at. Any damage reports !ok and the caller
+// falls back to a full scan.
+func sealedFooter(f *os.File, size int64) ([]footerEntry, bool) {
+	if size < segHeaderLen+trailerLen {
+		return nil, false
+	}
+	var hdr [segHeaderLen]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil || string(hdr[:]) != segMagic {
+		return nil, false
+	}
+	var tr [trailerLen]byte
+	if _, err := f.ReadAt(tr[:], size-trailerLen); err != nil {
+		return nil, false
+	}
+	footerOff, ok := parseTrailerBytes(tr[:], size)
+	if !ok {
+		return nil, false
+	}
+	region := make([]byte, size-trailerLen-footerOff)
+	if _, err := f.ReadAt(region, footerOff); err != nil {
+		return nil, false
+	}
+	payload, _, err := parseFrame(region, 0)
+	if err != nil {
+		return nil, false
+	}
+	ents, err := decodeFooterPayload(payload)
+	if err != nil {
+		return nil, false
+	}
+	for _, e := range ents {
+		if e.off+e.frameLen > footerOff {
+			return nil, false
+		}
+	}
+	return ents, true
+}
+
+// applyEntries indexes a segment's record frames in append order
+// (last-wins across the whole store, since segments load in id order).
+// Garbage (superseded frames) is not accounted here: boot recounts it
+// in one pass over the final index, which is cheaper than a lookup per
+// insert.
+func (s *Store) applyEntries(seg *segment, ents []footerEntry) {
+	for _, e := range ents {
+		ent := idxEntry{loc{seg.id, e.off, e.frameLen}, e.savedAt}
+		s.byKey[e.ki] = ent
+		s.byID[e.id] = ent
+		seg.records++
+		s.replayed++
+	}
+}
+
+// scanSegmentFrames walks buf's frames from the header to the first
+// zero, torn, or corrupt frame, returning the record entries found, the
+// logical end offset, and whether the stop was a torn frame (1) rather
+// than the clean preallocated tail (0). Footer frames (from an
+// interrupted seal) and unknown payload types are skipped.
+func scanSegmentFrames(buf []byte) (ents []footerEntry, logicalEnd int64, torn int) {
+	off := int64(segHeaderLen)
+	for {
+		payload, frameLen, err := parseFrame(buf, off)
+		if err != nil {
+			if errors.Is(err, errTornFrame) {
+				torn = 1
+			}
+			return ents, off, torn
+		}
+		switch payload[0] {
+		case payloadRecord:
+			rec, err := decodeRecordPayload(payload)
+			if err != nil {
+				torn++
+			} else {
+				ents = append(ents, footerEntry{
+					ki: keyIndex(rec.Kind, rec.Key), id: rec.ID,
+					savedAt: rec.SavedAt.UnixNano(), off: off, frameLen: frameLen,
+				})
+			}
+		case payloadFooter:
+			// A footer without a trailer: an interrupted seal. The
+			// records it indexes were already scanned; skip it.
+		}
+		off += frameLen
+	}
+}
+
+// sealSegmentFile writes the footer frame and trailer for ents at
+// logicalEnd, truncates the file to the sealed size, and syncs.
+func sealSegmentFile(f *os.File, ents []footerEntry, logicalEnd int64) error {
+	footer := appendFrame(nil, appendFooterPayload(nil, ents))
+	out := appendTrailer(footer, logicalEnd)
+	if _, err := f.WriteAt(out, logicalEnd); err != nil {
+		return err
+	}
+	if err := f.Truncate(logicalEnd + int64(len(out))); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// --- write path --------------------------------------------------------
 
 // Put appends a record for (kind, key, id) with the given spec and data
-// payloads and fsyncs it before indexing, so a record is visible only
-// once durable. Re-putting a key overwrites its index entry (last-wins).
+// payloads and blocks until the group commit containing it is durable,
+// so a record is visible only once durable. Re-putting a key overwrites
+// its index entry (last-wins).
 func (s *Store) Put(kind Kind, key, id string, spec, data any) error {
 	specRaw, err := json.Marshal(spec)
 	if err != nil {
@@ -212,56 +631,234 @@ func (s *Store) Put(kind Kind, key, id string, spec, data any) error {
 	if err != nil {
 		return fmt.Errorf("store: encoding data for %s: %w", id, err)
 	}
+	enqueued := time.Now()
 	rec := Record{
 		Kind:    kind,
 		Key:     key,
 		ID:      id,
 		Spec:    specRaw,
 		Data:    dataRaw,
-		SavedAt: time.Now().UTC(),
+		SavedAt: enqueued.UTC(),
 	}
-	line, err := json.Marshal(rec)
+	// Build the frame in one allocation: reserve the header, encode the
+	// payload behind it, then backfill length and CRC.
+	frame := make([]byte, frameHeaderLen, frameHeaderLen+64+len(specRaw)+len(dataRaw))
+	frame, err = appendRecordPayload(frame, rec)
 	if err != nil {
-		return fmt.Errorf("store: encoding record for %s: %w", id, err)
+		return err
 	}
-	line = append(line, '\n')
+	payload := frame[frameHeaderLen:]
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(payload, crcTable))
 
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.f == nil {
+	if s.closing {
+		s.mu.Unlock()
 		return fmt.Errorf("store: %s is closed", s.path)
 	}
-	appendStart := time.Now()
-	if _, err := s.f.Write(line); err != nil {
-		return fmt.Errorf("store: appending to %s: %w", s.path, err)
+	b := s.cur
+	if b == nil {
+		b = &batch{start: enqueued, done: make(chan struct{})}
+		// Reuse the previous batch's buffers; batches are serialized by
+		// the single flusher, so one spare of each is enough.
+		b.buf, s.spareBuf = s.spareBuf, nil
+		b.recs, s.spareRecs = s.spareRecs, nil
+		s.cur = b
+		s.flushCV.Signal()
 	}
-	syncStart := time.Now()
-	if err := s.f.Sync(); err != nil {
-		return fmt.Errorf("store: syncing %s: %w", s.path, err)
+	b.recs = append(b.recs, pendRec{
+		kind: kind, key: key, id: id, savedAt: rec.SavedAt.UnixNano(),
+		bufOff: len(b.buf), frameLen: int64(len(frame)),
+	})
+	b.buf = append(b.buf, frame...)
+	h := s.appendSeconds
+	s.mu.Unlock()
+
+	<-b.done
+	if b.err != nil {
+		return b.err
 	}
-	now := time.Now()
-	s.fsyncSeconds.Observe(now.Sub(syncStart).Seconds())
-	s.appendSeconds.Observe(now.Sub(appendStart).Seconds())
-	s.appendedBytes.Add(uint64(len(line)))
-	s.byKey[keyIndex(kind, key)] = rec
-	s.byID[rec.ID] = rec
+	h.Observe(time.Since(enqueued).Seconds())
 	return nil
 }
 
-// Get returns the newest record for (kind, key).
+// flushYieldCap bounds the flusher's coalescing yields per batch. Tuned
+// empirically: past a few yields the marginal batch growth no longer
+// pays for the added latency every waiter in the batch absorbs.
+const flushYieldCap = 4
+
+// flusher is the single goroutine that owns the active segment's write
+// path: it coalesces the pending batch, rolls segments at the size
+// bound, and commits each batch with one pwrite + fdatasync.
+func (s *Store) flusher() {
+	defer close(s.flusherDone)
+	for {
+		s.mu.Lock()
+		for s.cur == nil && !s.closing {
+			s.flushCV.Wait()
+		}
+		if s.cur == nil {
+			s.mu.Unlock()
+			return
+		}
+		// Let arrivals quiesce so concurrent writers land in one
+		// commit: yield while the batch is still growing, bounded by
+		// the size cap and the SyncInterval deadline. A yield lets every
+		// runnable writer enqueue, so the loop converges once all
+		// concurrent writers are blocked in the batch — on an idle store
+		// it costs one scheduler yield before committing.
+		deadline := s.cur.start.Add(s.opts.SyncInterval)
+		for yields := 0; yields < flushYieldCap && len(s.cur.buf) < s.opts.FlushBytes && time.Now().Before(deadline); yields++ {
+			n := len(s.cur.recs)
+			s.mu.Unlock()
+			runtime.Gosched()
+			s.mu.Lock()
+			if len(s.cur.recs) == n {
+				break
+			}
+		}
+		b := s.cur
+		s.cur = nil
+		seg := s.segs[len(s.segs)-1]
+		s.mu.Unlock()
+
+		b.err = s.commit(seg, b)
+		close(b.done)
+	}
+}
+
+// commit writes batch b at the tail of the active segment (rolling to a
+// fresh segment first when it would overflow) and fdatasyncs before
+// indexing, so no waiter observes an ack for a non-durable record.
+func (s *Store) commit(seg *segment, b *batch) error {
+	flushStart := time.Now()
+	if s.writeOff+int64(len(b.buf)) > s.opts.SegmentBytes && s.writeOff > segHeaderLen {
+		rolled, err := s.roll(seg)
+		if err != nil {
+			return err
+		}
+		seg = rolled
+	}
+	off := s.writeOff
+	if _, err := s.active.WriteAt(b.buf, off); err != nil {
+		return fmt.Errorf("store: appending to %s: %w", seg.path, err)
+	}
+	syncStart := time.Now()
+	if err := fdatasync(s.active); err != nil {
+		return fmt.Errorf("store: syncing %s: %w", seg.path, err)
+	}
+	now := time.Now()
+	s.writeOff = off + int64(len(b.buf))
+
+	s.mu.Lock()
+	for _, p := range b.recs {
+		ki := keyIndex(p.kind, p.key)
+		e := footerEntry{ki: ki, id: p.id, savedAt: p.savedAt,
+			off: off + int64(p.bufOff), frameLen: p.frameLen}
+		s.tailEnts = append(s.tailEnts, e)
+		if old, ok := s.byKey[ki]; ok {
+			if oldSeg, ok := s.segByID[old.seg]; ok {
+				oldSeg.garbage++
+			}
+		}
+		ent := idxEntry{loc{seg.id, e.off, e.frameLen}, p.savedAt}
+		s.byKey[ki] = ent
+		s.byID[p.id] = ent
+	}
+	seg.records += len(b.recs)
+	seg.size = s.writeOff
+	// The batch's storage is dead from here (waiters only read err and
+	// done); hand it to the next batch.
+	s.spareBuf = b.buf[:0]
+	s.spareRecs = b.recs[:0]
+	s.fsyncSeconds.Observe(now.Sub(syncStart).Seconds())
+	s.flushSeconds.Observe(now.Sub(flushStart).Seconds())
+	s.batchRecords.Observe(float64(len(b.recs)))
+	s.appendedBytes.Add(uint64(len(b.buf)))
+	s.mu.Unlock()
+	s.maybeCompact()
+	return nil
+}
+
+// roll seals the active segment (footer + trailer + truncate to size)
+// and creates the next preallocated one. Called only from the flusher.
+func (s *Store) roll(seg *segment) (*segment, error) {
+	s.mu.Lock()
+	ents := s.tailEnts
+	s.mu.Unlock()
+	if err := sealSegmentFile(s.active, ents, s.writeOff); err != nil {
+		return nil, fmt.Errorf("store: sealing %s: %w", seg.path, err)
+	}
+	fi, err := s.active.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: stat %s: %w", seg.path, err)
+	}
+	s.mu.Lock()
+	seg.sealed = true
+	seg.size = fi.Size()
+	if err := s.createSegment(seg.id + 1); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	next := s.segs[len(s.segs)-1]
+	s.mu.Unlock()
+	return next, nil
+}
+
+// --- read path ---------------------------------------------------------
+
+// readRecordAt reads and decodes the frame at ent, verifying its CRC.
+func readRecordAt(f *os.File, ent idxEntry) (Record, error) {
+	buf := make([]byte, ent.frameLen)
+	if _, err := f.ReadAt(buf, ent.off); err != nil {
+		return Record{}, err
+	}
+	payload, _, err := parseFrame(buf, 0)
+	if err != nil {
+		return Record{}, err
+	}
+	return decodeRecordPayload(payload)
+}
+
+func (s *Store) lookup(ent idxEntry, ok bool) (Record, bool) {
+	if !ok {
+		return Record{}, false
+	}
+	s.mu.Lock()
+	seg := s.segByID[ent.seg]
+	var f *os.File
+	if seg != nil {
+		f = seg.f
+	}
+	s.mu.Unlock()
+	if f == nil {
+		return Record{}, false
+	}
+	rec, err := readRecordAt(f, ent)
+	if err != nil {
+		s.mu.Lock()
+		s.corruptGets++
+		s.mu.Unlock()
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Get returns the newest record for (kind, key), read back from disk
+// and CRC-checked.
 func (s *Store) Get(kind Kind, key string) (Record, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.byKey[keyIndex(kind, key)]
-	return rec, ok
+	ent, ok := s.byKey[keyIndex(kind, key)]
+	s.mu.Unlock()
+	return s.lookup(ent, ok)
 }
 
 // GetByID returns the newest record with the given public id.
 func (s *Store) GetByID(id string) (Record, bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	rec, ok := s.byID[id]
-	return rec, ok
+	ent, ok := s.byID[id]
+	s.mu.Unlock()
+	return s.lookup(ent, ok)
 }
 
 // Len returns the number of distinct (kind, key) entries indexed.
@@ -271,26 +868,110 @@ func (s *Store) Len() int {
 	return len(s.byKey)
 }
 
-// Dropped returns the number of lines skipped during replay (torn tail
-// or corruption).
+// Dropped returns the number of frames (or, before migration, JSONL
+// lines) skipped as torn or corrupt during replay.
 func (s *Store) Dropped() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dropped
 }
 
-// Path returns the backing file path.
-func (s *Store) Path() string { return s.path }
+// Migrated reports whether Open converted a v1 JSONL file into the
+// segmented layout (the original is kept next to it as *.v1.bak).
+func (s *Store) Migrated() bool { return s.migrated }
 
-// Close flushes and closes the backing file. Further Puts fail; reads
-// keep serving the in-memory index.
-func (s *Store) Close() error {
+// Segments returns the number of segment files, sealed ones first.
+func (s *Store) Segments() (total, sealed int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.f == nil {
+	for _, seg := range s.segs {
+		if seg.sealed {
+			sealed++
+		}
+	}
+	return len(s.segs), sealed
+}
+
+// Path returns the backing directory path.
+func (s *Store) Path() string { return s.path }
+
+// Close commits any pending batch, stops the flusher and waits for
+// in-flight compaction. Further Puts fail; reads keep serving.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closing {
+		s.mu.Unlock()
 		return nil
 	}
-	err := s.f.Close()
-	s.f = nil
-	return err
+	s.closing = true
+	s.flushCV.Broadcast()
+	s.mu.Unlock()
+	<-s.flusherDone
+	s.compactWG.Wait()
+	return nil
+}
+
+// closeFiles releases every handle (only used on failed Open).
+func (s *Store) closeFiles() {
+	for _, seg := range s.segs {
+		if seg.f != nil {
+			seg.f.Close()
+		}
+	}
+}
+
+// Instrument creates the store's instruments and registers them on reg:
+// append/commit latency and batch-size histograms, appended-byte and
+// record-count series, segment and compaction gauges, and the boot
+// replay's accounting. Call once, after Open.
+func (s *Store) Instrument(reg *obs.Registry) {
+	s.mu.Lock()
+	s.appendSeconds = obs.NewHistogram("popprotod_store_append_seconds",
+		"Wall time from a record's enqueue to its group commit being durable.",
+		obs.ExpBuckets(1e-5, 2, 14))
+	s.fsyncSeconds = obs.NewHistogram("popprotod_store_fsync_seconds",
+		"Wall time of the fdatasync within one group commit.", obs.ExpBuckets(1e-5, 2, 14))
+	s.flushSeconds = obs.NewHistogram("popprotod_store_flush_seconds",
+		"Wall time of one group commit (segment roll + write + fdatasync).",
+		obs.ExpBuckets(1e-5, 2, 14))
+	s.batchRecords = obs.NewHistogram("popprotod_store_batch_records",
+		"Records committed per group-commit batch.", obs.ExpBuckets(1, 2, 10))
+	s.appendedBytes = obs.NewCounter("popprotod_store_appended_bytes_total",
+		"Bytes appended to the store since boot.")
+	s.compactCount = obs.NewCounter("popprotod_store_compactions_total",
+		"Sealed segments rewritten by the background compactor since boot.")
+	s.mu.Unlock()
+	reg.MustRegister(
+		s.appendSeconds, s.fsyncSeconds, s.flushSeconds, s.batchRecords,
+		s.appendedBytes, s.compactCount,
+		obs.NewGaugeFunc("popprotod_store_records",
+			"Distinct (kind, key) records indexed.", func() float64 { return float64(s.Len()) }),
+		obs.NewGaugeFunc("popprotod_store_segments",
+			"Segment files backing the store.", func() float64 {
+				total, _ := s.Segments()
+				return float64(total)
+			}),
+		obs.NewGaugeFunc("popprotod_store_garbage_records",
+			"Superseded (last-wins) frames awaiting compaction.", func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				g := 0
+				for _, seg := range s.segs {
+					g += seg.garbage
+				}
+				return float64(g)
+			}),
+		obs.NewGaugeFunc("popprotod_store_replay_seconds",
+			"Wall time of the boot replay (footer loads + tail scan).",
+			func() float64 { return s.replayDur.Seconds() }),
+		obs.NewGaugeFunc("popprotod_store_replayed_records",
+			"Record frames indexed during the boot replay.", func() float64 {
+				s.mu.Lock()
+				defer s.mu.Unlock()
+				return float64(s.replayed)
+			}),
+		obs.NewGaugeFunc("popprotod_store_replay_dropped_lines",
+			"Frames or v1 lines skipped during replay (torn tail or corruption).",
+			func() float64 { return float64(s.Dropped()) }),
+	)
 }

@@ -2,9 +2,12 @@ package store_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
+	"time"
 
 	"popproto/internal/store"
 )
@@ -24,7 +27,7 @@ func open(t *testing.T, path string) *store.Store {
 }
 
 func TestPutGetRoundTrip(t *testing.T) {
-	s := open(t, filepath.Join(t.TempDir(), "results.jsonl"))
+	s := open(t, filepath.Join(t.TempDir(), "results.store"))
 
 	if err := s.Put(store.KindJob, "pll n=100", "j01", map[string]int{"n": 100}, payload{Steps: 42}); err != nil {
 		t.Fatal(err)
@@ -40,6 +43,9 @@ func TestPutGetRoundTrip(t *testing.T) {
 	if rec.ID != "j01" || rec.Kind != store.KindJob {
 		t.Errorf("record = %+v", rec)
 	}
+	if rec.SavedAt.IsZero() {
+		t.Error("SavedAt not preserved")
+	}
 	if byID, ok := s.GetByID("j01"); !ok || byID.Key != "pll n=100" {
 		t.Errorf("GetByID = %+v, %v", byID, ok)
 	}
@@ -52,7 +58,7 @@ func TestPutGetRoundTrip(t *testing.T) {
 }
 
 func TestReplayAcrossReopen(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "results.jsonl")
+	path := filepath.Join(t.TempDir(), "results.store")
 	s, err := store.Open(path)
 	if err != nil {
 		t.Fatal(err)
@@ -82,101 +88,220 @@ func TestReplayAcrossReopen(t *testing.T) {
 		t.Errorf("last-wins violated: steps = %d, want 999 (%v)", p.Steps, err)
 	}
 	if re.Dropped() != 0 {
-		t.Errorf("clean file reported %d dropped lines", re.Dropped())
+		t.Errorf("clean store reported %d dropped frames", re.Dropped())
 	}
 }
 
-// TestTornTailRecovery simulates a crash mid-append: the torn final line
-// must be dropped and truncated away, the intact prefix preserved, and a
-// subsequent Put must land on a fresh line.
-func TestTornTailRecovery(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "results.jsonl")
+// TestConcurrentPuts drives the group-commit path: every acknowledged
+// Put must be served, both immediately and across a reopen.
+func TestConcurrentPuts(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.store")
 	s, err := store.Open(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.Put(store.KindJob, "intact", "j1", nil, payload{Steps: 1}); err != nil {
+	const writers, per = 16, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				key := fmt.Sprintf("w%d-%d", w, i)
+				if err := s.Put(store.KindJob, key, "j"+key, nil, payload{Steps: uint64(i)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
 		t.Fatal(err)
+	}
+	if s.Len() != writers*per {
+		t.Fatalf("len = %d, want %d", s.Len(), writers*per)
 	}
 	s.Close()
 
-	// Simulate the crash: half a record, no trailing newline.
-	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.WriteString(`{"kind":"job","key":"torn","id":"j2","sp`); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
-
 	re := open(t, path)
-	if re.Dropped() != 1 {
-		t.Errorf("dropped = %d, want 1 (the torn tail)", re.Dropped())
+	if re.Len() != writers*per {
+		t.Fatalf("replayed %d records, want %d", re.Len(), writers*per)
 	}
-	if _, ok := re.Get(store.KindJob, "intact"); !ok {
-		t.Error("intact record lost to the torn tail")
-	}
-	if _, ok := re.Get(store.KindJob, "torn"); ok {
-		t.Error("torn record served")
-	}
-	// Appending after recovery must produce a parseable file.
-	if err := re.Put(store.KindJob, "after", "j3", nil, payload{Steps: 3}); err != nil {
-		t.Fatal(err)
-	}
-	re.Close()
-
-	final := open(t, path)
-	if final.Dropped() != 0 {
-		t.Errorf("post-recovery file still has %d bad lines", final.Dropped())
-	}
-	for _, key := range []string{"intact", "after"} {
-		if _, ok := final.Get(store.KindJob, key); !ok {
-			t.Errorf("record %q missing after recovery round-trip", key)
+	for w := 0; w < writers; w++ {
+		for i := 0; i < per; i++ {
+			key := fmt.Sprintf("w%d-%d", w, i)
+			if _, ok := re.Get(store.KindJob, key); !ok {
+				t.Fatalf("acknowledged record %q lost across reopen", key)
+			}
 		}
 	}
 }
 
-// TestCorruptMiddleLineSkipped: a corrupt line in the middle (bit rot,
-// concurrent writer) must not take down the records after it.
-func TestCorruptMiddleLineSkipped(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "results.jsonl")
-	s, err := store.Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s.Put(store.KindJob, "first", "j1", nil, payload{Steps: 1})
-	s.Close()
-
-	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
-	f.WriteString("not json at all\n")
-	f.Close()
-
-	s2, err := store.Open(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s2.Put(store.KindJob, "second", "j2", nil, payload{Steps: 2})
-	s2.Close()
-
-	re := open(t, path)
-	if re.Dropped() != 1 {
-		t.Errorf("dropped = %d, want 1", re.Dropped())
-	}
-	for _, key := range []string{"first", "second"} {
-		if _, ok := re.Get(store.KindJob, key); !ok {
-			t.Errorf("record %q lost around the corrupt line", key)
+// TestV1Migration: opening a v1 JSONL store (a regular file) migrates
+// it into the segmented layout, serving every prior record by key and
+// id, with the v1 file kept aside as a backup.
+func TestV1Migration(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "results.jsonl")
+	var lines []byte
+	savedAt := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		rec := store.Record{
+			Kind: store.KindJob, Key: fmt.Sprintf("k%d", i), ID: fmt.Sprintf("j%d", i),
+			Spec: json.RawMessage(fmt.Sprintf(`{"n":%d}`, i)), Data: json.RawMessage(`{"steps":7}`),
+			SavedAt: savedAt.Add(time.Duration(i) * time.Second),
 		}
+		line, _ := json.Marshal(rec)
+		lines = append(lines, line...)
+		lines = append(lines, '\n')
+	}
+	// A last-wins overwrite, a corrupt line, and a torn tail.
+	over, _ := json.Marshal(store.Record{
+		Kind: store.KindJob, Key: "k3", ID: "j3",
+		Spec: json.RawMessage(`{"n":3}`), Data: json.RawMessage(`{"steps":99}`), SavedAt: savedAt,
+	})
+	lines = append(lines, over...)
+	lines = append(lines, '\n')
+	lines = append(lines, []byte("not json at all\n")...)
+	lines = append(lines, []byte(`{"kind":"job","key":"torn","id":"jx","sp`)...)
+	if err := os.WriteFile(path, lines, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := open(t, path)
+	if !s.Migrated() {
+		t.Fatal("v1 file not reported as migrated")
+	}
+	if s.Len() != 20 {
+		t.Fatalf("migrated %d records, want 20", s.Len())
+	}
+	if s.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2 (corrupt line + torn tail)", s.Dropped())
+	}
+	for i := 0; i < 20; i++ {
+		rec, ok := s.Get(store.KindJob, fmt.Sprintf("k%d", i))
+		if !ok {
+			t.Fatalf("record k%d lost in migration", i)
+		}
+		if byID, ok := s.GetByID(fmt.Sprintf("j%d", i)); !ok || byID.Key != rec.Key {
+			t.Fatalf("record j%d not served by id after migration", i)
+		}
+	}
+	var p payload
+	rec, _ := s.Get(store.KindJob, "k3")
+	if json.Unmarshal(rec.Data, &p); p.Steps != 99 {
+		t.Errorf("last-wins lost in migration: steps = %d, want 99", p.Steps)
+	}
+	if rec.SavedAt != savedAt {
+		t.Errorf("savedAt = %v, want %v", rec.SavedAt, savedAt)
+	}
+	if fi, err := os.Stat(path); err != nil || !fi.IsDir() {
+		t.Errorf("store path is not a directory after migration (%v)", err)
+	}
+	if _, err := os.Stat(path + ".v1.bak"); err != nil {
+		t.Errorf("v1 backup missing: %v", err)
+	}
+
+	// New writes and a second reopen work on the migrated layout.
+	if err := s.Put(store.KindJob, "post", "jpost", nil, payload{Steps: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	re := open(t, path)
+	if re.Migrated() {
+		t.Error("second open reported a migration")
+	}
+	if re.Len() != 21 {
+		t.Errorf("reopened len = %d, want 21", re.Len())
+	}
+}
+
+// TestScan covers the query layer's iteration contract: kind filtering,
+// last-wins deduplication, and cursor resumption.
+func TestScan(t *testing.T) {
+	s := open(t, filepath.Join(t.TempDir(), "results.store"))
+	for i := 0; i < 5; i++ {
+		if err := s.Put(store.KindJob, fmt.Sprintf("j%d", i), fmt.Sprintf("jid%d", i), nil, payload{Steps: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Put(store.KindExperiment, "e0", "eid0", nil, payload{Steps: 50}); err != nil {
+		t.Fatal(err)
+	}
+	// Supersede one job: the scan must yield only the newest frame.
+	if err := s.Put(store.KindJob, "j2", "jid2", nil, payload{Steps: 222}); err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := s.Scan(store.KindJob, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]uint64{}
+	for sc.Next() {
+		rec := sc.Record()
+		var p payload
+		json.Unmarshal(rec.Data, &p)
+		if _, dup := seen[rec.Key]; dup {
+			t.Fatalf("key %q scanned twice", rec.Key)
+		}
+		seen[rec.Key] = p.Steps
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if len(seen) != 5 {
+		t.Fatalf("scanned %d job records, want 5 (got %v)", len(seen), seen)
+	}
+	if seen["j2"] != 222 {
+		t.Errorf("scan served a superseded frame for j2: steps = %d", seen["j2"])
+	}
+
+	// Resume via cursor after two records.
+	sc2, err := s.Scan("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []string
+	for len(first) < 2 && sc2.Next() {
+		first = append(first, sc2.Record().Key)
+	}
+	rest, err := s.Scan("", sc2.Cursor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tail []string
+	for rest.Next() {
+		tail = append(tail, rest.Record().Key)
+	}
+	if rest.Err() != nil {
+		t.Fatal(rest.Err())
+	}
+	if got := len(first) + len(tail); got != 6 {
+		t.Errorf("cursor resume saw %d records total, want 6 (%v then %v)", got, first, tail)
+	}
+
+	if _, err := s.Scan("", "not a cursor"); err != store.ErrInvalidCursor {
+		t.Errorf("bad cursor error = %v", err)
 	}
 }
 
 func TestClosedPutFails(t *testing.T) {
-	s := open(t, filepath.Join(t.TempDir(), "results.jsonl"))
+	s := open(t, filepath.Join(t.TempDir(), "results.store"))
+	if err := s.Put(store.KindJob, "kept", "jk", nil, payload{Steps: 5}); err != nil {
+		t.Fatal(err)
+	}
 	s.Close()
 	if err := s.Put(store.KindJob, "k", "j", nil, nil); err == nil {
 		t.Error("Put on a closed store succeeded")
 	}
-	// Reads keep serving the index after Close.
+	// Reads keep serving after Close.
+	if _, ok := s.Get(store.KindJob, "kept"); !ok {
+		t.Error("record not served after Close")
+	}
 	if _, ok := s.Get(store.KindJob, "k"); ok {
 		t.Error("unexpected record")
 	}

@@ -16,6 +16,9 @@
 #               orchestrator's PLL scaling row, n∈{1e3,1e4,1e5}, which
 #               reports the fitted log-slope/R² and bounds the sweep
 #               layer's overhead)
+#   STORE_BENCHTIME  -benchtime for the store benchmarks (default 2s;
+#               they need wall-clock, not iteration counts, because the
+#               append paths are fsync-bound)
 #   POPPROTO_BENCH_XL=1 additionally runs the 10^8- and 10^9-agent cases
 #               (including the batch engine's Table 1 row at n=10^8 and
 #               the hybrid engine's n=10^9 PLL election)
@@ -23,7 +26,10 @@
 # Besides BENCH_RE, the reactive-pair-index micro-benchmark in
 # internal/pp (incremental maintenance vs from-scratch re-enumeration at
 # live ∈ {64, 384, 1024}) always runs, so the index's O(row+col) claim
-# is re-measured alongside the end-to-end rows.
+# is re-measured alongside the end-to-end rows. So do the store
+# benchmarks in internal/store: durable-append throughput (v1
+# fsync-per-record vs v2 group commit, at 1/16/64 writers) and boot
+# replay over a 100k-record corpus (v1 full scan vs v2 footer indexes).
 #
 # The JSON is an object {date, go, commit, benchtime, benchmarks: [...]},
 # one entry per benchmark line with every reported metric (ns/op, B/op,
@@ -45,6 +51,11 @@ go test -run '^$' -bench "$BENCH_RE" -benchmem -benchtime "$BENCHTIME" \
 echo "running reactive-pair index micro-benchmarks..." >&2
 go test -run '^$' -bench '^BenchmarkReactivePairIndex$' -benchmem \
   -timeout 10m ./internal/pp | tee -a "$RAW" >&2
+
+echo "running store append/replay benchmarks..." >&2
+go test -run '^$' -bench '^BenchmarkStore_' -benchmem \
+  -benchtime "${STORE_BENCHTIME:-2s}" \
+  -timeout 30m ./internal/store | tee -a "$RAW" >&2
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
     -v go_version="$(go version | awk '{print $3}')" \

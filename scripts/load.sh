@@ -21,6 +21,11 @@
 #   LOAD_CONCURRENCY  concurrent closed-loop clients (default 4)
 #   LOAD_N            population size for jobs (default 50000)
 #   LOAD_SEEDS        seed-pool size; smaller = more cache hits (default 8)
+#   LOAD_PROFILE      "mixed" (default; seeds drawn from the pool, cache
+#                     gets real hits) or "write": every request uses a
+#                     unique seed, so nothing hits the cache and every
+#                     completion group-commits to the store — the profile
+#                     that exercises the store's write path under load
 #   LOAD_PORT         server port (default 8097)
 #   LOAD_SHORT=1      CI mode: 5 s, 2 clients, n=5000
 set -euo pipefail
@@ -31,10 +36,14 @@ DURATION=${LOAD_DURATION:-30}
 CONCURRENCY=${LOAD_CONCURRENCY:-4}
 N=${LOAD_N:-50000}
 SEEDS=${LOAD_SEEDS:-8}
+PROFILE=${LOAD_PROFILE:-mixed}
 PORT=${LOAD_PORT:-8097}
 if [ "${LOAD_SHORT:-0}" = 1 ]; then
   DURATION=5 CONCURRENCY=2 N=5000
 fi
+case "$PROFILE" in mixed|write) ;; *)
+  echo "LOAD_PROFILE must be mixed or write, got $PROFILE" >&2; exit 1 ;;
+esac
 BASE="http://127.0.0.1:${PORT}"
 
 WORKDIR=$(mktemp -d)
@@ -44,7 +53,7 @@ BIN="$WORKDIR/popprotod"
 go build -o "$BIN" ./cmd/popprotod
 
 SERVER_PID=
-"$BIN" -addr "127.0.0.1:${PORT}" -store "$WORKDIR/results.jsonl" 2>"$WORKDIR/server.log" &
+"$BIN" -addr "127.0.0.1:${PORT}" -store "$WORKDIR/results.store" 2>"$WORKDIR/server.log" &
 SERVER_PID=$!
 for _ in $(seq 1 50); do
   curl -fs "$BASE/v1/health" >/dev/null 2>&1 && break
@@ -52,10 +61,14 @@ for _ in $(seq 1 50); do
 done
 curl -fs "$BASE/v1/health" >/dev/null || { echo "server never came up" >&2; exit 1; }
 
-# submissions_stats FILE -> "hits total" from a /metrics snapshot.
+# submissions_stats FILE -> "hits total" from a /metrics snapshot. The
+# denominator excludes outcome="joined": a join coalesced onto an
+# identical in-flight run, so it was never a lookup against finished
+# work — counting joins used to deflate the reported hit rate under
+# concurrency even when every finished-work lookup hit.
 submissions_stats() {
   awk '/^popprotod_runcore_submissions_total\{/ {
-    total += $2
+    if ($0 !~ /outcome="joined"/) total += $2
     if ($0 ~ /outcome="hit"/ || $0 ~ /outcome="restored"/) hits += $2
   } END { printf "%d %d\n", hits, total }' "$1"
 }
@@ -80,7 +93,14 @@ client() {
   }
   while [ "$(date +%s)" -lt "$deadline" ]; do
     i=$((i + 1))
-    local seed=$(( (id * 7919 + i * 104729) % SEEDS )) kind=$((i % 10)) path rid body spec
+    local seed kind=$((i % 10)) path rid body spec
+    if [ "$PROFILE" = write ]; then
+      # Unique seed per request: every spec is new, every completion is
+      # a store commit, the cache never hits.
+      seed=$((id * 1000000 + i))
+    else
+      seed=$(( (id * 7919 + i * 104729) % SEEDS ))
+    fi
     if [ "$kind" -lt 7 ]; then
       path=/v1/jobs
       spec='{"protocol": "pll", "n": '"$N"', "engine": "count", "seed": '"$seed"'}'
@@ -105,7 +125,7 @@ client() {
   done
 }
 
-echo "load: $CONCURRENCY clients, ${DURATION}s, n=$N, seed pool $SEEDS" >&2
+echo "load: $PROFILE profile, $CONCURRENCY clients, ${DURATION}s, n=$N, seed pool $SEEDS" >&2
 START_NS=$(date +%s%N)
 PIDS=()
 for c in $(seq 1 "$CONCURRENCY"); do
@@ -137,19 +157,22 @@ SUBMITS=$((TOTAL_AFTER - TOTAL_BEFORE))
 HITS=$((HITS_AFTER - HITS_BEFORE))
 HIT_RATE=$(awk -v h="$HITS" -v t="$SUBMITS" 'BEGIN { printf "%.4f", (t > 0 ? h / t : 0) }')
 
+NAME=LoadMixed
+[ "$PROFILE" = write ] && NAME=LoadWrite
 jq -n \
   --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
   --arg go "$(go version | awk '{print $3}')" \
   --arg commit "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" \
+  --arg profile "$PROFILE" --arg name "$NAME" \
   --argjson duration "$DURATION" --argjson concurrency "$CONCURRENCY" \
   --argjson n "$N" --argjson seeds "$SEEDS" \
   --argjson requests "$REQUESTS" --argjson rps "$RPS" \
   --argjson p50 "$P50" --argjson p99 "$P99" \
   --argjson submissions "$SUBMITS" --argjson hits "$HITS" --argjson rate "$HIT_RATE" \
   '{date: $date, go: $go, commit: $commit,
-    load: {duration_s: $duration, concurrency: $concurrency, n: $n, seed_pool: $seeds},
+    load: {profile: $profile, duration_s: $duration, concurrency: $concurrency, n: $n, seed_pool: $seeds},
     benchmarks: [{
-      name: ("LoadMixed/c=" + ($concurrency | tostring) + "/n=" + ($n | tostring)),
+      name: ($name + "/c=" + ($concurrency | tostring) + "/n=" + ($n | tostring)),
       requests: $requests, "requests/s": $rps,
       "p50-ms": $p50, "p99-ms": $p99,
       submissions: $submissions, "cache-hits": $hits, "cache-hit-rate": $rate

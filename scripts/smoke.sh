@@ -11,6 +11,14 @@
 # the job, the experiment, the sweep and its per-cell results are still
 # served, and scrape /metrics asserting the run and cache series moved.
 #
+# Then the store-v2-specific legs: query the durable corpus through
+# GET /v1/results (filters, scaling fit, and the results CLI); kill the
+# server with SIGKILL in the middle of a write burst and assert every
+# record the store had acknowledged (made visible in /v1/results — the
+# store indexes a record only after its group commit is durable) is
+# still served after restart; and boot a server on a v1 JSONL store
+# file, asserting it is migrated to the segmented layout in place.
+#
 # Usage: scripts/smoke.sh [port]
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -23,8 +31,10 @@ SWEEP_SPEC='{"protocols": ["pll"], "ns": [1000, 10000, 100000], "replicates": 4}
 
 WORKDIR=$(mktemp -d)
 BIN="$WORKDIR/popprotod"
-STORE="$WORKDIR/results.jsonl"
+RESULTS_BIN="$WORKDIR/results"
+STORE="$WORKDIR/results.store"
 go build -o "$BIN" ./cmd/popprotod
+go build -o "$RESULTS_BIN" ./cmd/results
 
 SERVER_PID=
 start_server() {
@@ -205,5 +215,73 @@ echo "sweep summary and per-cell results served after restart (slope $RESTORED_S
 RESTORED_SUBS=$(curl -fs "$BASE/metrics" | awk '/^popprotod_runcore_submissions_total\{/ && /outcome="restored"/ { sum += $2 } END { print sum + 0 }')
 [ "$RESTORED_SUBS" -ge 1 ] || { echo "/metrics: no restored submissions after restart" >&2; exit 1; }
 echo "/metrics: $RESTORED_SUBS store-restored submissions after restart" >&2
+
+# --- the corpus query layer: GET /v1/results and the results CLI ---
+EXP_RECORDS=$(curl -fs "$BASE/v1/results?kind=experiment&limit=500" | jq '.results | length')
+[ "$EXP_RECORDS" -ge 4 ] ||
+  { echo "/v1/results: $EXP_RECORDS experiment records, want >= 4 (standalone + 3 sweep cells)" >&2; exit 1; }
+SCALING=$(curl -fs "$BASE/v1/results?aggregate=scaling")
+FIT_PROTO=$(echo "$SCALING" | jq -r '.fits[0].protocol')
+FIT_EXPS=$(echo "$SCALING" | jq -r '.experiments')
+[ "$FIT_PROTO" = pll ] || { echo "/v1/results scaling fit protocol $FIT_PROTO, want pll" >&2; exit 1; }
+[ "$FIT_EXPS" -ge 4 ] || { echo "/v1/results scaling covered $FIT_EXPS experiments, want >= 4" >&2; exit 1; }
+echo "/v1/results: $EXP_RECORDS experiment records, scaling fit over $FIT_EXPS (protocol $FIT_PROTO)" >&2
+
+"$RESULTS_BIN" -addr "$BASE" -kind experiment | grep -q "$EID" ||
+  { echo "results CLI did not list experiment $EID" >&2; exit 1; }
+"$RESULTS_BIN" -addr "$BASE" -scaling | grep -q '^pll' ||
+  { echo "results CLI -scaling did not print the pll fit" >&2; exit 1; }
+echo "results CLI lists the corpus and renders the scaling fit" >&2
+
+# --- crash safety: SIGKILL mid-write-burst; every acknowledged record
+# survives. Burst jobs run at n=2022 so an n-range filter isolates them.
+# A record showing up in /v1/results is the durability acknowledgment:
+# the store indexes a record only after the fdatasync covering it
+# returns, so everything visible here must be served after the crash.
+BURST=24
+for i in $(seq 1 "$BURST"); do
+  curl -fs -X POST -d "{\"protocol\":\"pll\",\"n\":2022,\"engine\":\"count\",\"seed\":$i}" \
+    "$BASE/v1/jobs" >/dev/null
+done
+ACKED=""
+for _ in $(seq 1 200); do
+  ACKED=$(curl -fs "$BASE/v1/results?kind=job&n_min=2022&n_max=2022&limit=500" | jq -r '.results[].id')
+  [ "$(echo "$ACKED" | grep -c .)" -ge $((BURST / 2)) ] && break
+  sleep 0.05
+done
+ACKED_N=$(echo "$ACKED" | grep -c .)
+[ "$ACKED_N" -ge 1 ] || { echo "no burst records became visible before the kill" >&2; exit 1; }
+kill -9 "$SERVER_PID" 2>/dev/null || true
+wait "$SERVER_PID" 2>/dev/null || true
+echo "SIGKILL with $ACKED_N/$BURST burst records acknowledged; restarting..." >&2
+start_server
+SURVIVED=$(curl -fs "$BASE/v1/results?kind=job&n_min=2022&n_max=2022&limit=500" | jq -r '.results[].id')
+for BID in $ACKED; do
+  echo "$SURVIVED" | grep -qx "$BID" ||
+    { echo "acknowledged record $BID lost after SIGKILL" >&2; exit 1; }
+  BSTATE=$(curl -fs "$BASE/v1/jobs/$BID" | jq -r '.state')
+  [ "$BSTATE" = done ] || { echo "acknowledged job $BID in state $BSTATE after SIGKILL" >&2; exit 1; }
+done
+echo "all $ACKED_N acknowledged burst records served after SIGKILL + restart" >&2
+
+# --- v1 migration: a JSONL store file is upgraded in place at boot ---
+# Build the v1 fixture out of the live corpus: a stored record fetched
+# through /v1/results is exactly a v1 JSONL line.
+V1STORE="$WORKDIR/v1-results.jsonl"
+curl -fs "$BASE/v1/results?kind=job&limit=500" |
+  jq -c --arg id "$ID" '.results[] | select(.id == $id) | {kind,key,id,spec,data,savedAt}' > "$V1STORE"
+[ -s "$V1STORE" ] || { echo "failed to build v1 JSONL fixture" >&2; exit 1; }
+stop_server
+STORE="$V1STORE"
+start_server
+[ -d "$V1STORE" ] || { echo "v1 JSONL file was not migrated to a store directory" >&2; exit 1; }
+[ -f "$V1STORE.v1.bak" ] || { echo "v1 migration left no .v1.bak of the original" >&2; exit 1; }
+MIGRATED_STATE=$(curl -fs "$BASE/v1/jobs/$ID" | jq -r '.state')
+MIGRATED_RESTORED=$(curl -fs "$BASE/v1/jobs/$ID" | jq -r '.restored')
+[ "$MIGRATED_STATE" = done ] && [ "$MIGRATED_RESTORED" = true ] ||
+  { echo "migrated job $ID: state=$MIGRATED_STATE restored=$MIGRATED_RESTORED" >&2; exit 1; }
+MIGRATED_CACHED=$(curl -fs -X POST -d "$SPEC" "$BASE/v1/jobs" | jq -r '.cached')
+[ "$MIGRATED_CACHED" = true ] || { echo "migrated record not served on resubmission" >&2; exit 1; }
+echo "v1 JSONL store migrated in place; its record served by id and by key" >&2
 
 echo "smoke test passed" >&2
